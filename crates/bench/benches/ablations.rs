@@ -1,0 +1,55 @@
+//! Timing ablations of the design choices DESIGN.md calls out: the cost of
+//! DUCB's per-step discounting vs UCB's counters, reward normalization, and
+//! the probabilistic round-robin restart. (Quality — achieved IPC — under
+//! these knobs is covered by the `ablations` experiment binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mab_core::{AlgorithmKind, BanditAgent, BanditConfig, BanditConfigBuilder};
+use std::hint::black_box;
+
+const STEPS: u64 = 1000;
+
+fn drive(builder: &mut BanditConfigBuilder) -> f64 {
+    let mut agent = BanditAgent::new(builder.build().expect("valid"));
+    let mut acc = 0.0;
+    for i in 0..STEPS {
+        let arm = agent.select_arm();
+        let reward = (arm.index() as f64 + (i % 5) as f64) * 0.2;
+        acc += reward;
+        agent.observe_reward(black_box(reward));
+    }
+    acc
+}
+
+fn bench_discounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_discounting");
+    group.throughput(Throughput::Elements(STEPS));
+    for (name, kind) in [
+        ("ucb_no_discount", AlgorithmKind::Ucb { c: 0.04 }),
+        ("ducb_gamma_0.999", AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }),
+        ("ducb_gamma_0.9", AlgorithmKind::Ducb { gamma: 0.9, c: 0.04 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| drive(BanditConfig::builder(11).algorithm(kind)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_modifications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_modifications");
+    group.throughput(Throughput::Elements(STEPS));
+    group.bench_function("normalization_on", |b| {
+        b.iter(|| drive(BanditConfig::builder(11).normalize_rewards(true)));
+    });
+    group.bench_function("normalization_off", |b| {
+        b.iter(|| drive(BanditConfig::builder(11).normalize_rewards(false)));
+    });
+    group.bench_function("rr_restart_on", |b| {
+        b.iter(|| drive(BanditConfig::builder(11).rr_restart_prob(0.001)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discounting, bench_modifications);
+criterion_main!(benches);

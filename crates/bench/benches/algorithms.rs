@@ -1,0 +1,40 @@
+//! Throughput of the MAB algorithm update paths (nextArm/updSels/updRew).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mab_core::{AlgorithmKind, BanditAgent, BanditConfig};
+use std::hint::black_box;
+
+const STEPS: u64 = 1000;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_steps");
+    group.throughput(Throughput::Elements(STEPS));
+    let algorithms = [
+        ("epsilon-greedy", AlgorithmKind::EpsilonGreedy { epsilon: 0.1 }),
+        ("ucb", AlgorithmKind::Ucb { c: 0.04 }),
+        ("ducb", AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }),
+        ("single", AlgorithmKind::Single),
+        ("periodic", AlgorithmKind::Periodic { exploit_len: 30, window: 4 }),
+    ];
+    for (name, kind) in algorithms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| {
+                let config = BanditConfig::builder(11)
+                    .algorithm(kind)
+                    .seed(1)
+                    .build()
+                    .expect("valid");
+                let mut agent = BanditAgent::new(config);
+                for i in 0..STEPS {
+                    let arm = agent.select_arm();
+                    agent.observe_reward(black_box((arm.index() as u64 + i) as f64 % 5.0));
+                }
+                agent.best_arm()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Decision latency of the Bandit agent (the software analog of §5.4's
+//! arm-selection latency): one full select/observe cycle, by arm count,
+//! plus f64-vs-Q16.16 potential computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mab_core::{AlgorithmKind, BanditAgent, BanditConfig};
+use std::hint::black_box;
+
+fn bench_decision_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bandit_decision_cycle");
+    for arms in [2usize, 6, 11, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("ducb", arms), &arms, |b, &arms| {
+            let config = BanditConfig::builder(arms)
+                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                .build()
+                .expect("valid");
+            let mut agent = BanditAgent::new(config);
+            let mut i = 0u64;
+            b.iter(|| {
+                let arm = agent.select_arm();
+                i += 1;
+                agent.observe_reward(black_box((arm.index() as f64) * 0.1 + (i % 3) as f64));
+                arm
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_point_potential(c: &mut Criterion) {
+    use mab_core::fixed::{potential_fixed, Fixed};
+    let mut group = c.benchmark_group("potential");
+    group.bench_function("f64", |b| {
+        b.iter(|| {
+            let r = black_box(0.5f64);
+            let n = black_box(7.0f64);
+            let n_total = black_box(120.0f64);
+            r + 0.04 * (n_total.ln() / n).sqrt()
+        });
+    });
+    group.bench_function("q16_16", |b| {
+        let r = Fixed::from_f64(0.5);
+        let n = Fixed::from_f64(7.0);
+        let n_total = Fixed::from_f64(120.0);
+        let c = Fixed::from_f64(0.04);
+        b.iter(|| potential_fixed(black_box(r), black_box(n), black_box(n_total), black_box(c)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_cycle, bench_fixed_point_potential);
+criterion_main!(benches);

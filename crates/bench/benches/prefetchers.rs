@@ -1,0 +1,53 @@
+//! Training throughput of every prefetcher on a mixed access stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mab_memsim::{L2Access, PrefetchQueue};
+use mab_prefetch::catalog;
+use mab_workloads::MemKind;
+
+const ACCESSES: u64 = 10_000;
+
+/// A deterministic mixed stream: two strided PCs plus a noisy one.
+fn accesses() -> Vec<L2Access> {
+    (0..ACCESSES)
+        .map(|i| {
+            let (pc, line) = match i % 3 {
+                0 => (0x400, i / 3),
+                1 => (0x440, 1_000_000 + (i / 3) * 4),
+                _ => (0x480, (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) % 100_000),
+            };
+            L2Access {
+                pc,
+                line,
+                hit: i % 4 == 0,
+                cycle: i * 7,
+                instructions: i * 3,
+                kind: MemKind::Load,
+            }
+        })
+        .collect()
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let stream = accesses();
+    let mut group = c.benchmark_group("prefetcher_train");
+    group.throughput(Throughput::Elements(ACCESSES));
+    for name in ["nextline", "stride", "bingo", "mlop", "pythia", "ipcp", "bandit"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut prefetcher = catalog::build_l2(name, 1);
+                let mut queue = PrefetchQueue::new();
+                let mut issued = 0usize;
+                for access in &stream {
+                    prefetcher.train(access, &mut queue);
+                    issued += queue.drain().count();
+                }
+                issued
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

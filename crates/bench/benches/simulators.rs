@@ -1,0 +1,46 @@
+//! Simulation throughput of the two substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mab_memsim::{config::SystemConfig, System};
+use mab_prefetch::catalog;
+use mab_smtsim::{config::SmtParams, controllers::ChoiController, pipeline::SmtPipeline};
+use mab_workloads::{smt, suites};
+
+fn bench_memsim(c: &mut Criterion) {
+    const INSTRUCTIONS: u64 = 100_000;
+    let mut group = c.benchmark_group("memsim");
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    group.sample_size(10);
+    for pf in ["none", "bandit"] {
+        group.bench_function(format!("single_core_{pf}"), |b| {
+            let app = suites::app_by_name("milc").expect("catalog app");
+            b.iter(|| {
+                let mut system = System::single_core(SystemConfig::default());
+                system.set_prefetcher(0, catalog::build_l2(pf, 1));
+                system.run(&mut app.trace(1), INSTRUCTIONS)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_smtsim(c: &mut Criterion) {
+    const COMMITS: u64 = 20_000;
+    let mut group = c.benchmark_group("smtsim");
+    group.throughput(Throughput::Elements(COMMITS * 2));
+    group.sample_size(10);
+    group.bench_function("two_thread_choi", |b| {
+        let specs = [
+            smt::thread_by_name("gcc").expect("catalog thread"),
+            smt::thread_by_name("xz").expect("catalog thread"),
+        ];
+        b.iter(|| {
+            let mut pipe = SmtPipeline::new(SmtParams::test_scale(), specs.clone(), 1);
+            pipe.run(Box::new(ChoiController::new()), COMMITS)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memsim, bench_smtsim);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Scaled-down timings of the table/figure regeneration pipelines, so a
+//! `cargo bench` run exercises every experiment path end to end. The full
+//! experiments are the `mab-experiments` binaries; these benches use small
+//! instruction counts to keep bench time sane while still covering the code.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mab_core::AlgorithmKind;
+use mab_experiments::{prefetch_runs, smt_runs};
+use mab_memsim::config::SystemConfig;
+use mab_smtsim::config::SmtParams;
+use mab_workloads::{smt, suites};
+
+const INSTR: u64 = 40_000;
+const COMMITS: u64 = 6_000;
+
+fn bench_prefetch_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_prefetch");
+    group.sample_size(10);
+    let cfg = SystemConfig::default();
+    let app = suites::app_by_name("milc").expect("catalog app");
+
+    group.bench_function("fig08_lineup_one_app", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for pf in ["stride", "bingo", "mlop", "pythia", "bandit"] {
+                total += prefetch_runs::run_single(pf, &app, cfg, INSTR, 1).ipc();
+            }
+            total
+        });
+    });
+    group.bench_function("tab08_best_static_oracle", |b| {
+        b.iter(|| prefetch_runs::best_static_arm(&app, cfg, INSTR, 1));
+    });
+    group.bench_function("fig10_low_bandwidth_point", |b| {
+        let slow = cfg.with_dram_mtps(150);
+        b.iter(|| prefetch_runs::run_single("bandit", &app, slow, INSTR, 1).ipc());
+    });
+    group.bench_function("fig12_multilevel_combo", |b| {
+        b.iter(|| prefetch_runs::run_multilevel("stride", "bandit", &app, cfg, INSTR, 1).ipc());
+    });
+    group.bench_function("fig14_four_core_mix", |b| {
+        b.iter(|| prefetch_runs::run_four_core_homogeneous("bandit-multicore", &app, cfg, INSTR / 4, 1));
+    });
+    group.finish();
+}
+
+fn bench_smt_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_smt");
+    group.sample_size(10);
+    let params = SmtParams::test_scale();
+    let specs = [
+        smt::thread_by_name("gcc").expect("catalog thread"),
+        smt::thread_by_name("lbm").expect("catalog thread"),
+    ];
+    group.bench_function("fig13_one_mix_bandit_vs_choi", |b| {
+        b.iter(|| {
+            let choi = smt_runs::run_choi(specs.clone(), params, COMMITS, 1).sum_ipc();
+            let bandit = smt_runs::run_bandit_algorithm(
+                AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+                specs.clone(),
+                params,
+                COMMITS,
+                1,
+            )
+            .sum_ipc();
+            bandit / choi
+        });
+    });
+    group.bench_function("tab09_best_static_oracle", |b| {
+        b.iter(|| smt_runs::best_static_arm(specs.clone(), params, COMMITS, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch_experiments, bench_smt_experiments);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Criterion benchmark crate for the Micro-Armed Bandit reproduction.
+//!
+//! All content lives in the `benches/` directory; this library exists only
+//! to anchor the bench targets.

@@ -1,0 +1,178 @@
+//! The Discounted Upper Confidence Bound (DUCB) bandit algorithm.
+
+use super::{argmax_potential, Algorithm};
+use crate::arm::ArmId;
+use crate::tables::BanditTables;
+use rand::rngs::StdRng;
+
+/// DUCB: UCB with a forgetting factor γ for non-stationary environments.
+///
+/// `nextArm` and `updRew` are identical to [`super::Ucb`]; `updSels` first
+/// discounts *every* selection count by γ and then increments the selected
+/// arm. As the counts of rarely-selected arms decay, their exploration bonus
+/// grows and they are eventually re-tried — this is what lets the agent track
+/// program phase changes (paper Fig. 7, `mcf`).
+///
+/// The Micro-Armed Bandit ships with DUCB; the paper's tuned values are
+/// `γ = 0.999, c = 0.04` for prefetching and `γ = 0.975, c = 0.01` for SMT
+/// instruction fetch (Table 6).
+///
+/// # Example
+///
+/// ```
+/// use mab_core::algorithms::{Algorithm, Ducb};
+/// use mab_core::{ArmId, BanditTables};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tables = BanditTables::new(2);
+/// tables.record_initial(ArmId::new(0), 1.0);
+/// tables.record_initial(ArmId::new(1), 0.2);
+/// let mut ducb = Ducb::new(0.95, 0.2);
+/// let mut rng = StdRng::seed_from_u64(0);
+///
+/// // Phase change: arm 1 becomes the good arm. DUCB adapts.
+/// for _ in 0..300 {
+///     let arm = ducb.next_arm(&tables, &mut rng);
+///     ducb.update_selections(&mut tables, arm);
+///     ducb.update_reward(&mut tables, arm, if arm.index() == 1 { 1.0 } else { 0.2 });
+/// }
+/// assert_eq!(tables.best_by_reward(), ArmId::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ducb {
+    gamma: f64,
+    c: f64,
+}
+
+impl Ducb {
+    /// Creates a DUCB policy with forgetting factor `gamma` and exploration
+    /// constant `c`.
+    pub fn new(gamma: f64, c: f64) -> Self {
+        Ducb { gamma, c }
+    }
+
+    /// The forgetting factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The exploration constant.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+}
+
+impl Algorithm for Ducb {
+    fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        argmax_potential(tables, self.c)
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.discount_and_select(arm, self.gamma);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Drives the policy against a (possibly time-varying) reward function.
+    fn drive<F: FnMut(usize, usize) -> f64>(
+        ducb: &mut Ducb,
+        tables: &mut BanditTables,
+        steps: usize,
+        mut reward: F,
+    ) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut picks = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let arm = ducb.next_arm(tables, &mut rng);
+            picks.push(arm.index());
+            ducb.update_selections(tables, arm);
+            let r = reward(t, arm.index());
+            ducb.update_reward(tables, arm, r);
+        }
+        picks
+    }
+
+    fn fresh(arms: usize, init: &[f64]) -> BanditTables {
+        let mut t = BanditTables::new(arms);
+        for (i, &r) in init.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        t
+    }
+
+    #[test]
+    fn adapts_to_phase_change() {
+        let mut t = fresh(2, &[1.0, 0.1]);
+        let mut ducb = Ducb::new(0.95, 0.1);
+        // Phase 1: arm 0 best. Phase 2 (after step 300): arm 1 best.
+        let picks = drive(&mut ducb, &mut t, 800, |t, arm| match (t < 300, arm) {
+            (true, 0) => 1.0,
+            (true, 1) => 0.1,
+            (false, 0) => 0.1,
+            (false, 1) => 1.0,
+            _ => unreachable!(),
+        });
+        // By the end of the run the agent should have switched to arm 1.
+        let tail = &picks[700..];
+        let arm1 = tail.iter().filter(|&&a| a == 1).count();
+        assert!(arm1 > 90, "arm1 picks in tail: {arm1}");
+    }
+
+    #[test]
+    fn ucb_with_gamma_one_is_plain_ucb() {
+        use crate::algorithms::Ucb;
+        let mut ta = fresh(3, &[0.4, 0.6, 0.2]);
+        let mut tb = ta.clone();
+        let mut ducb = Ducb::new(1.0, 0.2);
+        let mut ucb = Ucb::new(0.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let a = ducb.next_arm(&ta, &mut rng);
+            let b = ucb.next_arm(&tb, &mut rng);
+            assert_eq!(a, b);
+            ducb.update_selections(&mut ta, a);
+            ucb.update_selections(&mut tb, b);
+            let r = 0.3 * a.index() as f64;
+            ducb.update_reward(&mut ta, a, r);
+            ucb.update_reward(&mut tb, b, r);
+        }
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn discounting_retries_stale_arms_sooner_than_ucb() {
+        // With aggressive discounting the unselected arm's n decays, so its
+        // bonus grows and DUCB revisits it more often than plain UCB.
+        let rewards = [0.9, 0.5];
+        let revisits = |gamma: f64| {
+            let mut t = fresh(2, &rewards);
+            let mut d = Ducb::new(gamma, 0.2);
+            let picks = drive(&mut d, &mut t, 500, |_, arm| rewards[arm]);
+            picks.iter().filter(|&&a| a == 1).count()
+        };
+        let ducb_revisits = revisits(0.9);
+        let ucb_revisits = revisits(1.0);
+        assert!(
+            ducb_revisits > ucb_revisits,
+            "ducb {ducb_revisits} vs ucb {ucb_revisits}"
+        );
+    }
+
+    #[test]
+    fn still_prefers_best_arm_in_stationary_environment() {
+        let rewards = [0.2, 0.8, 0.5];
+        let mut t = fresh(3, &rewards);
+        let mut ducb = Ducb::new(0.99, 0.05);
+        let picks = drive(&mut ducb, &mut t, 1000, |_, arm| rewards[arm]);
+        let best = picks.iter().filter(|&&a| a == 1).count();
+        assert!(best > 600, "best-arm picks: {best}");
+    }
+}

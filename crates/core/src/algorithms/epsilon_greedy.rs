@@ -1,0 +1,141 @@
+//! The ε-Greedy bandit algorithm.
+
+use super::Algorithm;
+use crate::arm::ArmId;
+use crate::tables::BanditTables;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// ε-Greedy: with probability `1 − ε` play the arm with the highest average
+/// reward, with probability `ε` play a uniformly random arm.
+///
+/// The paper (§4.2a) notes its two weaknesses — randomized exploration treats
+/// terrible and near-optimal arms alike, and the exploration rate never
+/// decays — which is why UCB-family algorithms win in Tables 8/9.
+///
+/// # Example
+///
+/// ```
+/// use mab_core::algorithms::{Algorithm, EpsilonGreedy};
+/// use mab_core::{ArmId, BanditTables};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tables = BanditTables::new(2);
+/// tables.record_initial(ArmId::new(0), 0.1);
+/// tables.record_initial(ArmId::new(1), 0.9);
+///
+/// let mut greedy = EpsilonGreedy::new(0.0); // pure exploitation
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(greedy.next_arm(&tables, &mut rng), ArmId::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// Creates an ε-Greedy policy.
+    ///
+    /// Validation of `epsilon` happens in
+    /// [`crate::AlgorithmKind::validate`]; out-of-range values passed
+    /// directly here merely behave as if clamped by the sampling test.
+    pub fn new(epsilon: f64) -> Self {
+        EpsilonGreedy { epsilon }
+    }
+
+    /// The exploration probability ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Algorithm for EpsilonGreedy {
+    fn next_arm(&mut self, tables: &BanditTables, rng: &mut StdRng) -> ArmId {
+        if rng.gen::<f64>() < self.epsilon {
+            ArmId::new(rng.gen_range(0..tables.arms()))
+        } else {
+            tables.best_by_reward()
+        }
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seeded() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn tables_with(rewards: &[f64]) -> BanditTables {
+        let mut t = BanditTables::new(rewards.len());
+        for (i, &r) in rewards.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        t
+    }
+
+    #[test]
+    fn epsilon_zero_always_exploits() {
+        let t = tables_with(&[0.3, 0.8, 0.5]);
+        let mut g = EpsilonGreedy::new(0.0);
+        let mut rng = seeded();
+        for _ in 0..100 {
+            assert_eq!(g.next_arm(&t, &mut rng), ArmId::new(1));
+        }
+    }
+
+    #[test]
+    fn epsilon_one_explores_uniformly() {
+        let t = tables_with(&[0.3, 0.8, 0.5]);
+        let mut g = EpsilonGreedy::new(1.0);
+        let mut rng = seeded();
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[g.next_arm(&t, &mut rng).index()] += 1;
+        }
+        for &c in &counts {
+            // Each arm should be picked roughly a third of the time.
+            assert!(c > 800 && c < 1200, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn exploration_rate_matches_epsilon() {
+        let t = tables_with(&[0.0, 1.0]);
+        let mut g = EpsilonGreedy::new(0.2);
+        let mut rng = seeded();
+        let mut non_best = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if g.next_arm(&t, &mut rng) != ArmId::new(1) {
+                non_best += 1;
+            }
+        }
+        // Non-best picks happen only on the exploring half of random draws:
+        // rate ≈ ε / 2 for two arms.
+        let rate = non_best as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn updates_maintain_running_average() {
+        let mut t = tables_with(&[1.0]);
+        let mut g = EpsilonGreedy::new(0.5);
+        for r in [2.0, 3.0, 4.0] {
+            g.update_selections(&mut t, ArmId::new(0));
+            g.update_reward(&mut t, ArmId::new(0), r);
+        }
+        assert!((t.reward(ArmId::new(0)) - 2.5).abs() < 1e-12);
+        assert_eq!(t.n(ArmId::new(0)), 4.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Non-bandit exploration heuristics evaluated in §7.1 of the paper,
+//! plus the fixed-arm policy behind the *Best Static* oracle.
+
+use super::Algorithm;
+use crate::arm::ArmId;
+use crate::tables::BanditTables;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// The *Single* heuristic: after the initial round-robin phase, lock in the
+/// arm that performed best during that phase and never explore again.
+///
+/// The paper observes that Single has the worst minimum performance in
+/// Tables 8/9 because one noisy initial measurement can pin a bad arm for
+/// the whole episode.
+///
+/// # Example
+///
+/// ```
+/// use mab_core::algorithms::{Algorithm, Single};
+/// use mab_core::{ArmId, BanditTables};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tables = BanditTables::new(2);
+/// tables.record_initial(ArmId::new(0), 0.2);
+/// tables.record_initial(ArmId::new(1), 0.7);
+/// let mut single = Single::new();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // Locks onto arm 1 and sticks with it even if its reward collapses.
+/// assert_eq!(single.next_arm(&tables, &mut rng), ArmId::new(1));
+/// tables.fold_reward(ArmId::new(1), -10.0);
+/// assert_eq!(single.next_arm(&tables, &mut rng), ArmId::new(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Single {
+    chosen: Option<ArmId>,
+}
+
+impl Single {
+    /// Creates the Single heuristic.
+    pub fn new() -> Self {
+        Single::default()
+    }
+
+    /// The arm locked in after the round-robin phase, if any yet.
+    pub fn chosen(&self) -> Option<ArmId> {
+        self.chosen
+    }
+}
+
+impl Algorithm for Single {
+    fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        *self.chosen.get_or_insert_with(|| tables.best_by_reward())
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+/// The *Periodic* heuristic: alternate between round-robin sweeps over all
+/// arms and exploitation of the best arm according to a recent-reward moving
+/// average — in the spirit of the POWER7 adaptive prefetcher's epoch-based
+/// scan augmented with a moving-average buffer.
+///
+/// Exploration is randomized in *when* it happens but scans arms in order;
+/// crucially it never decays, which the paper identifies as the reason for
+/// its mediocre geometric-mean performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Periodic {
+    exploit_len: u32,
+    window: usize,
+    /// Per-arm buffers of the most recent rewards.
+    recent: Vec<VecDeque<f64>>,
+    /// Steps remaining in the current exploitation phase (when `sweep_pos`
+    /// is `None`).
+    exploit_left: u32,
+    /// Position in the current exploration sweep, if sweeping.
+    sweep_pos: Option<usize>,
+}
+
+impl Periodic {
+    /// Creates a Periodic heuristic over `arms` arms that exploits for
+    /// `exploit_len` steps between sweeps, judging arms by a moving average
+    /// over their last `window` rewards.
+    pub fn new(arms: usize, exploit_len: u32, window: usize) -> Self {
+        Periodic {
+            exploit_len,
+            window: window.max(1),
+            recent: vec![VecDeque::new(); arms],
+            exploit_left: exploit_len,
+            sweep_pos: None,
+        }
+    }
+
+    fn moving_average(&self, arm: usize, fallback: f64) -> f64 {
+        let buf = &self.recent[arm];
+        if buf.is_empty() {
+            fallback
+        } else {
+            buf.iter().sum::<f64>() / buf.len() as f64
+        }
+    }
+
+    fn best_by_moving_average(&self, tables: &BanditTables) -> ArmId {
+        let mut best = 0;
+        let mut best_avg = f64::NEG_INFINITY;
+        for arm in 0..tables.arms() {
+            let avg = self.moving_average(arm, tables.reward(ArmId::new(arm)));
+            if avg > best_avg {
+                best_avg = avg;
+                best = arm;
+            }
+        }
+        ArmId::new(best)
+    }
+}
+
+impl Algorithm for Periodic {
+    fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        match self.sweep_pos {
+            Some(pos) => {
+                let arm = ArmId::new(pos);
+                self.sweep_pos = if pos + 1 < tables.arms() {
+                    Some(pos + 1)
+                } else {
+                    self.exploit_left = self.exploit_len;
+                    None
+                };
+                arm
+            }
+            None => {
+                if self.exploit_left == 0 {
+                    // Start a new sweep: play arm 0 now, continue from arm 1.
+                    self.sweep_pos = if tables.arms() > 1 { Some(1) } else { None };
+                    if self.sweep_pos.is_none() {
+                        self.exploit_left = self.exploit_len;
+                    }
+                    ArmId::new(0)
+                } else {
+                    self.exploit_left -= 1;
+                    self.best_by_moving_average(tables)
+                }
+            }
+        }
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        let buf = &mut self.recent[arm.index()];
+        if buf.len() == self.window {
+            buf.pop_front();
+        }
+        buf.push_back(r_step);
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+/// A policy that always plays one fixed arm.
+///
+/// The experiment harness realizes the paper's *Best Static* oracle by
+/// running every `StaticArm` for the full episode and keeping the best
+/// per-application result (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticArm {
+    arm: ArmId,
+}
+
+impl StaticArm {
+    /// Creates a policy pinned to `arm`.
+    pub fn new(arm: ArmId) -> Self {
+        StaticArm { arm }
+    }
+
+    /// The pinned arm.
+    pub fn arm(&self) -> ArmId {
+        self.arm
+    }
+}
+
+impl Algorithm for StaticArm {
+    fn next_arm(&mut self, _tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        self.arm
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tables_with(rewards: &[f64]) -> BanditTables {
+        let mut t = BanditTables::new(rewards.len());
+        for (i, &r) in rewards.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        t
+    }
+
+    #[test]
+    fn single_never_changes_its_mind() {
+        let mut t = tables_with(&[0.9, 0.1]);
+        let mut s = Single::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.next_arm(&t, &mut rng), ArmId::new(0));
+        // Tank arm 0's reward; Single stays put.
+        for _ in 0..10 {
+            s.update_selections(&mut t, ArmId::new(0));
+            s.update_reward(&mut t, ArmId::new(0), 0.0);
+        }
+        assert_eq!(s.next_arm(&t, &mut rng), ArmId::new(0));
+        assert_eq!(s.chosen(), Some(ArmId::new(0)));
+    }
+
+    #[test]
+    fn periodic_sweeps_all_arms_in_order() {
+        let t = tables_with(&[0.5, 0.5, 0.5]);
+        let mut p = Periodic::new(3, 2, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Vec::new();
+        // exploit_left starts at 2, so: exploit, exploit, sweep(0,1,2), exploit...
+        for _ in 0..7 {
+            seq.push(p.next_arm(&t, &mut rng).index());
+        }
+        assert_eq!(&seq[2..5], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn periodic_moving_average_tracks_recent_rewards() {
+        let mut t = tables_with(&[0.9, 0.1]);
+        let mut p = Periodic::new(2, 100, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Arm 1 suddenly becomes great; fill its window.
+        p.update_reward(&mut t, ArmId::new(1), 5.0);
+        p.update_reward(&mut t, ArmId::new(1), 5.0);
+        assert_eq!(p.next_arm(&t, &mut rng), ArmId::new(1));
+    }
+
+    #[test]
+    fn periodic_window_evicts_old_rewards() {
+        let mut t = tables_with(&[0.0]);
+        let mut p = Periodic::new(1, 1, 2);
+        for r in [10.0, 1.0, 1.0] {
+            p.update_reward(&mut t, ArmId::new(0), r);
+        }
+        // Window of 2 holds [1.0, 1.0]; the 10.0 has been evicted.
+        assert!((p.moving_average(0, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_arm_is_constant() {
+        let t = tables_with(&[0.1, 0.2, 0.3]);
+        let mut s = StaticArm::new(ArmId::new(1));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            assert_eq!(s.next_arm(&t, &mut rng), ArmId::new(1));
+        }
+        assert_eq!(s.arm(), ArmId::new(1));
+    }
+
+    #[test]
+    fn periodic_single_arm_degenerates_gracefully() {
+        let t = tables_with(&[0.4]);
+        let mut p = Periodic::new(1, 1, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(p.next_arm(&t, &mut rng), ArmId::new(0));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Sliding-Window UCB — the other non-stationary UCB variant of Garivier &
+//! Moulines (the paper's reference [24] proposes both DUCB and SW-UCB).
+
+use super::Algorithm;
+use crate::arm::ArmId;
+use crate::tables::BanditTables;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// SW-UCB: statistics are computed over only the last `window` steps, so
+/// behaviour older than the window is forgotten *abruptly* (versus DUCB's
+/// exponential forgetting).
+///
+/// The shared [`BanditTables`] still carry the long-run averages (so the
+/// agent template's normalization and `best_arm` work unchanged), but arm
+/// selection uses the windowed statistics.
+///
+/// # Example
+///
+/// ```
+/// use mab_core::algorithms::{Algorithm, SwUcb};
+/// use mab_core::{ArmId, BanditTables};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tables = BanditTables::new(2);
+/// tables.record_initial(ArmId::new(0), 1.0);
+/// tables.record_initial(ArmId::new(1), 0.0);
+/// let mut sw = SwUcb::new(50, 0.2);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // Arm 1 becomes the good arm; within a window SW-UCB flips to it.
+/// for _ in 0..200 {
+///     let arm = sw.next_arm(&tables, &mut rng);
+///     sw.update_selections(&mut tables, arm);
+///     let r = if arm.index() == 1 { 1.0 } else { 0.1 };
+///     sw.update_reward(&mut tables, arm, r);
+/// }
+/// assert_eq!(sw.windowed_best(&tables).index(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwUcb {
+    window: usize,
+    c: f64,
+    /// The last `window` (arm, reward) observations.
+    history: VecDeque<(usize, f64)>,
+    /// Windowed per-arm sums and counts (kept in sync with `history`).
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+impl SwUcb {
+    /// Creates an SW-UCB policy with the given window length and
+    /// exploration constant.
+    pub fn new(window: usize, c: f64) -> Self {
+        SwUcb {
+            window: window.max(1),
+            c,
+            history: VecDeque::new(),
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn ensure_arms(&mut self, arms: usize) {
+        if self.sums.len() < arms {
+            self.sums.resize(arms, 0.0);
+            self.counts.resize(arms, 0);
+        }
+    }
+
+    /// The arm with the best windowed mean (falls back to the long-run
+    /// tables for arms unseen in the window).
+    pub fn windowed_best(&self, tables: &BanditTables) -> ArmId {
+        let mut best = ArmId::new(0);
+        let mut best_mean = f64::NEG_INFINITY;
+        for (arm, r, _) in tables.iter() {
+            let i = arm.index();
+            let mean = if i < self.counts.len() && self.counts[i] > 0 {
+                self.sums[i] / self.counts[i] as f64
+            } else {
+                r
+            };
+            if mean > best_mean {
+                best_mean = mean;
+                best = arm;
+            }
+        }
+        best
+    }
+}
+
+impl Algorithm for SwUcb {
+    fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        self.ensure_arms(tables.arms());
+        let t = self.history.len().max(1) as f64;
+        let mut best = ArmId::new(0);
+        let mut best_p = f64::NEG_INFINITY;
+        for (arm, r, _) in tables.iter() {
+            let i = arm.index();
+            let p = if self.counts[i] == 0 {
+                // Unseen in the window: maximal exploration pressure, ties
+                // broken by the long-run average.
+                1e18 + r
+            } else {
+                let mean = self.sums[i] / self.counts[i] as f64;
+                mean + self.c * (t.ln().max(0.0) / self.counts[i] as f64).sqrt()
+            };
+            if p > best_p {
+                best_p = p;
+                best = arm;
+            }
+        }
+        best
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+        self.ensure_arms(tables.arms());
+        self.history.push_back((arm.index(), r_step));
+        self.sums[arm.index()] += r_step;
+        self.counts[arm.index()] += 1;
+        while self.history.len() > self.window {
+            if let Some((old_arm, old_r)) = self.history.pop_front() {
+                self.sums[old_arm] -= old_r;
+                self.counts[old_arm] -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn drive<F: FnMut(usize, usize) -> f64>(
+        sw: &mut SwUcb,
+        tables: &mut BanditTables,
+        steps: usize,
+        mut reward: F,
+    ) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut picks = Vec::new();
+        for step in 0..steps {
+            let arm = sw.next_arm(tables, &mut rng);
+            picks.push(arm.index());
+            sw.update_selections(tables, arm);
+            sw.update_reward(tables, arm, reward(step, arm.index()));
+        }
+        picks
+    }
+
+    fn fresh(init: &[f64]) -> BanditTables {
+        let mut t = BanditTables::new(init.len());
+        for (i, &r) in init.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        t
+    }
+
+    #[test]
+    fn exploits_the_best_arm_when_stationary() {
+        let rewards = [0.1, 0.7, 0.3];
+        let mut t = fresh(&rewards);
+        let mut sw = SwUcb::new(100, 0.1);
+        let picks = drive(&mut sw, &mut t, 800, |_, a| rewards[a]);
+        let best = picks[400..].iter().filter(|&&a| a == 1).count();
+        assert!(best > 320, "best-arm picks {best}");
+    }
+
+    #[test]
+    fn forgets_abruptly_after_a_phase_change() {
+        let mut t = fresh(&[1.0, 0.1]);
+        let mut sw = SwUcb::new(60, 0.2);
+        let picks = drive(&mut sw, &mut t, 600, |step, a| match (step < 200, a) {
+            (true, 0) | (false, 1) => 1.0,
+            _ => 0.1,
+        });
+        let tail = &picks[500..];
+        let arm1 = tail.iter().filter(|&&a| a == 1).count();
+        assert!(arm1 > 80, "adapted to the new phase: {arm1}/100");
+        assert_eq!(sw.windowed_best(&t).index(), 1);
+    }
+
+    #[test]
+    fn window_bookkeeping_is_consistent() {
+        let mut t = fresh(&[0.5, 0.5]);
+        let mut sw = SwUcb::new(10, 0.3);
+        drive(&mut sw, &mut t, 100, |s, _| (s % 7) as f64);
+        assert_eq!(sw.history.len(), 10);
+        let count_sum: u32 = sw.counts.iter().sum();
+        assert_eq!(count_sum as usize, 10);
+        let sum_from_history: f64 = sw.history.iter().map(|&(_, r)| r).sum();
+        let sum_from_arms: f64 = sw.sums.iter().sum();
+        assert!((sum_from_history - sum_from_arms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arms_unseen_in_window_are_retried() {
+        let mut t = fresh(&[0.9, 0.8]);
+        let mut sw = SwUcb::new(5, 0.1);
+        // Fill the window with arm 0 only.
+        for _ in 0..5 {
+            sw.update_selections(&mut t, ArmId::new(0));
+            sw.update_reward(&mut t, ArmId::new(0), 0.9);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sw.next_arm(&t, &mut rng).index(), 1, "unseen arm gets priority");
+    }
+}

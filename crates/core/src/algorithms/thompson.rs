@@ -1,0 +1,154 @@
+//! Thompson Sampling — the Bayesian MAB algorithm of Thompson (1933),
+//! the paper's reference [73].
+
+use super::Algorithm;
+use crate::arm::ArmId;
+use crate::tables::BanditTables;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Gaussian Thompson Sampling: each arm's value estimate is treated as a
+/// normal posterior with mean `r_i` and standard deviation
+/// `sigma / sqrt(n_i)`; every step one sample is drawn per arm and the
+/// highest sample wins.
+///
+/// Exploration is *probability matching*: uncertain arms (small `n_i`) have
+/// wide posteriors and win occasionally, with a rate that decays naturally
+/// as evidence accumulates — like UCB, but randomized, which makes multiple
+/// concurrent agents less likely to synchronize their exploration (relevant
+/// to the paper's §4.3 multicore interference discussion).
+///
+/// # Example
+///
+/// ```
+/// use mab_core::algorithms::{Algorithm, ThompsonGaussian};
+/// use mab_core::{ArmId, BanditTables};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tables = BanditTables::new(2);
+/// tables.record_initial(ArmId::new(0), 0.9);
+/// tables.record_initial(ArmId::new(1), 0.1);
+/// let mut ts = ThompsonGaussian::new(0.1);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let picks = (0..100).filter(|_| ts.next_arm(&tables, &mut rng).index() == 0).count();
+/// assert!(picks > 80, "mostly exploits the better arm: {picks}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThompsonGaussian {
+    sigma: f64,
+}
+
+impl ThompsonGaussian {
+    /// Creates a Gaussian Thompson sampler with prior scale `sigma`.
+    pub fn new(sigma: f64) -> Self {
+        ThompsonGaussian { sigma }
+    }
+
+    /// The prior scale.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// One standard-normal draw via Box–Muller (keeps the dependency set to
+    /// plain `rand`).
+    fn standard_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Algorithm for ThompsonGaussian {
+    fn next_arm(&mut self, tables: &BanditTables, rng: &mut StdRng) -> ArmId {
+        let mut best = ArmId::new(0);
+        let mut best_sample = f64::NEG_INFINITY;
+        for (arm, r, n) in tables.iter() {
+            let spread = self.sigma / n.max(1e-9).sqrt();
+            let sample = r + spread * ThompsonGaussian::standard_normal(rng);
+            if sample > best_sample {
+                best_sample = sample;
+                best = arm;
+            }
+        }
+        best
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tables_with(rewards: &[f64]) -> BanditTables {
+        let mut t = BanditTables::new(rewards.len());
+        for (i, &r) in rewards.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        t
+    }
+
+    #[test]
+    fn converges_to_best_arm() {
+        let rewards = [0.2, 0.9, 0.4];
+        let mut t = tables_with(&rewards);
+        let mut ts = ThompsonGaussian::new(0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut best_picks = 0;
+        for step in 0..1000 {
+            let arm = ts.next_arm(&t, &mut rng);
+            ts.update_selections(&mut t, arm);
+            ts.update_reward(&mut t, arm, rewards[arm.index()]);
+            if step >= 500 && arm.index() == 1 {
+                best_picks += 1;
+            }
+        }
+        assert!(best_picks > 450, "late-phase best-arm picks: {best_picks}");
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_evidence() {
+        // After many pulls of arm 0, its posterior is tight: a slightly
+        // worse arm with no evidence should still get explored sometimes.
+        let mut t = tables_with(&[0.5, 0.45]);
+        for _ in 0..500 {
+            t.increment_selection(ArmId::new(0));
+        }
+        let mut ts = ThompsonGaussian::new(0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let arm1 = (0..500)
+            .filter(|_| ts.next_arm(&t, &mut rng).index() == 1)
+            .count();
+        assert!(arm1 > 100, "uncertain arm explored: {arm1}");
+    }
+
+    #[test]
+    fn normal_draws_have_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n)
+            .map(|_| ThompsonGaussian::standard_normal(&mut rng))
+            .collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_pure_greedy() {
+        let t = tables_with(&[0.3, 0.8]);
+        let mut ts = ThompsonGaussian::new(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(ts.next_arm(&t, &mut rng).index(), 1);
+        }
+    }
+}

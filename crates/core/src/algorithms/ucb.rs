@@ -1,0 +1,127 @@
+//! The Upper Confidence Bound (UCB) bandit algorithm.
+
+use super::{argmax_potential, Algorithm};
+use crate::arm::ArmId;
+use crate::tables::BanditTables;
+use rand::rngs::StdRng;
+
+/// UCB: play the arm with the highest *potential*
+/// `r_i + c · √(ln(n_total) / n_i)`.
+///
+/// The square-root term is the exploration bonus: arms with few past
+/// selections relative to `ln(n_total)` are favored, unless their observed
+/// reward is hopeless. Exploration decays naturally because `ln(n)/n → 0`.
+///
+/// # Example
+///
+/// ```
+/// use mab_core::algorithms::{Algorithm, Ucb};
+/// use mab_core::{ArmId, BanditTables};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tables = BanditTables::new(2);
+/// tables.record_initial(ArmId::new(0), 0.9);
+/// tables.record_initial(ArmId::new(1), 0.85);
+/// let mut ucb = Ucb::new(0.5);
+/// let mut rng = StdRng::seed_from_u64(0);
+///
+/// // Keep rewarding arm 0; eventually arm 1's bonus grows enough to be retried.
+/// let mut tried_other = false;
+/// for _ in 0..50 {
+///     let arm = ucb.next_arm(&tables, &mut rng);
+///     tried_other |= arm == ArmId::new(1);
+///     ucb.update_selections(&mut tables, arm);
+///     ucb.update_reward(&mut tables, arm, if arm.index() == 0 { 0.9 } else { 0.85 });
+/// }
+/// assert!(tried_other);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ucb {
+    c: f64,
+}
+
+impl Ucb {
+    /// Creates a UCB policy with exploration constant `c`.
+    pub fn new(c: f64) -> Self {
+        Ucb { c }
+    }
+
+    /// The exploration constant.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+}
+
+impl Algorithm for Ucb {
+    fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        argmax_potential(tables, self.c)
+    }
+
+    fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {
+        tables.increment_selection(arm);
+    }
+
+    fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
+        tables.fold_reward(arm, r_step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run(ucb: &mut Ucb, tables: &mut BanditTables, rewards: &[f64], steps: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; rewards.len()];
+        for _ in 0..steps {
+            let arm = ucb.next_arm(tables, &mut rng);
+            counts[arm.index()] += 1;
+            ucb.update_selections(tables, arm);
+            ucb.update_reward(tables, arm, rewards[arm.index()]);
+        }
+        counts
+    }
+
+    #[test]
+    fn converges_to_best_arm() {
+        let rewards = [0.2, 0.9, 0.5, 0.4];
+        let mut t = BanditTables::new(4);
+        for (i, &r) in rewards.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        let mut ucb = Ucb::new(0.3);
+        let counts = run(&mut ucb, &mut t, &rewards, 1000);
+        let best = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(best, 1);
+        // The best arm should dominate selections.
+        assert!(counts[1] > 700, "counts {counts:?}");
+    }
+
+    #[test]
+    fn exploration_decays_over_time() {
+        let rewards = [0.5, 0.9];
+        let mut t = BanditTables::new(2);
+        for (i, &r) in rewards.iter().enumerate() {
+            t.record_initial(ArmId::new(i), r);
+        }
+        let mut ucb = Ucb::new(0.3);
+        let early = run(&mut ucb, &mut t, &rewards, 100)[0];
+        let late = run(&mut ucb, &mut t, &rewards, 100)[0];
+        // Suboptimal-arm selections in the second window should not exceed
+        // those of the first: ln(n)/n shrinks.
+        assert!(late <= early, "early {early} late {late}");
+    }
+
+    #[test]
+    fn deterministic_given_same_tables() {
+        let mut t = BanditTables::new(3);
+        for i in 0..3 {
+            t.record_initial(ArmId::new(i), 0.1 * i as f64);
+        }
+        let mut a = Ucb::new(0.2);
+        let mut b = Ucb::new(0.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(a.next_arm(&t, &mut rng), b.next_arm(&t, &mut rng));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for bandit configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::BanditConfig`] is invalid.
+///
+/// # Example
+///
+/// ```
+/// use mab_core::{BanditConfig, ConfigError};
+///
+/// let err = BanditConfig::builder(0).build().unwrap_err();
+/// assert!(matches!(err, ConfigError::NoArms));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The agent was configured with zero arms.
+    NoArms,
+    /// ε must lie in `[0, 1]`.
+    InvalidEpsilon(f64),
+    /// The DUCB discount γ must lie in `(0, 1]`.
+    InvalidGamma(f64),
+    /// The exploration constant `c` must be finite and non-negative.
+    InvalidExplorationConstant(f64),
+    /// The round-robin restart probability must lie in `[0, 1]`.
+    InvalidRestartProbability(f64),
+    /// A fixed-arm policy referenced an arm index out of range.
+    ArmOutOfRange {
+        /// The offending arm index.
+        arm: usize,
+        /// The number of configured arms.
+        arms: usize,
+    },
+    /// The `Periodic` heuristic needs a non-zero exploitation period.
+    InvalidPeriod,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoArms => write!(f, "bandit must have at least one arm"),
+            ConfigError::InvalidEpsilon(e) => {
+                write!(f, "epsilon {e} outside [0, 1]")
+            }
+            ConfigError::InvalidGamma(g) => {
+                write!(f, "discount gamma {g} outside (0, 1]")
+            }
+            ConfigError::InvalidExplorationConstant(c) => {
+                write!(f, "exploration constant {c} must be finite and >= 0")
+            }
+            ConfigError::InvalidRestartProbability(p) => {
+                write!(f, "round-robin restart probability {p} outside [0, 1]")
+            }
+            ConfigError::ArmOutOfRange { arm, arms } => {
+                write!(f, "arm index {arm} out of range for {arms} arms")
+            }
+            ConfigError::InvalidPeriod => {
+                write!(f, "periodic heuristic requires a non-zero exploitation period")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let messages = [
+            ConfigError::NoArms.to_string(),
+            ConfigError::InvalidEpsilon(2.0).to_string(),
+            ConfigError::InvalidGamma(0.0).to_string(),
+            ConfigError::InvalidExplorationConstant(-1.0).to_string(),
+            ConfigError::InvalidRestartProbability(1.5).to_string(),
+            ConfigError::ArmOutOfRange { arm: 9, arms: 4 }.to_string(),
+            ConfigError::InvalidPeriod.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "lowercase: {m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,258 @@
+//! Hierarchical bandits — the paper's §9 extension.
+//!
+//! During tuning the authors observed that different DUCB hyperparameters
+//! (γ, c) suit different applications, and proposed spending a little extra
+//! storage on **multiple concurrently-active low-level bandits with
+//! different hyperparameters, arbitrated by a high-level bandit**. This
+//! module implements that extension: a [`HyperBandit`] runs N low-level
+//! agents over the same arm space; every step, a high-level DUCB selects
+//! which low-level agent's choice to apply, and the observed reward updates
+//! *both* the chooser and the chosen.
+
+use crate::agent::{BanditAgent, BanditConfig};
+use crate::algorithms::AlgorithmKind;
+use crate::arm::ArmId;
+use crate::error::ConfigError;
+
+/// A two-level bandit: a high-level DUCB picks which low-level agent to
+/// trust for the current step.
+///
+/// Storage grows linearly with the number of low-level agents
+/// (`(1 + N) × 8 B × arms`), which is exactly the trade-off §9 describes.
+///
+/// # Example
+///
+/// ```
+/// use mab_core::hierarchical::HyperBandit;
+/// use mab_core::AlgorithmKind;
+///
+/// // Two DUCB variants: one fast-forgetting, one slow-forgetting.
+/// let mut hyper = HyperBandit::new(
+///     4,
+///     vec![
+///         AlgorithmKind::Ducb { gamma: 0.9, c: 0.1 },
+///         AlgorithmKind::Ducb { gamma: 0.999, c: 0.1 },
+///     ],
+///     7,
+/// )?;
+/// for _ in 0..300 {
+///     let arm = hyper.select_arm();
+///     hyper.observe_reward(if arm.index() == 3 { 1.0 } else { 0.1 });
+/// }
+/// assert_eq!(hyper.best_arm().index(), 3);
+/// # Ok::<(), mab_core::ConfigError>(())
+/// ```
+pub struct HyperBandit {
+    selector: BanditAgent,
+    agents: Vec<BanditAgent>,
+    /// Which low-level agent was trusted for the pending step.
+    pending_agent: Option<usize>,
+}
+
+impl std::fmt::Debug for HyperBandit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyperBandit")
+            .field("agents", &self.agents.len())
+            .field("steps", &self.selector.steps())
+            .finish()
+    }
+}
+
+impl HyperBandit {
+    /// Creates a hierarchical bandit over `arms` arms with one low-level
+    /// agent per entry of `low_level`, arbitrated by a DUCB high-level
+    /// agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoArms`] if `arms == 0` or `low_level` is
+    /// empty, or the error of any invalid low-level configuration.
+    pub fn new(arms: usize, low_level: Vec<AlgorithmKind>, seed: u64) -> Result<Self, ConfigError> {
+        if low_level.is_empty() {
+            return Err(ConfigError::NoArms);
+        }
+        let selector = BanditAgent::new(
+            BanditConfig::builder(low_level.len())
+                .algorithm(AlgorithmKind::Ducb { gamma: 0.99, c: 0.1 })
+                .seed(seed ^ 0xB16_B055)
+                .build()?,
+        );
+        let agents = low_level
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                Ok(BanditAgent::new(
+                    BanditConfig::builder(arms)
+                        .algorithm(kind)
+                        .seed(seed.wrapping_add(1 + i as u64))
+                        .build()?,
+                ))
+            })
+            .collect::<Result<Vec<_>, ConfigError>>()?;
+        Ok(HyperBandit {
+            selector,
+            agents,
+            pending_agent: None,
+        })
+    }
+
+    /// Selects the arm to apply: the high-level agent picks a low-level
+    /// agent, which picks the arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without an intervening
+    /// [`HyperBandit::observe_reward`].
+    pub fn select_arm(&mut self) -> ArmId {
+        assert!(
+            self.pending_agent.is_none(),
+            "select_arm called twice without an intervening observe_reward"
+        );
+        let chooser = self.selector.select_arm().index();
+        self.pending_agent = Some(chooser);
+        // Every low-level agent selects (they all need their phase machines
+        // to advance), but only the trusted one's choice is applied.
+        let mut applied = ArmId::new(0);
+        for (i, agent) in self.agents.iter_mut().enumerate() {
+            let arm = agent.select_arm();
+            if i == chooser {
+                applied = arm;
+            }
+        }
+        applied
+    }
+
+    /// Feeds the step reward to the high-level agent and to every
+    /// low-level agent (they all observed the same environment step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no selection is pending.
+    pub fn observe_reward(&mut self, r_step: f64) {
+        let _chooser = self
+            .pending_agent
+            .take()
+            .expect("observe_reward called without a pending select_arm");
+        self.selector.observe_reward(r_step);
+        for agent in &mut self.agents {
+            agent.observe_reward(r_step);
+        }
+    }
+
+    /// The arm the currently most-trusted low-level agent considers best.
+    pub fn best_arm(&self) -> ArmId {
+        let best_agent = self.selector.best_arm().index();
+        self.agents[best_agent].best_arm()
+    }
+
+    /// The index of the low-level agent the high-level agent trusts most.
+    pub fn trusted_agent(&self) -> usize {
+        self.selector.best_arm().index()
+    }
+
+    /// Number of low-level agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Total storage in bytes (§5.4 accounting across both levels).
+    pub fn storage_bytes(&self) -> usize {
+        crate::cost::storage_bytes(self.agents.len())
+            + self
+                .agents
+                .iter()
+                .map(|a| crate::cost::storage_bytes(a.config().arms()))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hyper(arms: usize) -> HyperBandit {
+        HyperBandit::new(
+            arms,
+            vec![
+                AlgorithmKind::Ducb { gamma: 0.9, c: 0.05 },
+                AlgorithmKind::Ducb { gamma: 0.999, c: 0.05 },
+                AlgorithmKind::Ucb { c: 0.05 },
+            ],
+            3,
+        )
+        .expect("valid configuration")
+    }
+
+    #[test]
+    fn converges_in_a_stationary_environment() {
+        let mut h = hyper(5);
+        for _ in 0..500 {
+            let arm = h.select_arm();
+            h.observe_reward(if arm.index() == 2 { 1.0 } else { 0.2 });
+        }
+        assert_eq!(h.best_arm().index(), 2);
+    }
+
+    #[test]
+    fn tracks_a_phase_change() {
+        let mut h = hyper(4);
+        for step in 0..1500 {
+            let arm = h.select_arm();
+            let good = if step < 700 { 0 } else { 3 };
+            h.observe_reward(if arm.index() == good { 1.0 } else { 0.2 });
+        }
+        assert_eq!(h.best_arm().index(), 3);
+    }
+
+    #[test]
+    fn empty_low_level_is_rejected() {
+        assert!(HyperBandit::new(4, vec![], 1).is_err());
+    }
+
+    #[test]
+    fn storage_grows_linearly_with_agents() {
+        let h2 = HyperBandit::new(
+            11,
+            vec![AlgorithmKind::Single, AlgorithmKind::Single],
+            1,
+        )
+        .expect("valid");
+        let h4 = HyperBandit::new(
+            11,
+            vec![
+                AlgorithmKind::Single,
+                AlgorithmKind::Single,
+                AlgorithmKind::Single,
+                AlgorithmKind::Single,
+            ],
+            1,
+        )
+        .expect("valid");
+        assert!(h4.storage_bytes() > h2.storage_bytes());
+        // Still tiny: a 4-agent hierarchy over 11 arms is under 400 B.
+        assert!(h4.storage_bytes() < 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "select_arm called twice")]
+    fn double_select_panics() {
+        let mut h = hyper(3);
+        h.select_arm();
+        h.select_arm();
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut h = hyper(4);
+            let mut picks = Vec::new();
+            for i in 0..200 {
+                let arm = h.select_arm();
+                picks.push(arm);
+                h.observe_reward((i % 4) as f64 * 0.25);
+            }
+            picks
+        };
+        assert_eq!(run(), run());
+    }
+}

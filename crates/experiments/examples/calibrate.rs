@@ -1,0 +1,25 @@
+use mab_experiments::{prefetch_runs, report};
+use mab_memsim::config::SystemConfig;
+use mab_workloads::suites;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let apps = ["libquantum", "lbm", "cactus", "mcf", "gcc", "soplex", "canneal", "bfs"];
+    let names = ["stride", "bingo", "mlop", "pythia", "bandit"];
+    let n: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(400_000);
+    let mut per_pf: Vec<Vec<f64>> = vec![vec![]; names.len()];
+    for app_name in apps {
+        let app = suites::app_by_name(app_name).unwrap();
+        let base = prefetch_runs::run_single("none", &app, cfg, n, 1).ipc();
+        let mut row = format!("{app_name:12} base={base:.3}");
+        for (i, p) in names.iter().enumerate() {
+            let ipc = prefetch_runs::run_single(p, &app, cfg, n, 1).ipc();
+            per_pf[i].push(ipc / base);
+            row += &format!("  {p}={:.3}", ipc / base);
+        }
+        eprintln!("{row}");
+    }
+    for (i, p) in names.iter().enumerate() {
+        eprintln!("gmean {p:8} {:.4}", report::gmean(&per_pf[i]));
+    }
+}

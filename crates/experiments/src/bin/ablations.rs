@@ -1,0 +1,118 @@
+//! Ablations of the design choices DESIGN.md calls out: DUCB γ and c
+//! sweeps, the §4.3 reward normalization, the §4.3 round-robin restart in
+//! 4-core runs, and the bandit step length.
+
+use mab_core::{AlgorithmKind, BanditConfig};
+use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_memsim::{config::SystemConfig, System};
+use mab_prefetch::{BanditL2, PAPER_ARMS};
+use mab_workloads::suites;
+
+fn run_custom(
+    config: BanditConfig,
+    step: u32,
+    app: &mab_workloads::AppSpec,
+    cfg: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> f64 {
+    let bandit = BanditL2::new(config, PAPER_ARMS.to_vec(), step, 500).expect("valid setup");
+    let mut system = System::single_core(cfg);
+    system.set_prefetcher(0, Box::new(bandit));
+    system.run(&mut app.trace(seed), instructions).ipc()
+}
+
+fn main() {
+    let opts = Options::parse(1_000_000, 0);
+    let cfg = SystemConfig::default();
+    let apps: Vec<_> = ["libquantum", "lbm", "cactus", "mcf", "soplex", "bfs"]
+        .iter()
+        .map(|n| suites::app_by_name(n).expect("catalog app"))
+        .collect();
+    let gmean_over_apps = |f: &mut dyn FnMut(&mab_workloads::AppSpec) -> f64| {
+        let vals: Vec<f64> = apps.iter().map(|a| f(a)).collect();
+        report::gmean(&vals)
+    };
+
+    println!("=== Ablations (gmean IPC over 6 representative apps) ===\n");
+
+    println!("-- DUCB discount gamma sweep (c = 0.04) --");
+    let mut table = report::Table::new(vec!["gamma".into(), "gmean IPC".into()]);
+    for gamma in [0.9, 0.975, 0.99, 0.999, 0.9999, 1.0] {
+        let g = gmean_over_apps(&mut |app| {
+            let config = BanditConfig::builder(PAPER_ARMS.len())
+                .algorithm(AlgorithmKind::Ducb { gamma, c: 0.04 })
+                .seed(opts.seed)
+                .build()
+                .expect("valid");
+            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
+        });
+        table.row(vec![format!("{gamma}"), format!("{g:.4}")]);
+    }
+    table.print();
+
+    println!("\n-- exploration constant c sweep (gamma = 0.999) --");
+    let mut table = report::Table::new(vec!["c".into(), "gmean IPC".into()]);
+    for c in [0.0, 0.01, 0.04, 0.1, 0.5, 2.0] {
+        let g = gmean_over_apps(&mut |app| {
+            let config = BanditConfig::builder(PAPER_ARMS.len())
+                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c })
+                .seed(opts.seed)
+                .build()
+                .expect("valid");
+            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
+        });
+        table.row(vec![format!("{c}"), format!("{g:.4}")]);
+    }
+    table.print();
+
+    println!("\n-- reward normalization (the 4.3 modification) --");
+    let mut table = report::Table::new(vec!["normalization".into(), "gmean IPC".into()]);
+    for on in [true, false] {
+        let g = gmean_over_apps(&mut |app| {
+            let config = BanditConfig::builder(PAPER_ARMS.len())
+                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                .normalize_rewards(on)
+                .seed(opts.seed)
+                .build()
+                .expect("valid");
+            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
+        });
+        table.row(vec![if on { "on" } else { "off" }.into(), format!("{g:.4}")]);
+    }
+    table.print();
+
+    println!("\n-- bandit step length (L2 demand accesses per step) --");
+    let mut table = report::Table::new(vec!["step".into(), "gmean IPC".into()]);
+    for step in [100u32, 300, 1000, 3000, 10_000] {
+        let g = gmean_over_apps(&mut |app| {
+            let config = BanditConfig::builder(PAPER_ARMS.len())
+                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                .seed(opts.seed)
+                .build()
+                .expect("valid");
+            run_custom(config, step, app, cfg, opts.instructions, opts.seed)
+        });
+        table.row(vec![step.to_string(), format!("{g:.4}")]);
+    }
+    table.print();
+
+    println!("\n-- round-robin restart in 4-core runs (sum IPC, lbm x4) --");
+    let app = suites::app_by_name("lbm").expect("catalog app");
+    let mut table = report::Table::new(vec!["rr_restart".into(), "sum IPC".into()]);
+    for name in ["bandit", "bandit-multicore"] {
+        let stats = prefetch_runs::run_four_core_homogeneous(
+            name,
+            &app,
+            cfg,
+            opts.instructions / 4,
+            opts.seed,
+        );
+        let sum: f64 = stats.iter().map(|s| s.ipc()).sum();
+        table.row(vec![
+            if name == "bandit" { "off" } else { "on (p=0.001)" }.into(),
+            format!("{sum:.4}"),
+        ]);
+    }
+    table.print();
+}

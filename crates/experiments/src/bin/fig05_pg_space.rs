@@ -1,0 +1,51 @@
+//! Fig. 5 — The fetch Priority & Gating design space: IPC of the best- and
+//! worst-performing of the 64 PG policies relative to the Choi policy
+//! (IC_1011), per 2-thread mix, with the best policy labelled.
+
+use mab_experiments::{cli::Options, report, smt_runs};
+use mab_workloads::smt;
+
+fn main() {
+    let opts = Options::parse(60_000, 12);
+    let params = smt_runs::scaled_params();
+    println!("=== Fig. 5: best/worst of the 64 fetch PG policies vs Choi (IC_1011) ===\n");
+    let mixes = smt::two_thread_mixes(&smt::smt_tune_apps());
+    let mut table = report::Table::new(vec![
+        "mix".into(),
+        "best policy".into(),
+        "best vs Choi".into(),
+        "worst policy".into(),
+        "worst vs Choi".into(),
+    ]);
+    let mut best_ratios = Vec::new();
+    let mut worst_ratios = Vec::new();
+    for (a, b) in mixes.into_iter().take(opts.mixes) {
+        let name = format!("{}-{}", a.name, b.name);
+        let (best, best_ratio, worst, worst_ratio) = smt_runs::pg_space_extremes(
+            [a, b],
+            params,
+            opts.instructions,
+            opts.seed,
+        );
+        best_ratios.push(best_ratio);
+        worst_ratios.push(worst_ratio);
+        table.row(vec![
+            name,
+            best.to_string(),
+            report::pct_change(best_ratio),
+            worst.to_string(),
+            report::pct_change(worst_ratio),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nbest-policy gain over Choi: gmean {}, max {}",
+        report::pct_change(report::gmean(&best_ratios)),
+        report::pct_change(report::max(&best_ratios)),
+    );
+    println!(
+        "worst-policy loss vs Choi: min {}",
+        report::pct_change(report::min(&worst_ratios)),
+    );
+    println!("(paper: different policies win in different mixes; a bad policy can cost >40%)");
+}

@@ -1,0 +1,93 @@
+//! Fig. 7 — Exploration over time: the arm index selected by Best Static,
+//! Single, UCB and DUCB as a function of time, for two prefetching
+//! applications (cactus, mcf — the latter has a phase change) and two SMT
+//! mixes (gcc-lbm, cactus-lbm). Each series also reports its final IPC.
+
+use mab_core::AlgorithmKind;
+use mab_experiments::{cli::Options, prefetch_runs, report::print_series, smt_runs};
+use mab_memsim::{config::SystemConfig, System};
+use mab_prefetch::{shared::SharedPrefetcher, BanditL2};
+use mab_smtsim::pipeline::SmtPipeline;
+use mab_workloads::{smt, suites};
+
+fn algorithms() -> Vec<(&'static str, AlgorithmKind)> {
+    vec![
+        ("Single", AlgorithmKind::Single),
+        ("UCB", AlgorithmKind::Ucb { c: 0.04 }),
+        ("DUCB", AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }),
+    ]
+}
+
+fn main() {
+    let opts = Options::parse(3_000_000, 0);
+    println!("=== Fig. 7: arm exploration over time (series of (cycle, arm)) ===\n");
+
+    // Prefetching columns: cactus (stable) and mcf (phase change).
+    for app_name in ["cactus", "mcf"] {
+        let app = suites::app_by_name(app_name).expect("catalog app");
+        let cfg = SystemConfig::default();
+        let (best_arm, best_ipc) =
+            prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed);
+        println!("## prefetching / {app_name}");
+        print_series(
+            &format!("BestStatic (arm {best_arm}, ipc {best_ipc:.3})"),
+            &[("0".into(), best_arm as f64)],
+        );
+        for (name, kind) in algorithms() {
+            let handle = SharedPrefetcher::new({
+                let mut b = BanditL2::with_algorithm(kind, opts.seed);
+                b.record_history();
+                b
+            });
+            let mut system = System::single_core(cfg);
+            system.set_prefetcher(0, Box::new(handle.clone()));
+            let stats = system.run(&mut app.trace(opts.seed), opts.instructions);
+            let history = handle.with(|b| b.history().map(<[(u64, usize)]>::to_vec));
+            let points: Vec<(String, f64)> = history
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(cycle, arm)| (cycle.to_string(), arm as f64))
+                .collect();
+            print_series(&format!("{name} (ipc {:.3})", stats.ipc()), &points);
+        }
+        println!();
+    }
+
+    // SMT columns: gcc-lbm and cactus-lbm.
+    let smt_commits = (opts.instructions / 20).max(20_000);
+    for (a, b) in [("gcc", "lbm"), ("cactus", "lbm")] {
+        let specs = [
+            smt::thread_by_name(a).expect("catalog thread"),
+            smt::thread_by_name(b).expect("catalog thread"),
+        ];
+        let params = smt_runs::scaled_params();
+        println!("## smt / {a}-{b}");
+        let (best_arm, best_ipc) =
+            smt_runs::best_static_arm(specs.clone(), params, smt_commits, opts.seed);
+        print_series(
+            &format!("BestStatic (arm {best_arm}, sum-ipc {best_ipc:.3})"),
+            &[("0".into(), best_arm as f64)],
+        );
+        for (name, kind) in [
+            ("Single", AlgorithmKind::Single),
+            ("UCB", AlgorithmKind::Ucb { c: 0.01 }),
+            ("DUCB", AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 }),
+        ] {
+            let mut controller = smt_runs::scaled_bandit(kind, opts.seed);
+            let mut pipe = SmtPipeline::new(params, specs.clone(), opts.seed);
+            let stats = pipe.run_with(&mut controller, smt_commits);
+            let points: Vec<(String, f64)> = controller
+                .history()
+                .iter()
+                .enumerate()
+                .map(|(step, &arm)| (step.to_string(), arm as f64))
+                .collect();
+            print_series(
+                &format!("{name} (sum-ipc {:.3})", stats.sum_ipc()),
+                &points,
+            );
+        }
+        println!();
+    }
+    println!("(paper: DUCB re-explores at mcf's phase change and settles on a new arm)");
+}

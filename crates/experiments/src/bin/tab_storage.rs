@@ -1,0 +1,54 @@
+//! §5.4 / §6.5 — Storage, latency, area and power accounting: the Bandit
+//! agent's footprint versus the comparator prefetchers, the arm-selection
+//! latency bounds, and the relative area/power overhead on a server CPU.
+
+use mab_core::cost;
+use mab_experiments::report::Table;
+use mab_prefetch::catalog;
+
+fn main() {
+    println!("=== §5.4: storage comparison ===\n");
+    let mut table = Table::new(vec![
+        "design".into(),
+        "agent bytes".into(),
+        "total bytes".into(),
+    ]);
+    for row in catalog::storage_table() {
+        table.row(vec![
+            row.name.to_string(),
+            row.agent_bytes.to_string(),
+            row.total_bytes.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nBandit agent storage for 11 arms: {} B (paper: < 100 B; Pythia QVStore alone: {} B)",
+        cost::storage_bytes(11),
+        cost::PYTHIA_QVSTORE_BYTES
+    );
+
+    println!("\n=== §5.4: arm-selection latency ===\n");
+    let ops = cost::OpLatencies::default();
+    println!(
+        "naive (11 arms, sequential):  {} cycles (paper bound: < 500)",
+        cost::naive_selection_latency(11, ops)
+    );
+    println!(
+        "overlapped (critical path):   {} cycles (paper estimate: ~50)",
+        cost::overlapped_selection_latency(ops)
+    );
+
+    println!("\n=== §6.5: area & power at 10 nm ===\n");
+    let agent = cost::BANDIT_AGENT_10NM;
+    let cpu = cost::ICELAKE_40C;
+    let (area, power) = cost::relative_overheads(agent, cpu);
+    println!("per-agent area:  {} mm^2", agent.area_mm2);
+    println!("per-agent power: {} mW", agent.power_mw);
+    println!(
+        "40 cores on a {} mm^2 / {} W Icelake: area {:.5}% of die, power {:.5}% of TDP (paper: < 0.003%)",
+        cpu.die_mm2,
+        cpu.tdp_w,
+        area * 100.0,
+        power * 100.0
+    );
+}

@@ -1,0 +1,143 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--instructions N` — instructions to simulate per core (prefetching)
+//!   or commits per thread (SMT),
+//! - `--seed S` — the base RNG seed,
+//! - `--mixes N` — cap on the number of workload mixes (SMT sweeps),
+//! - `--quick` — a fast smoke-test preset,
+//! - `--help`.
+
+/// Parsed common options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Instructions per core / commits per thread.
+    pub instructions: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Cap on the number of mixes in sweep experiments.
+    pub mixes: usize,
+    /// Quick-preset flag.
+    pub quick: bool,
+}
+
+impl Options {
+    /// Parses `std::env::args`, applying per-experiment defaults.
+    ///
+    /// `default_instructions` is the experiment's recorded-run size; the
+    /// `--quick` preset divides it by 10.
+    ///
+    /// # Panics
+    ///
+    /// Prints usage and exits the process on `--help` or malformed input —
+    /// appropriate for a binary entry point.
+    pub fn parse(default_instructions: u64, default_mixes: usize) -> Options {
+        Options::parse_from(std::env::args().skip(1), default_instructions, default_mixes)
+    }
+
+    /// Testable parser core.
+    pub fn parse_from(
+        args: impl Iterator<Item = String>,
+        default_instructions: u64,
+        default_mixes: usize,
+    ) -> Options {
+        let mut opts = Options {
+            instructions: default_instructions,
+            seed: 42,
+            mixes: default_mixes,
+            quick: false,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--instructions" | "-n" => {
+                    opts.instructions = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--instructions needs a number"));
+                }
+                "--seed" | "-s" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                }
+                "--mixes" | "-m" => {
+                    opts.mixes = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--mixes needs a number"));
+                }
+                "--quick" | "-q" => {
+                    opts.quick = true;
+                    opts.instructions = (default_instructions / 10).max(10_000);
+                    opts.mixes = (default_mixes / 4).max(2);
+                }
+                "--help" | "-h" => {
+                    usage::<()>("");
+                }
+                other => {
+                    usage::<()>(&format!("unknown argument {other:?}"));
+                }
+            }
+        }
+        opts
+    }
+}
+
+fn usage<T>(error: &str) -> T {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: <experiment> [--instructions N] [--seed S] [--mixes N] [--quick]\n\
+         \n\
+         --instructions N  instructions per core / commits per thread\n\
+         --seed S          base RNG seed (default 42)\n\
+         --mixes N         cap on workload mixes in sweeps\n\
+         --quick           10x smaller preset for smoke tests"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse_from(args.iter().map(|s| s.to_string()), 1_000_000, 40)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&[]);
+        assert_eq!(o.instructions, 1_000_000);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.mixes, 40);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn explicit_values_override() {
+        let o = parse(&["--instructions", "5000", "--seed", "7", "--mixes", "3"]);
+        assert_eq!(o.instructions, 5000);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.mixes, 3);
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let o = parse(&["--quick"]);
+        assert_eq!(o.instructions, 100_000);
+        assert_eq!(o.mixes, 10);
+        assert!(o.quick);
+    }
+
+    #[test]
+    fn short_flags_work() {
+        let o = parse(&["-n", "123456", "-s", "9"]);
+        assert_eq!(o.instructions, 123_456);
+        assert_eq!(o.seed, 9);
+    }
+}

@@ -1,0 +1,23 @@
+//! # `mab-experiments` — regenerating the paper's tables and figures
+//!
+//! One binary per experiment (see `src/bin/`), each printing the same rows
+//! or series the paper reports. The library half provides:
+//!
+//! - [`report`] — ASCII tables/series and the geometric-mean helpers,
+//! - [`prefetch_runs`] — single/multi-core prefetching runs, the
+//!   best-static-arm oracle, and the tune-set comparison,
+//! - [`smt_runs`] — SMT mixes under any PG controller,
+//! - [`cli`] — the tiny argument parser shared by the binaries
+//!   (`--instructions`, `--seed`, `--quick`, …).
+//!
+//! Absolute numbers differ from the paper (synthetic workloads on a
+//! simplified simulator — see `DESIGN.md`); the *shape* of each result is
+//! what the binaries reproduce and what `EXPERIMENTS.md` records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod prefetch_runs;
+pub mod report;
+pub mod smt_runs;

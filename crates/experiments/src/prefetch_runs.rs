@@ -1,0 +1,217 @@
+//! Prefetching experiment runners.
+
+use mab_core::AlgorithmKind;
+use mab_memsim::{config::SystemConfig, system::RunStats, System};
+use mab_prefetch::{catalog, BanditL2, PAPER_ARMS};
+use mab_workloads::apps::AppSpec;
+use mab_workloads::TraceRecord;
+
+/// Runs one application single-core with a named L2 prefetcher.
+pub fn run_single(
+    prefetcher: &str,
+    app: &AppSpec,
+    config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> RunStats {
+    let mut system = System::single_core(config);
+    system.set_prefetcher(0, catalog::build_l2(prefetcher, seed));
+    system.run(&mut app.trace(seed), instructions)
+}
+
+/// Runs one application with named L1 **and** L2 prefetchers
+/// (Fig. 12 multi-level combos).
+pub fn run_multilevel(
+    l1: &str,
+    l2: &str,
+    app: &AppSpec,
+    config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> RunStats {
+    let mut system = System::single_core(config);
+    system.set_l1_prefetcher(0, catalog::build_l1(l1, seed));
+    system.set_prefetcher(0, catalog::build_l2(l2, seed));
+    system.run(&mut app.trace(seed), instructions)
+}
+
+/// Runs a Bandit variant with an explicit MAB algorithm (Table 8 columns).
+pub fn run_bandit_algorithm(
+    algorithm: AlgorithmKind,
+    app: &AppSpec,
+    config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> RunStats {
+    let mut system = System::single_core(config);
+    system.set_prefetcher(0, Box::new(BanditL2::with_algorithm(algorithm, seed)));
+    system.run(&mut app.trace(seed), instructions)
+}
+
+/// The *Best Static* oracle (§6.4): runs each of the 11 arms pinned for the
+/// whole episode, returns `(best arm index, best IPC)`.
+pub fn best_static_arm(
+    app: &AppSpec,
+    config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for arm in 0..PAPER_ARMS.len() {
+        let stats = run_bandit_algorithm(
+            AlgorithmKind::Static { arm },
+            app,
+            config,
+            instructions,
+            seed,
+        );
+        let ipc = stats.ipc();
+        if ipc > best.1 {
+            best = (arm, ipc);
+        }
+    }
+    best
+}
+
+/// Runs a homogeneous 4-core mix (the same application on every core) and
+/// returns the per-core stats. `prefetcher` applies to all cores with
+/// decorrelated seeds.
+pub fn run_four_core_homogeneous(
+    prefetcher: &str,
+    app: &AppSpec,
+    config: SystemConfig,
+    instructions_per_core: u64,
+    seed: u64,
+) -> Vec<RunStats> {
+    let mut system = System::multi_core(config, 4);
+    for core in 0..4 {
+        system.set_prefetcher(core, catalog::build_l2(prefetcher, seed + core as u64));
+    }
+    let mut traces: Vec<_> = (0..4).map(|i| app.trace(seed + i as u64)).collect();
+    let mut dyn_traces: Vec<&mut dyn Iterator<Item = TraceRecord>> = traces
+        .iter_mut()
+        .map(|t| t as &mut dyn Iterator<Item = TraceRecord>)
+        .collect();
+    system.run_multi(&mut dyn_traces, instructions_per_core)
+}
+
+/// Per-application normalized IPC (vs the no-prefetcher baseline) for a
+/// lineup of prefetchers: the data behind Figs. 8/11.
+pub fn normalized_ipcs(
+    prefetchers: &[&str],
+    apps: &[AppSpec],
+    config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> Vec<(String, Vec<f64>)> {
+    apps.iter()
+        .map(|app| {
+            let base = run_single("none", app, config, instructions, seed).ipc();
+            let normalized = prefetchers
+                .iter()
+                .map(|p| run_single(p, app, config, instructions, seed).ipc() / base.max(1e-9))
+                .collect();
+            (app.name.clone(), normalized)
+        })
+        .collect()
+}
+
+/// Prints the Fig. 8/Fig. 11-style report: per-suite gmean IPC of the
+/// standard lineup (stride, bingo, mlop, pythia, bandit) normalized to no
+/// prefetching, plus the overall gmean. Per-app values go to stderr.
+pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: &str) {
+    use crate::report::{gmean, Table};
+    use mab_workloads::{suites, Suite};
+
+    let lineup = ["stride", "bingo", "mlop", "pythia", "bandit"];
+    println!("=== {title} ===\n");
+    let mut table = Table::new(
+        std::iter::once("suite".to_string())
+            .chain(lineup.iter().map(|s| s.to_string()))
+            .collect(),
+    );
+    let mut overall: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
+    for suite in Suite::ALL {
+        let apps = suites::suite(suite);
+        let rows = normalized_ipcs(&lineup, &apps, config, instructions, seed);
+        let mut per_pf: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
+        for (app, values) in &rows {
+            eprint!("{app:16}");
+            for (i, v) in values.iter().enumerate() {
+                per_pf[i].push(*v);
+                overall[i].push(*v);
+                eprint!(" {}={v:.3}", lineup[i]);
+            }
+            eprintln!();
+        }
+        table.row(
+            std::iter::once(suite.name().to_string())
+                .chain(per_pf.iter().map(|v| format!("{:.3}", gmean(v))))
+                .collect(),
+        );
+    }
+    table.row(
+        std::iter::once("ALL (gmean)".to_string())
+            .chain(overall.iter().map(|v| format!("{:.3}", gmean(v))))
+            .collect(),
+    );
+    println!();
+    table.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::suites;
+
+    fn small() -> (AppSpec, SystemConfig) {
+        (suites::app_by_name("cactus").unwrap(), SystemConfig::default())
+    }
+
+    #[test]
+    fn single_run_produces_stats() {
+        let (app, cfg) = small();
+        let stats = run_single("stride", &app, cfg, 30_000, 1);
+        assert_eq!(stats.instructions, 30_000);
+        assert!(stats.prefetch.issued > 0);
+    }
+
+    #[test]
+    fn best_static_arm_beats_or_matches_the_off_arm() {
+        let (app, cfg) = small();
+        let (_, best_ipc) = best_static_arm(&app, cfg, 30_000, 1);
+        let off = run_bandit_algorithm(
+            AlgorithmKind::Static { arm: 1 },
+            &app,
+            cfg,
+            30_000,
+            1,
+        )
+        .ipc();
+        assert!(best_ipc >= off);
+    }
+
+    #[test]
+    fn normalized_ipcs_have_one_row_per_app() {
+        let cfg = SystemConfig::default();
+        let apps = vec![suites::app_by_name("hmmer").unwrap()];
+        let rows = normalized_ipcs(&["stride"], &apps, cfg, 20_000, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.len(), 1);
+        assert!(rows[0].1[0] > 0.0);
+    }
+
+    #[test]
+    fn multilevel_run_issues_l1_prefetches() {
+        let (app, cfg) = small();
+        let stats = run_multilevel("stride", "stride", &app, cfg, 30_000, 1);
+        assert!(stats.l1.prefetch_fills > 0, "{:?}", stats.l1);
+    }
+
+    #[test]
+    fn four_core_run_returns_four_stats() {
+        let (app, cfg) = small();
+        let stats = run_four_core_homogeneous("stride", &app, cfg, 10_000, 1);
+        assert_eq!(stats.len(), 4);
+    }
+}

@@ -1,0 +1,409 @@
+//! Set-associative cache with LRU replacement and prefetch bookkeeping.
+
+use crate::config::CacheParams;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Result of a demand lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present; `first_prefetch_use` is true if this is the first
+    /// demand touch of a prefetched line (a *timely* prefetch).
+    Hit {
+        /// True exactly once per usefully prefetched line.
+        first_prefetch_use: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// Per-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub demand_hits: u64,
+    /// Demand lookups that missed.
+    pub demand_misses: u64,
+    /// Lines filled on behalf of the prefetcher.
+    pub prefetch_fills: u64,
+    /// Prefetched lines touched by a demand access (timely prefetches).
+    pub prefetch_used: u64,
+    /// Prefetched lines evicted without ever being used (wrong prefetches).
+    pub prefetch_evicted_unused: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed (hits + misses).
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine {
+    tag: u64,
+    valid: bool,
+    prefetched: bool,
+    lru: u64,
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement.
+///
+/// Addresses are cache-line indices (byte address / 64). The cache tracks a
+/// `prefetched` bit per line so the system can classify prefetches as
+/// timely (used by a demand access) or wrong (evicted unused), as in the
+/// paper's Fig. 9.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::cache::{Cache, LookupResult};
+/// use mab_memsim::config::CacheParams;
+///
+/// let mut cache = Cache::new(CacheParams { capacity_bytes: 4096, ways: 4, latency: 4 });
+/// assert_eq!(cache.demand_lookup(7), LookupResult::Miss);
+/// cache.fill(7, false);
+/// assert!(matches!(cache.demand_lookup(7), LookupResult::Hit { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: usize,
+    latency: u32,
+    lines: Vec<CacheLine>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its parameters.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        let ways = params.ways as usize;
+        Cache {
+            sets,
+            ways,
+            latency: params.latency,
+            lines: vec![CacheLine::default(); (sets as usize) * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access latency of this level.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.sets) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Demand lookup: updates LRU and hit/miss statistics, and consumes the
+    /// prefetched bit on first use.
+    pub fn demand_lookup(&mut self, line: u64) -> LookupResult {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        for way in &mut self.lines[range] {
+            if way.valid && way.tag == line {
+                way.lru = clock;
+                let first_use = way.prefetched;
+                if first_use {
+                    way.prefetched = false;
+                    self.stats.prefetch_used += 1;
+                }
+                self.stats.demand_hits += 1;
+                return LookupResult::Hit {
+                    first_prefetch_use: first_use,
+                };
+            }
+        }
+        self.stats.demand_misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Non-mutating presence check (used to filter redundant prefetches).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = (line % self.sets) as usize;
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    /// Fills `line`, evicting the LRU way if needed. Returns the eviction,
+    /// if any. `prefetched` marks prefetcher-initiated fills.
+    pub fn fill(&mut self, line: u64, prefetched: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        let range = self.set_range(line);
+        // Already present (e.g. demand raced a prefetch): refresh only.
+        if let Some(way) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line)
+        {
+            way.lru = clock;
+            return None;
+        }
+        let set_lines = &mut self.lines[range];
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("caches have at least one way");
+        let evicted = if victim.valid {
+            if victim.prefetched {
+                self.stats.prefetch_evicted_unused += 1;
+            }
+            Some(Evicted {
+                line: victim.tag,
+                unused_prefetch: victim.prefetched,
+            })
+        } else {
+            None
+        };
+        *victim = CacheLine {
+            tag: line,
+            valid: true,
+            prefetched,
+            lru: clock,
+        };
+        evicted
+    }
+}
+
+/// A line evicted by [`Cache::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line index.
+    pub line: u64,
+    /// True if the line was prefetched and never used (a *wrong* prefetch).
+    pub unused_prefetch: bool,
+}
+
+/// An in-flight prefetch fill tracked by the [`Mshr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inflight {
+    /// Cycle at which the fill completes.
+    pub ready: u64,
+    /// Whether the fill also targets the L1 (L1-prefetcher initiated).
+    pub fill_l1: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    ready: u64,
+    line: u64,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by readiness.
+        other.ready.cmp(&self.ready).then(other.line.cmp(&self.line))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Miss-status holding registers for in-flight *prefetch* fills.
+///
+/// Demand misses in this model fill immediately (their latency is charged to
+/// the load), but prefetches stay "in flight" until their completion cycle so
+/// that a demand access arriving earlier can be classified as covered by a
+/// **late** prefetch (paper Fig. 9).
+#[derive(Debug, Clone, Default)]
+pub struct Mshr {
+    inflight: HashMap<u64, Inflight>,
+    order: BinaryHeap<HeapEntry>,
+}
+
+impl Mshr {
+    /// Creates an empty MSHR file.
+    pub fn new() -> Self {
+        Mshr::default()
+    }
+
+    /// Number of in-flight prefetches.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Looks up an in-flight prefetch for `line`.
+    pub fn get(&self, line: u64) -> Option<Inflight> {
+        self.inflight.get(&line).copied()
+    }
+
+    /// Registers a prefetch for `line` completing at `ready`; `fill_l1`
+    /// additionally fills the L1 on completion (L1-prefetcher requests).
+    /// Returns false (and does nothing) if the line is already in flight.
+    pub fn insert(&mut self, line: u64, ready: u64, fill_l1: bool) -> bool {
+        if self.inflight.contains_key(&line) {
+            return false;
+        }
+        self.inflight.insert(line, Inflight { ready, fill_l1 });
+        self.order.push(HeapEntry { ready, line });
+        true
+    }
+
+    /// Removes `line` (e.g. a demand miss arrived and took over the fill).
+    pub fn remove(&mut self, line: u64) {
+        self.inflight.remove(&line);
+        // The heap entry becomes stale and is skipped on drain.
+    }
+
+    /// Pops every prefetch that has completed by `now`, returning
+    /// `(line, fill_l1)` pairs, oldest first.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<(u64, bool)> {
+        let mut done = Vec::new();
+        while let Some(&HeapEntry { ready, line }) = self.order.peek() {
+            if ready > now {
+                break;
+            }
+            self.order.pop();
+            // Skip stale entries whose MSHR was removed or re-posted.
+            if let Some(inflight) = self.inflight.get(&line) {
+                if inflight.ready == ready {
+                    let fill_l1 = inflight.fill_l1;
+                    self.inflight.remove(&line);
+                    done.push((line, fill_l1));
+                }
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheParams {
+            capacity_bytes: 4 * 64,
+            ways: 2,
+            latency: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.demand_lookup(10), LookupResult::Miss);
+        c.fill(10, false);
+        assert_eq!(
+            c.demand_lookup(10),
+            LookupResult::Hit {
+                first_prefetch_use: false
+            }
+        );
+        assert_eq!(c.stats().demand_hits, 1);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache();
+        // Lines 0, 2, 4 map to set 0 (2 sets).
+        c.fill(0, false);
+        c.fill(2, false);
+        c.demand_lookup(0); // refresh line 0
+        let evicted = c.fill(4, false); // must evict line 2
+        assert_eq!(
+            evicted,
+            Some(Evicted {
+                line: 2,
+                unused_prefetch: false
+            })
+        );
+        assert!(c.contains(0));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn prefetch_bit_counts_first_use_only() {
+        let mut c = small_cache();
+        c.fill(6, true);
+        assert_eq!(
+            c.demand_lookup(6),
+            LookupResult::Hit {
+                first_prefetch_use: true
+            }
+        );
+        assert_eq!(
+            c.demand_lookup(6),
+            LookupResult::Hit {
+                first_prefetch_use: false
+            }
+        );
+        assert_eq!(c.stats().prefetch_used, 1);
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_counts_as_wrong() {
+        let mut c = small_cache();
+        c.fill(0, true);
+        c.fill(2, false);
+        c.fill(4, false); // evicts line 0 (prefetched, unused)
+        assert_eq!(c.stats().prefetch_evicted_unused, 1);
+    }
+
+    #[test]
+    fn refilling_present_line_does_not_duplicate() {
+        let mut c = small_cache();
+        c.fill(8, false);
+        assert_eq!(c.fill(8, false), None);
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn mshr_tracks_and_drains_in_order() {
+        let mut m = Mshr::new();
+        assert!(m.insert(1, 100, false));
+        assert!(m.insert(2, 50, true));
+        assert!(!m.insert(1, 70, false), "duplicate rejected");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.drain_ready(49), Vec::<(u64, bool)>::new());
+        assert_eq!(m.drain_ready(100), vec![(2, true), (1, false)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mshr_remove_cancels_fill() {
+        let mut m = Mshr::new();
+        m.insert(5, 10, false);
+        m.remove(5);
+        assert_eq!(m.drain_ready(1000), Vec::<(u64, bool)>::new());
+    }
+
+    #[test]
+    fn mshr_get_reports_ready_cycle() {
+        let mut m = Mshr::new();
+        m.insert(3, 42, true);
+        assert_eq!(m.get(3), Some(Inflight { ready: 42, fill_l1: true }));
+        assert_eq!(m.get(4), None);
+    }
+}

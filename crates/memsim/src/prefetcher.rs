@@ -1,0 +1,149 @@
+//! The prefetcher hook interface.
+//!
+//! Prefetchers attach to the L2: they are trained on every L2 demand access
+//! (i.e. every L1 miss) and their prefetches fill into L2 and LLC (§6.1).
+//! Implementations live in the `mab-prefetch` crate; this module only
+//! defines the contract plus the trivial [`NoPrefetcher`] baseline.
+
+use mab_workloads::MemKind;
+
+/// Everything a prefetcher sees about one L2 demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Access {
+    /// Program counter of the triggering instruction.
+    pub pc: u64,
+    /// Cache-line index accessed.
+    pub line: u64,
+    /// Whether the access hit in L2.
+    pub hit: bool,
+    /// Current cycle (issue time of the access).
+    pub cycle: u64,
+    /// Instructions committed by the owning core so far (for IPC rewards).
+    pub instructions: u64,
+    /// Load or store.
+    pub kind: MemKind,
+}
+
+/// Output buffer for prefetch requests (cache-line indices).
+///
+/// The system owns and recycles the buffer; prefetchers only `push` into it.
+/// Requests beyond the per-core prefetch-queue capacity are dropped by the
+/// system (counted as queue drops).
+#[derive(Debug, Default, Clone)]
+pub struct PrefetchQueue {
+    lines: Vec<u64>,
+}
+
+impl PrefetchQueue {
+    /// Creates an empty queue buffer.
+    pub fn new() -> Self {
+        PrefetchQueue::default()
+    }
+
+    /// Requests a prefetch of cache line `line`.
+    pub fn push(&mut self, line: u64) {
+        self.lines.push(line);
+    }
+
+    /// Number of requests currently buffered.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if no requests are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Drains the buffered requests (system-side).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, u64> {
+        self.lines.drain(..)
+    }
+}
+
+/// An L2 prefetcher.
+///
+/// Beyond training, implementations may observe their prefetches' fates via
+/// the `on_*` callbacks — Pythia's reward assignment needs them; simple
+/// prefetchers ignore them (the default no-ops).
+pub trait Prefetcher {
+    /// Short name for reports (e.g. `"bingo"`).
+    fn name(&self) -> &str;
+
+    /// Called on every L2 demand access; pushes any prefetch requests into
+    /// `queue`.
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue);
+
+    /// A prefetch issued earlier finished filling into L2.
+    fn on_prefetch_fill(&mut self, _line: u64, _cycle: u64) {}
+
+    /// A demand access used a prefetched line for the first time (timely).
+    fn on_prefetch_used(&mut self, _line: u64, _cycle: u64) {}
+
+    /// A demand access hit a still-in-flight prefetch (late but useful).
+    fn on_prefetch_late(&mut self, _line: u64, _cycle: u64) {}
+
+    /// A prefetched line was evicted without ever being used (wrong).
+    fn on_prefetch_evicted_unused(&mut self, _line: u64) {}
+}
+
+/// The no-prefetching baseline.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{NoPrefetcher, Prefetcher, PrefetchQueue, L2Access};
+/// use mab_workloads::MemKind;
+///
+/// let mut p = NoPrefetcher;
+/// let mut q = PrefetchQueue::new();
+/// p.train(&L2Access { pc: 0, line: 1, hit: false, cycle: 0, instructions: 0, kind: MemKind::Load }, &mut q);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn train(&mut self, _access: &L2Access, _queue: &mut PrefetchQueue) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_push_and_drain() {
+        let mut q = PrefetchQueue::new();
+        q.push(10);
+        q.push(11);
+        assert_eq!(q.len(), 2);
+        let drained: Vec<u64> = q.drain().collect();
+        assert_eq!(drained, vec![10, 11]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn no_prefetcher_never_prefetches() {
+        let mut p = NoPrefetcher;
+        let mut q = PrefetchQueue::new();
+        for line in 0..100 {
+            p.train(
+                &L2Access {
+                    pc: 0x400,
+                    line,
+                    hit: false,
+                    cycle: line,
+                    instructions: line,
+                    kind: MemKind::Load,
+                },
+                &mut q,
+            );
+        }
+        assert!(q.is_empty());
+        assert_eq!(p.name(), "none");
+    }
+}

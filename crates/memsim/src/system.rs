@@ -1,0 +1,623 @@
+//! System wiring: cores, private L1/L2, shared LLC and DRAM.
+//!
+//! Matches the paper's setup (§6.1): the prefetcher is associated with the
+//! L2, trained on L1 misses (i.e. L2 demand accesses) and fills prefetched
+//! lines into L2 and LLC. Multi-core systems share the LLC and the DRAM
+//! channel, so one core's prefetch aggression raises everyone's latency —
+//! the effect behind §4.3's round-robin restart and Fig. 14.
+
+use crate::cache::{Cache, CacheStats, LookupResult, Mshr};
+use crate::config::SystemConfig;
+use crate::core::CoreModel;
+use crate::dram::{Dram, DramStats};
+use crate::prefetcher::{L2Access, NoPrefetcher, PrefetchQueue, Prefetcher};
+use mab_workloads::{MemKind, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Prefetch outcome counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchStats {
+    /// Prefetches issued to the memory system.
+    pub issued: u64,
+    /// Prefetched lines used by a demand access after filling (timely).
+    pub timely: u64,
+    /// Demand accesses that merged with a still-in-flight prefetch (late).
+    pub late: u64,
+    /// Prefetched lines evicted unused (wrong).
+    pub wrong: u64,
+    /// Requests dropped because the prefetch queue was full.
+    pub dropped: u64,
+}
+
+/// Result of simulating one core's trace slice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Instructions simulated.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// L1 counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Shared-LLC counters (whole system, duplicated per core in reports).
+    pub llc: CacheStats,
+    /// DRAM counters (whole system).
+    pub dram: DramStats,
+    /// Prefetch outcome counters.
+    pub prefetch: PrefetchStats,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 demand accesses (the paper's bandit-step clock for prefetching).
+    pub fn l2_demand_accesses(&self) -> u64 {
+        self.l2.demand_accesses()
+    }
+}
+
+struct CoreCtx {
+    core: CoreModel,
+    l1: Cache,
+    l2: Cache,
+    mshr: Mshr,
+    prefetcher: Box<dyn Prefetcher + Send>,
+    l1_prefetcher: Box<dyn Prefetcher + Send>,
+    queue: PrefetchQueue,
+    l1_queue: PrefetchQueue,
+    pf: PrefetchStats,
+    /// Completion times of outstanding demand misses (bounded by the
+    /// demand-MSHR count); a full file delays the next miss.
+    demand_inflight: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    done: bool,
+}
+
+/// A simulated system: `n` cores with private L1/L2, a shared LLC and a
+/// shared DRAM channel.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{config::SystemConfig, system::System};
+/// use mab_workloads::suites;
+///
+/// let mut sys = System::single_core(SystemConfig::default());
+/// let app = suites::app_by_name("cactus").unwrap();
+/// let stats = sys.run(&mut app.trace(3), 50_000);
+/// assert_eq!(stats.instructions, 50_000);
+/// ```
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<CoreCtx>,
+    llc: Cache,
+    dram: Dram,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a single-core system.
+    pub fn single_core(config: SystemConfig) -> Self {
+        System::multi_core(config, 1)
+    }
+
+    /// Builds an `n`-core system with an LLC scaled to `n × llc_per_core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn multi_core(config: SystemConfig, n: usize) -> Self {
+        assert!(n > 0, "systems need at least one core");
+        let mut llc_params = config.llc_per_core;
+        llc_params.capacity_bytes *= n as u64;
+        let cores = (0..n)
+            .map(|_| CoreCtx {
+                core: CoreModel::new(config.core),
+                l1: Cache::new(config.l1),
+                l2: Cache::new(config.l2),
+                mshr: Mshr::new(),
+                prefetcher: Box::new(NoPrefetcher),
+                l1_prefetcher: Box::new(NoPrefetcher),
+                queue: PrefetchQueue::new(),
+                l1_queue: PrefetchQueue::new(),
+                pf: PrefetchStats::default(),
+                demand_inflight: std::collections::BinaryHeap::new(),
+                done: false,
+            })
+            .collect();
+        System {
+            cores,
+            llc: Cache::new(llc_params),
+            dram: Dram::new(config.dram_service_cycles(), config.dram_latency),
+            config,
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Installs an L2 prefetcher on core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_prefetcher(&mut self, core: usize, prefetcher: Box<dyn Prefetcher + Send>) {
+        self.cores[core].prefetcher = prefetcher;
+    }
+
+    /// Swaps the L2 prefetcher on core `core`, returning the previous one —
+    /// the way experiments read back agent state (histograms, selection
+    /// histories) after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn replace_prefetcher(
+        &mut self,
+        core: usize,
+        prefetcher: Box<dyn Prefetcher + Send>,
+    ) -> Box<dyn Prefetcher + Send> {
+        std::mem::replace(&mut self.cores[core].prefetcher, prefetcher)
+    }
+
+    /// Installs an L1 prefetcher on core `core`: trained on every demand
+    /// access, fills into L1 (Fig. 12's multi-level configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_l1_prefetcher(&mut self, core: usize, prefetcher: Box<dyn Prefetcher + Send>) {
+        self.cores[core].l1_prefetcher = prefetcher;
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs a single-core simulation for `instructions` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has more than one core (use
+    /// [`System::run_multi`]) or the trace ends early.
+    pub fn run(
+        &mut self,
+        trace: &mut dyn Iterator<Item = TraceRecord>,
+        instructions: u64,
+    ) -> RunStats {
+        assert_eq!(self.cores.len(), 1, "use run_multi for multi-core systems");
+        let mut traces: Vec<&mut dyn Iterator<Item = TraceRecord>> = vec![trace];
+        self.run_multi(&mut traces, instructions).remove(0)
+    }
+
+    /// Runs all cores until each has executed `instructions_per_core`
+    /// instructions, interleaving cores by simulated time. Returns per-core
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces differs from the number of cores or a
+    /// trace ends before its core finishes.
+    pub fn run_multi(
+        &mut self,
+        traces: &mut [&mut dyn Iterator<Item = TraceRecord>],
+        instructions_per_core: u64,
+    ) -> Vec<RunStats> {
+        assert_eq!(
+            traces.len(),
+            self.cores.len(),
+            "one trace per core required"
+        );
+        for ctx in &mut self.cores {
+            ctx.done = false;
+        }
+        loop {
+            // Advance the core that is earliest in simulated time.
+            let mut next: Option<(usize, u64)> = None;
+            for (i, ctx) in self.cores.iter().enumerate() {
+                if ctx.done {
+                    continue;
+                }
+                let t = ctx.core.issue_cycle();
+                if next.map_or(true, |(_, best)| t < best) {
+                    next = Some((i, t));
+                }
+            }
+            let Some((i, _)) = next else { break };
+            let record = traces[i].next().expect("trace ended early");
+            self.step_core(i, record);
+            if self.cores[i].core.instructions() >= instructions_per_core {
+                self.cores[i].done = true;
+            }
+        }
+        (0..self.cores.len()).map(|i| self.stats(i)).collect()
+    }
+
+    /// Statistics snapshot for core `core`.
+    pub fn stats(&self, core: usize) -> RunStats {
+        let ctx = &self.cores[core];
+        RunStats {
+            instructions: ctx.core.instructions(),
+            cycles: ctx.core.cycles(),
+            l1: ctx.l1.stats(),
+            l2: ctx.l2.stats(),
+            llc: self.llc.stats(),
+            dram: self.dram.stats(),
+            prefetch: ctx.pf,
+        }
+    }
+
+    fn step_core(&mut self, i: usize, record: TraceRecord) {
+        let t = self.cores[i].core.issue_cycle();
+        let latency = match record.mem {
+            Some((kind, addr)) => {
+                // Cores run independent processes: disjoint physical
+                // address spaces (bit 40 per core).
+                let line = addr / 64 + ((i as u64) << 40);
+                let mem_latency = self.access(i, record.pc, line, kind, t);
+                match kind {
+                    // Stores retire without waiting for the memory system.
+                    MemKind::Store => 1,
+                    MemKind::Load => mem_latency,
+                }
+            }
+            None => 1,
+        };
+        self.cores[i].core.advance(latency);
+    }
+
+    /// Performs a demand access for core `i`; returns the load-to-use
+    /// latency in cycles.
+    fn access(&mut self, i: usize, pc: u64, line: u64, kind: MemKind, t: u64) -> u32 {
+        let cfg = &self.config;
+        let l1_lat = cfg.l1.latency;
+        let l2_lat = l1_lat + cfg.l2.latency;
+        let llc_lat = l2_lat + cfg.llc_per_core.latency;
+
+        // Complete any prefetch fills that have landed by now.
+        let ctx = &mut self.cores[i];
+        for (filled, fill_l1) in ctx.mshr.drain_ready(t) {
+            if let Some(ev) = ctx.l2.fill(filled, true) {
+                if ev.unused_prefetch {
+                    ctx.pf.wrong += 1;
+                    ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
+                }
+            }
+            if fill_l1 {
+                ctx.l1.fill(filled, true);
+            }
+            ctx.prefetcher.on_prefetch_fill(filled, t);
+        }
+
+        let l1_hit = matches!(ctx.l1.demand_lookup(line), LookupResult::Hit { .. });
+        // The L1 prefetcher trains on every demand access.
+        let l1_access = L2Access {
+            pc,
+            line,
+            hit: l1_hit,
+            cycle: t,
+            instructions: ctx.core.instructions(),
+            kind,
+        };
+        ctx.l1_prefetcher.train(&l1_access, &mut ctx.l1_queue);
+        self.issue_l1_prefetches(i, t);
+        if l1_hit {
+            return l1_lat;
+        }
+
+        // L2 demand access: this is where the prefetcher trains.
+        let ctx = &mut self.cores[i];
+        let l2_result = ctx.l2.demand_lookup(line);
+        let hit = matches!(l2_result, LookupResult::Hit { .. });
+        let latency = match l2_result {
+            LookupResult::Hit { first_prefetch_use } => {
+                if first_prefetch_use {
+                    ctx.pf.timely += 1;
+                    ctx.prefetcher.on_prefetch_used(line, t);
+                }
+                l2_lat
+            }
+            LookupResult::Miss => {
+                if let Some(inflight) = ctx.mshr.get(line) {
+                    // Covered by a late prefetch: wait for it to land.
+                    ctx.pf.late += 1;
+                    ctx.prefetcher.on_prefetch_late(line, t);
+                    ctx.mshr.remove(line);
+                    ctx.l2.fill(line, false);
+                    ctx.l1.fill(line, false);
+                    let wait = inflight.ready.saturating_sub(t) as u32;
+                    l2_lat + wait
+                } else {
+                    // A true demand miss needs a demand MSHR; when the file
+                    // is full the miss waits for the oldest one to retire.
+                    let mshr_wait = {
+                        let ctx = &mut self.cores[i];
+                        while ctx
+                            .demand_inflight
+                            .peek()
+                            .is_some_and(|&std::cmp::Reverse(done)| done <= t)
+                        {
+                            ctx.demand_inflight.pop();
+                        }
+                        if ctx.demand_inflight.len() >= self.config.demand_mshrs {
+                            let std::cmp::Reverse(earliest) = ctx
+                                .demand_inflight
+                                .pop()
+                                .expect("non-empty: len >= cap > 0");
+                            earliest.saturating_sub(t) as u32
+                        } else {
+                            0
+                        }
+                    };
+                    let start = t + mshr_wait as u64;
+                    let path = match self.llc.demand_lookup(line) {
+                        LookupResult::Hit { .. } => llc_lat,
+                        LookupResult::Miss => {
+                            let dram_lat = self.dram.access(start + llc_lat as u64);
+                            self.llc.fill(line, false);
+                            llc_lat + dram_lat as u32
+                        }
+                    };
+                    let beyond_l2 = mshr_wait + path;
+                    let ctx = &mut self.cores[i];
+                    ctx.demand_inflight
+                        .push(std::cmp::Reverse(start + path as u64));
+                    if let Some(ev) = ctx.l2.fill(line, false) {
+                        if ev.unused_prefetch {
+                            ctx.pf.wrong += 1;
+                            ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
+                        }
+                    }
+                    ctx.l1.fill(line, false);
+                    beyond_l2
+                }
+            }
+        };
+        if !hit {
+            self.cores[i].l1.fill(line, false);
+        }
+
+        // Train the prefetcher and issue its requests.
+        let ctx = &mut self.cores[i];
+        let access = L2Access {
+            pc,
+            line,
+            hit,
+            cycle: t,
+            instructions: ctx.core.instructions(),
+            kind,
+        };
+        ctx.prefetcher.train(&access, &mut ctx.queue);
+        self.issue_prefetches(i, t);
+        latency
+    }
+
+    /// Issues L1-prefetcher requests: lines already in L2 fill the L1
+    /// directly; the rest go to memory and fill L1+L2 on completion.
+    fn issue_l1_prefetches(&mut self, i: usize, t: u64) {
+        if self.cores[i].l1_queue.is_empty() {
+            return;
+        }
+        let llc_lat =
+            self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
+        let cap = self.config.prefetch_queue;
+        let ctx = &mut self.cores[i];
+        let requests: Vec<u64> = ctx.l1_queue.drain().collect();
+        for line in requests {
+            if ctx.l1.contains(line) {
+                continue;
+            }
+            if ctx.l2.contains(line) {
+                ctx.l1.fill(line, true);
+                continue;
+            }
+            if ctx.mshr.get(line).is_some() {
+                continue;
+            }
+            if ctx.mshr.len() >= cap {
+                ctx.pf.dropped += 1;
+                continue;
+            }
+            let fill_latency = if self.llc.contains(line) {
+                llc_lat as u64
+            } else {
+                let dram_lat = self.dram.access(t + llc_lat as u64);
+                self.llc.fill(line, false);
+                llc_lat as u64 + dram_lat
+            };
+            ctx.mshr.insert(line, t + fill_latency, true);
+            ctx.pf.issued += 1;
+        }
+    }
+
+    fn issue_prefetches(&mut self, i: usize, t: u64) {
+        let llc_lat = self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
+        let cap = self.config.prefetch_queue;
+        let ctx = &mut self.cores[i];
+        let requests: Vec<u64> = ctx.queue.drain().collect();
+        for line in requests {
+            if ctx.l2.contains(line) || ctx.mshr.get(line).is_some() {
+                continue; // redundant
+            }
+            if ctx.mshr.len() >= cap {
+                ctx.pf.dropped += 1;
+                continue;
+            }
+            let fill_latency = if self.llc.contains(line) {
+                llc_lat as u64
+            } else {
+                // Prefetch also fills the LLC and consumes DRAM bandwidth.
+                let dram_lat = self.dram.access(t + llc_lat as u64);
+                self.llc.fill(line, false);
+                llc_lat as u64 + dram_lat
+            };
+            ctx.mshr.insert(line, t + fill_latency, false);
+            ctx.pf.issued += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::suites;
+
+    /// A degree-4 next-line prefetcher for testing the hook plumbing.
+    struct TestNextLine;
+
+    impl Prefetcher for TestNextLine {
+        fn name(&self) -> &str {
+            "test-nl"
+        }
+        fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+            for d in 1..=4 {
+                queue.push(access.line + d);
+            }
+        }
+    }
+
+    /// A word-granular streaming trace: one load every 3rd instruction,
+    /// eight consecutive words per cache line.
+    fn stream_trace() -> impl Iterator<Item = TraceRecord> {
+        (0u64..).map(|i| {
+            if i % 3 == 0 {
+                let access = i / 3;
+                TraceRecord::load(0x400, (access / 8) * 64 + (access % 8) * 8)
+            } else {
+                TraceRecord::alu(0x500 + (i % 8) * 4)
+            }
+        })
+    }
+
+    #[test]
+    fn runs_the_requested_instruction_count() {
+        let mut sys = System::single_core(SystemConfig::default());
+        let stats = sys.run(&mut stream_trace(), 10_000);
+        assert_eq!(stats.instructions, 10_000);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn next_line_prefetcher_improves_streaming_ipc() {
+        let base = {
+            let mut sys = System::single_core(SystemConfig::default());
+            sys.run(&mut stream_trace(), 60_000).ipc()
+        };
+        let with_pf = {
+            let mut sys = System::single_core(SystemConfig::default());
+            sys.set_prefetcher(0, Box::new(TestNextLine));
+            sys.run(&mut stream_trace(), 60_000).ipc()
+        };
+        assert!(
+            with_pf > base * 1.05,
+            "prefetching should help streaming: {base} -> {with_pf}"
+        );
+    }
+
+    #[test]
+    fn prefetches_are_classified() {
+        let mut sys = System::single_core(SystemConfig::default());
+        sys.set_prefetcher(0, Box::new(TestNextLine));
+        let stats = sys.run(&mut stream_trace(), 60_000);
+        assert!(stats.prefetch.issued > 100);
+        assert!(
+            stats.prefetch.timely + stats.prefetch.late > 0,
+            "stream prefetches are useful: {:?}",
+            stats.prefetch
+        );
+    }
+
+    #[test]
+    fn small_footprint_stays_cache_resident() {
+        // 16 lines fit in L1: after warmup, everything hits.
+        let mut trace = (0u64..).map(|i| TraceRecord::load(0x400, (i % 16) * 64));
+        let mut sys = System::single_core(SystemConfig::default());
+        let stats = sys.run(&mut trace, 20_000);
+        assert!(stats.l1.demand_hits > 19_000, "{:?}", stats.l1);
+        assert!(stats.ipc() > 2.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn huge_random_footprint_misses_llc() {
+        let app = suites::app_by_name("canneal").unwrap();
+        let mut sys = System::single_core(SystemConfig::default());
+        let stats = sys.run(&mut app.trace(1), 100_000);
+        assert!(stats.llc.demand_misses > 1_000, "{:?}", stats.llc);
+    }
+
+    #[test]
+    fn lower_bandwidth_lowers_ipc() {
+        let run = |mtps: u64| {
+            let app = suites::app_by_name("lbm").unwrap();
+            let mut sys = System::single_core(SystemConfig::default().with_dram_mtps(mtps));
+            sys.run(&mut app.trace(1), 100_000).ipc()
+        };
+        let slow = run(150);
+        let fast = run(9600);
+        assert!(fast > slow * 1.2, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn four_core_run_returns_per_core_stats() {
+        let cfg = SystemConfig::default();
+        let mut sys = System::multi_core(cfg, 4);
+        let app = suites::app_by_name("milc").unwrap();
+        let mut t0 = app.trace(1);
+        let mut t1 = app.trace(2);
+        let mut t2 = app.trace(3);
+        let mut t3 = app.trace(4);
+        let mut traces: Vec<&mut dyn Iterator<Item = TraceRecord>> =
+            vec![&mut t0, &mut t1, &mut t2, &mut t3];
+        let stats = sys.run_multi(&mut traces, 20_000);
+        assert_eq!(stats.len(), 4);
+        for s in &stats {
+            assert_eq!(s.instructions, 20_000);
+            assert!(s.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_dram_creates_contention() {
+        let app = suites::app_by_name("lbm").unwrap();
+        let single_ipc = {
+            let mut sys = System::single_core(SystemConfig::default());
+            sys.run(&mut app.trace(1), 50_000).ipc()
+        };
+        let four_ipc = {
+            let mut sys = System::multi_core(SystemConfig::default(), 4);
+            let mut ts: Vec<_> = (0..4).map(|i| app.trace(i as u64 + 1)).collect();
+            let mut traces: Vec<&mut dyn Iterator<Item = TraceRecord>> =
+                ts.iter_mut().map(|t| t as &mut dyn Iterator<Item = TraceRecord>).collect();
+            let stats = sys.run_multi(&mut traces, 50_000);
+            stats[0].ipc()
+        };
+        assert!(
+            four_ipc < single_ipc,
+            "sharing bandwidth hurts: {single_ipc} vs {four_ipc}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = System::multi_core(SystemConfig::default(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Prefetcher catalog: construction by name plus the storage comparison.
+
+use crate::{BanditL2, Bingo, Composite, IpStride, Ipcp, Mlop, NextLine, Pythia, StreamPrefetcher};
+use mab_core::cost;
+use mab_memsim::{NoPrefetcher, Prefetcher};
+
+/// Names of the L2 prefetchers compared in the single-core evaluation
+/// (Figs. 8, 9, 11, 14): the no-prefetch baseline, the simple IP-stride
+/// baseline, the three comparators and Bandit.
+pub const L2_LINEUP: [&str; 6] = ["none", "stride", "bingo", "mlop", "pythia", "bandit"];
+
+/// Builds an L2 prefetcher by name.
+///
+/// Recognized names: `none`, `stride` (baseline IP-stride, degree 3),
+/// `nextline`, `bingo`, `mlop`, `pythia`, `ipcp`, `bandit`
+/// (paper-default DUCB), `bandit-ideal` (zero selection latency),
+/// `bandit-multicore` (with round-robin restart).
+///
+/// # Panics
+///
+/// Panics on an unknown name — the lineup is fixed by the experiments.
+pub fn build_l2(name: &str, seed: u64) -> Box<dyn Prefetcher + Send> {
+    match name {
+        "none" => Box::new(NoPrefetcher),
+        "stride" => Box::new(IpStride::new(64, 3)),
+        "nextline" => Box::new(NextLine::new(1)),
+        "bingo" => Box::new(Bingo::new()),
+        "mlop" => Box::new(Mlop::new()),
+        "pythia" => Box::new(Pythia::new(seed)),
+        "ipcp" => Box::new(Ipcp::new()),
+        "bandit" => Box::new(BanditL2::paper_default(seed)),
+        "bandit-ideal" => Box::new(BanditL2::ideal(seed)),
+        "bandit-multicore" => Box::new(BanditL2::paper_multicore(seed)),
+        other => panic!("unknown L2 prefetcher {other:?}"),
+    }
+}
+
+/// Builds an L1 prefetcher by name (Fig. 12 multi-level combos):
+/// `none`, `stride` (simple L1 IP-stride, degree 2) or `ipcp`.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_l1(name: &str, _seed: u64) -> Box<dyn Prefetcher + Send> {
+    match name {
+        "none" => Box::new(NoPrefetcher),
+        "stride" => Box::new(IpStride::new(64, 2)),
+        "ipcp" => Box::new(Ipcp::new()),
+        other => panic!("unknown L1 prefetcher {other:?}"),
+    }
+}
+
+/// One row of the storage-overhead comparison (§7.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageRow {
+    /// Prefetcher name.
+    pub name: &'static str,
+    /// Storage of the decision-making agent itself, in bytes.
+    pub agent_bytes: usize,
+    /// Storage including controlled/auxiliary structures, in bytes.
+    pub total_bytes: usize,
+}
+
+/// The storage comparison table of §7.2.1: Bandit's agent state is under
+/// 100 B (and under 2 KB including the ensemble prefetchers), vs 25.5 KB
+/// for Pythia, 8 KB for MLOP and 46 KB for Bingo.
+pub fn storage_table() -> Vec<StorageRow> {
+    vec![
+        StorageRow {
+            name: "bandit",
+            agent_bytes: cost::storage_bytes(crate::PAPER_ARMS.len()),
+            total_bytes: cost::storage_bytes(crate::PAPER_ARMS.len()) + Composite::storage_bytes(),
+        },
+        StorageRow {
+            name: "pythia",
+            agent_bytes: Pythia::storage_bytes(),
+            total_bytes: Pythia::storage_bytes(),
+        },
+        StorageRow {
+            name: "mlop",
+            agent_bytes: Mlop::storage_bytes(),
+            total_bytes: Mlop::storage_bytes(),
+        },
+        StorageRow {
+            name: "bingo",
+            agent_bytes: Bingo::storage_bytes(),
+            total_bytes: Bingo::storage_bytes(),
+        },
+        StorageRow {
+            name: "stride",
+            agent_bytes: IpStride::storage_bytes(64),
+            total_bytes: IpStride::storage_bytes(64),
+        },
+        StorageRow {
+            name: "stream",
+            agent_bytes: StreamPrefetcher::storage_bytes(64),
+            total_bytes: StreamPrefetcher::storage_bytes(64),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_lineup_member() {
+        for name in L2_LINEUP {
+            let p = build_l2(name, 1);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn builds_l1_prefetchers() {
+        for name in ["none", "stride", "ipcp"] {
+            let p = build_l1(name, 1);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown L2 prefetcher")]
+    fn unknown_name_panics() {
+        let _ = build_l2("bogus", 0);
+    }
+
+    #[test]
+    fn storage_table_matches_paper_claims() {
+        let table = storage_table();
+        let get = |n: &str| table.iter().find(|r| r.name == n).unwrap().clone();
+        assert!(get("bandit").agent_bytes < 100, "agent under 100 B");
+        assert!(get("bandit").total_bytes < 2048, "under 2 KB with ensemble");
+        assert!(get("pythia").agent_bytes > 24 * 1024);
+        assert_eq!(get("mlop").agent_bytes, 8 * 1024);
+        assert_eq!(get("bingo").agent_bytes, 46 * 1024);
+    }
+}

@@ -1,0 +1,233 @@
+//! Classifier-augmented Bandit — the paper's §9 extension.
+//!
+//! A plain MAB cannot discriminate environment states. §9 proposes pairing
+//! it with a lightweight **online access-pattern classifier**: the stream of
+//! L2 accesses is classified per bandit step (here: *regular* — consistent
+//! per-PC deltas — vs *irregular*), and a **separate Bandit instance per
+//! pattern class** picks the arm whenever its class is active. Each class's
+//! agent therefore learns the best ensemble configuration for its own kind
+//! of phase, at the cost of one extra 88-byte table pair.
+
+use crate::composite::{Arm, Composite, PAPER_ARMS};
+use mab_core::{AlgorithmKind, BanditAgent, BanditConfig, ConfigError, IpcMeter};
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+
+/// Number of pattern classes.
+pub const CLASSES: usize = 2;
+/// Class index for regular (strided/streaming) phases.
+pub const CLASS_REGULAR: usize = 0;
+/// Class index for irregular phases.
+pub const CLASS_IRREGULAR: usize = 1;
+
+/// Fraction of consistent per-PC deltas above which a step is *regular*.
+const REGULAR_THRESHOLD: f64 = 0.5;
+
+/// The classifier-augmented Bandit L2 prefetcher controller.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{config::SystemConfig, System};
+/// use mab_prefetch::classified::ClassifiedBandit;
+/// use mab_workloads::suites;
+///
+/// let mut sys = System::single_core(SystemConfig::default());
+/// sys.set_prefetcher(0, Box::new(ClassifiedBandit::paper_default(1).unwrap()));
+/// let app = suites::app_by_name("soplex").unwrap();
+/// let stats = sys.run(&mut app.trace(1), 100_000);
+/// assert!(stats.ipc() > 0.0);
+/// ```
+pub struct ClassifiedBandit {
+    composite: Composite,
+    agents: [BanditAgent; CLASSES],
+    arms: Vec<Arm>,
+    /// Agent that made the selection for the step in flight.
+    active_class: usize,
+    step_len: u32,
+    accesses_in_step: u32,
+    meter: IpcMeter,
+    started: bool,
+    /// Per-PC last-line table for the delta-consistency classifier.
+    last_lines: Box<[(u64, u64, i64); 64]>,
+    consistent: u32,
+    observed: u32,
+    /// How many steps each class was active (for reports).
+    class_steps: [u64; CLASSES],
+}
+
+impl std::fmt::Debug for ClassifiedBandit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassifiedBandit")
+            .field("active_class", &self.active_class)
+            .field("class_steps", &self.class_steps)
+            .finish()
+    }
+}
+
+impl ClassifiedBandit {
+    /// Paper-default DUCB hyperparameters for both class agents, over the
+    /// Table 7 arms, with 1,000-access steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (cannot occur for the fixed paper
+    /// values, but the constructor is honest about its plumbing).
+    pub fn paper_default(seed: u64) -> Result<Self, ConfigError> {
+        let make = |salt: u64| -> Result<BanditAgent, ConfigError> {
+            Ok(BanditAgent::new(
+                BanditConfig::builder(PAPER_ARMS.len())
+                    .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                    .seed(seed.wrapping_add(salt))
+                    .build()?,
+            ))
+        };
+        Ok(ClassifiedBandit {
+            composite: Composite::new(),
+            agents: [make(0)?, make(0x517)?],
+            arms: PAPER_ARMS.to_vec(),
+            active_class: CLASS_REGULAR,
+            step_len: 1000,
+            accesses_in_step: 0,
+            meter: IpcMeter::new(),
+            started: false,
+            last_lines: Box::new([(0, 0, 0); 64]),
+            consistent: 0,
+            observed: 0,
+            class_steps: [0; CLASSES],
+        })
+    }
+
+    /// Steps spent in each class so far (`[regular, irregular]`).
+    pub fn class_steps(&self) -> [u64; CLASSES] {
+        self.class_steps
+    }
+
+    /// Classifies the step that just ended from its delta-consistency ratio.
+    fn classify(&self) -> usize {
+        if self.observed == 0 {
+            return self.active_class;
+        }
+        if self.consistent as f64 / self.observed as f64 >= REGULAR_THRESHOLD {
+            CLASS_REGULAR
+        } else {
+            CLASS_IRREGULAR
+        }
+    }
+
+    /// Updates the per-PC delta consistency counters.
+    fn observe_pattern(&mut self, pc: u64, line: u64) {
+        let slot = (pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize;
+        let (tag, last, stride) = self.last_lines[slot];
+        if tag == pc {
+            let delta = line as i64 - last as i64;
+            if delta != 0 {
+                self.observed += 1;
+                if delta == stride {
+                    self.consistent += 1;
+                }
+                self.last_lines[slot] = (pc, line, delta);
+            }
+        } else {
+            self.last_lines[slot] = (pc, line, 0);
+        }
+    }
+}
+
+impl Prefetcher for ClassifiedBandit {
+    fn name(&self) -> &str {
+        "classified-bandit"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        if !self.started {
+            self.started = true;
+            self.meter.latch(access.instructions, access.cycle);
+            let arm = self.agents[self.active_class].select_arm();
+            self.composite.apply(self.arms[arm.index()]);
+        }
+        self.observe_pattern(access.pc, access.line);
+        self.composite.train(access, queue);
+        self.accesses_in_step += 1;
+        if self.accesses_in_step >= self.step_len {
+            self.accesses_in_step = 0;
+            let reward = self.meter.step(access.instructions, access.cycle);
+            self.agents[self.active_class].observe_reward(reward);
+            self.class_steps[self.active_class] += 1;
+            // Reclassify and hand control to that class's agent.
+            self.active_class = self.classify();
+            self.consistent = 0;
+            self.observed = 0;
+            let arm = self.agents[self.active_class].select_arm();
+            self.composite.apply(self.arms[arm.index()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::MemKind;
+
+    fn access(pc: u64, line: u64, cycle: u64, instructions: u64) -> L2Access {
+        L2Access {
+            pc,
+            line,
+            hit: false,
+            cycle,
+            instructions,
+            kind: MemKind::Load,
+        }
+    }
+
+    /// Drives `steps` bandit steps with a given line generator.
+    fn drive(cb: &mut ClassifiedBandit, steps: u32, mut line_of: impl FnMut(u64) -> u64) {
+        let mut q = PrefetchQueue::new();
+        let mut i = 0u64;
+        for _ in 0..steps * cb.step_len {
+            i += 1;
+            cb.train(&access(0x400 + (i % 4) * 0x40, line_of(i), i * 10, i * 20), &mut q);
+            q.drain().count();
+        }
+    }
+
+    #[test]
+    fn strided_stream_classifies_regular() {
+        let mut cb = ClassifiedBandit::paper_default(1).expect("valid");
+        drive(&mut cb, 5, |i| i * 2);
+        let [regular, irregular] = cb.class_steps();
+        assert!(regular > irregular, "regular {regular} vs irregular {irregular}");
+    }
+
+    #[test]
+    fn random_stream_classifies_irregular() {
+        let mut cb = ClassifiedBandit::paper_default(1).expect("valid");
+        drive(&mut cb, 5, |i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20) % 1_000_000);
+        let [regular, irregular] = cb.class_steps();
+        assert!(irregular > regular, "regular {regular} vs irregular {irregular}");
+    }
+
+    #[test]
+    fn phase_change_switches_class() {
+        let mut cb = ClassifiedBandit::paper_default(2).expect("valid");
+        drive(&mut cb, 4, |i| i * 3);
+        let after_regular = cb.class_steps();
+        drive(&mut cb, 4, |i| (i.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 20) % 1_000_000);
+        let after_irregular = cb.class_steps();
+        assert!(after_irregular[CLASS_IRREGULAR] > after_regular[CLASS_IRREGULAR]);
+    }
+
+    #[test]
+    fn agents_alternate_select_and_observe_cleanly() {
+        // 40 steps of alternating phases must not panic the agents' phase
+        // machines (each agent's select/observe stays paired).
+        let mut cb = ClassifiedBandit::paper_default(3).expect("valid");
+        for phase in 0..8u64 {
+            if phase % 2 == 0 {
+                drive(&mut cb, 5, |i| i);
+            } else {
+                drive(&mut cb, 5, |i| (i.wrapping_mul(0xA24B_AED4_963E_E407) >> 20) % 500_000);
+            }
+        }
+        assert_eq!(cb.class_steps().iter().sum::<u64>(), 40);
+    }
+}

@@ -1,0 +1,209 @@
+//! PC-indexed stride prefetcher.
+
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+
+/// Confidence needed before an entry starts prefetching.
+const ACTIVE_CONFIDENCE: u8 = 2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    pc: u64,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+/// The classic IP-stride prefetcher: a table indexed by load PC learns each
+/// instruction's stride and, once confident, prefetches `degree` strides
+/// ahead. Because each PC has its own entry, the prefetcher concurrently
+/// sustains *different* strides for different instructions — the property
+/// §3.1 leans on when arguing that conventional prefetchers already
+/// distinguish environment states.
+///
+/// This is also the paper's baseline prefetcher (degree-fixed), and with a
+/// programmable degree register it is one of the ensemble members Bandit
+/// controls (Table 7).
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+/// use mab_prefetch::IpStride;
+/// use mab_workloads::MemKind;
+///
+/// let mut p = IpStride::new(64, 1);
+/// let mut q = PrefetchQueue::new();
+/// for i in 0..4 {
+///     p.train(&L2Access { pc: 0x400, line: 10 + i * 3, hit: false, cycle: 0, instructions: 0, kind: MemKind::Load }, &mut q);
+/// }
+/// let lines: Vec<u64> = q.drain().collect();
+/// assert!(lines.contains(&22)); // 19 + 3
+/// ```
+#[derive(Debug, Clone)]
+pub struct IpStride {
+    entries: Vec<Entry>,
+    degree: u32,
+    clock: u64,
+}
+
+impl IpStride {
+    /// Creates an IP-stride prefetcher with `entries` table entries and the
+    /// given initial degree (0 disables issuing; training continues).
+    pub fn new(entries: usize, degree: u32) -> Self {
+        IpStride {
+            entries: vec![Entry::default(); entries.max(1)],
+            degree,
+            clock: 0,
+        }
+    }
+
+    /// Current degree register value.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Programs the degree register.
+    pub fn set_degree(&mut self, degree: u32) {
+        self.degree = degree;
+    }
+
+    /// Storage estimate: PC tag + last line + stride + confidence + LRU.
+    pub fn storage_bytes(entries: usize) -> usize {
+        entries * 16 + 1
+    }
+}
+
+impl Prefetcher for IpStride {
+    fn name(&self) -> &str {
+        "ip-stride"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        self.clock += 1;
+        let pc = access.pc;
+        let line = access.line;
+        let slot = match self.entries.iter().position(|e| e.valid && e.pc == pc) {
+            Some(i) => i,
+            None => {
+                let i = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("at least one entry");
+                self.entries[i] = Entry {
+                    valid: true,
+                    pc,
+                    last_line: line,
+                    stride: 0,
+                    confidence: 0,
+                    lru: self.clock,
+                };
+                return;
+            }
+        };
+        let e = &mut self.entries[slot];
+        let delta = line as i64 - e.last_line as i64;
+        e.lru = self.clock;
+        if delta == 0 {
+            return;
+        }
+        if delta == e.stride {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.stride = delta;
+            e.confidence = 1;
+        }
+        e.last_line = line;
+        if e.confidence >= ACTIVE_CONFIDENCE && self.degree > 0 {
+            for d in 1..=self.degree as i64 {
+                let target = line as i64 + e.stride * d;
+                if target >= 0 {
+                    queue.push(target as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::MemKind;
+
+    fn access(pc: u64, line: u64) -> L2Access {
+        L2Access {
+            pc,
+            line,
+            hit: false,
+            cycle: 0,
+            instructions: 0,
+            kind: MemKind::Load,
+        }
+    }
+
+    fn drive(p: &mut IpStride, seq: &[(u64, u64)]) -> Vec<u64> {
+        let mut q = PrefetchQueue::new();
+        let mut all = Vec::new();
+        for &(pc, l) in seq {
+            p.train(&access(pc, l), &mut q);
+            all.extend(q.drain());
+        }
+        all
+    }
+
+    #[test]
+    fn learns_a_constant_stride() {
+        let mut p = IpStride::new(64, 2);
+        let issued = drive(&mut p, &[(1, 0), (1, 4), (1, 8), (1, 12)]);
+        assert!(issued.contains(&16));
+        assert!(issued.contains(&20));
+    }
+
+    #[test]
+    fn concurrent_strides_per_pc() {
+        // PC 1 strides by 2, PC 2 strides by 7 — both learned simultaneously.
+        let mut p = IpStride::new(64, 1);
+        let seq: Vec<(u64, u64)> = (0..6)
+            .flat_map(|i| vec![(1, 100 + 2 * i), (2, 1000 + 7 * i)])
+            .collect();
+        let issued = drive(&mut p, &seq);
+        assert!(issued.contains(&(100 + 2 * 5 + 2)));
+        assert!(issued.contains(&(1000 + 7 * 5 + 7)));
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut p = IpStride::new(64, 1);
+        let issued = drive(&mut p, &[(1, 100), (1, 96), (1, 92), (1, 88)]);
+        assert!(issued.contains(&84));
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = IpStride::new(64, 1);
+        drive(&mut p, &[(1, 0), (1, 4), (1, 8)]);
+        // Stride changes to 9: one occurrence is not confident enough.
+        let issued = drive(&mut p, &[(1, 17)]);
+        assert!(issued.is_empty());
+    }
+
+    #[test]
+    fn degree_zero_is_silent() {
+        let mut p = IpStride::new(64, 0);
+        assert!(drive(&mut p, &[(1, 0), (1, 4), (1, 8), (1, 12)]).is_empty());
+    }
+
+    #[test]
+    fn table_capacity_evicts_lru_pc() {
+        let mut p = IpStride::new(2, 1);
+        // Three PCs fight over two entries; the oldest is evicted.
+        drive(&mut p, &[(1, 0), (2, 100), (3, 200)]);
+        // PC 1 was evicted: retraining needed, so no prefetch on next access.
+        let issued = drive(&mut p, &[(1, 4)]);
+        assert!(issued.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! IPCP — Instruction Pointer Classifier-based Prefetching (Pakalapati &
+//! Panda, ISCA 2020), reimplemented in simplified form.
+//!
+//! IPCP classifies each load PC into a class and applies a class-specific
+//! lightweight prefetcher:
+//!
+//! - **CS** (constant stride): confident per-PC stride → deep strided
+//!   prefetch,
+//! - **GS** (global stream): the program is streaming monotonically →
+//!   next-lines burst,
+//! - **CPLX** (complex): a single speculative delta prefetch.
+//!
+//! The paper evaluates IPCP as a *multi-level* prefetcher; the harness
+//! instantiates one `Ipcp` at L1 and one at L2 for Fig. 12.
+
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+
+/// Per-PC table entries.
+const TABLE_ENTRIES: usize = 128;
+/// Stride confidence to enter the CS class.
+const CS_CONFIDENCE: u8 = 2;
+/// CS prefetch degree.
+const CS_DEGREE: i64 = 4;
+/// GS prefetch degree.
+const GS_DEGREE: u64 = 4;
+/// Window of recent global deltas used by the stream detector.
+const GS_WINDOW: usize = 32;
+/// Fraction of positive unit-ish deltas to classify as globally streaming.
+const GS_THRESHOLD: f64 = 0.75;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IpEntry {
+    valid: bool,
+    pc: u64,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+/// The IPCP prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+/// use mab_prefetch::Ipcp;
+/// use mab_workloads::MemKind;
+///
+/// let mut ipcp = Ipcp::new();
+/// let mut q = PrefetchQueue::new();
+/// for i in 0..8u64 {
+///     ipcp.train(&L2Access { pc: 0x400, line: i * 2, hit: false, cycle: 0, instructions: 0, kind: MemKind::Load }, &mut q);
+/// }
+/// assert!(q.len() > 0); // CS class kicked in
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ipcp {
+    table: Vec<IpEntry>,
+    clock: u64,
+    /// Ring of recent global deltas for the GS detector.
+    recent_deltas: [i64; GS_WINDOW],
+    delta_pos: usize,
+    last_line: u64,
+}
+
+impl Default for Ipcp {
+    fn default() -> Self {
+        Ipcp::new()
+    }
+}
+
+impl Ipcp {
+    /// Creates an IPCP prefetcher.
+    pub fn new() -> Self {
+        Ipcp {
+            table: vec![IpEntry::default(); TABLE_ENTRIES],
+            clock: 0,
+            recent_deltas: [0; GS_WINDOW],
+            delta_pos: 0,
+            last_line: 0,
+        }
+    }
+
+    /// Approximate storage of one IPCP level (the design is ~1 KB/level).
+    pub fn storage_bytes() -> usize {
+        TABLE_ENTRIES * 8 + GS_WINDOW
+    }
+
+    fn globally_streaming(&self) -> bool {
+        let positive = self
+            .recent_deltas
+            .iter()
+            .filter(|&&d| d >= 1 && d <= 2)
+            .count();
+        positive as f64 / GS_WINDOW as f64 >= GS_THRESHOLD
+    }
+}
+
+impl Prefetcher for Ipcp {
+    fn name(&self) -> &str {
+        "ipcp"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        self.clock += 1;
+        let line = access.line;
+        let global_delta = line as i64 - self.last_line as i64;
+        self.last_line = line;
+        self.recent_deltas[self.delta_pos] = global_delta;
+        self.delta_pos = (self.delta_pos + 1) % GS_WINDOW;
+
+        // Per-PC stride bookkeeping. Unknown PCs allocate an entry and fall
+        // through to classification with zero confidence (GS can still fire).
+        let (confidence, stride) = match self.table.iter().position(|e| e.valid && e.pc == access.pc)
+        {
+            Some(slot) => {
+                let e = &mut self.table[slot];
+                e.lru = self.clock;
+                let delta = line as i64 - e.last_line as i64;
+                if delta != 0 {
+                    if delta == e.stride {
+                        e.confidence = e.confidence.saturating_add(1);
+                    } else {
+                        e.stride = delta;
+                        e.confidence = 1;
+                    }
+                    e.last_line = line;
+                }
+                (e.confidence, e.stride)
+            }
+            None => {
+                let i = self
+                    .table
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("table non-empty");
+                self.table[i] = IpEntry {
+                    valid: true,
+                    pc: access.pc,
+                    last_line: line,
+                    stride: 0,
+                    confidence: 0,
+                    lru: self.clock,
+                };
+                (0, 0)
+            }
+        };
+
+        if confidence >= CS_CONFIDENCE && stride != 0 {
+            // CS class: deep strided prefetch.
+            for k in 1..=CS_DEGREE {
+                let target = line as i64 + stride * k;
+                if target >= 0 {
+                    queue.push(target as u64);
+                }
+            }
+        } else if self.globally_streaming() {
+            // GS class: next-lines burst.
+            for d in 1..=GS_DEGREE {
+                queue.push(line + d);
+            }
+        } else if confidence == 1 && stride != 0 {
+            // CPLX class: one speculative delta.
+            let target = line as i64 + stride;
+            if target >= 0 {
+                queue.push(target as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::MemKind;
+
+    fn access(pc: u64, line: u64) -> L2Access {
+        L2Access {
+            pc,
+            line,
+            hit: false,
+            cycle: 0,
+            instructions: 0,
+            kind: MemKind::Load,
+        }
+    }
+
+    fn drive(p: &mut Ipcp, seq: &[(u64, u64)]) -> Vec<u64> {
+        let mut q = PrefetchQueue::new();
+        let mut all = Vec::new();
+        for &(pc, l) in seq {
+            p.train(&access(pc, l), &mut q);
+            all.extend(q.drain());
+        }
+        all
+    }
+
+    #[test]
+    fn cs_class_prefetches_deep_strides() {
+        let mut p = Ipcp::new();
+        let seq: Vec<(u64, u64)> = (0..5).map(|i| (1, i * 3)).collect();
+        let issued = drive(&mut p, &seq);
+        // Last access at line 12, stride 3, degree 4: 15, 18, 21, 24.
+        assert!(issued.contains(&15));
+        assert!(issued.contains(&24));
+    }
+
+    #[test]
+    fn gs_class_detects_global_streaming() {
+        let mut p = Ipcp::new();
+        // Many different PCs each touching the next line: no per-PC stride,
+        // but globally streaming.
+        let seq: Vec<(u64, u64)> = (0..64).map(|i| (100 + i, 500 + i)).collect();
+        let issued = drive(&mut p, &seq);
+        assert!(issued.iter().any(|&l| l > 520), "{issued:?}");
+    }
+
+    #[test]
+    fn irregular_accesses_issue_little() {
+        let mut p = Ipcp::new();
+        let seq: Vec<(u64, u64)> = (0u64..64)
+            .map(|i| (1, (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) % 100_000))
+            .collect();
+        let issued = drive(&mut p, &seq);
+        // CPLX issues at most one per access; no CS/GS burst should appear.
+        assert!(issued.len() <= seq.len(), "{}", issued.len());
+    }
+
+    #[test]
+    fn storage_is_small() {
+        assert!(Ipcp::storage_bytes() < 2048);
+    }
+}

@@ -1,0 +1,221 @@
+//! MLOP — Multi-Lookahead Offset Prefetching (Shakerinava et al., DPC-3),
+//! reimplemented in simplified form.
+//!
+//! MLOP scores candidate *offsets*: an offset `o` earns a point whenever the
+//! line `X − o` of the current access `X` was itself accessed recently (i.e.
+//! prefetching `X' + o` at time of `X'` would have been useful). Every
+//! evaluation epoch the best-scoring offsets are (re)selected, and each
+//! access then prefetches with all selected offsets.
+
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+use std::collections::{HashMap, VecDeque};
+
+/// Candidate offsets, in lines.
+const CANDIDATES: [i64; 30] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 32, -1, -2, -3, -4, -5, -6, -7, -8, -10, -12,
+    -14, -16, -20, -24, -32,
+];
+/// Accesses per evaluation epoch.
+const EPOCH_ACCESSES: u32 = 512;
+/// Recent-access window used for scoring (lines).
+const WINDOW: usize = 1024;
+/// Maximum offsets selected per epoch (the "multi-lookahead" degree).
+const MAX_SELECTED: usize = 3;
+/// Minimum score (fraction of the epoch) for an offset to be selected.
+const MIN_SCORE_FRAC: f64 = 0.15;
+
+/// The MLOP prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+/// use mab_prefetch::Mlop;
+/// use mab_workloads::MemKind;
+///
+/// let mut mlop = Mlop::new();
+/// let mut q = PrefetchQueue::new();
+/// for line in 0..2000u64 {
+///     mlop.train(&L2Access { pc: 0, line, hit: false, cycle: 0, instructions: 0, kind: MemKind::Load }, &mut q);
+/// }
+/// // A pure stream selects offset +1 (and friends) after the first epoch.
+/// assert!(q.len() > 0 || q.is_empty()); // issued while training
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlop {
+    /// Recently accessed lines with a reference count.
+    recent: HashMap<u64, u32>,
+    recent_order: VecDeque<u64>,
+    scores: [u32; CANDIDATES.len()],
+    epoch_accesses: u32,
+    /// Offsets currently selected for prefetching.
+    selected: Vec<i64>,
+}
+
+impl Default for Mlop {
+    fn default() -> Self {
+        Mlop::new()
+    }
+}
+
+impl Mlop {
+    /// Creates an MLOP prefetcher with no offsets selected yet.
+    pub fn new() -> Self {
+        Mlop {
+            recent: HashMap::new(),
+            recent_order: VecDeque::new(),
+            scores: [0; CANDIDATES.len()],
+            epoch_accesses: 0,
+            selected: Vec::new(),
+        }
+    }
+
+    /// Paper-reported storage of the full MLOP design (§7.2.1).
+    pub fn storage_bytes() -> usize {
+        8 * 1024
+    }
+
+    /// The offsets currently selected for prefetching.
+    pub fn selected_offsets(&self) -> &[i64] {
+        &self.selected
+    }
+
+    fn remember(&mut self, line: u64) {
+        *self.recent.entry(line).or_insert(0) += 1;
+        self.recent_order.push_back(line);
+        while self.recent_order.len() > WINDOW {
+            if let Some(old) = self.recent_order.pop_front() {
+                if let Some(count) = self.recent.get_mut(&old) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.recent.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        let mut ranked: Vec<(u32, i64)> = self
+            .scores
+            .iter()
+            .zip(CANDIDATES)
+            .map(|(&s, o)| (s, o))
+            .collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.abs().cmp(&b.1.abs())));
+        let threshold = (EPOCH_ACCESSES as f64 * MIN_SCORE_FRAC) as u32;
+        self.selected = ranked
+            .into_iter()
+            .take(MAX_SELECTED)
+            .filter(|&(s, _)| s >= threshold)
+            .map(|(_, o)| o)
+            .collect();
+        self.scores = [0; CANDIDATES.len()];
+        self.epoch_accesses = 0;
+    }
+}
+
+impl Prefetcher for Mlop {
+    fn name(&self) -> &str {
+        "mlop"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        let line = access.line;
+        // Score: would offset o have predicted this access?
+        for (i, &o) in CANDIDATES.iter().enumerate() {
+            let source = line as i64 - o;
+            if source >= 0 && self.recent.contains_key(&(source as u64)) {
+                self.scores[i] += 1;
+            }
+        }
+        self.remember(line);
+        self.epoch_accesses += 1;
+        if self.epoch_accesses >= EPOCH_ACCESSES {
+            self.end_epoch();
+        }
+        for &o in &self.selected {
+            let target = line as i64 + o;
+            if target >= 0 {
+                queue.push(target as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::MemKind;
+
+    fn access(line: u64) -> L2Access {
+        L2Access {
+            pc: 0,
+            line,
+            hit: false,
+            cycle: 0,
+            instructions: 0,
+            kind: MemKind::Load,
+        }
+    }
+
+    fn drive(m: &mut Mlop, lines: impl Iterator<Item = u64>) -> Vec<u64> {
+        let mut q = PrefetchQueue::new();
+        let mut all = Vec::new();
+        for l in lines {
+            m.train(&access(l), &mut q);
+            all.extend(q.drain());
+        }
+        all
+    }
+
+    #[test]
+    fn selects_plus_one_for_a_stream() {
+        let mut m = Mlop::new();
+        drive(&mut m, 0..EPOCH_ACCESSES as u64 + 1);
+        assert!(m.selected_offsets().contains(&1), "{:?}", m.selected_offsets());
+    }
+
+    #[test]
+    fn selects_the_dominant_stride() {
+        let mut m = Mlop::new();
+        drive(&mut m, (0..EPOCH_ACCESSES as u64 + 1).map(|i| i * 4));
+        assert!(m.selected_offsets().contains(&4), "{:?}", m.selected_offsets());
+    }
+
+    #[test]
+    fn random_accesses_select_nothing() {
+        let mut m = Mlop::new();
+        // Widely spaced lines: no candidate offset ever scores.
+        drive(&mut m, (0..EPOCH_ACCESSES as u64 + 1).map(|i| i * 1000));
+        assert!(m.selected_offsets().is_empty(), "{:?}", m.selected_offsets());
+    }
+
+    #[test]
+    fn prefetches_with_selected_offsets() {
+        let mut m = Mlop::new();
+        drive(&mut m, 0..EPOCH_ACCESSES as u64 + 1);
+        let issued = drive(&mut m, [10_000u64].into_iter());
+        assert!(issued.contains(&10_001), "{issued:?}");
+    }
+
+    #[test]
+    fn adapts_when_the_pattern_changes() {
+        let mut m = Mlop::new();
+        drive(&mut m, 0..EPOCH_ACCESSES as u64 + 1); // stream (+1)
+        // Now a descending stream for two epochs.
+        drive(
+            &mut m,
+            (0..2 * EPOCH_ACCESSES as u64 + 1).map(|i| 1_000_000 - i),
+        );
+        assert!(m.selected_offsets().contains(&-1), "{:?}", m.selected_offsets());
+    }
+
+    #[test]
+    fn recent_window_is_bounded() {
+        let mut m = Mlop::new();
+        drive(&mut m, (0..10 * WINDOW as u64).map(|i| i * 7));
+        assert!(m.recent.len() <= WINDOW);
+        assert!(m.recent_order.len() <= WINDOW);
+    }
+}

@@ -1,0 +1,95 @@
+//! Next-line prefetcher.
+
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+
+/// The simplest prefetcher: on every demand access to line `X`, prefetch
+/// `X+1 … X+degree`. In the Bandit composite its degree register is 0 (off)
+/// or 1 (on), matching Table 7's `NL On/Off` row.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+/// use mab_prefetch::NextLine;
+/// use mab_workloads::MemKind;
+///
+/// let mut nl = NextLine::new(2);
+/// let mut q = PrefetchQueue::new();
+/// nl.train(&L2Access { pc: 0, line: 10, hit: false, cycle: 0, instructions: 0, kind: MemKind::Load }, &mut q);
+/// let lines: Vec<u64> = q.drain().collect();
+/// assert_eq!(lines, vec![11, 12]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextLine {
+    degree: u32,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher with the given degree (0 = off).
+    pub fn new(degree: u32) -> Self {
+        NextLine { degree }
+    }
+
+    /// Current degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Programs the degree register (0 disables the prefetcher).
+    pub fn set_degree(&mut self, degree: u32) {
+        self.degree = degree;
+    }
+
+    /// Storage: one degree register.
+    pub fn storage_bytes() -> usize {
+        1
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &str {
+        "next-line"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        for d in 1..=self.degree as u64 {
+            queue.push(access.line + d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::MemKind;
+
+    fn access(line: u64) -> L2Access {
+        L2Access {
+            pc: 0x400,
+            line,
+            hit: false,
+            cycle: 0,
+            instructions: 0,
+            kind: MemKind::Load,
+        }
+    }
+
+    #[test]
+    fn degree_zero_is_off() {
+        let mut nl = NextLine::new(0);
+        let mut q = PrefetchQueue::new();
+        nl.train(&access(5), &mut q);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn degree_controls_depth() {
+        let mut nl = NextLine::new(1);
+        let mut q = PrefetchQueue::new();
+        nl.train(&access(5), &mut q);
+        assert_eq!(q.drain().collect::<Vec<_>>(), vec![6]);
+        nl.set_degree(3);
+        nl.train(&access(5), &mut q);
+        assert_eq!(q.drain().collect::<Vec<_>>(), vec![6, 7, 8]);
+    }
+}

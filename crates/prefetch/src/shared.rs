@@ -1,0 +1,123 @@
+//! Shared-handle wrapper so experiments can inspect a prefetcher after a
+//! simulation run (histograms, bandit selection histories, …).
+
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle around any prefetcher.
+///
+/// The system owns one clone (installed via
+/// [`mab_memsim::System::set_prefetcher`]); the experiment keeps another and
+/// reads state back with [`SharedPrefetcher::with`] once the run finishes.
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{config::SystemConfig, System};
+/// use mab_prefetch::{shared::SharedPrefetcher, Pythia};
+/// use mab_workloads::suites;
+///
+/// let handle = SharedPrefetcher::new(Pythia::new(1));
+/// let mut sys = System::single_core(SystemConfig::default());
+/// sys.set_prefetcher(0, Box::new(handle.clone()));
+/// let app = suites::app_by_name("cactus").unwrap();
+/// sys.run(&mut app.trace(1), 50_000);
+/// let selections: u64 = handle.with(|p| p.action_histogram().iter().sum());
+/// assert!(selections > 0);
+/// ```
+#[derive(Debug)]
+pub struct SharedPrefetcher<P> {
+    inner: Arc<Mutex<P>>,
+}
+
+impl<P> Clone for SharedPrefetcher<P> {
+    fn clone(&self) -> Self {
+        SharedPrefetcher {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<P: Prefetcher + Send> SharedPrefetcher<P> {
+    /// Wraps a prefetcher in a shared handle.
+    pub fn new(prefetcher: P) -> Self {
+        SharedPrefetcher {
+            inner: Arc::new(Mutex::new(prefetcher)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the wrapped prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a prior panic while training).
+    pub fn with<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
+        let mut guard = self.inner.lock().expect("prefetcher lock poisoned");
+        f(&mut guard)
+    }
+}
+
+impl<P: Prefetcher + Send> Prefetcher for SharedPrefetcher<P> {
+    fn name(&self) -> &str {
+        "shared"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        self.with(|p| p.train(access, queue));
+    }
+
+    fn on_prefetch_fill(&mut self, line: u64, cycle: u64) {
+        self.with(|p| p.on_prefetch_fill(line, cycle));
+    }
+
+    fn on_prefetch_used(&mut self, line: u64, cycle: u64) {
+        self.with(|p| p.on_prefetch_used(line, cycle));
+    }
+
+    fn on_prefetch_late(&mut self, line: u64, cycle: u64) {
+        self.with(|p| p.on_prefetch_late(line, cycle));
+    }
+
+    fn on_prefetch_evicted_unused(&mut self, line: u64) {
+        self.with(|p| p.on_prefetch_evicted_unused(line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NextLine;
+    use mab_workloads::MemKind;
+
+    #[test]
+    fn handle_observes_training() {
+        let handle = SharedPrefetcher::new(NextLine::new(1));
+        let mut boxed: Box<dyn Prefetcher + Send> = Box::new(handle.clone());
+        let mut q = PrefetchQueue::new();
+        boxed.train(
+            &L2Access {
+                pc: 0,
+                line: 5,
+                hit: false,
+                cycle: 0,
+                instructions: 0,
+                kind: MemKind::Load,
+            },
+            &mut q,
+        );
+        assert_eq!(q.drain().collect::<Vec<_>>(), vec![6]);
+        handle.with(|p| p.set_degree(0));
+        boxed.train(
+            &L2Access {
+                pc: 0,
+                line: 9,
+                hit: false,
+                cycle: 0,
+                instructions: 0,
+                kind: MemKind::Load,
+            },
+            &mut q,
+        );
+        assert!(q.is_empty(), "degree change through the handle took effect");
+    }
+}

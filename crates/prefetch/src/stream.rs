@@ -1,0 +1,224 @@
+//! Stream prefetcher with direction-tracking trackers.
+
+use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+
+/// Window (in lines) within which an access matches an existing tracker.
+/// Kept tight so that strided (non-unit) walks are left to the stride
+/// prefetcher instead of being half-covered by the streamer.
+const MATCH_WINDOW: i64 = 2;
+/// Confidence needed before a tracker starts prefetching.
+const ACTIVE_CONFIDENCE: u8 = 2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Tracker {
+    valid: bool,
+    last_line: u64,
+    direction: i8,
+    confidence: u8,
+    lru: u64,
+}
+
+/// A classic stream prefetcher: `trackers` independent detectors each watch
+/// one access stream, learn its direction, and once confident prefetch
+/// `degree` lines ahead. The degree is a programmable register (0 = off),
+/// as on the POWER7; Bandit programs it through [`crate::Composite`].
+///
+/// The paper's configuration uses 64 trackers (Table 6).
+///
+/// # Example
+///
+/// ```
+/// use mab_memsim::{L2Access, PrefetchQueue, Prefetcher};
+/// use mab_prefetch::StreamPrefetcher;
+/// use mab_workloads::MemKind;
+///
+/// let mut s = StreamPrefetcher::new(64, 2);
+/// let mut q = PrefetchQueue::new();
+/// for line in 100..105 {
+///     q.drain().count();
+///     s.train(&L2Access { pc: 0, line, hit: false, cycle: 0, instructions: 0, kind: MemKind::Load }, &mut q);
+/// }
+/// // After a few ascending accesses the stream is confident.
+/// assert!(q.len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    trackers: Vec<Tracker>,
+    degree: u32,
+    clock: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a stream prefetcher with `trackers` trackers and initial
+    /// `degree` (0 disables issuing; training continues).
+    pub fn new(trackers: usize, degree: u32) -> Self {
+        StreamPrefetcher {
+            trackers: vec![Tracker::default(); trackers.max(1)],
+            degree,
+            clock: 0,
+        }
+    }
+
+    /// Current degree register value.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Programs the degree register.
+    pub fn set_degree(&mut self, degree: u32) {
+        self.degree = degree;
+    }
+
+    /// Storage estimate: per tracker a line address (8 B), direction,
+    /// confidence and LRU (2 B).
+    pub fn storage_bytes(trackers: usize) -> usize {
+        trackers * 10 + 1
+    }
+}
+
+impl Prefetcher for StreamPrefetcher {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn train(&mut self, access: &L2Access, queue: &mut PrefetchQueue) {
+        self.clock += 1;
+        let line = access.line;
+        // Find the tracker whose stream this access continues.
+        let mut found: Option<usize> = None;
+        for (i, t) in self.trackers.iter().enumerate() {
+            if t.valid && (line as i64 - t.last_line as i64).abs() <= MATCH_WINDOW {
+                found = Some(i);
+                break;
+            }
+        }
+        match found {
+            Some(i) => {
+                let t = &mut self.trackers[i];
+                let delta = line as i64 - t.last_line as i64;
+                if delta == 0 {
+                    t.lru = self.clock;
+                    return;
+                }
+                let dir = if delta > 0 { 1 } else { -1 };
+                if dir == t.direction {
+                    t.confidence = t.confidence.saturating_add(1);
+                } else {
+                    t.direction = dir;
+                    t.confidence = 1;
+                }
+                t.last_line = line;
+                t.lru = self.clock;
+                if t.confidence >= ACTIVE_CONFIDENCE && self.degree > 0 {
+                    for d in 1..=self.degree as i64 {
+                        let target = line as i64 + dir as i64 * d;
+                        if target >= 0 {
+                            queue.push(target as u64);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Allocate the LRU (or first invalid) tracker.
+                let victim = self
+                    .trackers
+                    .iter_mut()
+                    .min_by_key(|t| if t.valid { t.lru } else { 0 })
+                    .expect("at least one tracker");
+                *victim = Tracker {
+                    valid: true,
+                    last_line: line,
+                    direction: 1,
+                    confidence: 0,
+                    lru: self.clock,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_workloads::MemKind;
+
+    fn access(line: u64) -> L2Access {
+        L2Access {
+            pc: 0x400,
+            line,
+            hit: false,
+            cycle: 0,
+            instructions: 0,
+            kind: MemKind::Load,
+        }
+    }
+
+    fn drive(s: &mut StreamPrefetcher, lines: &[u64]) -> Vec<u64> {
+        let mut q = PrefetchQueue::new();
+        let mut all = Vec::new();
+        for &l in lines {
+            s.train(&access(l), &mut q);
+            all.extend(q.drain());
+        }
+        all
+    }
+
+    #[test]
+    fn ascending_stream_prefetches_ahead() {
+        let mut s = StreamPrefetcher::new(64, 4);
+        let issued = drive(&mut s, &[10, 11, 12, 13]);
+        assert!(issued.contains(&14));
+        assert!(issued.iter().all(|&l| l > 10));
+    }
+
+    #[test]
+    fn descending_stream_prefetches_backwards() {
+        let mut s = StreamPrefetcher::new(64, 2);
+        let issued = drive(&mut s, &[100, 99, 98, 97]);
+        assert!(issued.contains(&96), "{issued:?}");
+    }
+
+    #[test]
+    fn degree_zero_trains_but_never_issues() {
+        let mut s = StreamPrefetcher::new(64, 0);
+        assert!(drive(&mut s, &[10, 11, 12, 13, 14]).is_empty());
+        // Turning the degree on resumes issuing immediately (state kept).
+        s.set_degree(2);
+        assert!(!drive(&mut s, &[15, 16]).is_empty());
+    }
+
+    #[test]
+    fn separate_streams_use_separate_trackers() {
+        let mut s = StreamPrefetcher::new(64, 1);
+        let issued = drive(&mut s, &[10, 1000, 11, 1001, 12, 1002]);
+        assert!(issued.contains(&13));
+        assert!(issued.contains(&1003));
+    }
+
+    #[test]
+    fn direction_flip_resets_confidence() {
+        let mut s = StreamPrefetcher::new(64, 2);
+        drive(&mut s, &[10, 11, 12]); // confident ascending
+        // A flip must not keep prefetching in the old direction immediately.
+        let issued = drive(&mut s, &[11]);
+        assert!(issued.is_empty(), "{issued:?}");
+    }
+
+    #[test]
+    fn tracker_allocation_evicts_lru() {
+        let mut s = StreamPrefetcher::new(2, 1);
+        // Three distant streams compete for two trackers.
+        let issued = drive(&mut s, &[10, 5000, 90_000, 11, 12]);
+        // Stream at 10.. was evicted and reallocated, so it needs to retrain.
+        assert!(issued.is_empty());
+        let issued = drive(&mut s, &[13, 14]);
+        assert!(!issued.is_empty());
+    }
+
+    #[test]
+    fn repeated_same_line_is_ignored() {
+        let mut s = StreamPrefetcher::new(64, 4);
+        let issued = drive(&mut s, &[10, 10, 10, 10]);
+        assert!(issued.is_empty());
+    }
+}

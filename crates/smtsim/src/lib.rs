@@ -1,0 +1,47 @@
+//! # `mab-smtsim` — cycle-level 2-way SMT pipeline simulator
+//!
+//! A gem5/SecSMT-class substrate for the paper's SMT instruction-fetch use
+//! case: a 2-thread out-of-order pipeline in which **all** structures (ROB,
+//! IQ, LQ, SQ, integer/FP register files) are dynamically shared between
+//! threads, as in the SecSMT configuration the paper builds on (§6.1,
+//! Table 5).
+//!
+//! The pieces:
+//!
+//! - [`config`] — Table 5 parameters,
+//! - [`policies`] — fetch priority policies (ICount, BrC, LSQC, RR) and
+//!   fetch-gating structure masks; together a fetch *Priority & Gating*
+//!   (PG) policy `X_b3b2b1b0` (§3.3, Table 1),
+//! - [`hill_climb`] — Choi & Yeung's Hill-Climbing adaptation of the
+//!   per-thread occupancy threshold (§3.2),
+//! - [`pipeline`] — the cycle-level pipeline with rename
+//!   stalled/idle/running accounting (Fig. 15),
+//! - [`controllers`] — PG-policy controllers: static policies, the Choi
+//!   policy, and the Bandit controller (§5.3).
+//!
+//! # Example
+//!
+//! ```
+//! use mab_smtsim::{config::SmtParams, controllers::ChoiController, pipeline::SmtPipeline};
+//! use mab_workloads::smt;
+//!
+//! let a = smt::thread_by_name("gcc").unwrap();
+//! let b = smt::thread_by_name("lbm").unwrap();
+//! let mut pipe = SmtPipeline::new(SmtParams::default(), [a, b], 1);
+//! let stats = pipe.run(Box::new(ChoiController::new()), 20_000);
+//! assert!(stats.sum_ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controllers;
+pub mod hill_climb;
+pub mod pipeline;
+pub mod policies;
+
+pub use config::SmtParams;
+pub use controllers::{BanditController, ChoiController, PgController, StaticPgController};
+pub use pipeline::{RenameStats, SmtPipeline, SmtStats};
+pub use policies::{FetchPriority, GateMask, PgPolicy};

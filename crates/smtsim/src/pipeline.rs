@@ -1,0 +1,650 @@
+//! The cycle-level 2-way SMT pipeline.
+//!
+//! Five stages are modeled each cycle — commit, issue/execute,
+//! rename/dispatch, fetch — over **dynamically shared** structures (ROB,
+//! IQ, LQ, SQ, IRF, FRF), as in the SecSMT configuration the paper builds
+//! on. The rename stage's per-cycle classification (stalled by which full
+//! structure / idle / running) feeds the paper's Fig. 15 analysis.
+//!
+//! Fetch is controlled by a [`PgController`]: every cycle the pipeline
+//! applies the controller's fetch Priority & Gating policy, and at every
+//! Hill-Climbing epoch boundary it reports the epoch's per-thread IPC back
+//! to the controller.
+
+use crate::config::SmtParams;
+use crate::controllers::{EpochIpc, PgController};
+use crate::policies::{FetchPriority, PgPolicy};
+use mab_workloads::smt::{MemClass, SmtInstr, SmtOpKind, ThreadGen, ThreadSpec};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Ring size for dependency completion lookup. A slot may only be reused
+/// once no in-flight instruction can reference it, so the ring must exceed
+/// the ROB depth (224) plus the maximum dependency distance (24).
+const DEP_RING: usize = 512;
+/// Sentinel: instruction dispatched but not yet completed.
+const PENDING: u64 = u64::MAX;
+
+/// Why the rename stage could not make progress in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenameBlock {
+    Rob,
+    Iq,
+    Lq,
+    Sq,
+    Rf,
+}
+
+/// Per-cycle classification of the rename stage (paper Fig. 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenameStats {
+    /// Cycles stalled with the ROB full.
+    pub stalled_rob: u64,
+    /// Cycles stalled with the IQ full.
+    pub stalled_iq: u64,
+    /// Cycles stalled with the LQ full.
+    pub stalled_lq: u64,
+    /// Cycles stalled with the SQ full.
+    pub stalled_sq: u64,
+    /// Cycles stalled with a register file full.
+    pub stalled_rf: u64,
+    /// Cycles with nothing to rename (front end empty, e.g. fetch gated).
+    pub idle: u64,
+    /// Cycles in which at least one instruction renamed.
+    pub running: u64,
+}
+
+impl RenameStats {
+    /// Total cycles classified.
+    pub fn total(&self) -> u64 {
+        self.stalled() + self.idle + self.running
+    }
+
+    /// Cycles stalled for any reason.
+    pub fn stalled(&self) -> u64 {
+        self.stalled_rob + self.stalled_iq + self.stalled_lq + self.stalled_sq + self.stalled_rf
+    }
+}
+
+/// Result of one SMT simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SmtStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed per thread.
+    pub commits: [u64; 2],
+    /// Rename-stage cycle classification.
+    pub rename: RenameStats,
+}
+
+impl SmtStats {
+    /// IPC of one thread.
+    pub fn ipc(&self, thread: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.commits[thread] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Summed IPC of both threads (the paper's SMT metric, §6.4).
+    pub fn sum_ipc(&self) -> f64 {
+        self.ipc(0) + self.ipc(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    seq: u64,
+    dep_seq: u64,
+    latency: u32,
+    complete_at: u64,
+    issued: bool,
+    in_iq: bool,
+    is_load: bool,
+    is_store: bool,
+    is_branch: bool,
+    mispredicted: bool,
+    int_dest: bool,
+    store_drain: u32,
+}
+
+struct ThreadState {
+    gen: ThreadGen,
+    fetch_queue: VecDeque<SmtInstr>,
+    fetch_blocked_until: u64,
+    rob: VecDeque<Slot>,
+    complete_time: Box<[u64; DEP_RING]>,
+    seq_next: u64,
+    committed: u64,
+    // Occupancy counters for this thread's entries in the shared structures.
+    iq: u32,
+    lq: u32,
+    sq: u32,
+    irf: u32,
+    frf: u32,
+    branches_in_rob: u32,
+    sq_drain: BinaryHeap<Reverse<u64>>,
+}
+
+impl ThreadState {
+    fn new(spec: &ThreadSpec, seed: u64) -> Self {
+        ThreadState {
+            gen: spec.stream(seed),
+            fetch_queue: VecDeque::new(),
+            fetch_blocked_until: 0,
+            rob: VecDeque::new(),
+            complete_time: Box::new([0; DEP_RING]),
+            seq_next: DEP_RING as u64, // dependencies on "pre-history" are ready
+            committed: 0,
+            iq: 0,
+            lq: 0,
+            sq: 0,
+            irf: 0,
+            frf: 0,
+            branches_in_rob: 0,
+            sq_drain: BinaryHeap::new(),
+        }
+    }
+
+    fn lsq(&self) -> u32 {
+        self.lq + self.sq
+    }
+}
+
+/// The 2-way SMT pipeline.
+///
+/// # Example
+///
+/// ```
+/// use mab_smtsim::{config::SmtParams, controllers::StaticPgController, pipeline::SmtPipeline};
+/// use mab_smtsim::policies::PgPolicy;
+/// use mab_workloads::smt;
+///
+/// let a = smt::thread_by_name("gcc").unwrap();
+/// let b = smt::thread_by_name("xz").unwrap();
+/// let mut pipe = SmtPipeline::new(SmtParams::test_scale(), [a, b], 3);
+/// let stats = pipe.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), 5_000);
+/// assert!(stats.commits.iter().all(|&c| c >= 5_000));
+/// ```
+pub struct SmtPipeline {
+    params: SmtParams,
+    threads: [ThreadState; 2],
+    cycle: u64,
+    rename: RenameStats,
+    rr_last: usize,
+    epoch_commits_latch: [u64; 2],
+}
+
+impl std::fmt::Debug for SmtPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmtPipeline")
+            .field("cycle", &self.cycle)
+            .field("commits", &[self.threads[0].committed, self.threads[1].committed])
+            .finish()
+    }
+}
+
+impl SmtPipeline {
+    /// Creates a pipeline running the two thread models.
+    pub fn new(params: SmtParams, specs: [ThreadSpec; 2], seed: u64) -> Self {
+        SmtPipeline {
+            params,
+            threads: [
+                ThreadState::new(&specs[0], seed),
+                ThreadState::new(&specs[1], seed.wrapping_add(0x5151)),
+            ],
+            cycle: 0,
+            rename: RenameStats::default(),
+            rr_last: 0,
+            epoch_commits_latch: [0; 2],
+        }
+    }
+
+    /// Runs until **both** threads have committed `commits_per_thread`
+    /// instructions, driving fetch with `controller`. Returns the run's
+    /// statistics; the controller can be inspected afterwards.
+    pub fn run(
+        &mut self,
+        mut controller: Box<dyn PgController>,
+        commits_per_thread: u64,
+    ) -> SmtStats {
+        self.run_with(controller.as_mut(), commits_per_thread)
+    }
+
+    /// Like [`SmtPipeline::run`] but borrows the controller, so the caller
+    /// can read its state (e.g. the Bandit's selection history) afterwards.
+    pub fn run_with(
+        &mut self,
+        controller: &mut dyn PgController,
+        commits_per_thread: u64,
+    ) -> SmtStats {
+        let epoch_len = self.params.epoch_cycles.max(1);
+        while self.threads[0].committed < commits_per_thread
+            || self.threads[1].committed < commits_per_thread
+        {
+            self.step(controller.policy(), [controller.share(0), controller.share(1)]);
+            if self.cycle % epoch_len == 0 {
+                let mut per_thread = [0.0; 2];
+                for (i, t) in self.threads.iter().enumerate() {
+                    per_thread[i] =
+                        (t.committed - self.epoch_commits_latch[i]) as f64 / epoch_len as f64;
+                    self.epoch_commits_latch[i] = t.committed;
+                }
+                controller.on_epoch(EpochIpc { per_thread });
+            }
+        }
+        self.stats()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SmtStats {
+        SmtStats {
+            cycles: self.cycle,
+            commits: [self.threads[0].committed, self.threads[1].committed],
+            rename: self.rename,
+        }
+    }
+
+    /// Advances one cycle under the given policy and gating shares.
+    fn step(&mut self, policy: PgPolicy, shares: [f64; 2]) {
+        self.cycle += 1;
+        let cycle = self.cycle;
+
+        // Stage 0: drain store-queue entries whose post-commit write finished.
+        for t in &mut self.threads {
+            while t.sq_drain.peek().is_some_and(|&Reverse(at)| at <= cycle) {
+                t.sq_drain.pop();
+                t.sq -= 1;
+            }
+        }
+
+        self.commit_stage(cycle);
+        self.issue_stage(cycle);
+        self.rename_stage(cycle, policy);
+        self.fetch_stage(cycle, policy, shares);
+    }
+
+    fn commit_stage(&mut self, cycle: u64) {
+        let mut budget = self.params.commit_width;
+        let drain = self.params.store_drain_latency;
+        // Alternate which thread gets first claim on commit bandwidth.
+        let first = (cycle % 2) as usize;
+        for off in 0..2 {
+            let t = &mut self.threads[(first + off) % 2];
+            while budget > 0 {
+                let Some(head) = t.rob.front() else { break };
+                if !head.issued || head.complete_at > cycle {
+                    break;
+                }
+                let slot = t.rob.pop_front().expect("checked non-empty");
+                budget -= 1;
+                t.committed += 1;
+                if slot.is_load {
+                    t.lq -= 1;
+                }
+                if slot.is_store {
+                    if slot.store_drain > 0 {
+                        t.sq_drain.push(Reverse(cycle + drain as u64));
+                    } else {
+                        t.sq -= 1;
+                    }
+                }
+                if slot.is_branch {
+                    t.branches_in_rob -= 1;
+                }
+                if slot.int_dest {
+                    t.irf -= 1;
+                } else {
+                    t.frf -= 1;
+                }
+            }
+        }
+    }
+
+    fn issue_stage(&mut self, cycle: u64) {
+        let mut budget = self.params.issue_width;
+        let window = self.params.scheduler_window;
+        let penalty = self.params.mispredict_penalty as u64;
+        let first = (cycle % 2) as usize;
+        for off in 0..2 {
+            if budget == 0 {
+                break;
+            }
+            let t = &mut self.threads[(first + off) % 2];
+            let mut scanned = 0usize;
+            for slot in t.rob.iter_mut() {
+                if budget == 0 || scanned >= window {
+                    break;
+                }
+                if slot.issued {
+                    continue;
+                }
+                scanned += 1;
+                let dep_ready = t.complete_time[(slot.dep_seq % DEP_RING as u64) as usize] <= cycle;
+                if !dep_ready {
+                    continue;
+                }
+                slot.issued = true;
+                slot.complete_at = cycle + slot.latency as u64;
+                t.complete_time[(slot.seq % DEP_RING as u64) as usize] = slot.complete_at;
+                t.iq -= 1;
+                slot.in_iq = false;
+                budget -= 1;
+                if slot.mispredicted {
+                    // Redirect at execute: the front end refills afterwards.
+                    t.fetch_blocked_until = t.fetch_blocked_until.max(slot.complete_at + penalty);
+                }
+            }
+        }
+    }
+
+    /// The thread the priority policy favors right now (lower metric wins;
+    /// ties go to thread 0, round-robin alternates by cycle).
+    fn favored_thread(&self, priority: FetchPriority, cycle: u64) -> usize {
+        match priority {
+            FetchPriority::ICount => (self.threads[1].iq < self.threads[0].iq) as usize,
+            FetchPriority::BranchCount => {
+                (self.threads[1].branches_in_rob < self.threads[0].branches_in_rob) as usize
+            }
+            FetchPriority::LsqCount => (self.threads[1].lsq() < self.threads[0].lsq()) as usize,
+            FetchPriority::RoundRobin => (cycle % 2) as usize,
+        }
+    }
+
+    fn rename_stage(&mut self, cycle: u64, policy: PgPolicy) {
+        let p = self.params;
+        let mut budget = p.decode_width;
+        let mut renamed = 0u32;
+        let mut block: Option<RenameBlock> = None;
+        // Dispatch bandwidth follows the fetch priority policy: the favored
+        // thread fills shared structures first, so a slow thread cannot clog
+        // the IQ just by having a backlog in its front-end queue.
+        let first = self.favored_thread(policy.priority, cycle);
+        for off in 0..2 {
+            let ti = (first + off) % 2;
+            loop {
+                if budget == 0 {
+                    break;
+                }
+                // Shared-structure occupancy across both threads.
+                let rob_total = self.threads[0].rob.len() + self.threads[1].rob.len();
+                let iq_total = self.threads[0].iq + self.threads[1].iq;
+                let lq_total = self.threads[0].lq + self.threads[1].lq;
+                let sq_total = self.threads[0].sq + self.threads[1].sq;
+                let irf_total = self.threads[0].irf + self.threads[1].irf;
+                let frf_total = self.threads[0].frf + self.threads[1].frf;
+                let t = &mut self.threads[ti];
+                let Some(&instr) = t.fetch_queue.front() else { break };
+
+                let needed_block = if rob_total >= p.rob_size as usize {
+                    Some(RenameBlock::Rob)
+                } else if iq_total >= p.iq_size {
+                    Some(RenameBlock::Iq)
+                } else if matches!(instr.kind, SmtOpKind::Load(_)) && lq_total >= p.lq_size {
+                    Some(RenameBlock::Lq)
+                } else if matches!(instr.kind, SmtOpKind::Store(_)) && sq_total >= p.sq_size {
+                    Some(RenameBlock::Sq)
+                } else if instr.int_dest && irf_total >= p.irf_size {
+                    Some(RenameBlock::Rf)
+                } else if !instr.int_dest && frf_total >= p.frf_size {
+                    Some(RenameBlock::Rf)
+                } else {
+                    None
+                };
+                if let Some(cause) = needed_block {
+                    block = block.or(Some(cause));
+                    break;
+                }
+
+                t.fetch_queue.pop_front();
+                budget -= 1;
+                renamed += 1;
+                let seq = t.seq_next;
+                t.seq_next += 1;
+                t.complete_time[(seq % DEP_RING as u64) as usize] = PENDING;
+                let (latency, is_load, is_store, is_branch, mispredicted, drain) = match instr.kind
+                {
+                    SmtOpKind::Alu => (1, false, false, false, false, 0),
+                    SmtOpKind::LongAlu => (p.long_alu_latency, false, false, false, false, 0),
+                    SmtOpKind::Load(class) => (
+                        p.load_latency[match class {
+                            MemClass::L1 => 0,
+                            MemClass::L2 => 1,
+                            MemClass::Mem => 2,
+                        }],
+                        true,
+                        false,
+                        false,
+                        false,
+                        0,
+                    ),
+                    SmtOpKind::Store(class) => (
+                        1,
+                        false,
+                        true,
+                        false,
+                        false,
+                        if class == MemClass::Mem {
+                            p.store_drain_latency
+                        } else {
+                            0
+                        },
+                    ),
+                    SmtOpKind::Branch { mispredicted } => (1, false, false, true, mispredicted, 0),
+                };
+                t.iq += 1;
+                if is_load {
+                    t.lq += 1;
+                }
+                if is_store {
+                    t.sq += 1;
+                }
+                if is_branch {
+                    t.branches_in_rob += 1;
+                }
+                if instr.int_dest {
+                    t.irf += 1;
+                } else {
+                    t.frf += 1;
+                }
+                t.rob.push_back(Slot {
+                    seq,
+                    dep_seq: seq.saturating_sub(instr.dep_distance as u64),
+                    latency,
+                    complete_at: 0,
+                    issued: false,
+                    in_iq: true,
+                    is_load,
+                    is_store,
+                    is_branch,
+                    mispredicted,
+                    int_dest: instr.int_dest,
+                    store_drain: drain,
+                });
+            }
+        }
+
+        // Fig. 15 classification of this rename cycle.
+        if renamed > 0 {
+            self.rename.running += 1;
+        } else if let Some(cause) = block {
+            match cause {
+                RenameBlock::Rob => self.rename.stalled_rob += 1,
+                RenameBlock::Iq => self.rename.stalled_iq += 1,
+                RenameBlock::Lq => self.rename.stalled_lq += 1,
+                RenameBlock::Sq => self.rename.stalled_sq += 1,
+                RenameBlock::Rf => self.rename.stalled_rf += 1,
+            }
+        } else {
+            self.rename.idle += 1;
+        }
+    }
+
+    /// True when `thread` exceeds its occupancy share in any structure
+    /// monitored by the gating mask.
+    fn gated(&self, thread: usize, policy: PgPolicy, share: f64) -> bool {
+        let p = &self.params;
+        let t = &self.threads[thread];
+        let g = policy.gating;
+        (g.iq && t.iq as f64 > share * p.iq_size as f64)
+            || (g.lsq && t.lsq() as f64 > share * (p.lq_size + p.sq_size) as f64)
+            || (g.rob && t.rob.len() as f64 > share * p.rob_size as f64)
+            || (g.irf && t.irf as f64 > share * p.irf_size as f64)
+    }
+
+    fn fetch_stage(&mut self, cycle: u64, policy: PgPolicy, shares: [f64; 2]) {
+        let p = self.params;
+        let eligible: Vec<usize> = (0..2)
+            .filter(|&i| {
+                let t = &self.threads[i];
+                t.fetch_blocked_until <= cycle
+                    && t.fetch_queue.len() + p.fetch_width as usize <= p.fetch_buffer as usize
+                    && !self.gated(i, policy, shares[i])
+            })
+            .collect();
+        if eligible.is_empty() {
+            return;
+        }
+        let chosen = if eligible.len() == 1 {
+            eligible[0]
+        } else {
+            match policy.priority {
+                FetchPriority::ICount => {
+                    if self.threads[0].iq <= self.threads[1].iq {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                FetchPriority::BranchCount => {
+                    if self.threads[0].branches_in_rob <= self.threads[1].branches_in_rob {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                FetchPriority::LsqCount => {
+                    if self.threads[0].lsq() <= self.threads[1].lsq() {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                FetchPriority::RoundRobin => 1 - self.rr_last,
+            }
+        };
+        self.rr_last = chosen;
+        let t = &mut self.threads[chosen];
+        for _ in 0..p.fetch_width {
+            let instr = t.gen.next().expect("thread generators are infinite");
+            t.fetch_queue.push_back(instr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controllers::{ChoiController, StaticPgController};
+    use mab_workloads::smt;
+
+    fn pipe(a: &str, b: &str) -> SmtPipeline {
+        SmtPipeline::new(
+            SmtParams::test_scale(),
+            [
+                smt::thread_by_name(a).unwrap(),
+                smt::thread_by_name(b).unwrap(),
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn both_threads_reach_the_commit_target() {
+        let mut p = pipe("gcc", "xz");
+        let stats = p.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), 10_000);
+        assert!(stats.commits[0] >= 10_000);
+        assert!(stats.commits[1] >= 10_000);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn ipc_is_plausible() {
+        let mut p = pipe("exchange2", "deepsjeng");
+        let stats = p.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), 20_000);
+        let ipc = stats.sum_ipc();
+        assert!(ipc > 0.5 && ipc < 8.0, "sum ipc {ipc}");
+    }
+
+    #[test]
+    fn memory_bound_thread_is_slower_than_compute_thread() {
+        let mut p = pipe("exchange2", "mcf");
+        let stats = p.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), 10_000);
+        assert!(
+            stats.ipc(0) > stats.ipc(1),
+            "exchange2 {} vs mcf {}",
+            stats.ipc(0),
+            stats.ipc(1)
+        );
+    }
+
+    #[test]
+    fn rename_classification_covers_every_cycle() {
+        let mut p = pipe("gcc", "lbm");
+        let stats = p.run(Box::new(ChoiController::new()), 10_000);
+        assert_eq!(stats.rename.total(), stats.cycles);
+    }
+
+    #[test]
+    fn lbm_pressures_the_store_queue() {
+        let mut p = pipe("lbm", "mcf");
+        let stats = p.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), 15_000);
+        assert!(
+            stats.rename.stalled_sq > 0,
+            "expected SQ stalls: {:?}",
+            stats.rename
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut p = pipe("gcc", "cactus");
+            p.run(Box::new(ChoiController::new()), 5_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gating_mask_changes_behaviour() {
+        // With an LSQ-aware policy, an SQ-hog pair should see fewer SQ stalls
+        // than with no gating at all.
+        let run = |policy: &str| {
+            let mut p = pipe("lbm", "gcc");
+            let stats = p.run(
+                Box::new(StaticPgController::new(policy.parse().unwrap())),
+                15_000,
+            );
+            stats.rename.stalled_sq as f64 / stats.cycles as f64
+        };
+        let ungated = run("IC_0000");
+        let gated = run("IC_0100");
+        assert!(
+            gated <= ungated + 1e-9,
+            "LSQ gating should not increase SQ stalls: {ungated} -> {gated}"
+        );
+    }
+
+    #[test]
+    fn different_mixes_give_different_results() {
+        let mut p1 = pipe("gcc", "lbm");
+        let s1 = p1.run(Box::new(ChoiController::new()), 5_000);
+        let mut p2 = pipe("mcf", "cactus");
+        let s2 = p2.run(Box::new(ChoiController::new()), 5_000);
+        assert_ne!(s1.cycles, s2.cycles);
+    }
+}

@@ -1,0 +1,482 @@
+//! Synthetic applications: named pattern mixes with phase schedules.
+
+use crate::patterns::{HotCold, Pattern, PointerChase, RegionFootprint, Stream, Strided, UniformRandom};
+use crate::suites::Suite;
+use crate::trace::{MemKind, TraceRecord, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Description of one address-stream kernel inside a phase.
+///
+/// `streams` instantiates that many independent copies of the kernel, each
+/// with its own program counter and address region — this is how an
+/// IP-stride prefetcher gets multiple concurrent per-PC strides to learn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PatternSpec {
+    /// Sequential streaming over `footprint_lines`.
+    Stream {
+        /// Footprint in cache lines.
+        footprint_lines: u64,
+        /// Number of concurrent streams.
+        streams: u32,
+    },
+    /// Constant-stride walks.
+    Stride {
+        /// Stride in cache lines (may be negative).
+        stride: i64,
+        /// Footprint in cache lines.
+        footprint_lines: u64,
+        /// Number of concurrent strided streams.
+        streams: u32,
+    },
+    /// Recurring spatial footprints over fixed-size regions.
+    Region {
+        /// Lines per region (64 lines = 4 KB regions).
+        region_lines: u32,
+        /// Number of regions.
+        regions: u64,
+        /// Fraction of each region touched per visit.
+        density: f64,
+    },
+    /// Pseudo-random permutation walk (pointer chasing).
+    PointerChase {
+        /// Footprint in cache lines.
+        footprint_lines: u64,
+    },
+    /// Uniformly random accesses.
+    Random {
+        /// Footprint in cache lines.
+        footprint_lines: u64,
+    },
+    /// Skewed hot/cold reuse.
+    HotCold {
+        /// Hot-set size in lines.
+        hot_lines: u64,
+        /// Cold-set size in lines.
+        cold_lines: u64,
+        /// Fraction of accesses hitting the hot set.
+        hot_frac: f64,
+    },
+}
+
+impl PatternSpec {
+    fn streams(&self) -> u32 {
+        match *self {
+            PatternSpec::Stream { streams, .. } | PatternSpec::Stride { streams, .. } => streams.max(1),
+            _ => 1,
+        }
+    }
+
+    fn footprint(&self) -> u64 {
+        match *self {
+            PatternSpec::Stream { footprint_lines, .. }
+            | PatternSpec::Stride { footprint_lines, .. }
+            | PatternSpec::PointerChase { footprint_lines }
+            | PatternSpec::Random { footprint_lines } => footprint_lines,
+            PatternSpec::Region { region_lines, regions, .. } => region_lines as u64 * regions,
+            PatternSpec::HotCold { hot_lines, cold_lines, .. } => hot_lines + cold_lines,
+        }
+    }
+
+    /// How many consecutive word-granular accesses a program makes to each
+    /// line the kernel produces. Regular kernels (streams, strides) walk
+    /// every word of a line; irregular kernels touch a line once or twice.
+    /// This is what keeps the synthetic miss *bandwidth* realistic: a
+    /// mem-ratio-0.35 streaming app transitions lines every ~23
+    /// instructions, like word-granular SPEC fp code.
+    fn line_repeats(&self) -> u32 {
+        match self {
+            PatternSpec::Stream { .. } => 8,
+            PatternSpec::Stride { .. } => 6,
+            PatternSpec::Region { .. } => 4,
+            PatternSpec::PointerChase { .. } => 1,
+            PatternSpec::Random { .. } => 2,
+            PatternSpec::HotCold { .. } => 4,
+        }
+    }
+
+    fn instantiate(&self, base: u64, salt: u64) -> Box<dyn Pattern + Send> {
+        match *self {
+            PatternSpec::Stream { footprint_lines, .. } => Box::new(Stream::new(base, footprint_lines)),
+            PatternSpec::Stride { stride, footprint_lines, .. } => {
+                Box::new(Strided::new(base, stride, footprint_lines))
+            }
+            PatternSpec::Region { region_lines, regions, density } => {
+                Box::new(RegionFootprint::new(base, region_lines, regions, density, false, salt))
+            }
+            PatternSpec::PointerChase { footprint_lines } => {
+                Box::new(PointerChase::new(base, footprint_lines, salt))
+            }
+            PatternSpec::Random { footprint_lines } => Box::new(UniformRandom::new(base, footprint_lines)),
+            PatternSpec::HotCold { hot_lines, cold_lines, hot_frac } => {
+                Box::new(HotCold::new(base, hot_lines, cold_lines, hot_frac))
+            }
+        }
+    }
+}
+
+/// One program phase: an instruction mix plus a weighted set of kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Kernels active in this phase with their selection weights.
+    pub patterns: Vec<(PatternSpec, f64)>,
+    /// Fraction of instructions that access memory.
+    pub mem_ratio: f64,
+    /// Fraction of memory operations that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_ratio: f64,
+    /// Phase length in instructions.
+    pub len: u64,
+}
+
+impl PhaseSpec {
+    /// A phase with a single kernel and typical SPEC-like ratios.
+    pub fn single(pattern: PatternSpec, mem_ratio: f64, len: u64) -> Self {
+        PhaseSpec {
+            patterns: vec![(pattern, 1.0)],
+            mem_ratio,
+            store_frac: 0.25,
+            branch_ratio: 0.15,
+            len,
+        }
+    }
+}
+
+/// A named synthetic application: a suite tag plus a cyclic phase schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Short name (the benchmark this app imitates, e.g. `"mcf"`).
+    pub name: String,
+    /// Which suite catalog the app belongs to.
+    pub suite: Suite,
+    /// Per-app seed salt, so different apps decorrelate under one seed.
+    pub seed_salt: u64,
+    /// Phases, executed cyclically.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl AppSpec {
+    /// Creates an application from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has no patterns — an
+    /// application must access memory eventually.
+    pub fn new(name: &str, suite: Suite, seed_salt: u64, phases: Vec<PhaseSpec>) -> Self {
+        assert!(!phases.is_empty(), "app needs at least one phase");
+        assert!(
+            phases.iter().all(|p| !p.patterns.is_empty()),
+            "every phase needs at least one pattern"
+        );
+        AppSpec {
+            name: name.to_owned(),
+            suite,
+            seed_salt,
+            phases,
+        }
+    }
+
+    /// Instantiates a lazy trace generator for this app.
+    pub fn trace(&self, seed: u64) -> AppTrace {
+        AppTrace::new(self, seed)
+    }
+}
+
+struct RuntimeKernel {
+    pattern: Box<dyn Pattern + Send>,
+    weight: f64,
+    pc: u64,
+    /// Word-granular accesses per produced line.
+    repeats: u32,
+    /// Line currently being walked word-by-word.
+    current_line: u64,
+    /// Word accesses remaining on `current_line`.
+    repeats_left: u32,
+}
+
+impl RuntimeKernel {
+    /// Next byte address: continues walking the current line word-by-word,
+    /// fetching a new line from the kernel when the line is exhausted.
+    fn next_addr(&mut self, rng: &mut StdRng) -> u64 {
+        if self.repeats_left == 0 {
+            self.current_line = self.pattern.next_line(rng);
+            self.repeats_left = self.repeats;
+        }
+        let word = self.repeats - self.repeats_left;
+        self.repeats_left -= 1;
+        self.current_line * LINE_BYTES + (word as u64 % 8) * 8
+    }
+}
+
+struct RuntimePhase {
+    kernels: Vec<RuntimeKernel>,
+    total_weight: f64,
+    mem_ratio: f64,
+    store_frac: f64,
+    branch_ratio: f64,
+    len: u64,
+}
+
+/// Lazy infinite instruction generator for an [`AppSpec`].
+///
+/// # Example
+///
+/// ```
+/// use mab_workloads::suites::{self, Suite};
+///
+/// let apps = suites::suite(Suite::Spec06Like);
+/// let mcf = apps.iter().find(|a| a.name == "mcf").unwrap();
+/// let n_mem = mcf.trace(1).take(10_000).filter(|r| r.mem.is_some()).count();
+/// assert!(n_mem > 1000);
+/// ```
+pub struct AppTrace {
+    phases: Vec<RuntimePhase>,
+    phase_idx: usize,
+    in_phase: u64,
+    rng: StdRng,
+    alu_pc: u64,
+    instr: u64,
+}
+
+impl std::fmt::Debug for AppTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppTrace")
+            .field("phase_idx", &self.phase_idx)
+            .field("instr", &self.instr)
+            .finish()
+    }
+}
+
+/// Base line index of generated data regions (keeps data away from PC range).
+const DATA_BASE_LINE: u64 = 1 << 24;
+/// Base PC of memory-access instructions.
+const MEM_PC_BASE: u64 = 0x40_0000;
+/// Base PC of the ALU/branch instruction "loop body".
+const ALU_PC_BASE: u64 = 0x10_0000;
+
+impl AppTrace {
+    fn new(spec: &AppSpec, seed: u64) -> Self {
+        let mut next_base = DATA_BASE_LINE;
+        let mut next_pc = MEM_PC_BASE;
+        let mut phases = Vec::with_capacity(spec.phases.len());
+        for (pi, phase) in spec.phases.iter().enumerate() {
+            let mut kernels = Vec::new();
+            for (ki, (pattern_spec, weight)) in phase.patterns.iter().enumerate() {
+                let streams = pattern_spec.streams();
+                for s in 0..streams {
+                    let salt = spec
+                        .seed_salt
+                        .wrapping_mul(1000)
+                        .wrapping_add((pi * 100 + ki * 10 + s as usize) as u64);
+                    kernels.push(RuntimeKernel {
+                        pattern: pattern_spec.instantiate(next_base, salt),
+                        weight: weight / streams as f64,
+                        pc: next_pc,
+                        repeats: pattern_spec.line_repeats(),
+                        current_line: 0,
+                        repeats_left: 0,
+                    });
+                    // Pad regions so kernels never alias.
+                    next_base += pattern_spec.footprint() + 4096;
+                    next_pc += 0x40;
+                }
+            }
+            let total_weight = kernels.iter().map(|k| k.weight).sum();
+            phases.push(RuntimePhase {
+                kernels,
+                total_weight,
+                mem_ratio: phase.mem_ratio,
+                store_frac: phase.store_frac,
+                branch_ratio: phase.branch_ratio,
+                len: phase.len.max(1),
+            });
+        }
+        AppTrace {
+            phases,
+            phase_idx: 0,
+            in_phase: 0,
+            rng: StdRng::seed_from_u64(seed ^ spec.seed_salt.wrapping_mul(0x517C_C1B7_2722_0A95)),
+            alu_pc: ALU_PC_BASE,
+            instr: 0,
+        }
+    }
+
+    /// Index of the phase the generator is currently in.
+    pub fn current_phase(&self) -> usize {
+        self.phase_idx
+    }
+
+    /// Total instructions generated so far.
+    pub fn instructions(&self) -> u64 {
+        self.instr
+    }
+}
+
+impl Iterator for AppTrace {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.in_phase >= self.phases[self.phase_idx].len {
+            self.in_phase = 0;
+            self.phase_idx = (self.phase_idx + 1) % self.phases.len();
+        }
+        self.in_phase += 1;
+        self.instr += 1;
+
+        let phase = &mut self.phases[self.phase_idx];
+        let draw: f64 = self.rng.gen();
+        let record = if draw < phase.mem_ratio {
+            // Choose a kernel by weight.
+            let mut pick = self.rng.gen::<f64>() * phase.total_weight;
+            let mut chosen = phase.kernels.len() - 1;
+            for (i, k) in phase.kernels.iter().enumerate() {
+                if pick < k.weight {
+                    chosen = i;
+                    break;
+                }
+                pick -= k.weight;
+            }
+            let kernel = &mut phase.kernels[chosen];
+            let addr = kernel.next_addr(&mut self.rng);
+            let kind = if self.rng.gen::<f64>() < phase.store_frac {
+                MemKind::Store
+            } else {
+                MemKind::Load
+            };
+            TraceRecord {
+                pc: kernel.pc,
+                mem: Some((kind, addr)),
+                is_branch: false,
+            }
+        } else if draw < phase.mem_ratio + phase.branch_ratio {
+            TraceRecord::branch(ALU_PC_BASE + 0x1000 + (self.instr % 64) * 4)
+        } else {
+            self.alu_pc = ALU_PC_BASE + (self.alu_pc + 4 - ALU_PC_BASE) % 0x400;
+            TraceRecord::alu(self.alu_pc)
+        };
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase_app() -> AppSpec {
+        AppSpec::new(
+            "test",
+            Suite::Spec06Like,
+            9,
+            vec![
+                PhaseSpec::single(PatternSpec::Stream { footprint_lines: 1024, streams: 1 }, 0.4, 1000),
+                PhaseSpec::single(PatternSpec::PointerChase { footprint_lines: 1024 }, 0.4, 1000),
+            ],
+        )
+    }
+
+    #[test]
+    fn respects_instruction_mix() {
+        let app = AppSpec::new(
+            "mix",
+            Suite::Spec06Like,
+            1,
+            vec![PhaseSpec {
+                patterns: vec![(PatternSpec::Stream { footprint_lines: 64, streams: 1 }, 1.0)],
+                mem_ratio: 0.3,
+                store_frac: 0.5,
+                branch_ratio: 0.2,
+                len: 100_000,
+            }],
+        );
+        let records: Vec<_> = app.trace(3).take(50_000).collect();
+        let mem = records.iter().filter(|r| r.mem.is_some()).count() as f64 / records.len() as f64;
+        let br = records.iter().filter(|r| r.is_branch).count() as f64 / records.len() as f64;
+        let stores = records
+            .iter()
+            .filter(|r| matches!(r.mem, Some((MemKind::Store, _))))
+            .count() as f64;
+        let loads = records
+            .iter()
+            .filter(|r| matches!(r.mem, Some((MemKind::Load, _))))
+            .count() as f64;
+        assert!((mem - 0.3).abs() < 0.02, "mem ratio {mem}");
+        assert!((br - 0.2).abs() < 0.02, "branch ratio {br}");
+        assert!((stores / (stores + loads) - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let app = two_phase_app();
+        let mut gen = app.trace(5);
+        for _ in 0..500 {
+            gen.next();
+        }
+        assert_eq!(gen.current_phase(), 0);
+        for _ in 0..1000 {
+            gen.next();
+        }
+        assert_eq!(gen.current_phase(), 1);
+        for _ in 0..1000 {
+            gen.next();
+        }
+        assert_eq!(gen.current_phase(), 0, "phases wrap around");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let app = two_phase_app();
+        let a: Vec<_> = app.trace(5).take(2000).collect();
+        let b: Vec<_> = app.trace(5).take(2000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let app = two_phase_app();
+        let a: Vec<_> = app.trace(5).take(2000).collect();
+        let b: Vec<_> = app.trace(6).take(2000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kernels_do_not_alias_address_regions() {
+        let app = AppSpec::new(
+            "two-kernels",
+            Suite::Spec17Like,
+            2,
+            vec![PhaseSpec {
+                patterns: vec![
+                    (PatternSpec::Stream { footprint_lines: 256, streams: 2 }, 0.5),
+                    (PatternSpec::Random { footprint_lines: 256 }, 0.5),
+                ],
+                mem_ratio: 1.0,
+                store_frac: 0.0,
+                branch_ratio: 0.0,
+                len: 10_000,
+            }],
+        );
+        // Group addresses by PC; each PC's addresses must stay in a distinct region.
+        use std::collections::HashMap;
+        let mut by_pc: HashMap<u64, (u64, u64)> = HashMap::new();
+        for r in app.trace(1).take(5000) {
+            let (_, addr) = r.mem.unwrap();
+            let e = by_pc.entry(r.pc).or_insert((u64::MAX, 0));
+            e.0 = e.0.min(addr);
+            e.1 = e.1.max(addr);
+        }
+        let mut ranges: Vec<(u64, u64)> = by_pc.values().copied().collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 < w[1].0, "regions overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panics() {
+        let _ = AppSpec::new("bad", Suite::Spec06Like, 0, vec![]);
+    }
+}

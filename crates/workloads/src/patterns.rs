@@ -1,0 +1,375 @@
+//! Address-stream kernels.
+//!
+//! Each kernel produces an infinite stream of *cache-line addresses* (not
+//! byte addresses) with a specific spatial structure. The application layer
+//! ([`crate::apps`]) mixes kernels, assigns program counters, and converts
+//! lines to byte addresses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A kernel generating cache-line indices.
+pub trait Pattern {
+    /// Produces the next line index accessed by this kernel.
+    fn next_line(&mut self, rng: &mut StdRng) -> u64;
+}
+
+/// Pure sequential streaming (what a stream prefetcher loves): lines
+/// `base, base+1, base+2, …`, wrapping at the footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stream {
+    base: u64,
+    footprint: u64,
+    pos: u64,
+}
+
+impl Stream {
+    /// Creates a stream over `footprint` lines starting at line `base`.
+    pub fn new(base: u64, footprint: u64) -> Self {
+        Stream {
+            base,
+            footprint: footprint.max(1),
+            pos: 0,
+        }
+    }
+}
+
+impl Pattern for Stream {
+    fn next_line(&mut self, _rng: &mut StdRng) -> u64 {
+        let line = self.base + self.pos;
+        self.pos = (self.pos + 1) % self.footprint;
+        line
+    }
+}
+
+/// Constant-stride access (what an IP-stride prefetcher loves): lines
+/// `base, base+s, base+2s, …` modulo the footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Strided {
+    base: u64,
+    stride: i64,
+    footprint: u64,
+    pos: i64,
+}
+
+impl Strided {
+    /// Creates a strided walk with `stride` lines per step over `footprint`
+    /// lines starting at line `base`. Negative strides walk backwards.
+    pub fn new(base: u64, stride: i64, footprint: u64) -> Self {
+        Strided {
+            base,
+            stride,
+            footprint: footprint.max(1),
+            pos: 0,
+        }
+    }
+}
+
+impl Pattern for Strided {
+    fn next_line(&mut self, _rng: &mut StdRng) -> u64 {
+        let line = self.base + self.pos.rem_euclid(self.footprint as i64) as u64;
+        self.pos += self.stride;
+        line
+    }
+}
+
+/// Recurring spatial footprints over fixed-size regions (what Bingo loves):
+/// visiting a region touches a *deterministic*, region-specific subset of its
+/// lines, so revisits repeat the same footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionFootprint {
+    base: u64,
+    region_lines: u32,
+    regions: u64,
+    density_pct: u32,
+    salt: u64,
+    /// Whether regions are visited sequentially or in hashed order.
+    sequential: bool,
+    cur_region: u64,
+    cur_offset: u32,
+    visit: u64,
+}
+
+impl RegionFootprint {
+    /// Creates a footprint walker over `regions` regions of `region_lines`
+    /// lines each, where roughly `density` (0–1) of each region's lines are
+    /// touched per visit.
+    pub fn new(base: u64, region_lines: u32, regions: u64, density: f64, sequential: bool, salt: u64) -> Self {
+        RegionFootprint {
+            base,
+            region_lines: region_lines.max(1),
+            regions: regions.max(1),
+            density_pct: (density.clamp(0.02, 1.0) * 100.0) as u32,
+            salt,
+            sequential,
+            cur_region: 0,
+            cur_offset: 0,
+            visit: 0,
+        }
+    }
+
+    /// Deterministic per-(region, offset) inclusion test: the footprint of a
+    /// region is a pure function of the region index, so revisits repeat it.
+    fn in_footprint(&self, region: u64, offset: u32) -> bool {
+        let mut h = region
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.salt)
+            .wrapping_add(offset as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+        (h % 100) < self.density_pct as u64
+    }
+
+    fn advance_region(&mut self) {
+        self.visit += 1;
+        self.cur_offset = 0;
+        self.cur_region = if self.sequential {
+            self.visit % self.regions
+        } else {
+            // Hashed region order, still deterministic.
+            (self
+                .visit
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add(self.salt))
+                % self.regions
+        };
+    }
+}
+
+impl Pattern for RegionFootprint {
+    fn next_line(&mut self, _rng: &mut StdRng) -> u64 {
+        loop {
+            if self.cur_offset >= self.region_lines {
+                self.advance_region();
+            }
+            let offset = self.cur_offset;
+            self.cur_offset += 1;
+            if self.in_footprint(self.cur_region, offset) {
+                return self.base + self.cur_region * self.region_lines as u64 + offset as u64;
+            }
+            // Footprint may be sparse: guarantee progress at least once per
+            // region by taking offset 0 unconditionally when a region yields
+            // nothing (handled by the density clamp >= 2%).
+        }
+    }
+}
+
+/// Pointer-chasing: a deterministic pseudo-random permutation walk over the
+/// footprint (what no spatial prefetcher can predict). Implemented as a
+/// 4-round Feistel bijection so footprints of any size cost O(1) memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointerChase {
+    base: u64,
+    footprint: u64,
+    bits: u32,
+    keys: [u64; 4],
+    state: u64,
+}
+
+impl PointerChase {
+    /// Creates a pointer-chase over `footprint` lines starting at `base`,
+    /// keyed by `salt`.
+    pub fn new(base: u64, footprint: u64, salt: u64) -> Self {
+        let footprint = footprint.max(2);
+        let bits = 64 - (footprint - 1).leading_zeros();
+        let mut keys = [0u64; 4];
+        for (i, k) in keys.iter_mut().enumerate() {
+            *k = salt
+                .wrapping_add(i as u64 + 1)
+                .wrapping_mul(0xA24B_AED4_963E_E407);
+        }
+        PointerChase {
+            base,
+            footprint,
+            bits: bits.max(2),
+            keys,
+            state: 0,
+        }
+    }
+
+    fn feistel(&self, x: u64) -> u64 {
+        let half = self.bits / 2;
+        let mask = (1u64 << half) - 1;
+        let mut left = x >> half;
+        let mut right = x & mask;
+        for &k in &self.keys {
+            let f = right
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(k)
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            let new_right = left ^ (f & mask);
+            left = right;
+            right = new_right;
+        }
+        (left << half) | right
+    }
+
+    /// Applies the bijection with cycle-walking to stay inside the footprint.
+    fn permute(&self, x: u64) -> u64 {
+        let mut y = self.feistel(x);
+        // Cycle-walk: at most a few iterations since 2^bits < 2*footprint.
+        while y >= self.footprint {
+            y = self.feistel(y);
+        }
+        y
+    }
+}
+
+impl Pattern for PointerChase {
+    fn next_line(&mut self, _rng: &mut StdRng) -> u64 {
+        self.state = (self.state + 1) % self.footprint;
+        self.base + self.permute(self.state)
+    }
+}
+
+/// Uniformly random lines over a footprint (cloud-like, cache-hostile when
+/// the footprint exceeds the LLC).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformRandom {
+    base: u64,
+    footprint: u64,
+}
+
+impl UniformRandom {
+    /// Creates a uniform random generator over `footprint` lines.
+    pub fn new(base: u64, footprint: u64) -> Self {
+        UniformRandom {
+            base,
+            footprint: footprint.max(1),
+        }
+    }
+}
+
+impl Pattern for UniformRandom {
+    fn next_line(&mut self, rng: &mut StdRng) -> u64 {
+        self.base + rng.gen_range(0..self.footprint)
+    }
+}
+
+/// Hot/cold working sets: a small hot set absorbs `hot_frac` of accesses,
+/// the remainder spill into a large cold set (models skewed reuse).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotCold {
+    base: u64,
+    hot_lines: u64,
+    cold_lines: u64,
+    hot_frac: f64,
+}
+
+impl HotCold {
+    /// Creates a hot/cold generator; `hot_frac` of accesses go to the hot set.
+    pub fn new(base: u64, hot_lines: u64, cold_lines: u64, hot_frac: f64) -> Self {
+        HotCold {
+            base,
+            hot_lines: hot_lines.max(1),
+            cold_lines: cold_lines.max(1),
+            hot_frac: hot_frac.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Pattern for HotCold {
+    fn next_line(&mut self, rng: &mut StdRng) -> u64 {
+        if rng.gen::<f64>() < self.hot_frac {
+            self.base + rng.gen_range(0..self.hot_lines)
+        } else {
+            self.base + self.hot_lines + rng.gen_range(0..self.cold_lines)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn collect(p: &mut dyn Pattern, n: usize) -> Vec<u64> {
+        let mut r = rng();
+        (0..n).map(|_| p.next_line(&mut r)).collect()
+    }
+
+    #[test]
+    fn stream_is_sequential_and_wraps() {
+        let mut s = Stream::new(100, 4);
+        assert_eq!(collect(&mut s, 6), vec![100, 101, 102, 103, 100, 101]);
+    }
+
+    #[test]
+    fn strided_applies_stride() {
+        let mut s = Strided::new(0, 3, 100);
+        assert_eq!(collect(&mut s, 4), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn negative_stride_walks_backwards_within_footprint() {
+        let mut s = Strided::new(0, -2, 10);
+        let lines = collect(&mut s, 4);
+        assert_eq!(lines, vec![0, 8, 6, 4]);
+        assert!(lines.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn region_footprint_repeats_on_revisit() {
+        let mut a = RegionFootprint::new(0, 32, 4, 0.5, true, 9);
+        let first: Vec<u64> = collect(&mut a, 200);
+        let mut b = RegionFootprint::new(0, 32, 4, 0.5, true, 9);
+        let second: Vec<u64> = collect(&mut b, 200);
+        assert_eq!(first, second, "footprints are deterministic");
+        // Revisits of region 0 repeat its footprint: find lines < 32 in two
+        // different passes and compare.
+        let pass: Vec<u64> = first.iter().copied().filter(|&l| l < 32).collect();
+        let half = pass.len() / 2;
+        assert!(half > 2);
+        assert_eq!(&pass[..half.min(pass.len() - half)], &pass[half..half + half.min(pass.len() - half)]);
+    }
+
+    #[test]
+    fn pointer_chase_visits_whole_footprint() {
+        let mut p = PointerChase::new(0, 64, 3);
+        let mut seen = std::collections::HashSet::new();
+        for line in collect(&mut p, 64) {
+            assert!(line < 64);
+            seen.insert(line);
+        }
+        assert_eq!(seen.len(), 64, "permutation covers the footprint");
+    }
+
+    #[test]
+    fn pointer_chase_is_not_strided() {
+        let mut p = PointerChase::new(0, 1024, 3);
+        let lines = collect(&mut p, 100);
+        let mut deltas = std::collections::HashSet::new();
+        for w in lines.windows(2) {
+            deltas.insert(w[1] as i64 - w[0] as i64);
+        }
+        assert!(deltas.len() > 50, "deltas look random: {}", deltas.len());
+    }
+
+    #[test]
+    fn uniform_random_respects_footprint() {
+        let mut u = UniformRandom::new(1000, 16);
+        for line in collect(&mut u, 500) {
+            assert!((1000..1016).contains(&line));
+        }
+    }
+
+    #[test]
+    fn hot_cold_skews_toward_hot_set() {
+        let mut h = HotCold::new(0, 8, 10_000, 0.9);
+        let lines = collect(&mut h, 2000);
+        let hot = lines.iter().filter(|&&l| l < 8).count();
+        assert!(hot > 1600, "hot accesses: {hot}");
+    }
+
+    #[test]
+    fn patterns_are_deterministic_across_runs() {
+        let mut a = PointerChase::new(0, 128, 11);
+        let mut b = PointerChase::new(0, 128, 11);
+        assert_eq!(collect(&mut a, 50), collect(&mut b, 50));
+    }
+}

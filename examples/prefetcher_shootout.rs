@@ -1,0 +1,48 @@
+//! Prefetcher shootout: simulate one application on the memory-hierarchy
+//! substrate under every L2 prefetcher the paper compares.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout [app] [instructions]
+//! ```
+//!
+//! Try `lbm` (streaming — deep prefetching wins), `mcf` (pointer chasing —
+//! nothing helps, and Bandit learns to mostly switch off), or `soplex`
+//! (recurring spatial footprints — Bingo's specialty).
+
+use micro_armed_bandit::memsim::{config::SystemConfig, System};
+use micro_armed_bandit::prefetch::catalog;
+use micro_armed_bandit::workloads::suites;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let app_name = args.next().unwrap_or_else(|| "lbm".to_string());
+    let instructions: u64 = args.next().map(|v| v.parse()).transpose()?.unwrap_or(1_000_000);
+    let app = suites::app_by_name(&app_name)
+        .ok_or_else(|| format!("unknown app {app_name:?}; try one of suites::all_apps()"))?;
+
+    println!("app {app_name}, {instructions} instructions, Table-4 system\n");
+    println!(
+        "{:14} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "prefetcher", "IPC", "issued", "timely", "late", "wrong"
+    );
+    let mut baseline = 0.0;
+    for name in ["none", "stride", "bingo", "mlop", "pythia", "bandit"] {
+        let mut system = System::single_core(SystemConfig::default());
+        system.set_prefetcher(0, catalog::build_l2(name, 42));
+        let stats = system.run(&mut app.trace(42), instructions);
+        if name == "none" {
+            baseline = stats.ipc();
+        }
+        println!(
+            "{:14} {:>7.3} {:>9} {:>9} {:>9} {:>9}   ({:+.1}% vs none)",
+            name,
+            stats.ipc(),
+            stats.prefetch.issued,
+            stats.prefetch.timely,
+            stats.prefetch.late,
+            stats.prefetch.wrong,
+            (stats.ipc() / baseline - 1.0) * 100.0,
+        );
+    }
+    Ok(())
+}

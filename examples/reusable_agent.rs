@@ -1,0 +1,68 @@
+//! Reusability demo: the same agent in a *third* decision-making problem.
+//!
+//! ```text
+//! cargo run --example reusable_agent
+//! ```
+//!
+//! The paper's closing argument is that one tiny agent design serves many
+//! microarchitecture knobs. Here we point it at a toy DVFS governor: pick a
+//! frequency/voltage state to maximize performance-per-watt for a workload
+//! whose compute/memory balance shifts over time. Nothing in `mab-core`
+//! changes — only the arm semantics and the reward.
+
+use micro_armed_bandit::core::{AlgorithmKind, BanditAgent, BanditConfig};
+
+/// Frequency states (GHz) with quadratic-ish power cost.
+const FREQS: [f64; 5] = [1.0, 1.6, 2.2, 2.8, 3.4];
+
+/// Instructions-per-second for a workload that is `compute` fraction
+/// compute-bound (scales with frequency) and memory-bound otherwise.
+fn perf(freq: f64, compute: f64) -> f64 {
+    compute * freq + (1.0 - compute) * 1.2
+}
+
+/// The governor's reward: performance-squared per watt (an energy-delay
+/// style metric, so that raising the clock pays off only when the workload
+/// actually scales with frequency).
+fn reward(freq: f64, compute: f64) -> f64 {
+    let p = perf(freq, compute);
+    p * p / power(freq)
+}
+
+fn power(freq: f64) -> f64 {
+    0.5 + 0.35 * freq * freq
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = BanditConfig::builder(FREQS.len())
+        .algorithm(AlgorithmKind::Ducb { gamma: 0.97, c: 0.08 })
+        .seed(11)
+        .build()?;
+    let mut agent = BanditAgent::new(config);
+
+    // Phase 1: compute-bound (high frequency pays). Phase 2: memory-bound
+    // (high frequency burns power for nothing).
+    let mut compute_phase_choice = 0;
+    for step in 0..2000u32 {
+        let compute = if step < 1000 { 0.9 } else { 0.15 };
+        let arm = agent.select_arm();
+        agent.observe_reward(reward(FREQS[arm.index()], compute));
+        if step == 999 {
+            compute_phase_choice = agent.best_arm().index();
+            println!(
+                "compute-bound phase: governor settled on {:.1} GHz",
+                FREQS[compute_phase_choice]
+            );
+        }
+    }
+    let memory_phase_choice = agent.best_arm().index();
+    println!(
+        "memory-bound phase:  governor settled on {:.1} GHz",
+        FREQS[memory_phase_choice]
+    );
+    assert!(
+        memory_phase_choice < compute_phase_choice,
+        "the governor backed off the clock when memory-bound"
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure, teeing outputs into results/.
+# Sizes below are the "recorded run" configuration documented in
+# EXPERIMENTS.md (scaled down from the paper's 1B-instruction traces to
+# laptop scale; pass larger --instructions for higher fidelity).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+  local name="$1"; shift
+  echo "=== running $name $* ==="
+  cargo run --release -q -p mab-experiments --bin "$name" -- "$@" \
+    >"results/$name.txt" 2>"results/$name.log"
+  echo "--- wrote results/$name.txt"
+}
+
+run tab_storage
+run fig02_homogeneity --instructions 1500000
+run fig07_exploration --instructions 2500000
+run fig08_singlecore  --instructions 700000
+run fig09_accuracy    --instructions 600000
+run fig10_bandwidth   --instructions 500000
+run fig11_altcache    --instructions 700000
+run fig12_multilevel  --instructions 500000
+run fig14_fourcore    --instructions 150000
+run tab08_tuneset_prefetch --instructions 500000
+run fig05_pg_space    --instructions 50000 --mixes 8
+run tab09_tuneset_smt --instructions 60000 --mixes 30
+run fig13_smt_scurve  --instructions 50000 --mixes 231
+run fig15_rename      --instructions 60000 --mixes 40
+run ablations         --instructions 600000
+echo "all experiments done"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Round 2: SMT experiments with scaled epochs (the round-1 SMT runs used
+# unscaled step-RR and are superseded), plus larger prefetch runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+run() {
+  local name="$1"; shift
+  echo "=== running $name $* ==="
+  cargo run --release -q -p mab-experiments --bin "$name" -- "$@" \
+    >"results/$name.txt" 2>"results/$name.log"
+  echo "--- wrote results/$name.txt"
+}
+run tab09_tuneset_smt --instructions 100000 --mixes 30
+run fig15_rename      --instructions 80000 --mixes 40
+run fig05_pg_space    --instructions 80000 --mixes 8
+run fig13_smt_scurve  --instructions 80000 --mixes 150
+run fig07_exploration --instructions 2500000
+run fig14_fourcore    --instructions 300000
+run fig12_multilevel  --instructions 1000000
+run fig08_singlecore  --instructions 1500000
+echo "round 2 done"

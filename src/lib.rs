@@ -1,0 +1,44 @@
+//! # Micro-Armed Bandit — umbrella crate
+//!
+//! This crate re-exports the entire Micro-Armed Bandit reproduction workspace
+//! so that examples and integration tests can use a single dependency. See
+//! the individual crates for the actual implementations:
+//!
+//! - [`mab_core`] — the paper's contribution: Multi-Armed Bandit algorithms
+//!   (ε-Greedy, UCB, DUCB) and the hardware `BanditAgent` model.
+//! - [`mab_workloads`] — synthetic trace and SMT-thread generators standing in
+//!   for the SPEC/PARSEC/Ligra/CloudSuite traces used by the paper.
+//! - [`mab_memsim`] — trace-driven cache-hierarchy/core/DRAM simulator
+//!   (ChampSim-class substrate).
+//! - [`mab_prefetch`] — every prefetcher the paper evaluates, plus the
+//!   Bandit-orchestrated composite prefetcher.
+//! - [`mab_smtsim`] — cycle-level 2-way SMT pipeline simulator with fetch
+//!   Priority & Gating policies and Hill Climbing.
+//! - [`mab_experiments`] — the harness that regenerates every table and
+//!   figure in the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use micro_armed_bandit::core::{BanditAgent, BanditConfig, AlgorithmKind};
+//!
+//! // A 3-arm DUCB agent; pretend arm 2 is the best action.
+//! let config = BanditConfig::builder(3)
+//!     .algorithm(AlgorithmKind::Ducb { gamma: 0.99, c: 0.1 })
+//!     .build()
+//!     .expect("valid config");
+//! let mut agent = BanditAgent::new(config);
+//! for _ in 0..200 {
+//!     let arm = agent.select_arm();
+//!     let reward = if arm.index() == 2 { 1.0 } else { 0.2 };
+//!     agent.observe_reward(reward);
+//! }
+//! assert_eq!(agent.best_arm().index(), 2);
+//! ```
+
+pub use mab_core as core;
+pub use mab_experiments as experiments;
+pub use mab_memsim as memsim;
+pub use mab_prefetch as prefetch;
+pub use mab_smtsim as smtsim;
+pub use mab_workloads as workloads;

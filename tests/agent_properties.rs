@@ -1,0 +1,147 @@
+//! Property-based tests on the core bandit invariants.
+
+use micro_armed_bandit::core::{AlgorithmKind, ArmId, BanditAgent, BanditConfig};
+use proptest::prelude::*;
+
+/// Any of the built-in algorithms with valid hyperparameters.
+fn algorithm_strategy() -> impl Strategy<Value = AlgorithmKind> {
+    prop_oneof![
+        (0.0..=1.0f64).prop_map(|epsilon| AlgorithmKind::EpsilonGreedy { epsilon }),
+        (0.0..=2.0f64).prop_map(|c| AlgorithmKind::Ucb { c }),
+        ((0.5..=1.0f64), (0.0..=2.0f64))
+            .prop_map(|(gamma, c)| AlgorithmKind::Ducb { gamma: gamma.max(0.5), c }),
+        Just(AlgorithmKind::Single),
+        ((1u32..=50), (1usize..=8))
+            .prop_map(|(exploit_len, window)| AlgorithmKind::Periodic { exploit_len, window }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Selected arms are always in range, for any algorithm and any reward
+    /// stream.
+    #[test]
+    fn selected_arms_in_range(
+        algorithm in algorithm_strategy(),
+        arms in 1usize..12,
+        seed in 0u64..1000,
+        rewards in prop::collection::vec(0.0..10.0f64, 50..200),
+    ) {
+        let config = BanditConfig::builder(arms)
+            .algorithm(algorithm)
+            .seed(seed)
+            .build()
+            .expect("valid configuration");
+        let mut agent = BanditAgent::new(config);
+        for (i, &r) in rewards.iter().enumerate() {
+            let arm = agent.select_arm();
+            prop_assert!(arm.index() < arms, "step {i}: {arm}");
+            agent.observe_reward(r);
+        }
+        prop_assert!(agent.best_arm().index() < arms);
+    }
+
+    /// `n_total` always equals the sum of the per-arm counts, under any
+    /// algorithm (including DUCB's discounting).
+    #[test]
+    fn n_total_is_sum_of_counts(
+        algorithm in algorithm_strategy(),
+        arms in 1usize..8,
+        seed in 0u64..1000,
+        steps in 20usize..150,
+    ) {
+        let config = BanditConfig::builder(arms)
+            .algorithm(algorithm)
+            .seed(seed)
+            .build()
+            .expect("valid configuration");
+        let mut agent = BanditAgent::new(config);
+        for step in 0..steps {
+            let arm = agent.select_arm();
+            agent.observe_reward((step % 5) as f64 * 0.2 + arm.index() as f64 * 0.1);
+            let tables = agent.tables();
+            let sum: f64 = (0..arms).map(|i| tables.n(ArmId::new(i))).sum();
+            prop_assert!(
+                (tables.n_total() - sum).abs() < 1e-6,
+                "step {step}: n_total {} vs sum {sum}",
+                tables.n_total()
+            );
+        }
+    }
+
+    /// With positive rewards the initial round-robin normalizer equals the
+    /// mean of the first `arms` rewards, and all stored rewards stay finite.
+    #[test]
+    fn normalizer_is_initial_mean(
+        arms in 1usize..10,
+        seed in 0u64..1000,
+        rewards in prop::collection::vec(0.1..10.0f64, 10..40),
+    ) {
+        prop_assume!(rewards.len() >= arms);
+        let config = BanditConfig::builder(arms).seed(seed).build().expect("valid");
+        let mut agent = BanditAgent::new(config);
+        for &r in &rewards {
+            agent.select_arm();
+            agent.observe_reward(r);
+        }
+        let expected: f64 = rewards[..arms].iter().sum::<f64>() / arms as f64;
+        prop_assert!((agent.normalizer() - expected).abs() < 1e-9);
+        let tables = agent.tables();
+        for i in 0..arms {
+            prop_assert!(tables.reward(ArmId::new(i)).is_finite());
+        }
+    }
+
+    /// In a stationary environment with a unique best arm, UCB and DUCB end
+    /// up ranking that arm on top.
+    #[test]
+    fn ucb_family_identifies_best_arm(
+        c in 0.01..0.5f64,
+        gamma in 0.95..1.0f64,
+        best in 0usize..5,
+        seed in 0u64..100,
+    ) {
+        for algorithm in [AlgorithmKind::Ucb { c }, AlgorithmKind::Ducb { gamma, c }] {
+            let config = BanditConfig::builder(5)
+                .algorithm(algorithm)
+                .seed(seed)
+                .build()
+                .expect("valid");
+            let mut agent = BanditAgent::new(config);
+            for _ in 0..600 {
+                let arm = agent.select_arm();
+                let reward = if arm.index() == best { 1.0 } else { 0.2 };
+                agent.observe_reward(reward);
+            }
+            prop_assert_eq!(agent.best_arm().index(), best);
+        }
+    }
+
+    /// Agents with the same configuration and seed produce identical
+    /// trajectories; the trajectory never depends on ambient state.
+    #[test]
+    fn trajectories_are_reproducible(
+        algorithm in algorithm_strategy(),
+        arms in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let config = BanditConfig::builder(arms)
+                .algorithm(algorithm)
+                .rr_restart_prob(0.05)
+                .seed(seed)
+                .build()
+                .expect("valid");
+            let mut agent = BanditAgent::new(config);
+            let mut picks = Vec::new();
+            for i in 0..120u32 {
+                let arm = agent.select_arm();
+                picks.push(arm);
+                agent.observe_reward((i % 7) as f64 * 0.3);
+            }
+            picks
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

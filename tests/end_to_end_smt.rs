@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: workloads → smtsim → core.
+
+use micro_armed_bandit::core::AlgorithmKind;
+use micro_armed_bandit::smtsim::{
+    config::SmtParams,
+    controllers::{BanditController, ChoiController, StaticPgController},
+    pipeline::SmtPipeline,
+    policies::PgPolicy,
+};
+use micro_armed_bandit::workloads::smt;
+
+fn mix(a: &str, b: &str) -> [smt::ThreadSpec; 2] {
+    [
+        smt::thread_by_name(a).expect("catalog thread"),
+        smt::thread_by_name(b).expect("catalog thread"),
+    ]
+}
+
+const COMMITS: u64 = 30_000;
+
+#[test]
+fn choi_beats_plain_icount_on_average() {
+    // Over a handful of mixes, gating should not lose to no-gating.
+    let mixes = [("gcc", "lbm"), ("mcf", "exchange2"), ("lbm", "bwaves"), ("xz", "fotonik3d")];
+    let mut choi_total = 0.0;
+    let mut icount_total = 0.0;
+    for (a, b) in mixes {
+        let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix(a, b), 5);
+        choi_total += pipe.run(Box::new(ChoiController::new()), COMMITS).sum_ipc();
+        let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix(a, b), 5);
+        icount_total += pipe
+            .run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), COMMITS)
+            .sum_ipc();
+    }
+    assert!(
+        choi_total > icount_total * 0.95,
+        "choi {choi_total:.3} vs icount {icount_total:.3}"
+    );
+}
+
+#[test]
+fn bandit_is_competitive_with_choi() {
+    let mixes = [("gcc", "lbm"), ("lbm", "mcf"), ("cactus", "lbm"), ("xz", "deepsjeng")];
+    let mut bandit_total = 0.0;
+    let mut choi_total = 0.0;
+    for (a, b) in mixes {
+        let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix(a, b), 9);
+        let mut controller = BanditController::paper_default(9);
+        bandit_total += pipe.run_with(&mut controller, COMMITS).sum_ipc();
+        let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix(a, b), 9);
+        choi_total += pipe.run(Box::new(ChoiController::new()), COMMITS).sum_ipc();
+    }
+    assert!(
+        bandit_total > choi_total * 0.9,
+        "bandit {bandit_total:.3} vs choi {choi_total:.3}"
+    );
+}
+
+#[test]
+fn all_64_policies_run() {
+    for policy in PgPolicy::all() {
+        let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix("gcc", "xz"), 1);
+        let stats = pipe.run(Box::new(StaticPgController::new(policy)), 2_000);
+        assert!(stats.sum_ipc() > 0.0, "{policy} produced zero IPC");
+    }
+}
+
+#[test]
+fn smt_stack_is_deterministic() {
+    let run = || {
+        let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix("lbm", "mcf"), 3);
+        let mut controller = BanditController::paper_default(3);
+        let stats = pipe.run_with(&mut controller, 10_000);
+        (stats, controller.history().to_vec())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bandit_history_walks_round_robin_first() {
+    use micro_armed_bandit::core::BanditConfig;
+    let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix("gcc", "lbm"), 4);
+    // Short steps so the whole round-robin phase fits in a small run.
+    let config = BanditConfig::builder(6)
+        .algorithm(AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 })
+        .seed(4)
+        .build()
+        .expect("valid config");
+    let mut controller = BanditController::new(
+        config,
+        micro_armed_bandit::smtsim::policies::PgPolicy::bandit_arms().to_vec(),
+        1,
+        4,
+    )
+    .expect("matching arm count");
+    pipe.run_with(&mut controller, 100_000);
+    let h = controller.history();
+    assert!(h.len() >= 6, "enough steps for the RR phase: {}", h.len());
+    assert_eq!(&h[..6], &[0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn rename_accounting_is_exhaustive() {
+    let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix("bwaves", "omnetpp"), 6);
+    let stats = pipe.run(Box::new(ChoiController::new()), 20_000);
+    assert_eq!(stats.rename.total(), stats.cycles);
+    assert!(stats.rename.running > 0);
+}

@@ -1,0 +1,77 @@
+//! Integration tests for the paper's §9 future-work extensions:
+//! the hierarchical bandit and the classifier-augmented bandit.
+
+use micro_armed_bandit::core::hierarchical::HyperBandit;
+use micro_armed_bandit::core::AlgorithmKind;
+use micro_armed_bandit::memsim::{config::SystemConfig, System};
+use micro_armed_bandit::prefetch::classified::ClassifiedBandit;
+use micro_armed_bandit::prefetch::catalog;
+use micro_armed_bandit::workloads::suites;
+
+#[test]
+fn hyper_bandit_handles_fast_and_slow_phases() {
+    // A fast-forgetting and a slow-forgetting DUCB under one arbiter: the
+    // hierarchy must stay correct through both a long stationary phase and
+    // rapid flips.
+    let mut hyper = HyperBandit::new(
+        3,
+        vec![
+            AlgorithmKind::Ducb { gamma: 0.85, c: 0.1 },
+            AlgorithmKind::Ducb { gamma: 0.999, c: 0.1 },
+        ],
+        5,
+    )
+    .expect("valid configuration");
+    // Stationary phase: arm 1 best.
+    for _ in 0..600 {
+        let arm = hyper.select_arm();
+        hyper.observe_reward(if arm.index() == 1 { 1.0 } else { 0.2 });
+    }
+    assert_eq!(hyper.best_arm().index(), 1);
+    // Abrupt change: arm 2 best.
+    for _ in 0..600 {
+        let arm = hyper.select_arm();
+        hyper.observe_reward(if arm.index() == 2 { 1.0 } else { 0.2 });
+    }
+    assert_eq!(hyper.best_arm().index(), 2);
+    assert!(hyper.storage_bytes() < 200, "still tiny: {}", hyper.storage_bytes());
+}
+
+#[test]
+fn classified_bandit_runs_the_full_memory_stack() {
+    // soplex mixes region-regular and strided access; the classified bandit
+    // must at least not lose badly to no prefetching.
+    let app = suites::app_by_name("soplex").expect("catalog app");
+    let base = {
+        let mut sys = System::single_core(SystemConfig::default());
+        sys.set_prefetcher(0, catalog::build_l2("none", 1));
+        sys.run(&mut app.trace(1), 200_000).ipc()
+    };
+    let classified = {
+        let mut sys = System::single_core(SystemConfig::default());
+        sys.set_prefetcher(0, Box::new(ClassifiedBandit::paper_default(1).expect("valid")));
+        sys.run(&mut app.trace(1), 200_000).ipc()
+    };
+    assert!(
+        classified > base * 0.9,
+        "classified bandit: {base:.3} -> {classified:.3}"
+    );
+}
+
+#[test]
+fn classified_bandit_assigns_phases_to_both_classes() {
+    // mcf alternates pointer-chase and strided phases, so both class
+    // agents should get steps.
+    let app = suites::app_by_name("mcf").expect("catalog app");
+    let handle = micro_armed_bandit::prefetch::shared::SharedPrefetcher::new(
+        ClassifiedBandit::paper_default(2).expect("valid"),
+    );
+    let mut sys = System::single_core(SystemConfig::default());
+    sys.set_prefetcher(0, Box::new(handle.clone()));
+    sys.run(&mut app.trace(2), 1_500_000);
+    let steps = handle.with(|c| c.class_steps());
+    assert!(
+        steps[0] > 0 && steps[1] > 0,
+        "both classes should see steps across mcf's phases: {steps:?}"
+    );
+}

@@ -1,0 +1,121 @@
+//! Property-based tests on the simulator substrates.
+
+use micro_armed_bandit::memsim::cache::{Cache, LookupResult, Mshr};
+use micro_armed_bandit::memsim::config::CacheParams;
+use micro_armed_bandit::memsim::core::CoreModel;
+use micro_armed_bandit::memsim::config::CoreParams;
+use micro_armed_bandit::memsim::dram::Dram;
+use micro_armed_bandit::workloads::patterns::{Pattern, PointerChase};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache hit is always preceded by a fill of the same line, and the
+    /// cache never reports more lines than its capacity.
+    #[test]
+    fn cache_hits_require_prior_fills(
+        ops in prop::collection::vec((0u64..64, prop::bool::ANY), 1..300),
+        ways in 1u32..8,
+        sets_pow in 0u32..4,
+    ) {
+        let mut cache = Cache::new(CacheParams {
+            capacity_bytes: 64 * ways as u64 * (1 << sets_pow),
+            ways,
+            latency: 1,
+        });
+        let mut filled = std::collections::HashSet::new();
+        for (line, is_fill) in ops {
+            if is_fill {
+                cache.fill(line, false);
+                filled.insert(line);
+            } else if let LookupResult::Hit { .. } = cache.demand_lookup(line) {
+                prop_assert!(filled.contains(&line), "hit on never-filled line {line}");
+            }
+        }
+    }
+
+    /// DRAM access latency is at least the unloaded minimum and completion
+    /// order respects the single-channel serialization.
+    #[test]
+    fn dram_latency_bounds(
+        arrivals in prop::collection::vec(0u64..10_000, 1..100),
+        service in 1.0..50.0f64,
+        latency in 10u32..200,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut dram = Dram::new(service, latency);
+        let min = dram.min_latency();
+        let mut last_completion = 0u64;
+        for t in sorted {
+            let l = dram.access(t);
+            prop_assert!(l >= min.saturating_sub(1), "latency {l} below minimum {min}");
+            let completion = t + l;
+            prop_assert!(completion + 1 >= last_completion, "bus order violated");
+            last_completion = completion;
+        }
+    }
+
+    /// The core model's cycle count is monotonic and the IPC never exceeds
+    /// the commit width.
+    #[test]
+    fn core_ipc_bounded_by_commit_width(
+        latencies in prop::collection::vec(1u32..300, 10..500),
+        commit_width in 1u32..8,
+    ) {
+        let mut core = CoreModel::new(CoreParams {
+            fetch_width: 8,
+            commit_width,
+            rob_size: 128,
+            freq_mhz: 4000,
+        });
+        let mut last_cycles = 0;
+        for l in latencies {
+            core.advance(l);
+            let c = core.cycles();
+            prop_assert!(c >= last_cycles);
+            last_cycles = c;
+        }
+        prop_assert!(core.ipc() <= commit_width as f64 + 1e-9);
+    }
+
+    /// The MSHR never yields a line it was not given, and drains everything
+    /// by the far future.
+    #[test]
+    fn mshr_conserves_lines(
+        entries in prop::collection::vec((0u64..100, 0u64..1000), 1..60),
+    ) {
+        let mut mshr = Mshr::new();
+        let mut inserted = std::collections::HashSet::new();
+        for (line, ready) in entries {
+            if mshr.insert(line, ready, false) {
+                inserted.insert(line);
+            }
+        }
+        let drained: Vec<(u64, bool)> = mshr.drain_ready(u64::MAX);
+        prop_assert_eq!(drained.len(), inserted.len());
+        for (line, _) in drained {
+            prop_assert!(inserted.contains(&line));
+        }
+        prop_assert!(mshr.is_empty());
+    }
+
+    /// The pointer-chase pattern is a permutation: within one footprint
+    /// period every line appears exactly once.
+    #[test]
+    fn pointer_chase_is_a_permutation(
+        footprint in 2u64..200,
+        salt in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut p = PointerChase::new(0, footprint, salt);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..footprint {
+            let line = p.next_line(&mut rng);
+            prop_assert!(line < footprint, "line {line} outside footprint {footprint}");
+            prop_assert!(seen.insert(line), "duplicate line {line} within a period");
+        }
+    }
+}
