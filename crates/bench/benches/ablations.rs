@@ -26,8 +26,20 @@ fn bench_discounting(c: &mut Criterion) {
     group.throughput(Throughput::Elements(STEPS));
     for (name, kind) in [
         ("ucb_no_discount", AlgorithmKind::Ucb { c: 0.04 }),
-        ("ducb_gamma_0.999", AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }),
-        ("ducb_gamma_0.9", AlgorithmKind::Ducb { gamma: 0.9, c: 0.04 }),
+        (
+            "ducb_gamma_0.999",
+            AlgorithmKind::Ducb {
+                gamma: 0.999,
+                c: 0.04,
+            },
+        ),
+        (
+            "ducb_gamma_0.9",
+            AlgorithmKind::Ducb {
+                gamma: 0.9,
+                c: 0.04,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
             b.iter(|| drive(BanditConfig::builder(11).algorithm(kind)));

@@ -10,11 +10,26 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm_steps");
     group.throughput(Throughput::Elements(STEPS));
     let algorithms = [
-        ("epsilon-greedy", AlgorithmKind::EpsilonGreedy { epsilon: 0.1 }),
+        (
+            "epsilon-greedy",
+            AlgorithmKind::EpsilonGreedy { epsilon: 0.1 },
+        ),
         ("ucb", AlgorithmKind::Ucb { c: 0.04 }),
-        ("ducb", AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }),
+        (
+            "ducb",
+            AlgorithmKind::Ducb {
+                gamma: 0.999,
+                c: 0.04,
+            },
+        ),
         ("single", AlgorithmKind::Single),
-        ("periodic", AlgorithmKind::Periodic { exploit_len: 30, window: 4 }),
+        (
+            "periodic",
+            AlgorithmKind::Periodic {
+                exploit_len: 30,
+                window: 4,
+            },
+        ),
     ];
     for (name, kind) in algorithms {
         group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {

@@ -11,7 +11,10 @@ fn bench_decision_cycle(c: &mut Criterion) {
     for arms in [2usize, 6, 11, 32, 64] {
         group.bench_with_input(BenchmarkId::new("ducb", arms), &arms, |b, &arms| {
             let config = BanditConfig::builder(arms)
-                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                .algorithm(AlgorithmKind::Ducb {
+                    gamma: 0.999,
+                    c: 0.04,
+                })
                 .build()
                 .expect("valid");
             let mut agent = BanditAgent::new(config);

@@ -14,7 +14,10 @@ fn accesses() -> Vec<L2Access> {
             let (pc, line) = match i % 3 {
                 0 => (0x400, i / 3),
                 1 => (0x440, 1_000_000 + (i / 3) * 4),
-                _ => (0x480, (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) % 100_000),
+                _ => (
+                    0x480,
+                    (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) % 100_000,
+                ),
             };
             L2Access {
                 pc,
@@ -32,7 +35,9 @@ fn bench_prefetchers(c: &mut Criterion) {
     let stream = accesses();
     let mut group = c.benchmark_group("prefetcher_train");
     group.throughput(Throughput::Elements(ACCESSES));
-    for name in ["nextline", "stride", "bingo", "mlop", "pythia", "ipcp", "bandit"] {
+    for name in [
+        "nextline", "stride", "bingo", "mlop", "pythia", "ipcp", "bandit",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
             b.iter(|| {
                 let mut prefetcher = catalog::build_l2(name, 1);

@@ -39,7 +39,9 @@ fn bench_prefetch_experiments(c: &mut Criterion) {
         b.iter(|| prefetch_runs::run_multilevel("stride", "bandit", &app, cfg, INSTR, 1).ipc());
     });
     group.bench_function("fig14_four_core_mix", |b| {
-        b.iter(|| prefetch_runs::run_four_core_homogeneous("bandit-multicore", &app, cfg, INSTR / 4, 1));
+        b.iter(|| {
+            prefetch_runs::run_four_core_homogeneous("bandit-multicore", &app, cfg, INSTR / 4, 1)
+        });
     });
     group.finish();
 }
@@ -56,7 +58,10 @@ fn bench_smt_experiments(c: &mut Criterion) {
         b.iter(|| {
             let choi = smt_runs::run_choi(specs.clone(), params, COMMITS, 1).sum_ipc();
             let bandit = smt_runs::run_bandit_algorithm(
-                AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+                AlgorithmKind::Ducb {
+                    gamma: 0.975,
+                    c: 0.01,
+                },
                 specs.clone(),
                 params,
                 COMMITS,

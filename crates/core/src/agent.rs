@@ -21,6 +21,17 @@ pub enum AgentPhase {
     RestartSweep,
 }
 
+impl AgentPhase {
+    /// Stable snake_case name used in telemetry events.
+    pub const fn telemetry_name(self) -> &'static str {
+        match self {
+            AgentPhase::RoundRobin => "round_robin",
+            AgentPhase::Main => "main",
+            AgentPhase::RestartSweep => "restart_sweep",
+        }
+    }
+}
+
 impl fmt::Display for AgentPhase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -261,6 +272,11 @@ impl BanditAgent {
                 {
                     self.phase = AgentPhase::RestartSweep;
                     self.sweep_next = 0;
+                    mab_telemetry::count!(EpochResets);
+                    mab_telemetry::emit!(EpochReset {
+                        agent: self.config.seed,
+                        step: self.steps,
+                    });
                     let arm = ArmId::new(0);
                     self.algorithm.update_selections(&mut self.tables, arm);
                     arm
@@ -272,6 +288,13 @@ impl BanditAgent {
             }
         };
         self.pending = Some(arm);
+        mab_telemetry::count!(ArmPulls);
+        mab_telemetry::emit!(ArmPulled {
+            agent: self.config.seed,
+            step: self.steps,
+            arm: arm.index(),
+            phase: self.phase.telemetry_name(),
+        });
         arm
     }
 
@@ -286,6 +309,15 @@ impl BanditAgent {
             .take()
             .expect("observe_reward called without a pending select_arm");
         self.steps += 1;
+        mab_telemetry::count!(RewardsObserved);
+        mab_telemetry::record!(Reward, r_step);
+        mab_telemetry::emit!(RewardObserved {
+            agent: self.config.seed,
+            step: self.steps,
+            arm: arm.index(),
+            reward: r_step,
+            normalized: r_step / self.normalizer,
+        });
         match self.phase {
             AgentPhase::RoundRobin => {
                 self.tables.record_initial(arm, r_step);
@@ -300,6 +332,7 @@ impl BanditAgent {
                 self.sweep_next += 1;
                 if self.sweep_next == self.config.arms {
                     self.phase = AgentPhase::Main;
+                    self.snapshot_q();
                 }
             }
             AgentPhase::Main => {
@@ -307,6 +340,18 @@ impl BanditAgent {
                     .update_reward(&mut self.tables, arm, r_step / self.normalizer);
             }
         }
+    }
+
+    /// Logs a `QSnapshot` telemetry event of the current learned state.
+    fn snapshot_q(&self) {
+        mab_telemetry::count!(QSnapshots);
+        mab_telemetry::emit!(QSnapshot {
+            agent: self.config.seed,
+            step: self.steps,
+            best_arm: self.tables.best_by_reward().index(),
+            best_q: self.tables.reward(self.tables.best_by_reward()),
+            n_total: self.tables.n_total(),
+        });
     }
 
     fn finish_initial_round_robin(&mut self) {
@@ -318,6 +363,7 @@ impl BanditAgent {
             }
         }
         self.phase = AgentPhase::Main;
+        self.snapshot_q();
     }
 
     /// The arm with the highest average (normalized) reward so far.
@@ -368,7 +414,10 @@ mod tests {
     fn ducb_agent(arms: usize) -> BanditAgent {
         BanditAgent::new(
             BanditConfig::builder(arms)
-                .algorithm(AlgorithmKind::Ducb { gamma: 0.99, c: 0.1 })
+                .algorithm(AlgorithmKind::Ducb {
+                    gamma: 0.99,
+                    c: 0.1,
+                })
                 .seed(1)
                 .build()
                 .unwrap(),
@@ -532,7 +581,10 @@ mod tests {
     #[test]
     fn invalid_restart_probability_is_rejected() {
         let err = BanditConfig::builder(2).rr_restart_prob(1.5).build();
-        assert!(matches!(err, Err(ConfigError::InvalidRestartProbability(_))));
+        assert!(matches!(
+            err,
+            Err(ConfigError::InvalidRestartProbability(_))
+        ));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Discounted Upper Confidence Bound (DUCB) bandit algorithm.
 
-use super::{argmax_potential, Algorithm};
+use super::{argmax_potential, count_explore_exploit, Algorithm};
 use crate::arm::ArmId;
 use crate::tables::BanditTables;
 use rand::rngs::StdRng;
@@ -64,7 +64,9 @@ impl Ducb {
 
 impl Algorithm for Ducb {
     fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
-        argmax_potential(tables, self.c)
+        let arm = argmax_potential(tables, self.c);
+        count_explore_exploit(tables, arm);
+        arm
     }
 
     fn update_selections(&mut self, tables: &mut BanditTables, arm: ArmId) {

@@ -52,8 +52,10 @@ impl EpsilonGreedy {
 impl Algorithm for EpsilonGreedy {
     fn next_arm(&mut self, tables: &BanditTables, rng: &mut StdRng) -> ArmId {
         if rng.gen::<f64>() < self.epsilon {
+            mab_telemetry::count!(AlgExplore);
             ArmId::new(rng.gen_range(0..tables.arms()))
         } else {
+            mab_telemetry::count!(AlgExploit);
             tables.best_by_reward()
         }
     }

@@ -50,6 +50,7 @@ impl Single {
 
 impl Algorithm for Single {
     fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        mab_telemetry::count!(AlgExploit);
         *self.chosen.get_or_insert_with(|| tables.best_by_reward())
     }
 
@@ -124,6 +125,7 @@ impl Algorithm for Periodic {
     fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
         match self.sweep_pos {
             Some(pos) => {
+                mab_telemetry::count!(AlgExplore);
                 let arm = ArmId::new(pos);
                 self.sweep_pos = if pos + 1 < tables.arms() {
                     Some(pos + 1)
@@ -136,6 +138,7 @@ impl Algorithm for Periodic {
             None => {
                 if self.exploit_left == 0 {
                     // Start a new sweep: play arm 0 now, continue from arm 1.
+                    mab_telemetry::count!(AlgExplore);
                     self.sweep_pos = if tables.arms() > 1 { Some(1) } else { None };
                     if self.sweep_pos.is_none() {
                         self.exploit_left = self.exploit_len;
@@ -143,6 +146,7 @@ impl Algorithm for Periodic {
                     ArmId::new(0)
                 } else {
                     self.exploit_left -= 1;
+                    mab_telemetry::count!(AlgExploit);
                     self.best_by_moving_average(tables)
                 }
             }
@@ -187,6 +191,7 @@ impl StaticArm {
 
 impl Algorithm for StaticArm {
     fn next_arm(&mut self, _tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
+        mab_telemetry::count!(AlgExploit);
         self.arm
     }
 

@@ -223,6 +223,20 @@ pub(crate) fn potential(r: f64, n: f64, n_total: f64, c: f64) -> f64 {
     r + c * (ln_total / n).sqrt()
 }
 
+/// Telemetry: classifies a pull as exploration or exploitation by comparing
+/// the selected arm against the pure-greedy (highest empirical reward)
+/// choice. Compiles to nothing without the `telemetry` feature; the extra
+/// argmax scan is only paid while a recorder is live.
+pub(crate) fn count_explore_exploit(tables: &BanditTables, arm: ArmId) {
+    if mab_telemetry::enabled() {
+        if arm == tables.best_by_reward() {
+            mab_telemetry::count!(AlgExploit);
+        } else {
+            mab_telemetry::count!(AlgExplore);
+        }
+    }
+}
+
 /// Selects the arm with the highest potential; ties resolve to the lowest
 /// index (hardware priority encoder).
 pub(crate) fn argmax_potential(tables: &BanditTables, c: f64) -> ArmId {
@@ -278,22 +292,46 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_hyperparameters() {
-        assert!(AlgorithmKind::EpsilonGreedy { epsilon: 1.5 }.validate(2).is_err());
-        assert!(AlgorithmKind::Ucb { c: f64::NAN }.validate(2).is_err());
-        assert!(AlgorithmKind::Ducb { gamma: 0.0, c: 0.1 }.validate(2).is_err());
-        assert!(AlgorithmKind::Ducb { gamma: 1.1, c: 0.1 }.validate(2).is_err());
-        assert!(AlgorithmKind::Ducb { gamma: 0.9, c: -1.0 }.validate(2).is_err());
-        assert!(AlgorithmKind::Static { arm: 5 }.validate(2).is_err());
-        assert!(AlgorithmKind::Periodic { exploit_len: 0, window: 4 }
+        assert!(AlgorithmKind::EpsilonGreedy { epsilon: 1.5 }
             .validate(2)
             .is_err());
+        assert!(AlgorithmKind::Ucb { c: f64::NAN }.validate(2).is_err());
+        assert!(AlgorithmKind::Ducb { gamma: 0.0, c: 0.1 }
+            .validate(2)
+            .is_err());
+        assert!(AlgorithmKind::Ducb { gamma: 1.1, c: 0.1 }
+            .validate(2)
+            .is_err());
+        assert!(AlgorithmKind::Ducb {
+            gamma: 0.9,
+            c: -1.0
+        }
+        .validate(2)
+        .is_err());
+        assert!(AlgorithmKind::Static { arm: 5 }.validate(2).is_err());
+        assert!(AlgorithmKind::Periodic {
+            exploit_len: 0,
+            window: 4
+        }
+        .validate(2)
+        .is_err());
     }
 
     #[test]
     fn validate_accepts_paper_configurations() {
         // Table 6: prefetching and SMT configurations.
-        assert!(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }.validate(11).is_ok());
-        assert!(AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 }.validate(6).is_ok());
+        assert!(AlgorithmKind::Ducb {
+            gamma: 0.999,
+            c: 0.04
+        }
+        .validate(11)
+        .is_ok());
+        assert!(AlgorithmKind::Ducb {
+            gamma: 0.975,
+            c: 0.01
+        }
+        .validate(6)
+        .is_ok());
     }
 
     #[test]

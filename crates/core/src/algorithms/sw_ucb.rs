@@ -1,7 +1,7 @@
 //! Sliding-Window UCB — the other non-stationary UCB variant of Garivier &
 //! Moulines (the paper's reference [24] proposes both DUCB and SW-UCB).
 
-use super::Algorithm;
+use super::{count_explore_exploit, Algorithm};
 use crate::arm::ArmId;
 use crate::tables::BanditTables;
 use rand::rngs::StdRng;
@@ -114,6 +114,7 @@ impl Algorithm for SwUcb {
                 best = arm;
             }
         }
+        count_explore_exploit(tables, best);
         best
     }
 
@@ -213,6 +214,10 @@ mod tests {
             sw.update_reward(&mut t, ArmId::new(0), 0.9);
         }
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(sw.next_arm(&t, &mut rng).index(), 1, "unseen arm gets priority");
+        assert_eq!(
+            sw.next_arm(&t, &mut rng).index(),
+            1,
+            "unseen arm gets priority"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Thompson Sampling — the Bayesian MAB algorithm of Thompson (1933),
 //! the paper's reference [73].
 
-use super::Algorithm;
+use super::{count_explore_exploit, Algorithm};
 use crate::arm::ArmId;
 use crate::tables::BanditTables;
 use rand::rngs::StdRng;
@@ -70,6 +70,7 @@ impl Algorithm for ThompsonGaussian {
                 best = arm;
             }
         }
+        count_explore_exploit(tables, best);
         best
     }
 

@@ -57,7 +57,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "arm index {arm} out of range for {arms} arms")
             }
             ConfigError::InvalidPeriod => {
-                write!(f, "periodic heuristic requires a non-zero exploitation period")
+                write!(
+                    f,
+                    "periodic heuristic requires a non-zero exploitation period"
+                )
             }
         }
     }

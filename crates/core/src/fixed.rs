@@ -77,7 +77,7 @@ impl Fixed {
         let mut lo: u128 = 0;
         let mut hi: u128 = 1 << (((128 - target.leading_zeros()) / 2) + 1);
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if mid * mid <= target {
                 lo = mid;
             } else {
@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn ln_matches_f64() {
-        for v in [0.5, 1.0, 2.0, 2.718281828, 100.0, 5000.0] {
+        for v in [0.5, 1.0, 2.0, std::f64::consts::E, 100.0, 5000.0] {
             let got = Fixed::from_f64(v).ln().unwrap().to_f64();
             assert!((got - v.ln()).abs() < 1e-2, "ln({v}) = {got}");
         }
@@ -264,12 +264,7 @@ mod tests {
     #[test]
     fn potential_matches_f64_ranking() {
         // The fixed-point potentials must rank arms identically to f64.
-        let arms = [
-            (0.50, 10.0),
-            (0.48, 3.0),
-            (0.60, 50.0),
-            (0.10, 1.0),
-        ];
+        let arms = [(0.50, 10.0), (0.48, 3.0), (0.60, 50.0), (0.10, 1.0)];
         let n_total: f64 = arms.iter().map(|&(_, n)| n).sum();
         let c = 0.3;
 

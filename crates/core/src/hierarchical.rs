@@ -73,7 +73,10 @@ impl HyperBandit {
         }
         let selector = BanditAgent::new(
             BanditConfig::builder(low_level.len())
-                .algorithm(AlgorithmKind::Ducb { gamma: 0.99, c: 0.1 })
+                .algorithm(AlgorithmKind::Ducb {
+                    gamma: 0.99,
+                    c: 0.1,
+                })
                 .seed(seed ^ 0xB16_B055)
                 .build()?,
         );
@@ -174,8 +177,14 @@ mod tests {
         HyperBandit::new(
             arms,
             vec![
-                AlgorithmKind::Ducb { gamma: 0.9, c: 0.05 },
-                AlgorithmKind::Ducb { gamma: 0.999, c: 0.05 },
+                AlgorithmKind::Ducb {
+                    gamma: 0.9,
+                    c: 0.05,
+                },
+                AlgorithmKind::Ducb {
+                    gamma: 0.999,
+                    c: 0.05,
+                },
                 AlgorithmKind::Ucb { c: 0.05 },
             ],
             3,
@@ -211,12 +220,8 @@ mod tests {
 
     #[test]
     fn storage_grows_linearly_with_agents() {
-        let h2 = HyperBandit::new(
-            11,
-            vec![AlgorithmKind::Single, AlgorithmKind::Single],
-            1,
-        )
-        .expect("valid");
+        let h2 = HyperBandit::new(11, vec![AlgorithmKind::Single, AlgorithmKind::Single], 1)
+            .expect("valid");
         let h4 = HyperBandit::new(
             11,
             vec![

@@ -4,9 +4,21 @@ use mab_workloads::suites;
 
 fn main() {
     let cfg = SystemConfig::default();
-    let apps = ["libquantum", "lbm", "cactus", "mcf", "gcc", "soplex", "canneal", "bfs"];
+    let apps = [
+        "libquantum",
+        "lbm",
+        "cactus",
+        "mcf",
+        "gcc",
+        "soplex",
+        "canneal",
+        "bfs",
+    ];
     let names = ["stride", "bingo", "mlop", "pythia", "bandit"];
-    let n: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(400_000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400_000);
     let mut per_pf: Vec<Vec<f64>> = vec![vec![]; names.len()];
     for app_name in apps {
         let app = suites::app_by_name(app_name).unwrap();

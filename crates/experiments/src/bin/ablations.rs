@@ -3,7 +3,7 @@
 //! 4-core runs, and the bandit step length.
 
 use mab_core::{AlgorithmKind, BanditConfig};
-use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
 use mab_memsim::{config::SystemConfig, System};
 use mab_prefetch::{BanditL2, PAPER_ARMS};
 use mab_workloads::suites;
@@ -24,13 +24,14 @@ fn run_custom(
 
 fn main() {
     let opts = Options::parse(1_000_000, 0);
+    let session = TelemetrySession::start(&opts);
     let cfg = SystemConfig::default();
     let apps: Vec<_> = ["libquantum", "lbm", "cactus", "mcf", "soplex", "bfs"]
         .iter()
         .map(|n| suites::app_by_name(n).expect("catalog app"))
         .collect();
     let gmean_over_apps = |f: &mut dyn FnMut(&mab_workloads::AppSpec) -> f64| {
-        let vals: Vec<f64> = apps.iter().map(|a| f(a)).collect();
+        let vals: Vec<f64> = apps.iter().map(f).collect();
         report::gmean(&vals)
     };
 
@@ -71,14 +72,20 @@ fn main() {
     for on in [true, false] {
         let g = gmean_over_apps(&mut |app| {
             let config = BanditConfig::builder(PAPER_ARMS.len())
-                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                .algorithm(AlgorithmKind::Ducb {
+                    gamma: 0.999,
+                    c: 0.04,
+                })
                 .normalize_rewards(on)
                 .seed(opts.seed)
                 .build()
                 .expect("valid");
             run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
         });
-        table.row(vec![if on { "on" } else { "off" }.into(), format!("{g:.4}")]);
+        table.row(vec![
+            if on { "on" } else { "off" }.into(),
+            format!("{g:.4}"),
+        ]);
     }
     table.print();
 
@@ -87,7 +94,10 @@ fn main() {
     for step in [100u32, 300, 1000, 3000, 10_000] {
         let g = gmean_over_apps(&mut |app| {
             let config = BanditConfig::builder(PAPER_ARMS.len())
-                .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                .algorithm(AlgorithmKind::Ducb {
+                    gamma: 0.999,
+                    c: 0.04,
+                })
                 .seed(opts.seed)
                 .build()
                 .expect("valid");
@@ -110,9 +120,15 @@ fn main() {
         );
         let sum: f64 = stats.iter().map(|s| s.ipc()).sum();
         table.row(vec![
-            if name == "bandit" { "off" } else { "on (p=0.001)" }.into(),
+            if name == "bandit" {
+                "off"
+            } else {
+                "on (p=0.001)"
+            }
+            .into(),
             format!("{sum:.4}"),
         ]);
     }
     table.print();
+    session.finish();
 }

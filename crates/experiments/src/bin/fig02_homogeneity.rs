@@ -5,13 +5,14 @@
 //! the most selected Pythia action accounts for ~60% of selections and the
 //! second for ~15% — i.e. 3% of the action space covers 75% of decisions.
 
-use mab_experiments::{cli::Options, report::Table};
+use mab_experiments::{cli::Options, report::Table, session::TelemetrySession};
 use mab_memsim::{config::SystemConfig, System};
 use mab_prefetch::{shared::SharedPrefetcher, Pythia};
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(2_000_000, 0);
+    let session = TelemetrySession::start(&opts);
     println!("=== Fig. 2: top-2 Pythia action frequency (temporal homogeneity) ===");
     println!("(paper: top action ~60%, second ~15%, over 1B-instruction traces)\n");
     let mut table = Table::new(vec![
@@ -58,4 +59,5 @@ fn main() {
         avg1 * 100.0,
         avg2 * 100.0
     );
+    session.finish();
 }

@@ -4,7 +4,9 @@
 //! mixes (gcc-lbm, cactus-lbm). Each series also reports its final IPC.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, prefetch_runs, report::print_series, smt_runs};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report::print_series, session::TelemetrySession, smt_runs,
+};
 use mab_memsim::{config::SystemConfig, System};
 use mab_prefetch::{shared::SharedPrefetcher, BanditL2};
 use mab_smtsim::pipeline::SmtPipeline;
@@ -14,12 +16,19 @@ fn algorithms() -> Vec<(&'static str, AlgorithmKind)> {
     vec![
         ("Single", AlgorithmKind::Single),
         ("UCB", AlgorithmKind::Ucb { c: 0.04 }),
-        ("DUCB", AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 }),
+        (
+            "DUCB",
+            AlgorithmKind::Ducb {
+                gamma: 0.999,
+                c: 0.04,
+            },
+        ),
     ]
 }
 
 fn main() {
     let opts = Options::parse(3_000_000, 0);
+    let session = TelemetrySession::start(&opts);
     println!("=== Fig. 7: arm exploration over time (series of (cycle, arm)) ===\n");
 
     // Prefetching columns: cactus (stable) and mcf (phase change).
@@ -71,7 +80,13 @@ fn main() {
         for (name, kind) in [
             ("Single", AlgorithmKind::Single),
             ("UCB", AlgorithmKind::Ucb { c: 0.01 }),
-            ("DUCB", AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 }),
+            (
+                "DUCB",
+                AlgorithmKind::Ducb {
+                    gamma: 0.975,
+                    c: 0.01,
+                },
+            ),
         ] {
             let mut controller = smt_runs::scaled_bandit(kind, opts.seed);
             let mut pipe = SmtPipeline::new(params, specs.clone(), opts.seed);
@@ -82,12 +97,10 @@ fn main() {
                 .enumerate()
                 .map(|(step, &arm)| (step.to_string(), arm as f64))
                 .collect();
-            print_series(
-                &format!("{name} (sum-ipc {:.3})", stats.sum_ipc()),
-                &points,
-            );
+            print_series(&format!("{name} (sum-ipc {:.3})", stats.sum_ipc()), &points);
         }
         println!();
     }
     println!("(paper: DUCB re-explores at mcf's phase change and settles on a new arm)");
+    session.finish();
 }

@@ -1,11 +1,12 @@
 //! Fig. 8 — Single-core performance of Stride, Bingo, MLOP, Pythia and
 //! Bandit across all application suites, normalized to no prefetching.
 
-use mab_experiments::{cli::Options, prefetch_runs};
+use mab_experiments::{cli::Options, prefetch_runs, session::TelemetrySession};
 use mab_memsim::config::SystemConfig;
 
 fn main() {
     let opts = Options::parse(2_000_000, 0);
+    let session = TelemetrySession::start(&opts);
     prefetch_runs::lineup_report(
         SystemConfig::default(),
         opts.instructions,
@@ -13,4 +14,5 @@ fn main() {
         "Fig. 8: single-core IPC normalized to no prefetching",
     );
     println!("\n(paper: Bandit beats Stride +9%, Bingo +2.6%, MLOP +2.3%, matches Pythia ±0.2%)");
+    session.finish();
 }

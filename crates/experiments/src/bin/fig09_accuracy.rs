@@ -3,14 +3,22 @@
 //! everything normalized to the LLC misses of the no-prefetch baseline.
 //! Includes `BanditIdeal` (zero arm-selection latency).
 
-use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
+    let session = TelemetrySession::start(&opts);
     let cfg = SystemConfig::default();
-    let lineup = ["stride", "bingo", "mlop", "pythia", "bandit", "bandit-ideal"];
+    let lineup = [
+        "stride",
+        "bingo",
+        "mlop",
+        "pythia",
+        "bandit",
+        "bandit-ideal",
+    ];
     println!("=== Fig. 9: prefetches (timely/late/wrong) and LLC misses,");
     println!("    normalized to the no-prefetch baseline's LLC misses ===\n");
 
@@ -37,7 +45,7 @@ fn main() {
             per_pf[i].2 += stats.prefetch.wrong as f64;
             per_pf[i].3 += stats.llc.demand_misses as f64;
         }
-        eprintln!("{:16} done", app.name);
+        mab_telemetry::progress!("{:16} done", app.name);
     }
 
     for (i, name) in lineup.iter().enumerate() {
@@ -55,4 +63,5 @@ fn main() {
     println!("\n(paper: Bandit cuts wrong prefetches 66%/58% vs Bingo/MLOP; timely");
     println!(" coverage Stride 49% < MLOP 63% < Bandit 67% < Bingo 69% < Pythia 72%,");
     println!(" and BanditIdeal's timeliness matches Bandit's)");
+    session.finish();
 }

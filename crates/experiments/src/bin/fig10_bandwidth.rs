@@ -2,12 +2,13 @@
 //! (150 / 600 / 2400 / 9600 MTPS), gmean IPC normalized to no prefetching
 //! at each bandwidth point.
 
-use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
+    let session = TelemetrySession::start(&opts);
     println!("=== Fig. 10: performance under DRAM bandwidth sweep (MTPS) ===\n");
     let mut table = report::Table::new(vec![
         "MTPS".into(),
@@ -41,9 +42,10 @@ fn main() {
             format!("{b:.3}"),
             report::pct_change(b / p),
         ]);
-        eprintln!("MTPS {mtps} done");
+        mab_telemetry::progress!("MTPS {mtps} done");
     }
     table.print();
     println!("\n(paper: Bandit matches Pythia everywhere and beats it by ~2.5% at 150 MTPS,");
     println!(" because the IPC reward already encodes bandwidth pressure)");
+    session.finish();
 }

@@ -2,12 +2,13 @@
 //! levels, Stride(L1)+Pythia(L2) and Stride(L1)+Bandit(L2), gmean IPC
 //! normalized to no prefetching at either level.
 
-use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
+    let session = TelemetrySession::start(&opts);
     let cfg = SystemConfig::default();
     println!("=== Fig. 12: multi-level prefetcher combinations ===\n");
     let combos: [(&str, &str, &str); 4] = [
@@ -28,9 +29,15 @@ fn main() {
                 prefetch_runs::run_multilevel(l1, l2, app, cfg, opts.instructions, opts.seed).ipc();
             vals.push(ipc / base);
         }
-        table.row(vec![label.to_string(), format!("{:.3}", report::gmean(&vals))]);
-        eprintln!("{label} done");
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3}", report::gmean(&vals)),
+        ]);
+        mab_telemetry::progress!("{label} done");
     }
     table.print();
-    println!("\n(paper: Stride_Stride +16%, IPCP +24.5%, Stride_Pythia +24.8%, Stride_Bandit +24.5%)");
+    println!(
+        "\n(paper: Stride_Stride +16%, IPCP +24.5%, Stride_Pythia +24.8%, Stride_Bandit +24.5%)"
+    );
+    session.finish();
 }

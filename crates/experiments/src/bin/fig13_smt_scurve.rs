@@ -1,11 +1,12 @@
 //! Fig. 13 — SMT thread fetching: IPC of Bandit relative to Choi across the
 //! 2-thread mixes, sorted ascending (the paper's s-curve over 226 mixes).
 
-use mab_experiments::{cli::Options, report, smt_runs};
+use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
 use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(60_000, 226);
+    let session = TelemetrySession::start(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 13: Bandit vs Choi across 2-thread mixes (sorted ratios) ===\n");
     let mixes = smt::two_thread_mixes(&smt::smt_apps());
@@ -13,8 +14,8 @@ fn main() {
     let mut ratios: Vec<(String, f64, f64)> = Vec::new(); // (mix, vs choi, vs icount)
     for (idx, (a, b)) in mixes.into_iter().take(total).enumerate() {
         let specs = [a.clone(), b.clone()];
-        let choi = smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed)
-            .sum_ipc();
+        let choi =
+            smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed).sum_ipc();
         let icount = smt_runs::run_static(
             "IC_0000".parse().expect("valid policy"),
             specs.clone(),
@@ -24,7 +25,10 @@ fn main() {
         )
         .sum_ipc();
         let bandit = smt_runs::run_bandit_algorithm(
-            mab_core::AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+            mab_core::AlgorithmKind::Ducb {
+                gamma: 0.975,
+                c: 0.01,
+            },
             specs,
             params,
             opts.instructions,
@@ -37,7 +41,7 @@ fn main() {
             bandit / icount.max(1e-9),
         ));
         if (idx + 1) % 10 == 0 {
-            eprintln!("{} / {total} mixes done", idx + 1);
+            mab_telemetry::progress!("{} / {total} mixes done", idx + 1);
         }
     }
     ratios.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("ratios are finite"));
@@ -55,4 +59,5 @@ fn main() {
         report::pct_change(report::gmean(&vs_icount)),
     );
     println!("(paper: +2.2% gmean vs Choi — 36 mixes above +4%, 6 below −4% — and +7% vs ICount)");
+    session.finish();
 }

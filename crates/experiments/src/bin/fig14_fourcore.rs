@@ -3,12 +3,13 @@
 //! no-prefetching baseline. Bandit runs with the §4.3 round-robin restart
 //! (`rr_restart_prob = 0.001`).
 
-use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(400_000, 0);
+    let session = TelemetrySession::start(&opts);
     let cfg = SystemConfig::default();
     let lineup = ["stride", "bingo", "mlop", "pythia", "bandit-multicore"];
     println!("=== Fig. 14: 4-core homogeneous mixes, sum-IPC vs no prefetching ===\n");
@@ -46,7 +47,7 @@ fn main() {
             row.push(format!("{norm:.3}"));
         }
         table.row(row);
-        eprintln!("{} done", app.name);
+        mab_telemetry::progress!("{} done", app.name);
     }
     table.row(
         std::iter::once("ALL (gmean)".to_string())
@@ -54,5 +55,8 @@ fn main() {
             .collect(),
     );
     table.print();
-    println!("\n(paper: Bandit beats Stride +6%, MLOP +2.4%, Bingo +4.0%; Pythia leads Bandit by ~1%)");
+    println!(
+        "\n(paper: Bandit beats Stride +6%, MLOP +2.4%, Bingo +4.0%; Pythia leads Bandit by ~1%)"
+    );
+    session.finish();
 }

@@ -3,7 +3,7 @@
 //! 2-thread mixes, for the Choi policy and for Bandit.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, report, smt_runs};
+use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
 use mab_smtsim::pipeline::RenameStats;
 use mab_workloads::smt;
 
@@ -41,7 +41,11 @@ impl Acc {
             p(self.stalled_lq),
             p(self.stalled_sq),
             p(self.stalled_rf),
-            p(self.stalled_rob + self.stalled_iq + self.stalled_lq + self.stalled_sq + self.stalled_rf),
+            p(self.stalled_rob
+                + self.stalled_iq
+                + self.stalled_lq
+                + self.stalled_sq
+                + self.stalled_rf),
             p(self.idle),
             p(self.running),
         ]
@@ -50,6 +54,7 @@ impl Acc {
 
 fn main() {
     let opts = Options::parse(60_000, 40);
+    let session = TelemetrySession::start(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 15: rename-stage cycles (% of cycles), Choi vs Bandit ===\n");
     let mixes = smt::two_thread_mixes(&smt::smt_apps());
@@ -60,7 +65,10 @@ fn main() {
         let choi = smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed);
         choi_acc.add(&choi.rename);
         let bandit = smt_runs::run_bandit_algorithm(
-            AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+            AlgorithmKind::Ducb {
+                gamma: 0.975,
+                c: 0.01,
+            },
             specs,
             params,
             opts.instructions,
@@ -68,7 +76,7 @@ fn main() {
         );
         bandit_acc.add(&bandit.rename);
         if (idx + 1) % 10 == 0 {
-            eprintln!("{} mixes done", idx + 1);
+            mab_telemetry::progress!("{} mixes done", idx + 1);
         }
     }
     let mut table = report::Table::new(vec![
@@ -86,4 +94,5 @@ fn main() {
     table.row(bandit_acc.row("Bandit"));
     table.print();
     println!("\n(paper: Bandit cuts SQ-full stalls and idle cycles; running cycles +2.6%)");
+    session.finish();
 }

@@ -11,7 +11,7 @@
 //! slowdowns, under each reward.
 
 use mab_core::reward::harmonic_mean_weighted;
-use mab_experiments::{cli::Options, report, smt_runs};
+use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
 use mab_smtsim::controllers::RewardMetric;
 use mab_smtsim::pipeline::SmtPipeline;
 use mab_workloads::smt::{self, ThreadSpec};
@@ -32,6 +32,7 @@ fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64) -> f64 {
 
 fn main() {
     let opts = Options::parse(80_000, 6);
+    let session = TelemetrySession::start(&opts);
     let params = smt_runs::scaled_params();
     println!("=== §6.4: throughput vs fairness rewards for the SMT Bandit ===\n");
 
@@ -69,7 +70,10 @@ fn main() {
             ("harmonic", RewardMetric::HarmonicWeighted { isolated }),
         ] {
             let mut controller = smt_runs::scaled_bandit(
-                mab_core::AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+                mab_core::AlgorithmKind::Ducb {
+                    gamma: 0.975,
+                    c: 0.01,
+                },
                 opts.seed,
             );
             controller.set_reward_metric(metric);
@@ -92,7 +96,7 @@ fn main() {
         }
         sum_gain.push(results[0].0 / results[1].0.max(1e-9));
         fairness_gain.push(results[1].1 / results[0].1.max(1e-9));
-        eprintln!("{a}-{b} done");
+        mab_telemetry::progress!("{a}-{b} done");
     }
     table.print();
     println!(
@@ -101,4 +105,5 @@ fn main() {
         report::pct_change(report::gmean(&fairness_gain)),
     );
     println!("(the paper claims this retargeting needs only a reward swap — §6.4)");
+    session.finish();
 }

@@ -3,32 +3,50 @@
 //! tune set.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, prefetch_runs, report};
+use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
+    let session = TelemetrySession::start(&opts);
     let cfg = SystemConfig::default();
     println!("=== Table 8: tune-set IPC as % of the best static arm (prefetching) ===\n");
 
     let columns: Vec<(&str, Option<AlgorithmKind>)> = vec![
         ("Pythia", None),
         ("Single", Some(AlgorithmKind::Single)),
-        ("Periodic", Some(AlgorithmKind::Periodic { exploit_len: 30, window: 4 })),
-        ("e-Greedy", Some(AlgorithmKind::EpsilonGreedy { epsilon: 0.1 })),
+        (
+            "Periodic",
+            Some(AlgorithmKind::Periodic {
+                exploit_len: 30,
+                window: 4,
+            }),
+        ),
+        (
+            "e-Greedy",
+            Some(AlgorithmKind::EpsilonGreedy { epsilon: 0.1 }),
+        ),
         ("UCB", Some(AlgorithmKind::Ucb { c: 0.04 })),
-        ("DUCB", Some(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })),
+        (
+            "DUCB",
+            Some(AlgorithmKind::Ducb {
+                gamma: 0.999,
+                c: 0.04,
+            }),
+        ),
     ];
 
     let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
     for app in suites::tune_set() {
         let (_, best_ipc) = prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed);
-        eprint!("{:14} best-static {:.3} |", app.name, best_ipc);
+        let mut line = format!("{:14} best-static {:.3} |", app.name, best_ipc);
         for (i, (name, algorithm)) in columns.iter().enumerate() {
             let ipc = match algorithm {
-                None => prefetch_runs::run_single("pythia", &app, cfg, opts.instructions, opts.seed)
-                    .ipc(),
+                None => {
+                    prefetch_runs::run_single("pythia", &app, cfg, opts.instructions, opts.seed)
+                        .ipc()
+                }
                 Some(kind) => prefetch_runs::run_bandit_algorithm(
                     *kind,
                     &app,
@@ -40,9 +58,9 @@ fn main() {
             };
             let frac = ipc / best_ipc.max(1e-9);
             per_column[i].push(frac);
-            eprint!(" {name}={:.1}", frac * 100.0);
+            line.push_str(&format!(" {name}={:.1}", frac * 100.0));
         }
-        eprintln!();
+        mab_telemetry::progress!("{line}");
     }
 
     let mut table = report::Table::new(
@@ -64,4 +82,5 @@ fn main() {
     println!();
     table.print();
     println!("\n(paper Table 8: DUCB best gmean 99.1 / min 95.0; Pythia max 102.5)");
+    session.finish();
 }

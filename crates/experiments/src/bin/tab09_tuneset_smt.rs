@@ -2,21 +2,37 @@
 //! DUCB as a percentage of the best-static-arm IPC, on the SMT tune set.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, report, smt_runs};
+use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
 use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(80_000, 43);
+    let session = TelemetrySession::start(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Table 9: tune-set IPC as % of the best static arm (SMT fetch) ===\n");
 
     let columns: Vec<(&str, Option<AlgorithmKind>)> = vec![
         ("Choi", None),
         ("Single", Some(AlgorithmKind::Single)),
-        ("Periodic", Some(AlgorithmKind::Periodic { exploit_len: 30, window: 4 })),
-        ("e-Greedy", Some(AlgorithmKind::EpsilonGreedy { epsilon: 0.1 })),
+        (
+            "Periodic",
+            Some(AlgorithmKind::Periodic {
+                exploit_len: 30,
+                window: 4,
+            }),
+        ),
+        (
+            "e-Greedy",
+            Some(AlgorithmKind::EpsilonGreedy { epsilon: 0.1 }),
+        ),
         ("UCB", Some(AlgorithmKind::Ucb { c: 0.01 })),
-        ("DUCB", Some(AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 })),
+        (
+            "DUCB",
+            Some(AlgorithmKind::Ducb {
+                gamma: 0.975,
+                c: 0.01,
+            }),
+        ),
     ];
 
     let mixes = smt::two_thread_mixes(&smt::smt_tune_apps());
@@ -25,7 +41,7 @@ fn main() {
         let specs = [a.clone(), b.clone()];
         let (_, best_ipc) =
             smt_runs::best_static_arm(specs.clone(), params, opts.instructions, opts.seed);
-        eprint!("{:>10}-{:10} best-static {:.3} |", a.name, b.name, best_ipc);
+        let mut line = format!("{:>10}-{:10} best-static {:.3} |", a.name, b.name, best_ipc);
         for (i, (name, algorithm)) in columns.iter().enumerate() {
             let ipc = match algorithm {
                 None => smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed)
@@ -41,9 +57,9 @@ fn main() {
             };
             let frac = ipc / best_ipc.max(1e-9);
             per_column[i].push(frac);
-            eprint!(" {name}={:.1}", frac * 100.0);
+            line.push_str(&format!(" {name}={:.1}", frac * 100.0));
         }
-        eprintln!();
+        mab_telemetry::progress!("{line}");
     }
 
     let mut table = report::Table::new(
@@ -65,4 +81,5 @@ fn main() {
     println!();
     table.print();
     println!("\n(paper Table 9: DUCB best gmean 98.6 / min 92.2; Choi gmean 94.5)");
+    session.finish();
 }

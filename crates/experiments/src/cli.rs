@@ -7,10 +7,14 @@
 //! - `--seed S` — the base RNG seed,
 //! - `--mixes N` — cap on the number of workload mixes (SMT sweeps),
 //! - `--quick` — a fast smoke-test preset,
+//! - `--telemetry PATH` — export the telemetry recorder at exit
+//!   (`.csv` → CSV, anything else → JSON lines),
 //! - `--help`.
 
+use std::path::PathBuf;
+
 /// Parsed common options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Options {
     /// Instructions per core / commits per thread.
     pub instructions: u64,
@@ -20,6 +24,8 @@ pub struct Options {
     pub mixes: usize,
     /// Quick-preset flag.
     pub quick: bool,
+    /// Where to export the telemetry recorder at exit, if anywhere.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Options {
@@ -33,7 +39,11 @@ impl Options {
     /// Prints usage and exits the process on `--help` or malformed input —
     /// appropriate for a binary entry point.
     pub fn parse(default_instructions: u64, default_mixes: usize) -> Options {
-        Options::parse_from(std::env::args().skip(1), default_instructions, default_mixes)
+        Options::parse_from(
+            std::env::args().skip(1),
+            default_instructions,
+            default_mixes,
+        )
     }
 
     /// Testable parser core.
@@ -47,6 +57,7 @@ impl Options {
             seed: 42,
             mixes: default_mixes,
             quick: false,
+            telemetry: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -68,6 +79,12 @@ impl Options {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--mixes needs a number"));
+                }
+                "--telemetry" | "-t" => {
+                    opts.telemetry = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| usage("--telemetry needs a path")),
+                    ));
                 }
                 "--quick" | "-q" => {
                     opts.quick = true;
@@ -92,11 +109,14 @@ fn usage<T>(error: &str) -> T {
     }
     eprintln!(
         "usage: <experiment> [--instructions N] [--seed S] [--mixes N] [--quick]\n\
+         \x20                   [--telemetry PATH]\n\
          \n\
          --instructions N  instructions per core / commits per thread\n\
          --seed S          base RNG seed (default 42)\n\
          --mixes N         cap on workload mixes in sweeps\n\
-         --quick           10x smaller preset for smoke tests"
+         --quick           10x smaller preset for smoke tests\n\
+         --telemetry PATH  export telemetry at exit (.csv -> CSV, else JSONL;\n\
+         \x20                 needs the `telemetry` cargo feature)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -139,5 +159,14 @@ mod tests {
         let o = parse(&["-n", "123456", "-s", "9"]);
         assert_eq!(o.instructions, 123_456);
         assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    fn telemetry_path_is_captured() {
+        let o = parse(&["--telemetry", "out/run.jsonl"]);
+        assert_eq!(o.telemetry, Some(PathBuf::from("out/run.jsonl")));
+        let o = parse(&["-t", "run.csv"]);
+        assert_eq!(o.telemetry, Some(PathBuf::from("run.csv")));
+        assert!(parse(&[]).telemetry.is_none());
     }
 }

@@ -8,7 +8,9 @@
 //!   best-static-arm oracle, and the tune-set comparison,
 //! - [`smt_runs`] — SMT mixes under any PG controller,
 //! - [`cli`] — the tiny argument parser shared by the binaries
-//!   (`--instructions`, `--seed`, `--quick`, …).
+//!   (`--instructions`, `--seed`, `--quick`, `--telemetry`, …),
+//! - [`session`] — the telemetry recorder lifecycle (install, summarize,
+//!   export) wrapped around every binary's run.
 //!
 //! Absolute numbers differ from the paper (synthetic workloads on a
 //! simplified simulator — see `DESIGN.md`); the *shape* of each result is
@@ -20,4 +22,5 @@
 pub mod cli;
 pub mod prefetch_runs;
 pub mod report;
+pub mod session;
 pub mod smt_runs;

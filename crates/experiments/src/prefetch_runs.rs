@@ -136,13 +136,13 @@ pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: 
         let rows = normalized_ipcs(&lineup, &apps, config, instructions, seed);
         let mut per_pf: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
         for (app, values) in &rows {
-            eprint!("{app:16}");
+            let mut line = format!("{app:16}");
             for (i, v) in values.iter().enumerate() {
                 per_pf[i].push(*v);
                 overall[i].push(*v);
-                eprint!(" {}={v:.3}", lineup[i]);
+                line.push_str(&format!(" {}={v:.3}", lineup[i]));
             }
-            eprintln!();
+            mab_telemetry::progress!("{line}");
         }
         table.row(
             std::iter::once(suite.name().to_string())
@@ -165,7 +165,10 @@ mod tests {
     use mab_workloads::suites;
 
     fn small() -> (AppSpec, SystemConfig) {
-        (suites::app_by_name("cactus").unwrap(), SystemConfig::default())
+        (
+            suites::app_by_name("cactus").unwrap(),
+            SystemConfig::default(),
+        )
     }
 
     #[test]
@@ -180,14 +183,8 @@ mod tests {
     fn best_static_arm_beats_or_matches_the_off_arm() {
         let (app, cfg) = small();
         let (_, best_ipc) = best_static_arm(&app, cfg, 30_000, 1);
-        let off = run_bandit_algorithm(
-            AlgorithmKind::Static { arm: 1 },
-            &app,
-            cfg,
-            30_000,
-            1,
-        )
-        .ipc();
+        let off =
+            run_bandit_algorithm(AlgorithmKind::Static { arm: 1 }, &app, cfg, 30_000, 1).ipc();
         assert!(best_ipc >= off);
     }
 

@@ -1,0 +1,90 @@
+//! Telemetry session lifecycle for experiment binaries.
+//!
+//! Each binary wraps its run in a [`TelemetrySession`]: when the `telemetry`
+//! cargo feature is enabled this installs the global recorder at startup,
+//! prints a counter/histogram summary to stderr at the end, and — if the
+//! user passed `--telemetry PATH` — exports the full recorder state to that
+//! path (`.csv` → CSV, anything else → JSON lines). With the feature off
+//! every method is a cheap no-op except for a warning when an export path
+//! was requested that cannot be honored.
+
+use crate::cli::Options;
+use mab_telemetry::progress;
+use std::path::PathBuf;
+
+/// Recorder lifecycle handle for one experiment run.
+///
+/// Construct with [`TelemetrySession::start`] before simulating and call
+/// [`TelemetrySession::finish`] after the final table is printed.
+#[derive(Debug)]
+pub struct TelemetrySession {
+    export: Option<PathBuf>,
+}
+
+impl TelemetrySession {
+    /// Starts a session from parsed CLI options, installing the global
+    /// recorder when instrumentation is compiled in.
+    pub fn start(opts: &Options) -> Self {
+        if mab_telemetry::STATIC_ENABLED {
+            mab_telemetry::install(mab_telemetry::RecorderConfig::default());
+        } else if opts.telemetry.is_some() {
+            progress!("--telemetry ignored: rebuild with `--features telemetry` to record");
+        }
+        TelemetrySession {
+            export: opts.telemetry.clone(),
+        }
+    }
+
+    /// Prints the end-of-run counter/histogram summary to stderr and writes
+    /// the export file if one was requested. Errors writing the export are
+    /// reported on stderr rather than panicking: the experiment's tables
+    /// have already been printed and remain valid.
+    pub fn finish(&self) {
+        let Some(rec) = mab_telemetry::recorder() else {
+            return;
+        };
+        mab_telemetry::SummarySink::new(0).finish(rec);
+        if let Some(path) = &self.export {
+            match rec.export_to_path(path) {
+                Ok(()) => progress!("telemetry written to {}", path.display()),
+                Err(e) => progress!("telemetry export to {} failed: {e}", path.display()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(telemetry: Option<&str>) -> Options {
+        Options {
+            instructions: 1,
+            seed: 1,
+            mixes: 1,
+            quick: false,
+            telemetry: telemetry.map(PathBuf::from),
+        }
+    }
+
+    #[test]
+    fn session_without_feature_or_path_is_inert() {
+        let session = TelemetrySession::start(&options(None));
+        session.finish();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn session_installs_the_recorder_and_exports() {
+        let dir = std::env::temp_dir().join("mab-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let session = TelemetrySession::start(&options(path.to_str()));
+        assert!(mab_telemetry::recorder().is_some());
+        mab_telemetry::count!(ArmPulls);
+        session.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("arm_pulls"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -67,12 +67,24 @@ pub fn run_static(
     commits: u64,
     seed: u64,
 ) -> SmtStats {
-    run_mix(Box::new(StaticPgController::new(policy)), specs, params, commits, seed)
+    run_mix(
+        Box::new(StaticPgController::new(policy)),
+        specs,
+        params,
+        commits,
+        seed,
+    )
 }
 
 /// Runs a mix under the Choi policy.
 pub fn run_choi(specs: [ThreadSpec; 2], params: SmtParams, commits: u64, seed: u64) -> SmtStats {
-    run_mix(Box::new(ChoiController::new()), specs, params, commits, seed)
+    run_mix(
+        Box::new(ChoiController::new()),
+        specs,
+        params,
+        commits,
+        seed,
+    )
 }
 
 /// Runs a mix under the Bandit with an explicit MAB algorithm
@@ -157,7 +169,12 @@ mod tests {
 
     #[test]
     fn best_static_covers_all_arms() {
-        let (arm, ipc) = best_static_arm(mix("exchange2", "deepsjeng"), SmtParams::test_scale(), 3_000, 1);
+        let (arm, ipc) = best_static_arm(
+            mix("exchange2", "deepsjeng"),
+            SmtParams::test_scale(),
+            3_000,
+            1,
+        );
         assert!(arm < 6);
         assert!(ipc > 0.0);
     }
@@ -165,7 +182,10 @@ mod tests {
     #[test]
     fn bandit_run_completes() {
         let stats = run_bandit_algorithm(
-            AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+            AlgorithmKind::Ducb {
+                gamma: 0.975,
+                c: 0.01,
+            },
             mix("gcc", "lbm"),
             SmtParams::test_scale(),
             5_000,

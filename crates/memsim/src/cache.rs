@@ -183,6 +183,26 @@ impl Cache {
         };
         evicted
     }
+
+    /// Fills `line` for a **late** prefetch: the demand access that is
+    /// currently waiting on the in-flight prefetch consumes the line the
+    /// moment it lands, so this counts both the prefetch fill and its use
+    /// and leaves the line's prefetched bit clear (a later eviction must
+    /// not classify it as a wrong prefetch).
+    pub fn fill_late_prefetch(&mut self, line: u64) -> Option<Evicted> {
+        let evicted = self.fill(line, true);
+        let range = self.set_range(line);
+        if let Some(way) = self.lines[range]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line)
+        {
+            if way.prefetched {
+                way.prefetched = false;
+                self.stats.prefetch_used += 1;
+            }
+        }
+        evicted
+    }
 }
 
 /// A line evicted by [`Cache::fill`].
@@ -212,7 +232,10 @@ struct HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap by readiness.
-        other.ready.cmp(&self.ready).then(other.line.cmp(&self.line))
+        other
+            .ready
+            .cmp(&self.ready)
+            .then(other.line.cmp(&self.line))
     }
 }
 
@@ -363,6 +386,23 @@ mod tests {
     }
 
     #[test]
+    fn late_prefetch_fill_counts_fill_and_use() {
+        let mut c = small_cache();
+        c.fill_late_prefetch(6);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().prefetch_used, 1);
+        // The bit was consumed: the next demand hit is an ordinary hit and
+        // an eviction would not count as a wrong prefetch.
+        assert_eq!(
+            c.demand_lookup(6),
+            LookupResult::Hit {
+                first_prefetch_use: false
+            }
+        );
+        assert_eq!(c.stats().prefetch_used, 1);
+    }
+
+    #[test]
     fn unused_prefetch_eviction_counts_as_wrong() {
         let mut c = small_cache();
         c.fill(0, true);
@@ -403,7 +443,13 @@ mod tests {
     fn mshr_get_reports_ready_cycle() {
         let mut m = Mshr::new();
         m.insert(3, 42, true);
-        assert_eq!(m.get(3), Some(Inflight { ready: 42, fill_l1: true }));
+        assert_eq!(
+            m.get(3),
+            Some(Inflight {
+                ready: 42,
+                fill_l1: true
+            })
+        );
         assert_eq!(m.get(4), None);
     }
 }

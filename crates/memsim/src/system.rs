@@ -11,8 +11,43 @@ use crate::config::SystemConfig;
 use crate::core::CoreModel;
 use crate::dram::{Dram, DramStats};
 use crate::prefetcher::{L2Access, NoPrefetcher, PrefetchQueue, Prefetcher};
+use mab_telemetry::Stat;
 use mab_workloads::{MemKind, TraceRecord};
 use serde::{Deserialize, Serialize};
+
+/// Locally batched telemetry counters, flushed to the global recorder once
+/// per run: per-access atomic counter traffic would cost more than the
+/// cache model itself.
+struct ProbeCounts([u64; Stat::COUNT]);
+
+impl ProbeCounts {
+    fn new() -> Self {
+        ProbeCounts([0; Stat::COUNT])
+    }
+
+    #[inline]
+    fn bump(&mut self, stat: Stat) {
+        self.add(stat, 1);
+    }
+
+    #[inline]
+    fn add(&mut self, stat: Stat, n: u64) {
+        if mab_telemetry::STATIC_ENABLED {
+            self.0[stat as usize] += n;
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(rec) = mab_telemetry::recorder() {
+            for (i, v) in self.0.iter().enumerate() {
+                if *v != 0 {
+                    rec.counters().add(Stat::ALL[i], *v);
+                }
+            }
+        }
+        self.0 = [0; Stat::COUNT];
+    }
+}
 
 /// Prefetch outcome counters for one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -99,6 +134,7 @@ pub struct System {
     cores: Vec<CoreCtx>,
     llc: Cache,
     dram: Dram,
+    probe: ProbeCounts,
 }
 
 impl std::fmt::Debug for System {
@@ -145,6 +181,7 @@ impl System {
             llc: Cache::new(llc_params),
             dram: Dram::new(config.dram_service_cycles(), config.dram_latency),
             config,
+            probe: ProbeCounts::new(),
         }
     }
 
@@ -237,7 +274,7 @@ impl System {
                     continue;
                 }
                 let t = ctx.core.issue_cycle();
-                if next.map_or(true, |(_, best)| t < best) {
+                if next.is_none_or(|(_, best)| t < best) {
                     next = Some((i, t));
                 }
             }
@@ -248,6 +285,7 @@ impl System {
                 self.cores[i].done = true;
             }
         }
+        self.probe.flush();
         (0..self.cores.len()).map(|i| self.stats(i)).collect()
     }
 
@@ -295,19 +333,40 @@ impl System {
         // Complete any prefetch fills that have landed by now.
         let ctx = &mut self.cores[i];
         for (filled, fill_l1) in ctx.mshr.drain_ready(t) {
+            self.probe.bump(Stat::L2Fill);
+            mab_telemetry::emit_sim!(CacheFill {
+                level: mab_telemetry::CacheLevel::L2,
+                core: i,
+                line: filled,
+                prefetch: true,
+            });
             if let Some(ev) = ctx.l2.fill(filled, true) {
                 if ev.unused_prefetch {
                     ctx.pf.wrong += 1;
+                    self.probe.bump(Stat::PrefetchWrong);
                     ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
                 }
             }
             if fill_l1 {
+                self.probe.bump(Stat::L1Fill);
                 ctx.l1.fill(filled, true);
             }
             ctx.prefetcher.on_prefetch_fill(filled, t);
         }
 
         let l1_hit = matches!(ctx.l1.demand_lookup(line), LookupResult::Hit { .. });
+        if l1_hit {
+            self.probe.bump(Stat::L1DemandHit);
+        } else {
+            self.probe.bump(Stat::L1DemandMiss);
+        }
+        mab_telemetry::emit_sim!(CacheAccess {
+            level: mab_telemetry::CacheLevel::L1,
+            core: i,
+            line: line,
+            hit: l1_hit,
+            cycle: t,
+        });
         // The L1 prefetcher trains on every demand access.
         let l1_access = L2Access {
             pc,
@@ -327,22 +386,51 @@ impl System {
         let ctx = &mut self.cores[i];
         let l2_result = ctx.l2.demand_lookup(line);
         let hit = matches!(l2_result, LookupResult::Hit { .. });
+        if hit {
+            self.probe.bump(Stat::L2DemandHit);
+        } else {
+            self.probe.bump(Stat::L2DemandMiss);
+        }
+        mab_telemetry::emit_sim!(CacheAccess {
+            level: mab_telemetry::CacheLevel::L2,
+            core: i,
+            line: line,
+            hit: hit,
+            cycle: t,
+        });
         let latency = match l2_result {
             LookupResult::Hit { first_prefetch_use } => {
                 if first_prefetch_use {
                     ctx.pf.timely += 1;
+                    self.probe.bump(Stat::PrefetchTimely);
                     ctx.prefetcher.on_prefetch_used(line, t);
                 }
                 l2_lat
             }
             LookupResult::Miss => {
                 if let Some(inflight) = ctx.mshr.get(line) {
-                    // Covered by a late prefetch: wait for it to land.
+                    // Covered by a late prefetch: wait for it to land. The
+                    // line is still brought in by the prefetcher, so the
+                    // fill (consumed immediately by this access) is credited
+                    // to prefetching at every level the request targeted.
                     ctx.pf.late += 1;
+                    self.probe.bump(Stat::PrefetchLate);
                     ctx.prefetcher.on_prefetch_late(line, t);
                     ctx.mshr.remove(line);
-                    ctx.l2.fill(line, false);
-                    ctx.l1.fill(line, false);
+                    self.probe.bump(Stat::L2Fill);
+                    self.probe.bump(Stat::L1Fill);
+                    if let Some(ev) = ctx.l2.fill_late_prefetch(line) {
+                        if ev.unused_prefetch {
+                            ctx.pf.wrong += 1;
+                            self.probe.bump(Stat::PrefetchWrong);
+                            ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
+                        }
+                    }
+                    if inflight.fill_l1 {
+                        ctx.l1.fill_late_prefetch(line);
+                    } else {
+                        ctx.l1.fill(line, false);
+                    }
                     let wait = inflight.ready.saturating_sub(t) as u32;
                     l2_lat + wait
                 } else {
@@ -369,23 +457,33 @@ impl System {
                     };
                     let start = t + mshr_wait as u64;
                     let path = match self.llc.demand_lookup(line) {
-                        LookupResult::Hit { .. } => llc_lat,
+                        LookupResult::Hit { .. } => {
+                            self.probe.bump(Stat::LlcDemandHit);
+                            llc_lat
+                        }
                         LookupResult::Miss => {
+                            self.probe.bump(Stat::LlcDemandMiss);
+                            self.probe.bump(Stat::DramAccess);
                             let dram_lat = self.dram.access(start + llc_lat as u64);
+                            self.probe.bump(Stat::LlcFill);
                             self.llc.fill(line, false);
                             llc_lat + dram_lat as u32
                         }
                     };
                     let beyond_l2 = mshr_wait + path;
+                    mab_telemetry::record_raw!(MissLatency, beyond_l2 as u64);
                     let ctx = &mut self.cores[i];
                     ctx.demand_inflight
                         .push(std::cmp::Reverse(start + path as u64));
+                    self.probe.bump(Stat::L2Fill);
                     if let Some(ev) = ctx.l2.fill(line, false) {
                         if ev.unused_prefetch {
                             ctx.pf.wrong += 1;
+                            self.probe.bump(Stat::PrefetchWrong);
                             ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
                         }
                     }
+                    self.probe.bump(Stat::L1Fill);
                     ctx.l1.fill(line, false);
                     beyond_l2
                 }
@@ -421,11 +519,14 @@ impl System {
         let cap = self.config.prefetch_queue;
         let ctx = &mut self.cores[i];
         let requests: Vec<u64> = ctx.l1_queue.drain().collect();
+        self.probe
+            .add(Stat::PrefetchRequested, requests.len() as u64);
         for line in requests {
             if ctx.l1.contains(line) {
                 continue;
             }
             if ctx.l2.contains(line) {
+                self.probe.bump(Stat::L1Fill);
                 ctx.l1.fill(line, true);
                 continue;
             }
@@ -434,43 +535,64 @@ impl System {
             }
             if ctx.mshr.len() >= cap {
                 ctx.pf.dropped += 1;
+                self.probe.bump(Stat::PrefetchDropped);
                 continue;
             }
             let fill_latency = if self.llc.contains(line) {
                 llc_lat as u64
             } else {
+                self.probe.bump(Stat::DramAccess);
                 let dram_lat = self.dram.access(t + llc_lat as u64);
+                self.probe.bump(Stat::LlcFill);
                 self.llc.fill(line, false);
                 llc_lat as u64 + dram_lat
             };
             ctx.mshr.insert(line, t + fill_latency, true);
             ctx.pf.issued += 1;
+            self.probe.bump(Stat::PrefetchIssued);
+            mab_telemetry::emit_sim!(PrefetchIssued {
+                core: i,
+                line: line,
+                cycle: t,
+            });
         }
     }
 
     fn issue_prefetches(&mut self, i: usize, t: u64) {
-        let llc_lat = self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
+        let llc_lat =
+            self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
         let cap = self.config.prefetch_queue;
         let ctx = &mut self.cores[i];
         let requests: Vec<u64> = ctx.queue.drain().collect();
+        self.probe
+            .add(Stat::PrefetchRequested, requests.len() as u64);
         for line in requests {
             if ctx.l2.contains(line) || ctx.mshr.get(line).is_some() {
                 continue; // redundant
             }
             if ctx.mshr.len() >= cap {
                 ctx.pf.dropped += 1;
+                self.probe.bump(Stat::PrefetchDropped);
                 continue;
             }
             let fill_latency = if self.llc.contains(line) {
                 llc_lat as u64
             } else {
                 // Prefetch also fills the LLC and consumes DRAM bandwidth.
+                self.probe.bump(Stat::DramAccess);
                 let dram_lat = self.dram.access(t + llc_lat as u64);
+                self.probe.bump(Stat::LlcFill);
                 self.llc.fill(line, false);
                 llc_lat as u64 + dram_lat
             };
             ctx.mshr.insert(line, t + fill_latency, false);
             ctx.pf.issued += 1;
+            self.probe.bump(Stat::PrefetchIssued);
+            mab_telemetry::emit_sim!(PrefetchIssued {
+                core: i,
+                line: line,
+                cycle: t,
+            });
         }
     }
 }
@@ -604,8 +726,10 @@ mod tests {
         let four_ipc = {
             let mut sys = System::multi_core(SystemConfig::default(), 4);
             let mut ts: Vec<_> = (0..4).map(|i| app.trace(i as u64 + 1)).collect();
-            let mut traces: Vec<&mut dyn Iterator<Item = TraceRecord>> =
-                ts.iter_mut().map(|t| t as &mut dyn Iterator<Item = TraceRecord>).collect();
+            let mut traces: Vec<&mut dyn Iterator<Item = TraceRecord>> = ts
+                .iter_mut()
+                .map(|t| t as &mut dyn Iterator<Item = TraceRecord>)
+                .collect();
             let stats = sys.run_multi(&mut traces, 50_000);
             stats[0].ipc()
         };

@@ -84,8 +84,13 @@ impl BanditL2 {
             .seed(seed)
             .build()
             .expect("paper configuration is valid");
-        BanditL2::new(config, PAPER_ARMS.to_vec(), PAPER_STEP_ACCESSES, PAPER_SELECTION_LATENCY)
-            .expect("arm count matches config")
+        BanditL2::new(
+            config,
+            PAPER_ARMS.to_vec(),
+            PAPER_STEP_ACCESSES,
+            PAPER_SELECTION_LATENCY,
+        )
+        .expect("arm count matches config")
     }
 
     /// Paper configuration with the §4.3 round-robin restart enabled
@@ -100,8 +105,13 @@ impl BanditL2 {
             .seed(seed)
             .build()
             .expect("paper configuration is valid");
-        BanditL2::new(config, PAPER_ARMS.to_vec(), PAPER_STEP_ACCESSES, PAPER_SELECTION_LATENCY)
-            .expect("arm count matches config")
+        BanditL2::new(
+            config,
+            PAPER_ARMS.to_vec(),
+            PAPER_STEP_ACCESSES,
+            PAPER_SELECTION_LATENCY,
+        )
+        .expect("arm count matches config")
     }
 
     /// Fully custom construction.
@@ -161,6 +171,9 @@ impl BanditL2 {
 
     fn apply(&mut self, arm_id: ArmId, cycle: u64) {
         let arm = self.arms[arm_id.index()];
+        if arm != self.composite.arm() {
+            mab_telemetry::count!(ArmSwitches);
+        }
         if let Some(h) = &mut self.history {
             h.push((cycle, arm_id.index()));
         }
@@ -236,7 +249,11 @@ mod tests {
         for _ in 0..steps {
             for a in 0..bandit.step_len {
                 // IPC 2.0 under the good arm, 0.5 otherwise.
-                let ipc = if bandit.current_arm() == good_arm { 2.0 } else { 0.5 };
+                let ipc = if bandit.current_arm() == good_arm {
+                    2.0
+                } else {
+                    0.5
+                };
                 cycle += 10;
                 instructions += (10.0 * ipc) as u64;
                 bandit.train(&access(a as u64 * 97, cycle, instructions), &mut q);
@@ -252,7 +269,10 @@ mod tests {
     #[test]
     fn converges_to_the_rewarding_arm() {
         let mut bandit = BanditL2::with_algorithm(
-            AlgorithmKind::Ducb { gamma: 0.99, c: 0.05 },
+            AlgorithmKind::Ducb {
+                gamma: 0.99,
+                c: 0.05,
+            },
             3,
         );
         let good = PAPER_ARMS[6];
@@ -323,6 +343,10 @@ mod tests {
         }
         let picks: Vec<usize> = bandit.history().unwrap().iter().map(|&(_, a)| a).collect();
         let expected: Vec<usize> = (0..PAPER_ARMS.len()).collect();
-        assert_eq!(&picks[..PAPER_ARMS.len()], &expected[..], "RR phase in order");
+        assert_eq!(
+            &picks[..PAPER_ARMS.len()],
+            &expected[..],
+            "RR phase in order"
+        );
     }
 }

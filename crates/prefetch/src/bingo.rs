@@ -200,7 +200,10 @@ mod tests {
         // same relative footprint {0, 1, 3, 7}, in different regions.
         drive(&mut b, &[(0x42, 64), (0x42, 65), (0x42, 67), (0x42, 71)]);
         flush(&mut b);
-        drive(&mut b, &[(0x42, 128), (0x42, 129), (0x42, 131), (0x42, 135)]);
+        drive(
+            &mut b,
+            &[(0x42, 128), (0x42, 129), (0x42, 131), (0x42, 135)],
+        );
         flush(&mut b);
         // Third region with the same trigger signature: replay.
         let issued = drive(&mut b, &[(0x42, 320)]); // region 10, offset 0
@@ -208,7 +211,10 @@ mod tests {
         assert!(issued.contains(&(base + 1)), "{issued:?}");
         assert!(issued.contains(&(base + 3)));
         assert!(issued.contains(&(base + 7)));
-        assert!(!issued.contains(&base), "trigger line itself not prefetched");
+        assert!(
+            !issued.contains(&base),
+            "trigger line itself not prefetched"
+        );
     }
 
     #[test]
@@ -225,7 +231,10 @@ mod tests {
         let mut b = Bingo::new();
         drive(&mut b, &[(0x42, 64), (0x42, 65), (0x42, 67)]); // {0,1,3}
         flush(&mut b);
-        drive(&mut b, &[(0x42, 128 + 20), (0x42, 128 + 25), (0x42, 128 + 30)]); // {20,25,30}
+        drive(
+            &mut b,
+            &[(0x42, 128 + 20), (0x42, 128 + 25), (0x42, 128 + 30)],
+        ); // {20,25,30}
         flush(&mut b);
         let issued = drive(&mut b, &[(0x42, 320 + 20)]);
         assert!(issued.is_empty(), "disagreeing footprints: {issued:?}");

@@ -76,7 +76,10 @@ impl ClassifiedBandit {
         let make = |salt: u64| -> Result<BanditAgent, ConfigError> {
             Ok(BanditAgent::new(
                 BanditConfig::builder(PAPER_ARMS.len())
-                    .algorithm(AlgorithmKind::Ducb { gamma: 0.999, c: 0.04 })
+                    .algorithm(AlgorithmKind::Ducb {
+                        gamma: 0.999,
+                        c: 0.04,
+                    })
                     .seed(seed.wrapping_add(salt))
                     .build()?,
             ))
@@ -185,7 +188,10 @@ mod tests {
         let mut i = 0u64;
         for _ in 0..steps * cb.step_len {
             i += 1;
-            cb.train(&access(0x400 + (i % 4) * 0x40, line_of(i), i * 10, i * 20), &mut q);
+            cb.train(
+                &access(0x400 + (i % 4) * 0x40, line_of(i), i * 10, i * 20),
+                &mut q,
+            );
             q.drain().count();
         }
     }
@@ -195,15 +201,23 @@ mod tests {
         let mut cb = ClassifiedBandit::paper_default(1).expect("valid");
         drive(&mut cb, 5, |i| i * 2);
         let [regular, irregular] = cb.class_steps();
-        assert!(regular > irregular, "regular {regular} vs irregular {irregular}");
+        assert!(
+            regular > irregular,
+            "regular {regular} vs irregular {irregular}"
+        );
     }
 
     #[test]
     fn random_stream_classifies_irregular() {
         let mut cb = ClassifiedBandit::paper_default(1).expect("valid");
-        drive(&mut cb, 5, |i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20) % 1_000_000);
+        drive(&mut cb, 5, |i| {
+            (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20) % 1_000_000
+        });
         let [regular, irregular] = cb.class_steps();
-        assert!(irregular > regular, "regular {regular} vs irregular {irregular}");
+        assert!(
+            irregular > regular,
+            "regular {regular} vs irregular {irregular}"
+        );
     }
 
     #[test]
@@ -211,7 +225,9 @@ mod tests {
         let mut cb = ClassifiedBandit::paper_default(2).expect("valid");
         drive(&mut cb, 4, |i| i * 3);
         let after_regular = cb.class_steps();
-        drive(&mut cb, 4, |i| (i.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 20) % 1_000_000);
+        drive(&mut cb, 4, |i| {
+            (i.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 20) % 1_000_000
+        });
         let after_irregular = cb.class_steps();
         assert!(after_irregular[CLASS_IRREGULAR] > after_regular[CLASS_IRREGULAR]);
     }
@@ -225,7 +241,9 @@ mod tests {
             if phase % 2 == 0 {
                 drive(&mut cb, 5, |i| i);
             } else {
-                drive(&mut cb, 5, |i| (i.wrapping_mul(0xA24B_AED4_963E_E407) >> 20) % 500_000);
+                drive(&mut cb, 5, |i| {
+                    (i.wrapping_mul(0xA24B_AED4_963E_E407) >> 20) % 500_000
+                });
             }
         }
         assert_eq!(cb.class_steps().iter().sum::<u64>(), 40);

@@ -20,17 +20,61 @@ pub struct Arm {
 
 /// The 11 arms of Table 7.
 pub const PAPER_ARMS: [Arm; 11] = [
-    Arm { nl_on: false, stride_degree: 0, stream_degree: 4 },  // 0
-    Arm { nl_on: false, stride_degree: 0, stream_degree: 0 },  // 1 (all off)
-    Arm { nl_on: true,  stride_degree: 0, stream_degree: 0 },  // 2
-    Arm { nl_on: false, stride_degree: 0, stream_degree: 2 },  // 3
-    Arm { nl_on: false, stride_degree: 2, stream_degree: 2 },  // 4
-    Arm { nl_on: false, stride_degree: 4, stream_degree: 4 },  // 5
-    Arm { nl_on: false, stride_degree: 0, stream_degree: 6 },  // 6
-    Arm { nl_on: false, stride_degree: 8, stream_degree: 6 },  // 7
-    Arm { nl_on: true,  stride_degree: 0, stream_degree: 8 },  // 8
-    Arm { nl_on: false, stride_degree: 0, stream_degree: 15 }, // 9
-    Arm { nl_on: false, stride_degree: 15, stream_degree: 15 }, // 10
+    Arm {
+        nl_on: false,
+        stride_degree: 0,
+        stream_degree: 4,
+    }, // 0
+    Arm {
+        nl_on: false,
+        stride_degree: 0,
+        stream_degree: 0,
+    }, // 1 (all off)
+    Arm {
+        nl_on: true,
+        stride_degree: 0,
+        stream_degree: 0,
+    }, // 2
+    Arm {
+        nl_on: false,
+        stride_degree: 0,
+        stream_degree: 2,
+    }, // 3
+    Arm {
+        nl_on: false,
+        stride_degree: 2,
+        stream_degree: 2,
+    }, // 4
+    Arm {
+        nl_on: false,
+        stride_degree: 4,
+        stream_degree: 4,
+    }, // 5
+    Arm {
+        nl_on: false,
+        stride_degree: 0,
+        stream_degree: 6,
+    }, // 6
+    Arm {
+        nl_on: false,
+        stride_degree: 8,
+        stream_degree: 6,
+    }, // 7
+    Arm {
+        nl_on: true,
+        stride_degree: 0,
+        stream_degree: 8,
+    }, // 8
+    Arm {
+        nl_on: false,
+        stride_degree: 0,
+        stream_degree: 15,
+    }, // 9
+    Arm {
+        nl_on: false,
+        stride_degree: 15,
+        stream_degree: 15,
+    }, // 10
 ];
 
 /// Number of stream trackers (Table 6).

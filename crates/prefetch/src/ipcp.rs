@@ -91,7 +91,7 @@ impl Ipcp {
         let positive = self
             .recent_deltas
             .iter()
-            .filter(|&&d| d >= 1 && d <= 2)
+            .filter(|&&d| (1..=2).contains(&d))
             .count();
         positive as f64 / GS_WINDOW as f64 >= GS_THRESHOLD
     }
@@ -112,42 +112,42 @@ impl Prefetcher for Ipcp {
 
         // Per-PC stride bookkeeping. Unknown PCs allocate an entry and fall
         // through to classification with zero confidence (GS can still fire).
-        let (confidence, stride) = match self.table.iter().position(|e| e.valid && e.pc == access.pc)
-        {
-            Some(slot) => {
-                let e = &mut self.table[slot];
-                e.lru = self.clock;
-                let delta = line as i64 - e.last_line as i64;
-                if delta != 0 {
-                    if delta == e.stride {
-                        e.confidence = e.confidence.saturating_add(1);
-                    } else {
-                        e.stride = delta;
-                        e.confidence = 1;
+        let (confidence, stride) =
+            match self.table.iter().position(|e| e.valid && e.pc == access.pc) {
+                Some(slot) => {
+                    let e = &mut self.table[slot];
+                    e.lru = self.clock;
+                    let delta = line as i64 - e.last_line as i64;
+                    if delta != 0 {
+                        if delta == e.stride {
+                            e.confidence = e.confidence.saturating_add(1);
+                        } else {
+                            e.stride = delta;
+                            e.confidence = 1;
+                        }
+                        e.last_line = line;
                     }
-                    e.last_line = line;
+                    (e.confidence, e.stride)
                 }
-                (e.confidence, e.stride)
-            }
-            None => {
-                let i = self
-                    .table
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("table non-empty");
-                self.table[i] = IpEntry {
-                    valid: true,
-                    pc: access.pc,
-                    last_line: line,
-                    stride: 0,
-                    confidence: 0,
-                    lru: self.clock,
-                };
-                (0, 0)
-            }
-        };
+                None => {
+                    let i = self
+                        .table
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+                        .map(|(i, _)| i)
+                        .expect("table non-empty");
+                    self.table[i] = IpEntry {
+                        valid: true,
+                        pc: access.pc,
+                        last_line: line,
+                        stride: 0,
+                        confidence: 0,
+                        lru: self.clock,
+                    };
+                    (0, 0)
+                }
+            };
 
         if confidence >= CS_CONFIDENCE && stride != 0 {
             // CS class: deep strided prefetch.

@@ -173,14 +173,22 @@ mod tests {
     fn selects_plus_one_for_a_stream() {
         let mut m = Mlop::new();
         drive(&mut m, 0..EPOCH_ACCESSES as u64 + 1);
-        assert!(m.selected_offsets().contains(&1), "{:?}", m.selected_offsets());
+        assert!(
+            m.selected_offsets().contains(&1),
+            "{:?}",
+            m.selected_offsets()
+        );
     }
 
     #[test]
     fn selects_the_dominant_stride() {
         let mut m = Mlop::new();
         drive(&mut m, (0..EPOCH_ACCESSES as u64 + 1).map(|i| i * 4));
-        assert!(m.selected_offsets().contains(&4), "{:?}", m.selected_offsets());
+        assert!(
+            m.selected_offsets().contains(&4),
+            "{:?}",
+            m.selected_offsets()
+        );
     }
 
     #[test]
@@ -188,7 +196,11 @@ mod tests {
         let mut m = Mlop::new();
         // Widely spaced lines: no candidate offset ever scores.
         drive(&mut m, (0..EPOCH_ACCESSES as u64 + 1).map(|i| i * 1000));
-        assert!(m.selected_offsets().is_empty(), "{:?}", m.selected_offsets());
+        assert!(
+            m.selected_offsets().is_empty(),
+            "{:?}",
+            m.selected_offsets()
+        );
     }
 
     #[test]
@@ -203,12 +215,16 @@ mod tests {
     fn adapts_when_the_pattern_changes() {
         let mut m = Mlop::new();
         drive(&mut m, 0..EPOCH_ACCESSES as u64 + 1); // stream (+1)
-        // Now a descending stream for two epochs.
+                                                     // Now a descending stream for two epochs.
         drive(
             &mut m,
             (0..2 * EPOCH_ACCESSES as u64 + 1).map(|i| 1_000_000 - i),
         );
-        assert!(m.selected_offsets().contains(&-1), "{:?}", m.selected_offsets());
+        assert!(
+            m.selected_offsets().contains(&-1),
+            "{:?}",
+            m.selected_offsets()
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl Pythia {
 
     /// Decodes an action index into `(offset, degree)`.
     pub fn decode_action(action: usize) -> (i64, u32) {
-        (OFFSETS[action / DEGREES.len()], DEGREES[action % DEGREES.len()])
+        (
+            OFFSETS[action / DEGREES.len()],
+            DEGREES[action % DEGREES.len()],
+        )
     }
 
     fn hash(x: u64) -> u64 {
@@ -141,7 +144,8 @@ impl Pythia {
                 .wrapping_mul(1_000_003)
                 .wrapping_add((d[1] as u64).wrapping_mul(10_007))
                 .wrapping_add(d[2] as u64),
-        ) as usize % TABLE_ROWS;
+        ) as usize
+            % TABLE_ROWS;
         (f1, f2)
     }
 

@@ -199,7 +199,7 @@ mod tests {
     fn direction_flip_resets_confidence() {
         let mut s = StreamPrefetcher::new(64, 2);
         drive(&mut s, &[10, 11, 12]); // confident ascending
-        // A flip must not keep prefetching in the old direction immediately.
+                                      // A flip must not keep prefetching in the old direction immediately.
         let issued = drive(&mut s, &[11]);
         assert!(issued.is_empty(), "{issued:?}");
     }

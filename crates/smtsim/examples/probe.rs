@@ -1,17 +1,29 @@
-use mab_smtsim::{config::SmtParams, controllers::StaticPgController, pipeline::SmtPipeline};
 use mab_smtsim::policies::PgPolicy;
+use mab_smtsim::{config::SmtParams, controllers::StaticPgController, pipeline::SmtPipeline};
 use mab_workloads::smt;
 use std::time::Instant;
 
 fn main() {
-    for (na, nb) in [("gcc", "xz"), ("exchange2", "mcf"), ("lbm", "mcf"), ("gcc", "lbm")] {
+    for (na, nb) in [
+        ("gcc", "xz"),
+        ("exchange2", "mcf"),
+        ("lbm", "mcf"),
+        ("gcc", "lbm"),
+    ] {
         let a = smt::thread_by_name(na).unwrap();
         let b = smt::thread_by_name(nb).unwrap();
         let mut pipe = SmtPipeline::new(SmtParams::test_scale(), [a, b], 7);
         let mut ctrl = StaticPgController::new(PgPolicy::ICOUNT);
         let t0 = Instant::now();
         let stats = pipe.run_with(&mut ctrl, 20_000);
-        eprintln!("{na}/{nb}: cycles={} ipc=({:.3},{:.3}) sum={:.3} rename={:?} [{:?}]",
-            stats.cycles, stats.ipc(0), stats.ipc(1), stats.sum_ipc(), stats.rename, t0.elapsed());
+        eprintln!(
+            "{na}/{nb}: cycles={} ipc=({:.3},{:.3}) sum={:.3} rename={:?} [{:?}]",
+            stats.cycles,
+            stats.ipc(0),
+            stats.ipc(1),
+            stats.sum_ipc(),
+            stats.rename,
+            t0.elapsed()
+        );
     }
 }

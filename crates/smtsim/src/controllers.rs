@@ -330,6 +330,7 @@ impl PgController for BanditController {
         self.saved_shares[self.current_arm] = self.hill_climb.base_share();
         let next = self.agent.select_arm().index();
         if next != self.current_arm {
+            mab_telemetry::count!(ArmSwitches);
             self.hill_climb.restore(self.saved_shares[next]);
         }
         self.current_arm = next;
@@ -381,7 +382,10 @@ mod tests {
     #[test]
     fn bandit_prefers_the_rewarding_arm() {
         let mut c = BanditController::with_algorithm(
-            AlgorithmKind::Ducb { gamma: 0.98, c: 0.05 },
+            AlgorithmKind::Ducb {
+                gamma: 0.98,
+                c: 0.05,
+            },
             3,
         );
         // Arm 4 (LSQC_1111) yields double IPC.
@@ -412,11 +416,17 @@ mod tests {
 
     #[test]
     fn reward_metrics_extract_expected_scalars() {
-        let epoch = EpochIpc { per_thread: [1.0, 0.5] };
+        let epoch = EpochIpc {
+            per_thread: [1.0, 0.5],
+        };
         assert_eq!(RewardMetric::SumIpc.reward(epoch), 1.5);
-        let weighted = RewardMetric::WeightedIpc { isolated: [2.0, 1.0] };
+        let weighted = RewardMetric::WeightedIpc {
+            isolated: [2.0, 1.0],
+        };
         assert!((weighted.reward(epoch) - 0.5).abs() < 1e-12);
-        let harmonic = RewardMetric::HarmonicWeighted { isolated: [2.0, 1.0] };
+        let harmonic = RewardMetric::HarmonicWeighted {
+            isolated: [2.0, 1.0],
+        };
         assert!((harmonic.reward(epoch) - 0.5).abs() < 1e-12);
     }
 
@@ -426,21 +436,33 @@ mod tests {
         // but has the same summed IPC. The harmonic-weighted bandit must
         // prefer the fair arm.
         let mut c = BanditController::with_algorithm(
-            AlgorithmKind::Ducb { gamma: 0.98, c: 0.05 },
+            AlgorithmKind::Ducb {
+                gamma: 0.98,
+                c: 0.05,
+            },
             7,
         );
-        c.set_reward_metric(RewardMetric::HarmonicWeighted { isolated: [1.0, 1.0] });
+        c.set_reward_metric(RewardMetric::HarmonicWeighted {
+            isolated: [1.0, 1.0],
+        });
         for _ in 0..1500 {
             let epoch = if c.current_arm == 0 {
-                EpochIpc { per_thread: [0.5, 0.5] }
+                EpochIpc {
+                    per_thread: [0.5, 0.5],
+                }
             } else {
-                EpochIpc { per_thread: [0.9, 0.1] }
+                EpochIpc {
+                    per_thread: [0.9, 0.1],
+                }
             };
             c.on_epoch(epoch);
         }
         let tail = &c.history()[c.history().len() - 50..];
         let fair = tail.iter().filter(|&&a| a == 0).count();
-        assert!(fair > 25, "fair arm picked {fair}/50 under the harmonic metric");
+        assert!(
+            fair > 25,
+            "fair arm picked {fair}/50 under the harmonic metric"
+        );
     }
 
     #[test]

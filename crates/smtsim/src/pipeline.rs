@@ -175,13 +175,20 @@ pub struct SmtPipeline {
     rename: RenameStats,
     rr_last: usize,
     epoch_commits_latch: [u64; 2],
+    /// Locally batched telemetry counts `[grants, gated]`, flushed to the
+    /// recorder at epoch boundaries — per-cycle counter traffic would cost
+    /// more than the fetch stage itself.
+    probe_fetch: [u64; 2],
 }
 
 impl std::fmt::Debug for SmtPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SmtPipeline")
             .field("cycle", &self.cycle)
-            .field("commits", &[self.threads[0].committed, self.threads[1].committed])
+            .field(
+                "commits",
+                &[self.threads[0].committed, self.threads[1].committed],
+            )
             .finish()
     }
 }
@@ -199,6 +206,16 @@ impl SmtPipeline {
             rename: RenameStats::default(),
             rr_last: 0,
             epoch_commits_latch: [0; 2],
+            probe_fetch: [0; 2],
+        }
+    }
+
+    /// Flushes the locally batched fetch-slot counts to the recorder.
+    fn flush_probes(&mut self) {
+        if mab_telemetry::STATIC_ENABLED {
+            let [grants, gated] = std::mem::take(&mut self.probe_fetch);
+            mab_telemetry::count!(SmtFetchGrant, grants);
+            mab_telemetry::count!(SmtFetchGated, gated);
         }
     }
 
@@ -224,17 +241,24 @@ impl SmtPipeline {
         while self.threads[0].committed < commits_per_thread
             || self.threads[1].committed < commits_per_thread
         {
-            self.step(controller.policy(), [controller.share(0), controller.share(1)]);
-            if self.cycle % epoch_len == 0 {
+            self.step(
+                controller.policy(),
+                [controller.share(0), controller.share(1)],
+            );
+            if self.cycle.is_multiple_of(epoch_len) {
                 let mut per_thread = [0.0; 2];
                 for (i, t) in self.threads.iter().enumerate() {
                     per_thread[i] =
                         (t.committed - self.epoch_commits_latch[i]) as f64 / epoch_len as f64;
                     self.epoch_commits_latch[i] = t.committed;
                 }
+                mab_telemetry::count!(SmtEpochs);
+                mab_telemetry::record!(EpochIpc, per_thread[0] + per_thread[1]);
+                self.flush_probes();
                 controller.on_epoch(EpochIpc { per_thread });
             }
         }
+        self.flush_probes();
         self.stats()
     }
 
@@ -376,7 +400,9 @@ impl SmtPipeline {
                 let irf_total = self.threads[0].irf + self.threads[1].irf;
                 let frf_total = self.threads[0].frf + self.threads[1].frf;
                 let t = &mut self.threads[ti];
-                let Some(&instr) = t.fetch_queue.front() else { break };
+                let Some(&instr) = t.fetch_queue.front() else {
+                    break;
+                };
 
                 let needed_block = if rob_total >= p.rob_size as usize {
                     Some(RenameBlock::Rob)
@@ -386,9 +412,9 @@ impl SmtPipeline {
                     Some(RenameBlock::Lq)
                 } else if matches!(instr.kind, SmtOpKind::Store(_)) && sq_total >= p.sq_size {
                     Some(RenameBlock::Sq)
-                } else if instr.int_dest && irf_total >= p.irf_size {
-                    Some(RenameBlock::Rf)
-                } else if !instr.int_dest && frf_total >= p.frf_size {
+                } else if (instr.int_dest && irf_total >= p.irf_size)
+                    || (!instr.int_dest && frf_total >= p.frf_size)
+                {
                     Some(RenameBlock::Rf)
                 } else {
                     None
@@ -496,14 +522,26 @@ impl SmtPipeline {
 
     fn fetch_stage(&mut self, cycle: u64, policy: PgPolicy, shares: [f64; 2]) {
         let p = self.params;
-        let eligible: Vec<usize> = (0..2)
-            .filter(|&i| {
-                let t = &self.threads[i];
-                t.fetch_blocked_until <= cycle
-                    && t.fetch_queue.len() + p.fetch_width as usize <= p.fetch_buffer as usize
-                    && !self.gated(i, policy, shares[i])
-            })
-            .collect();
+        let mut eligible: Vec<usize> = Vec::with_capacity(2);
+        for (i, &share) in shares.iter().enumerate() {
+            let t = &self.threads[i];
+            if t.fetch_blocked_until > cycle
+                || t.fetch_queue.len() + p.fetch_width as usize > p.fetch_buffer as usize
+            {
+                continue;
+            }
+            if self.gated(i, policy, share) {
+                if mab_telemetry::STATIC_ENABLED {
+                    self.probe_fetch[1] += 1;
+                }
+                mab_telemetry::emit_sim!(FetchGated {
+                    thread: i,
+                    cycle: cycle,
+                });
+                continue;
+            }
+            eligible.push(i);
+        }
         if eligible.is_empty() {
             return;
         }
@@ -536,6 +574,13 @@ impl SmtPipeline {
             }
         };
         self.rr_last = chosen;
+        if mab_telemetry::STATIC_ENABLED {
+            self.probe_fetch[0] += 1;
+        }
+        mab_telemetry::emit_sim!(FetchSlotGrant {
+            thread: chosen,
+            cycle: cycle,
+        });
         let t = &mut self.threads[chosen];
         for _ in 0..p.fetch_width {
             let instr = t.gen.next().expect("thread generators are infinite");

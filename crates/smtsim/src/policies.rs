@@ -141,7 +141,9 @@ impl PgPolicy {
             "BrC_1000".parse().expect("static policy strings are valid"),
             "IC_1110".parse().expect("static policy strings are valid"),
             "IC_1111".parse().expect("static policy strings are valid"),
-            "LSQC_1111".parse().expect("static policy strings are valid"),
+            "LSQC_1111"
+                .parse()
+                .expect("static policy strings are valid"),
             "RR_1111".parse().expect("static policy strings are valid"),
         ]
     }
@@ -183,7 +185,9 @@ impl FromStr for PgPolicy {
     type Err = ParsePolicyError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (prio, bits) = s.split_once('_').ok_or_else(|| ParsePolicyError(s.into()))?;
+        let (prio, bits) = s
+            .split_once('_')
+            .ok_or_else(|| ParsePolicyError(s.into()))?;
         let priority = match prio {
             "BrC" => FetchPriority::BranchCount,
             "IC" => FetchPriority::ICount,
@@ -207,6 +211,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn choi_is_ic_1011() {
         assert_eq!(PgPolicy::CHOI.to_string(), "IC_1011");
         assert!(PgPolicy::CHOI.gating.iq);
@@ -225,8 +230,7 @@ mod tests {
     fn design_space_has_64_policies() {
         let all = PgPolicy::all();
         assert_eq!(all.len(), 64);
-        let unique: std::collections::HashSet<String> =
-            all.iter().map(|p| p.to_string()).collect();
+        let unique: std::collections::HashSet<String> = all.iter().map(|p| p.to_string()).collect();
         assert_eq!(unique.len(), 64);
     }
 
@@ -236,7 +240,14 @@ mod tests {
         let names: Vec<String> = arms.iter().map(|p| p.to_string()).collect();
         assert_eq!(
             names,
-            ["IC_0000", "BrC_1000", "IC_1110", "IC_1111", "LSQC_1111", "RR_1111"]
+            [
+                "IC_0000",
+                "BrC_1000",
+                "IC_1110",
+                "IC_1111",
+                "LSQC_1111",
+                "RR_1111"
+            ]
         );
     }
 

@@ -1,0 +1,266 @@
+//! Sharded lock-free counters.
+//!
+//! Each statistic is an [`AtomicU64`] replicated across a small number of
+//! cache-line-aligned shards. Writers pick a shard from their thread id and
+//! increment with a relaxed fetch-add — no locks, no contention between
+//! simulator threads. Readers sum across shards; sums are monotone but not a
+//! point-in-time snapshot, which is fine for end-of-run reporting.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Every counted statistic, across the agent, both simulators and the
+/// prefetch subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stat {
+    // Per-level cache probes.
+    L1DemandHit,
+    L1DemandMiss,
+    L1Fill,
+    L2DemandHit,
+    L2DemandMiss,
+    L2Fill,
+    LlcDemandHit,
+    LlcDemandMiss,
+    LlcFill,
+    DramAccess,
+    // Prefetch lifecycle.
+    PrefetchRequested,
+    PrefetchIssued,
+    PrefetchDropped,
+    PrefetchTimely,
+    PrefetchLate,
+    PrefetchWrong,
+    // Bandit agent.
+    ArmPulls,
+    RewardsObserved,
+    EpochResets,
+    QSnapshots,
+    AlgExplore,
+    AlgExploit,
+    ArmSwitches,
+    // SMT pipeline.
+    SmtFetchGrant,
+    SmtFetchGated,
+    SmtEpochs,
+}
+
+impl Stat {
+    /// Number of distinct statistics.
+    pub const COUNT: usize = 26;
+
+    /// All statistics, in declaration order.
+    pub const ALL: [Stat; Stat::COUNT] = [
+        Stat::L1DemandHit,
+        Stat::L1DemandMiss,
+        Stat::L1Fill,
+        Stat::L2DemandHit,
+        Stat::L2DemandMiss,
+        Stat::L2Fill,
+        Stat::LlcDemandHit,
+        Stat::LlcDemandMiss,
+        Stat::LlcFill,
+        Stat::DramAccess,
+        Stat::PrefetchRequested,
+        Stat::PrefetchIssued,
+        Stat::PrefetchDropped,
+        Stat::PrefetchTimely,
+        Stat::PrefetchLate,
+        Stat::PrefetchWrong,
+        Stat::ArmPulls,
+        Stat::RewardsObserved,
+        Stat::EpochResets,
+        Stat::QSnapshots,
+        Stat::AlgExplore,
+        Stat::AlgExploit,
+        Stat::ArmSwitches,
+        Stat::SmtFetchGrant,
+        Stat::SmtFetchGated,
+        Stat::SmtEpochs,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stat::L1DemandHit => "l1_demand_hit",
+            Stat::L1DemandMiss => "l1_demand_miss",
+            Stat::L1Fill => "l1_fill",
+            Stat::L2DemandHit => "l2_demand_hit",
+            Stat::L2DemandMiss => "l2_demand_miss",
+            Stat::L2Fill => "l2_fill",
+            Stat::LlcDemandHit => "llc_demand_hit",
+            Stat::LlcDemandMiss => "llc_demand_miss",
+            Stat::LlcFill => "llc_fill",
+            Stat::DramAccess => "dram_access",
+            Stat::PrefetchRequested => "prefetch_requested",
+            Stat::PrefetchIssued => "prefetch_issued",
+            Stat::PrefetchDropped => "prefetch_dropped",
+            Stat::PrefetchTimely => "prefetch_timely",
+            Stat::PrefetchLate => "prefetch_late",
+            Stat::PrefetchWrong => "prefetch_wrong",
+            Stat::ArmPulls => "arm_pulls",
+            Stat::RewardsObserved => "rewards_observed",
+            Stat::EpochResets => "epoch_resets",
+            Stat::QSnapshots => "q_snapshots",
+            Stat::AlgExplore => "alg_explore",
+            Stat::AlgExploit => "alg_exploit",
+            Stat::ArmSwitches => "arm_switches",
+            Stat::SmtFetchGrant => "smt_fetch_grant",
+            Stat::SmtFetchGated => "smt_fetch_gated",
+            Stat::SmtEpochs => "smt_epochs",
+        }
+    }
+}
+
+/// Number of write shards. A small power of two: enough to keep simulator
+/// threads off each other's cache lines without bloating read-side sums.
+pub const SHARDS: usize = 8;
+
+/// One cache line of counters per shard slice to avoid false sharing.
+#[repr(align(64))]
+struct Shard {
+    slots: [AtomicU64; Stat::COUNT],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The sharded counter registry.
+pub struct Counters {
+    shards: [Shard; SHARDS],
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread claims a shard round-robin on first use. Const-initialized
+    /// to a sentinel so the per-access TLS read skips lazy-init machinery;
+    /// the round-robin claim happens on the first `add` of each thread.
+    static MY_SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let claimed = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(claimed);
+            claimed
+        }
+    })
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::new()
+    }
+}
+
+impl Counters {
+    /// An all-zero registry.
+    pub fn new() -> Self {
+        Counters {
+            shards: std::array::from_fn(|_| Shard::new()),
+        }
+    }
+
+    /// Adds `n` to `stat` on the calling thread's shard (relaxed, lock-free).
+    #[inline]
+    pub fn add(&self, stat: Stat, n: u64) {
+        self.shards[my_shard()].slots[stat as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to `stat` on an explicit shard (used by tests).
+    #[inline]
+    pub fn add_on_shard(&self, shard: usize, stat: Stat, n: u64) {
+        self.shards[shard % SHARDS].slots[stat as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The merged value of `stat` across all shards.
+    pub fn sum(&self, stat: Stat) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.slots[stat as usize].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard values of `stat`, in shard order.
+    pub fn shard_values(&self, stat: Stat) -> [u64; SHARDS] {
+        std::array::from_fn(|i| self.shards[i].slots[stat as usize].load(Ordering::Relaxed))
+    }
+
+    /// Merged values for every statistic, in [`Stat::ALL`] order.
+    pub fn snapshot(&self) -> [u64; Stat::COUNT] {
+        std::array::from_fn(|i| self.sum(Stat::ALL[i]))
+    }
+
+    /// Statistics with a non-zero merged value.
+    pub fn nonzero(&self) -> Vec<(Stat, u64)> {
+        Stat::ALL
+            .iter()
+            .map(|&s| (s, self.sum(s)))
+            .filter(|&(_, v)| v != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_all_matches_count_and_indices() {
+        for (i, s) in Stat::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn add_and_sum_round_trip() {
+        let c = Counters::new();
+        c.add(Stat::L2DemandHit, 3);
+        c.add(Stat::L2DemandHit, 4);
+        c.add(Stat::ArmPulls, 1);
+        assert_eq!(c.sum(Stat::L2DemandHit), 7);
+        assert_eq!(c.sum(Stat::ArmPulls), 1);
+        assert_eq!(c.sum(Stat::DramAccess), 0);
+    }
+
+    #[test]
+    fn shards_merge_into_sum() {
+        let c = Counters::new();
+        for shard in 0..SHARDS {
+            c.add_on_shard(shard, Stat::PrefetchIssued, shard as u64 + 1);
+        }
+        let per_shard: u64 = c.shard_values(Stat::PrefetchIssued).iter().sum();
+        assert_eq!(c.sum(Stat::PrefetchIssued), per_shard);
+        assert_eq!(per_shard, (1..=SHARDS as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let c = std::sync::Arc::new(Counters::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(Stat::SmtFetchGrant, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.sum(Stat::SmtFetchGrant), 80_000);
+    }
+}

@@ -1,0 +1,157 @@
+//! Structured telemetry events.
+//!
+//! Two families share the ring buffer:
+//!
+//! - **Bandit events** trace every agent decision (`ArmPulled`,
+//!   `RewardObserved`, `EpochReset`, `QSnapshot`). These are low-frequency
+//!   (one per bandit step) and always logged when a recorder is installed.
+//! - **Simulator probe events** trace individual cache/prefetch/SMT actions.
+//!   They are emitted only when [`crate::RecorderConfig::sim_events`] is set,
+//!   because per-access logging would dominate simulator runtime.
+
+/// Cache hierarchy level, labeling per-level probe events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// Per-core L1 data cache.
+    L1,
+    /// Per-core L2 cache (the bandit's home).
+    L2,
+    /// Shared last-level cache.
+    Llc,
+}
+
+impl CacheLevel {
+    /// Stable lowercase name used by the exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "l1",
+            CacheLevel::L2 => "l2",
+            CacheLevel::Llc => "llc",
+        }
+    }
+}
+
+/// A single structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The agent selected an arm (one per bandit step).
+    ArmPulled {
+        /// Agent identity (its RNG seed — unique per agent in practice).
+        agent: u64,
+        /// Completed agent steps at emission time.
+        step: u64,
+        /// Selected arm index.
+        arm: usize,
+        /// Agent phase: `round_robin`, `main` or `restart_sweep`.
+        phase: &'static str,
+    },
+    /// The agent received a reward for the previously pulled arm.
+    RewardObserved {
+        /// Agent identity.
+        agent: u64,
+        /// Completed agent steps at emission time.
+        step: u64,
+        /// Arm the reward applies to.
+        arm: usize,
+        /// Raw reward (e.g. step IPC).
+        reward: f64,
+        /// Reward after normalization by the agent's running normalizer.
+        normalized: f64,
+    },
+    /// The agent triggered a §4.3 round-robin restart sweep.
+    EpochReset {
+        /// Agent identity.
+        agent: u64,
+        /// Completed agent steps at emission time.
+        step: u64,
+    },
+    /// Periodic snapshot of the agent's learned state.
+    QSnapshot {
+        /// Agent identity.
+        agent: u64,
+        /// Completed agent steps at emission time.
+        step: u64,
+        /// Arm with the highest empirical reward.
+        best_arm: usize,
+        /// That arm's empirical mean reward.
+        best_q: f64,
+        /// Total (possibly discounted) pull mass across arms.
+        n_total: f64,
+    },
+    /// A demand access probed a cache level (sim probe).
+    CacheAccess {
+        /// Cache level probed.
+        level: CacheLevel,
+        /// Core issuing the access.
+        core: usize,
+        /// Line address.
+        line: u64,
+        /// Whether the probe hit.
+        hit: bool,
+        /// Cycle of the access.
+        cycle: u64,
+    },
+    /// A line was filled into a cache level (sim probe).
+    CacheFill {
+        /// Cache level filled.
+        level: CacheLevel,
+        /// Core owning the cache (0 for shared levels).
+        core: usize,
+        /// Line address.
+        line: u64,
+        /// Whether the fill came from a prefetch.
+        prefetch: bool,
+    },
+    /// A prefetch left the queue toward memory (sim probe).
+    PrefetchIssued {
+        /// Core issuing the prefetch.
+        core: usize,
+        /// Target line address.
+        line: u64,
+        /// Cycle of issue.
+        cycle: u64,
+    },
+    /// An SMT fetch slot was granted to a thread this cycle (sim probe).
+    FetchSlotGrant {
+        /// Winning thread index.
+        thread: usize,
+        /// Cycle of the grant.
+        cycle: u64,
+    },
+    /// A thread was gated off fetch by the PG policy this cycle (sim probe).
+    FetchGated {
+        /// Gated thread index.
+        thread: usize,
+        /// Cycle of the decision.
+        cycle: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminant name used by the exporters.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Event::ArmPulled { .. } => "arm_pulled",
+            Event::RewardObserved { .. } => "reward_observed",
+            Event::EpochReset { .. } => "epoch_reset",
+            Event::QSnapshot { .. } => "q_snapshot",
+            Event::CacheAccess { .. } => "cache_access",
+            Event::CacheFill { .. } => "cache_fill",
+            Event::PrefetchIssued { .. } => "prefetch_issued",
+            Event::FetchSlotGrant { .. } => "fetch_slot_grant",
+            Event::FetchGated { .. } => "fetch_gated",
+        }
+    }
+
+    /// True for the high-frequency simulator probe family.
+    pub const fn is_sim_probe(&self) -> bool {
+        matches!(
+            self,
+            Event::CacheAccess { .. }
+                | Event::CacheFill { .. }
+                | Event::PrefetchIssued { .. }
+                | Event::FetchSlotGrant { .. }
+                | Event::FetchGated { .. }
+        )
+    }
+}

@@ -1,0 +1,138 @@
+//! Fixed-capacity ring buffer for structured events.
+//!
+//! The ring keeps the most recent `capacity` events; older events are
+//! overwritten and counted in `dropped`. Every pushed event receives a
+//! monotonically increasing sequence number, so consumers can detect gaps
+//! after wraparound. Pushes take a mutex — events are per-bandit-step (or
+//! explicitly opted-in sim probes), orders of magnitude rarer than counter
+//! bumps, so a short critical section is the right trade.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A sequence-numbered event as stored in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqEvent {
+    /// Global sequence number (0-based, never reused).
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+struct RingInner {
+    buf: VecDeque<SeqEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity, overwrite-oldest event log.
+pub struct EventRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&self, event: Event) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.buf.push_back(SeqEvent { seq, event });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<SeqEvent> {
+        self.inner.lock().unwrap().buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: u64) -> Event {
+        Event::EpochReset { agent: 1, step }
+    }
+
+    #[test]
+    fn retains_in_insertion_order() {
+        let ring = EventRing::new(10);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        let got = ring.events();
+        assert_eq!(got.len(), 5);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.event, ev(i as u64));
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_dropped() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let got = ring.events();
+        assert_eq!(got.len(), 4);
+        // The four newest survive, with contiguous sequence numbers 6..=9.
+        let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.total_pushed(), 10);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.events().len(), 1);
+        assert_eq!(ring.events()[0].seq, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Periodic-summary sink: structured progress lines and end-of-run counter
+//! summaries on stderr.
+//!
+//! This module is deliberately *not* gated by the `on` feature: experiment
+//! binaries route their human-facing progress through it unconditionally
+//! (replacing ad-hoc `eprintln!`), while the counter summaries only have
+//! content when a recorder is installed.
+
+use crate::hist::Hist;
+use crate::Recorder;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Prefix for every line the sink writes, so telemetry output is filterable
+/// from the final result tables on stdout.
+pub const PREFIX: &str = "[mab]";
+
+#[doc(hidden)]
+pub fn progress_line(msg: &str) {
+    eprintln!("{PREFIX} {msg}");
+}
+
+/// Emits one progress line on stderr, prefixed with [`PREFIX`].
+#[macro_export]
+macro_rules! progress {
+    ($($fmt:tt)*) => {
+        $crate::summary::progress_line(&format!($($fmt)*))
+    };
+}
+
+/// Emits periodic and final counter/histogram summaries.
+pub struct SummarySink {
+    /// Emit a periodic summary every `every` ticks (0 disables periodic
+    /// output; the final summary is always available).
+    every: u64,
+    ticks: AtomicU64,
+}
+
+impl SummarySink {
+    /// A sink summarizing every `every` calls to [`SummarySink::tick`].
+    pub fn new(every: u64) -> Self {
+        SummarySink {
+            every,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Signals one unit of progress; emits a summary at the configured
+    /// cadence. Returns true when a summary was written.
+    pub fn tick(&self, rec: &Recorder) -> bool {
+        let n = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.every != 0 && n.is_multiple_of(self.every) {
+            self.write_summary(rec, &mut std::io::stderr().lock()).ok();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Writes the end-of-run summary to stderr.
+    pub fn finish(&self, rec: &Recorder) {
+        self.write_summary(rec, &mut std::io::stderr().lock()).ok();
+    }
+
+    /// Writes non-zero counters and non-empty histograms to `w`.
+    pub fn write_summary<W: Write>(&self, rec: &Recorder, w: &mut W) -> std::io::Result<()> {
+        let nonzero = rec.counters().nonzero();
+        if nonzero.is_empty() && Hist::ALL.iter().all(|&h| rec.hist(h).count() == 0) {
+            writeln!(w, "{PREFIX} telemetry: no samples recorded")?;
+            return Ok(());
+        }
+        writeln!(w, "{PREFIX} telemetry summary:")?;
+        for (stat, value) in nonzero {
+            writeln!(w, "{PREFIX}   {:<22} {value}", stat.name())?;
+        }
+        for h in Hist::ALL {
+            let hist = rec.hist(h);
+            if hist.count() != 0 {
+                writeln!(
+                    w,
+                    "{PREFIX}   {:<22} n={} mean={:.4} p50={:.4} p99={:.4}",
+                    h.name(),
+                    hist.count(),
+                    rec.hist_display(h, hist.mean()),
+                    rec.hist_display(h, hist.percentile(0.5) as f64),
+                    rec.hist_display(h, hist.percentile(0.99) as f64),
+                )?;
+            }
+        }
+        let ring = rec.ring();
+        writeln!(
+            w,
+            "{PREFIX}   events: {} retained, {} dropped, {} total",
+            ring.len(),
+            ring.dropped(),
+            ring.total_pushed()
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Stat;
+    use crate::{Recorder, RecorderConfig};
+
+    #[test]
+    fn summary_lists_nonzero_counters_only() {
+        let rec = Recorder::new(RecorderConfig::default());
+        rec.counters().add(Stat::ArmPulls, 5);
+        rec.hist(Hist::Reward).record_f64(1.0);
+        let sink = SummarySink::new(0);
+        let mut out = Vec::new();
+        sink.write_summary(&rec, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("arm_pulls"), "{text}");
+        assert!(text.contains("reward"), "{text}");
+        assert!(!text.contains("dram_access"), "{text}");
+    }
+
+    #[test]
+    fn tick_summarizes_at_cadence() {
+        let rec = Recorder::new(RecorderConfig::default());
+        let sink = SummarySink::new(3);
+        assert!(!sink.tick(&rec));
+        assert!(!sink.tick(&rec));
+        assert!(sink.tick(&rec));
+    }
+
+    #[test]
+    fn empty_recorder_reports_no_samples() {
+        let rec = Recorder::new(RecorderConfig::default());
+        let sink = SummarySink::new(0);
+        let mut out = Vec::new();
+        sink.write_summary(&rec, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no samples"), "{text}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the counter and histogram registries.
+//!
+//! The sharded counters and log2 histograms are the pieces of the telemetry
+//! layer whose invariants hold over *every* input sequence, so they are
+//! checked with randomized inputs rather than hand-picked cases.
+
+use mab_telemetry::counters::SHARDS;
+use mab_telemetry::hist::BUCKETS;
+use mab_telemetry::{Counters, Histogram, Stat};
+use proptest::prelude::*;
+
+proptest! {
+    /// The merged view of a counter equals the sum over its per-shard
+    /// values, no matter how adds are spread across shards and stats.
+    #[test]
+    fn merged_counters_equal_per_shard_sums(
+        ops in prop::collection::vec(
+            (0usize..SHARDS * 2, 0usize..Stat::COUNT, 0u64..1_000),
+            0..200,
+        ),
+    ) {
+        let c = Counters::new();
+        let mut expected = [0u64; Stat::COUNT];
+        for &(shard, stat, n) in &ops {
+            c.add_on_shard(shard, Stat::ALL[stat], n);
+            expected[stat] += n;
+        }
+        for stat in Stat::ALL {
+            let per_shard: u64 = c.shard_values(stat).iter().sum();
+            prop_assert_eq!(c.sum(stat), per_shard);
+            prop_assert_eq!(c.sum(stat), expected[stat as usize]);
+        }
+        let snapshot = c.snapshot();
+        prop_assert_eq!(snapshot, expected);
+        for (stat, value) in c.nonzero() {
+            prop_assert_eq!(value, expected[stat as usize]);
+            prop_assert_ne!(value, 0);
+        }
+    }
+
+    /// Percentile queries are monotone in the requested quantile, bracket
+    /// the recorded values, and the count matches the number of records.
+    #[test]
+    fn histogram_percentiles_are_monotone(
+        values in prop::collection::vec(0u64..1_000_000_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+
+        let grid = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &p in &grid {
+            let q = h.percentile(p);
+            prop_assert!(q >= prev, "percentile({}) = {} < {}", p, q, prev);
+            prev = q;
+        }
+        // The top percentile's bucket upper bound covers the maximum value,
+        // and no percentile exceeds that bucket's bound.
+        let max = *values.iter().max().unwrap();
+        prop_assert!(h.percentile(1.0) >= max);
+    }
+
+    /// Merging one histogram into another adds counts, sums and buckets.
+    #[test]
+    fn histogram_merge_adds_counts(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ha.bucket_counts(), hall.bucket_counts());
+        let grid = [0.25, 0.5, 0.9, 0.99];
+        for &p in &grid {
+            prop_assert_eq!(ha.percentile(p), hall.percentile(p));
+        }
+        prop_assert_eq!(ha.bucket_counts().len(), BUCKETS);
+    }
+}

@@ -1,6 +1,8 @@
 //! Synthetic applications: named pattern mixes with phase schedules.
 
-use crate::patterns::{HotCold, Pattern, PointerChase, RegionFootprint, Stream, Strided, UniformRandom};
+use crate::patterns::{
+    HotCold, Pattern, PointerChase, RegionFootprint, Stream, Strided, UniformRandom,
+};
 use crate::suites::Suite;
 use crate::trace::{MemKind, TraceRecord, LINE_BYTES};
 use rand::rngs::StdRng;
@@ -64,19 +66,33 @@ pub enum PatternSpec {
 impl PatternSpec {
     fn streams(&self) -> u32 {
         match *self {
-            PatternSpec::Stream { streams, .. } | PatternSpec::Stride { streams, .. } => streams.max(1),
+            PatternSpec::Stream { streams, .. } | PatternSpec::Stride { streams, .. } => {
+                streams.max(1)
+            }
             _ => 1,
         }
     }
 
     fn footprint(&self) -> u64 {
         match *self {
-            PatternSpec::Stream { footprint_lines, .. }
-            | PatternSpec::Stride { footprint_lines, .. }
+            PatternSpec::Stream {
+                footprint_lines, ..
+            }
+            | PatternSpec::Stride {
+                footprint_lines, ..
+            }
             | PatternSpec::PointerChase { footprint_lines }
             | PatternSpec::Random { footprint_lines } => footprint_lines,
-            PatternSpec::Region { region_lines, regions, .. } => region_lines as u64 * regions,
-            PatternSpec::HotCold { hot_lines, cold_lines, .. } => hot_lines + cold_lines,
+            PatternSpec::Region {
+                region_lines,
+                regions,
+                ..
+            } => region_lines as u64 * regions,
+            PatternSpec::HotCold {
+                hot_lines,
+                cold_lines,
+                ..
+            } => hot_lines + cold_lines,
         }
     }
 
@@ -99,20 +115,37 @@ impl PatternSpec {
 
     fn instantiate(&self, base: u64, salt: u64) -> Box<dyn Pattern + Send> {
         match *self {
-            PatternSpec::Stream { footprint_lines, .. } => Box::new(Stream::new(base, footprint_lines)),
-            PatternSpec::Stride { stride, footprint_lines, .. } => {
-                Box::new(Strided::new(base, stride, footprint_lines))
-            }
-            PatternSpec::Region { region_lines, regions, density } => {
-                Box::new(RegionFootprint::new(base, region_lines, regions, density, false, salt))
-            }
+            PatternSpec::Stream {
+                footprint_lines, ..
+            } => Box::new(Stream::new(base, footprint_lines)),
+            PatternSpec::Stride {
+                stride,
+                footprint_lines,
+                ..
+            } => Box::new(Strided::new(base, stride, footprint_lines)),
+            PatternSpec::Region {
+                region_lines,
+                regions,
+                density,
+            } => Box::new(RegionFootprint::new(
+                base,
+                region_lines,
+                regions,
+                density,
+                false,
+                salt,
+            )),
             PatternSpec::PointerChase { footprint_lines } => {
                 Box::new(PointerChase::new(base, footprint_lines, salt))
             }
-            PatternSpec::Random { footprint_lines } => Box::new(UniformRandom::new(base, footprint_lines)),
-            PatternSpec::HotCold { hot_lines, cold_lines, hot_frac } => {
-                Box::new(HotCold::new(base, hot_lines, cold_lines, hot_frac))
+            PatternSpec::Random { footprint_lines } => {
+                Box::new(UniformRandom::new(base, footprint_lines))
             }
+            PatternSpec::HotCold {
+                hot_lines,
+                cold_lines,
+                hot_frac,
+            } => Box::new(HotCold::new(base, hot_lines, cold_lines, hot_frac)),
         }
     }
 }
@@ -371,8 +404,21 @@ mod tests {
             Suite::Spec06Like,
             9,
             vec![
-                PhaseSpec::single(PatternSpec::Stream { footprint_lines: 1024, streams: 1 }, 0.4, 1000),
-                PhaseSpec::single(PatternSpec::PointerChase { footprint_lines: 1024 }, 0.4, 1000),
+                PhaseSpec::single(
+                    PatternSpec::Stream {
+                        footprint_lines: 1024,
+                        streams: 1,
+                    },
+                    0.4,
+                    1000,
+                ),
+                PhaseSpec::single(
+                    PatternSpec::PointerChase {
+                        footprint_lines: 1024,
+                    },
+                    0.4,
+                    1000,
+                ),
             ],
         )
     }
@@ -384,7 +430,13 @@ mod tests {
             Suite::Spec06Like,
             1,
             vec![PhaseSpec {
-                patterns: vec![(PatternSpec::Stream { footprint_lines: 64, streams: 1 }, 1.0)],
+                patterns: vec![(
+                    PatternSpec::Stream {
+                        footprint_lines: 64,
+                        streams: 1,
+                    },
+                    1.0,
+                )],
                 mem_ratio: 0.3,
                 store_frac: 0.5,
                 branch_ratio: 0.2,
@@ -449,8 +501,19 @@ mod tests {
             2,
             vec![PhaseSpec {
                 patterns: vec![
-                    (PatternSpec::Stream { footprint_lines: 256, streams: 2 }, 0.5),
-                    (PatternSpec::Random { footprint_lines: 256 }, 0.5),
+                    (
+                        PatternSpec::Stream {
+                            footprint_lines: 256,
+                            streams: 2,
+                        },
+                        0.5,
+                    ),
+                    (
+                        PatternSpec::Random {
+                            footprint_lines: 256,
+                        },
+                        0.5,
+                    ),
                 ],
                 mem_ratio: 1.0,
                 store_frac: 0.0,

@@ -95,7 +95,14 @@ impl RegionFootprint {
     /// Creates a footprint walker over `regions` regions of `region_lines`
     /// lines each, where roughly `density` (0–1) of each region's lines are
     /// touched per visit.
-    pub fn new(base: u64, region_lines: u32, regions: u64, density: f64, sequential: bool, salt: u64) -> Self {
+    pub fn new(
+        base: u64,
+        region_lines: u32,
+        regions: u64,
+        density: f64,
+        sequential: bool,
+        salt: u64,
+    ) -> Self {
         RegionFootprint {
             base,
             region_lines: region_lines.max(1),
@@ -325,7 +332,10 @@ mod tests {
         let pass: Vec<u64> = first.iter().copied().filter(|&l| l < 32).collect();
         let half = pass.len() / 2;
         assert!(half > 2);
-        assert_eq!(&pass[..half.min(pass.len() - half)], &pass[half..half + half.min(pass.len() - half)]);
+        assert_eq!(
+            &pass[..half.min(pass.len() - half)],
+            &pass[half..half + half.min(pass.len() - half)]
+        );
     }
 
     #[test]

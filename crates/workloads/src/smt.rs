@@ -182,6 +182,7 @@ impl Iterator for ThreadGen {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spec(
     name: &str,
     load: f64,
@@ -215,28 +216,122 @@ fn spec(
 pub fn smt_apps() -> Vec<ThreadSpec> {
     vec![
         //                 load  store branch mispr dep   l1    l2    stMem lAlu  fp
-        spec("gcc",        0.25, 0.12, 0.22,  0.06, 3.0,  0.85, 0.12, 0.05, 0.02, 0.05),
-        spec("lbm",        0.24, 0.28, 0.03,  0.01, 6.0,  0.55, 0.15, 0.85, 0.10, 0.80),
-        spec("mcf",        0.35, 0.09, 0.20,  0.08, 1.8,  0.55, 0.15, 0.10, 0.01, 0.02),
-        spec("cactus",     0.30, 0.14, 0.04,  0.01, 5.0,  0.70, 0.20, 0.30, 0.30, 0.90),
-        spec("xalancbmk",  0.30, 0.10, 0.24,  0.05, 2.5,  0.80, 0.12, 0.08, 0.01, 0.02),
-        spec("deepsjeng",  0.22, 0.10, 0.20,  0.07, 3.5,  0.92, 0.06, 0.03, 0.02, 0.01),
-        spec("exchange2",  0.15, 0.08, 0.20,  0.03, 4.5,  0.97, 0.02, 0.01, 0.01, 0.01),
-        spec("fotonik3d",  0.30, 0.14, 0.02,  0.01, 6.5,  0.50, 0.20, 0.60, 0.15, 0.90),
-        spec("roms",       0.31, 0.13, 0.04,  0.01, 5.5,  0.65, 0.20, 0.40, 0.20, 0.90),
-        spec("xz",         0.24, 0.10, 0.14,  0.05, 2.8,  0.75, 0.15, 0.15, 0.02, 0.02),
-        spec("wrf",        0.29, 0.13, 0.06,  0.02, 5.0,  0.70, 0.18, 0.30, 0.25, 0.85),
-        spec("x264",       0.26, 0.10, 0.08,  0.03, 4.5,  0.88, 0.08, 0.10, 0.08, 0.30),
-        spec("perlbench",  0.26, 0.12, 0.22,  0.04, 3.0,  0.90, 0.07, 0.04, 0.01, 0.02),
-        spec("omnetpp",    0.30, 0.12, 0.20,  0.05, 2.2,  0.70, 0.15, 0.10, 0.01, 0.03),
-        spec("leela",      0.22, 0.10, 0.18,  0.08, 3.2,  0.90, 0.07, 0.03, 0.02, 0.05),
-        spec("nab",        0.28, 0.12, 0.05,  0.02, 4.8,  0.85, 0.10, 0.15, 0.25, 0.85),
-        spec("bwaves",     0.32, 0.12, 0.03,  0.01, 6.0,  0.60, 0.22, 0.50, 0.20, 0.92),
-        spec("pop2",       0.28, 0.13, 0.07,  0.02, 4.5,  0.72, 0.16, 0.25, 0.20, 0.85),
-        spec("imagick",    0.24, 0.10, 0.05,  0.02, 5.5,  0.93, 0.05, 0.05, 0.15, 0.70),
-        spec("povray",     0.23, 0.11, 0.12,  0.04, 4.0,  0.94, 0.04, 0.03, 0.20, 0.60),
-        spec("cam4",       0.27, 0.12, 0.08,  0.03, 4.5,  0.75, 0.15, 0.20, 0.15, 0.80),
-        spec("blender",    0.25, 0.11, 0.10,  0.04, 4.2,  0.85, 0.10, 0.10, 0.12, 0.60),
+        spec(
+            "gcc", 0.25, 0.12, 0.22, 0.06, 3.0, 0.85, 0.12, 0.05, 0.02, 0.05,
+        ),
+        spec(
+            "lbm", 0.24, 0.28, 0.03, 0.01, 6.0, 0.55, 0.15, 0.85, 0.10, 0.80,
+        ),
+        spec(
+            "mcf", 0.35, 0.09, 0.20, 0.08, 1.8, 0.55, 0.15, 0.10, 0.01, 0.02,
+        ),
+        spec(
+            "cactus", 0.30, 0.14, 0.04, 0.01, 5.0, 0.70, 0.20, 0.30, 0.30, 0.90,
+        ),
+        spec(
+            "xalancbmk",
+            0.30,
+            0.10,
+            0.24,
+            0.05,
+            2.5,
+            0.80,
+            0.12,
+            0.08,
+            0.01,
+            0.02,
+        ),
+        spec(
+            "deepsjeng",
+            0.22,
+            0.10,
+            0.20,
+            0.07,
+            3.5,
+            0.92,
+            0.06,
+            0.03,
+            0.02,
+            0.01,
+        ),
+        spec(
+            "exchange2",
+            0.15,
+            0.08,
+            0.20,
+            0.03,
+            4.5,
+            0.97,
+            0.02,
+            0.01,
+            0.01,
+            0.01,
+        ),
+        spec(
+            "fotonik3d",
+            0.30,
+            0.14,
+            0.02,
+            0.01,
+            6.5,
+            0.50,
+            0.20,
+            0.60,
+            0.15,
+            0.90,
+        ),
+        spec(
+            "roms", 0.31, 0.13, 0.04, 0.01, 5.5, 0.65, 0.20, 0.40, 0.20, 0.90,
+        ),
+        spec(
+            "xz", 0.24, 0.10, 0.14, 0.05, 2.8, 0.75, 0.15, 0.15, 0.02, 0.02,
+        ),
+        spec(
+            "wrf", 0.29, 0.13, 0.06, 0.02, 5.0, 0.70, 0.18, 0.30, 0.25, 0.85,
+        ),
+        spec(
+            "x264", 0.26, 0.10, 0.08, 0.03, 4.5, 0.88, 0.08, 0.10, 0.08, 0.30,
+        ),
+        spec(
+            "perlbench",
+            0.26,
+            0.12,
+            0.22,
+            0.04,
+            3.0,
+            0.90,
+            0.07,
+            0.04,
+            0.01,
+            0.02,
+        ),
+        spec(
+            "omnetpp", 0.30, 0.12, 0.20, 0.05, 2.2, 0.70, 0.15, 0.10, 0.01, 0.03,
+        ),
+        spec(
+            "leela", 0.22, 0.10, 0.18, 0.08, 3.2, 0.90, 0.07, 0.03, 0.02, 0.05,
+        ),
+        spec(
+            "nab", 0.28, 0.12, 0.05, 0.02, 4.8, 0.85, 0.10, 0.15, 0.25, 0.85,
+        ),
+        spec(
+            "bwaves", 0.32, 0.12, 0.03, 0.01, 6.0, 0.60, 0.22, 0.50, 0.20, 0.92,
+        ),
+        spec(
+            "pop2", 0.28, 0.13, 0.07, 0.02, 4.5, 0.72, 0.16, 0.25, 0.20, 0.85,
+        ),
+        spec(
+            "imagick", 0.24, 0.10, 0.05, 0.02, 5.5, 0.93, 0.05, 0.05, 0.15, 0.70,
+        ),
+        spec(
+            "povray", 0.23, 0.11, 0.12, 0.04, 4.0, 0.94, 0.04, 0.03, 0.20, 0.60,
+        ),
+        spec(
+            "cam4", 0.27, 0.12, 0.08, 0.03, 4.5, 0.75, 0.15, 0.20, 0.15, 0.80,
+        ),
+        spec(
+            "blender", 0.25, 0.11, 0.10, 0.04, 4.2, 0.85, 0.10, 0.10, 0.12, 0.60,
+        ),
     ]
 }
 
@@ -295,7 +390,10 @@ mod tests {
     fn instruction_mix_matches_spec() {
         let gcc = thread_by_name("gcc").unwrap();
         let instrs: Vec<_> = gcc.stream(3).take(50_000).collect();
-        let loads = instrs.iter().filter(|i| matches!(i.kind, SmtOpKind::Load(_))).count() as f64;
+        let loads = instrs
+            .iter()
+            .filter(|i| matches!(i.kind, SmtOpKind::Load(_)))
+            .count() as f64;
         let branches = instrs
             .iter()
             .filter(|i| matches!(i.kind, SmtOpKind::Branch { .. }))
@@ -309,7 +407,11 @@ mod tests {
     fn mcf_is_more_serial_than_lbm() {
         let mean_dep = |name: &str| {
             let t = thread_by_name(name).unwrap();
-            let sum: u32 = t.stream(1).take(20_000).map(|i| i.dep_distance as u32).sum();
+            let sum: u32 = t
+                .stream(1)
+                .take(20_000)
+                .map(|i| i.dep_distance as u32)
+                .sum();
             sum as f64 / 20_000.0
         };
         assert!(mean_dep("mcf") < mean_dep("lbm"));
@@ -318,11 +420,14 @@ mod tests {
     #[test]
     fn lbm_stores_mostly_miss_to_memory() {
         let lbm = thread_by_name("lbm").unwrap();
-        let (mem, total) = lbm.stream(1).take(50_000).fold((0u32, 0u32), |(m, t), i| match i.kind {
-            SmtOpKind::Store(MemClass::Mem) => (m + 1, t + 1),
-            SmtOpKind::Store(_) => (m, t + 1),
-            _ => (m, t),
-        });
+        let (mem, total) =
+            lbm.stream(1)
+                .take(50_000)
+                .fold((0u32, 0u32), |(m, t), i| match i.kind {
+                    SmtOpKind::Store(MemClass::Mem) => (m + 1, t + 1),
+                    SmtOpKind::Store(_) => (m, t + 1),
+                    _ => (m, t),
+                });
         assert!(mem as f64 / total as f64 > 0.7);
     }
 

@@ -82,44 +82,239 @@ fn spec06() -> Vec<AppSpec> {
             Suite::Spec06Like,
             101,
             vec![
-                PhaseSpec { len: 2 * PHASE_LEN, ..phase(vec![(PointerChase { footprint_lines: 1 << 18 }, 1.0)], 0.30, 0.15, 0.20) },
-                PhaseSpec { len: 2 * PHASE_LEN, ..phase(vec![
-                    (Stride { stride: 2, footprint_lines: 1 << 15, streams: 2 }, 0.7),
-                    (PointerChase { footprint_lines: 1 << 14 }, 0.3),
-                ], 0.30, 0.15, 0.20) },
+                PhaseSpec {
+                    len: 2 * PHASE_LEN,
+                    ..phase(
+                        vec![(
+                            PointerChase {
+                                footprint_lines: 1 << 18,
+                            },
+                            1.0,
+                        )],
+                        0.30,
+                        0.15,
+                        0.20,
+                    )
+                },
+                PhaseSpec {
+                    len: 2 * PHASE_LEN,
+                    ..phase(
+                        vec![
+                            (
+                                Stride {
+                                    stride: 2,
+                                    footprint_lines: 1 << 15,
+                                    streams: 2,
+                                },
+                                0.7,
+                            ),
+                            (
+                                PointerChase {
+                                    footprint_lines: 1 << 14,
+                                },
+                                0.3,
+                            ),
+                        ],
+                        0.30,
+                        0.15,
+                        0.20,
+                    )
+                },
             ],
         ),
-        app("libquantum", Suite::Spec06Like, 102, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 17, streams: 1 }, 1.0)], 0.35, 0.20, 0.10),
-        ]),
-        app("lbm", Suite::Spec06Like, 103, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 17, streams: 4 }, 1.0)], 0.38, 0.45, 0.05),
-        ]),
-        app("milc", Suite::Spec06Like, 104, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 16, streams: 2 }, 0.8),
-                       (Random { footprint_lines: 1 << 13 }, 0.2)], 0.32, 0.25, 0.08),
-        ]),
-        app("cactus", Suite::Spec06Like, 105, vec![
-            phase(vec![(Stride { stride: 4, footprint_lines: 1 << 16, streams: 4 }, 1.0)], 0.30, 0.25, 0.05),
-        ]),
-        app("soplex", Suite::Spec06Like, 106, vec![
-            phase(vec![(Region { region_lines: 64, regions: 2048, density: 0.4 }, 0.8),
-                       (Stride { stride: 8, footprint_lines: 1 << 14, streams: 2 }, 0.2)], 0.30, 0.20, 0.15),
-        ]),
-        app("gcc", Suite::Spec06Like, 107, vec![
-            phase(vec![(HotCold { hot_lines: 256, cold_lines: 1 << 14, hot_frac: 0.7 }, 1.0)], 0.20, 0.30, 0.25),
-        ]),
-        app("omnetpp", Suite::Spec06Like, 108, vec![
-            phase(vec![(PointerChase { footprint_lines: 1 << 16 }, 0.8),
-                       (HotCold { hot_lines: 512, cold_lines: 1 << 12, hot_frac: 0.6 }, 0.2)], 0.26, 0.25, 0.20),
-        ]),
-        app("bzip2", Suite::Spec06Like, 109, vec![
-            phase(vec![(Stride { stride: 1, footprint_lines: 1 << 14, streams: 2 }, 0.6),
-                       (Random { footprint_lines: 1 << 13 }, 0.4)], 0.25, 0.30, 0.18),
-        ]),
-        app("hmmer", Suite::Spec06Like, 110, vec![
-            phase(vec![(HotCold { hot_lines: 128, cold_lines: 2048, hot_frac: 0.9 }, 1.0)], 0.20, 0.20, 0.10),
-        ]),
+        app(
+            "libquantum",
+            Suite::Spec06Like,
+            102,
+            vec![phase(
+                vec![(
+                    Stream {
+                        footprint_lines: 1 << 17,
+                        streams: 1,
+                    },
+                    1.0,
+                )],
+                0.35,
+                0.20,
+                0.10,
+            )],
+        ),
+        app(
+            "lbm",
+            Suite::Spec06Like,
+            103,
+            vec![phase(
+                vec![(
+                    Stream {
+                        footprint_lines: 1 << 17,
+                        streams: 4,
+                    },
+                    1.0,
+                )],
+                0.38,
+                0.45,
+                0.05,
+            )],
+        ),
+        app(
+            "milc",
+            Suite::Spec06Like,
+            104,
+            vec![phase(
+                vec![
+                    (
+                        Stream {
+                            footprint_lines: 1 << 16,
+                            streams: 2,
+                        },
+                        0.8,
+                    ),
+                    (
+                        Random {
+                            footprint_lines: 1 << 13,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.32,
+                0.25,
+                0.08,
+            )],
+        ),
+        app(
+            "cactus",
+            Suite::Spec06Like,
+            105,
+            vec![phase(
+                vec![(
+                    Stride {
+                        stride: 4,
+                        footprint_lines: 1 << 16,
+                        streams: 4,
+                    },
+                    1.0,
+                )],
+                0.30,
+                0.25,
+                0.05,
+            )],
+        ),
+        app(
+            "soplex",
+            Suite::Spec06Like,
+            106,
+            vec![phase(
+                vec![
+                    (
+                        Region {
+                            region_lines: 64,
+                            regions: 2048,
+                            density: 0.4,
+                        },
+                        0.8,
+                    ),
+                    (
+                        Stride {
+                            stride: 8,
+                            footprint_lines: 1 << 14,
+                            streams: 2,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.30,
+                0.20,
+                0.15,
+            )],
+        ),
+        app(
+            "gcc",
+            Suite::Spec06Like,
+            107,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 256,
+                        cold_lines: 1 << 14,
+                        hot_frac: 0.7,
+                    },
+                    1.0,
+                )],
+                0.20,
+                0.30,
+                0.25,
+            )],
+        ),
+        app(
+            "omnetpp",
+            Suite::Spec06Like,
+            108,
+            vec![phase(
+                vec![
+                    (
+                        PointerChase {
+                            footprint_lines: 1 << 16,
+                        },
+                        0.8,
+                    ),
+                    (
+                        HotCold {
+                            hot_lines: 512,
+                            cold_lines: 1 << 12,
+                            hot_frac: 0.6,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.26,
+                0.25,
+                0.20,
+            )],
+        ),
+        app(
+            "bzip2",
+            Suite::Spec06Like,
+            109,
+            vec![phase(
+                vec![
+                    (
+                        Stride {
+                            stride: 1,
+                            footprint_lines: 1 << 14,
+                            streams: 2,
+                        },
+                        0.6,
+                    ),
+                    (
+                        Random {
+                            footprint_lines: 1 << 13,
+                        },
+                        0.4,
+                    ),
+                ],
+                0.25,
+                0.30,
+                0.18,
+            )],
+        ),
+        app(
+            "hmmer",
+            Suite::Spec06Like,
+            110,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 128,
+                        cold_lines: 2048,
+                        hot_frac: 0.9,
+                    },
+                    1.0,
+                )],
+                0.20,
+                0.20,
+                0.10,
+            )],
+        ),
     ]
 }
 
@@ -127,55 +322,292 @@ fn spec06() -> Vec<AppSpec> {
 fn spec17() -> Vec<AppSpec> {
     use PatternSpec::*;
     vec![
-        app("gcc17", Suite::Spec17Like, 201, vec![
-            phase(vec![(HotCold { hot_lines: 512, cold_lines: 1 << 14, hot_frac: 0.65 }, 1.0)], 0.22, 0.30, 0.24),
-        ]),
-        app("lbm17", Suite::Spec17Like, 202, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 17, streams: 6 }, 1.0)], 0.40, 0.48, 0.04),
-        ]),
+        app(
+            "gcc17",
+            Suite::Spec17Like,
+            201,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 512,
+                        cold_lines: 1 << 14,
+                        hot_frac: 0.65,
+                    },
+                    1.0,
+                )],
+                0.22,
+                0.30,
+                0.24,
+            )],
+        ),
+        app(
+            "lbm17",
+            Suite::Spec17Like,
+            202,
+            vec![phase(
+                vec![(
+                    Stream {
+                        footprint_lines: 1 << 17,
+                        streams: 6,
+                    },
+                    1.0,
+                )],
+                0.40,
+                0.48,
+                0.04,
+            )],
+        ),
         // mcf17: phased like mcf but with a different second phase.
         app(
             "mcf17",
             Suite::Spec17Like,
             203,
             vec![
-                PhaseSpec { len: 2 * PHASE_LEN, ..phase(vec![(PointerChase { footprint_lines: 1 << 18 }, 0.9),
-                    (Stream { footprint_lines: 1 << 12, streams: 1 }, 0.1)], 0.30, 0.18, 0.22) },
-                PhaseSpec { len: PHASE_LEN, ..phase(vec![(Stream { footprint_lines: 1 << 16, streams: 2 }, 1.0)], 0.32, 0.18, 0.12) },
+                PhaseSpec {
+                    len: 2 * PHASE_LEN,
+                    ..phase(
+                        vec![
+                            (
+                                PointerChase {
+                                    footprint_lines: 1 << 18,
+                                },
+                                0.9,
+                            ),
+                            (
+                                Stream {
+                                    footprint_lines: 1 << 12,
+                                    streams: 1,
+                                },
+                                0.1,
+                            ),
+                        ],
+                        0.30,
+                        0.18,
+                        0.22,
+                    )
+                },
+                PhaseSpec {
+                    len: PHASE_LEN,
+                    ..phase(
+                        vec![(
+                            Stream {
+                                footprint_lines: 1 << 16,
+                                streams: 2,
+                            },
+                            1.0,
+                        )],
+                        0.32,
+                        0.18,
+                        0.12,
+                    )
+                },
             ],
         ),
-        app("cactuBSSN", Suite::Spec17Like, 204, vec![
-            phase(vec![(Stride { stride: 4, footprint_lines: 1 << 16, streams: 6 }, 1.0)], 0.30, 0.28, 0.04),
-        ]),
-        app("xalancbmk", Suite::Spec17Like, 205, vec![
-            phase(vec![(Region { region_lines: 64, regions: 4096, density: 0.35 }, 0.7),
-                       (PointerChase { footprint_lines: 1 << 13 }, 0.3)], 0.26, 0.22, 0.22),
-        ]),
-        app("deepsjeng", Suite::Spec17Like, 206, vec![
-            phase(vec![(HotCold { hot_lines: 256, cold_lines: 1 << 13, hot_frac: 0.8 }, 1.0)], 0.18, 0.25, 0.22),
-        ]),
-        app("exchange2", Suite::Spec17Like, 207, vec![
-            phase(vec![(HotCold { hot_lines: 64, cold_lines: 512, hot_frac: 0.95 }, 1.0)], 0.08, 0.20, 0.20),
-        ]),
-        app("fotonik3d", Suite::Spec17Like, 208, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 17, streams: 3 }, 1.0)], 0.36, 0.30, 0.03),
-        ]),
-        app("roms", Suite::Spec17Like, 209, vec![
-            phase(vec![(Stride { stride: 2, footprint_lines: 1 << 16, streams: 4 }, 0.8),
-                       (Stream { footprint_lines: 1 << 15, streams: 1 }, 0.2)], 0.33, 0.30, 0.05),
-        ]),
-        app("xz", Suite::Spec17Like, 210, vec![
-            phase(vec![(Random { footprint_lines: 1 << 14 }, 0.5),
-                       (Stride { stride: 1, footprint_lines: 1 << 13, streams: 2 }, 0.5)], 0.24, 0.30, 0.15),
-        ]),
-        app("wrf", Suite::Spec17Like, 211, vec![
-            phase(vec![(Region { region_lines: 64, regions: 2048, density: 0.5 }, 0.5),
-                       (Stride { stride: 8, footprint_lines: 1 << 15, streams: 2 }, 0.5)], 0.30, 0.28, 0.08),
-        ]),
-        app("x264", Suite::Spec17Like, 212, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 13, streams: 2 }, 0.6),
-                       (HotCold { hot_lines: 512, cold_lines: 1 << 12, hot_frac: 0.7 }, 0.4)], 0.22, 0.30, 0.12),
-        ]),
+        app(
+            "cactuBSSN",
+            Suite::Spec17Like,
+            204,
+            vec![phase(
+                vec![(
+                    Stride {
+                        stride: 4,
+                        footprint_lines: 1 << 16,
+                        streams: 6,
+                    },
+                    1.0,
+                )],
+                0.30,
+                0.28,
+                0.04,
+            )],
+        ),
+        app(
+            "xalancbmk",
+            Suite::Spec17Like,
+            205,
+            vec![phase(
+                vec![
+                    (
+                        Region {
+                            region_lines: 64,
+                            regions: 4096,
+                            density: 0.35,
+                        },
+                        0.7,
+                    ),
+                    (
+                        PointerChase {
+                            footprint_lines: 1 << 13,
+                        },
+                        0.3,
+                    ),
+                ],
+                0.26,
+                0.22,
+                0.22,
+            )],
+        ),
+        app(
+            "deepsjeng",
+            Suite::Spec17Like,
+            206,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 256,
+                        cold_lines: 1 << 13,
+                        hot_frac: 0.8,
+                    },
+                    1.0,
+                )],
+                0.18,
+                0.25,
+                0.22,
+            )],
+        ),
+        app(
+            "exchange2",
+            Suite::Spec17Like,
+            207,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 64,
+                        cold_lines: 512,
+                        hot_frac: 0.95,
+                    },
+                    1.0,
+                )],
+                0.08,
+                0.20,
+                0.20,
+            )],
+        ),
+        app(
+            "fotonik3d",
+            Suite::Spec17Like,
+            208,
+            vec![phase(
+                vec![(
+                    Stream {
+                        footprint_lines: 1 << 17,
+                        streams: 3,
+                    },
+                    1.0,
+                )],
+                0.36,
+                0.30,
+                0.03,
+            )],
+        ),
+        app(
+            "roms",
+            Suite::Spec17Like,
+            209,
+            vec![phase(
+                vec![
+                    (
+                        Stride {
+                            stride: 2,
+                            footprint_lines: 1 << 16,
+                            streams: 4,
+                        },
+                        0.8,
+                    ),
+                    (
+                        Stream {
+                            footprint_lines: 1 << 15,
+                            streams: 1,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.33,
+                0.30,
+                0.05,
+            )],
+        ),
+        app(
+            "xz",
+            Suite::Spec17Like,
+            210,
+            vec![phase(
+                vec![
+                    (
+                        Random {
+                            footprint_lines: 1 << 14,
+                        },
+                        0.5,
+                    ),
+                    (
+                        Stride {
+                            stride: 1,
+                            footprint_lines: 1 << 13,
+                            streams: 2,
+                        },
+                        0.5,
+                    ),
+                ],
+                0.24,
+                0.30,
+                0.15,
+            )],
+        ),
+        app(
+            "wrf",
+            Suite::Spec17Like,
+            211,
+            vec![phase(
+                vec![
+                    (
+                        Region {
+                            region_lines: 64,
+                            regions: 2048,
+                            density: 0.5,
+                        },
+                        0.5,
+                    ),
+                    (
+                        Stride {
+                            stride: 8,
+                            footprint_lines: 1 << 15,
+                            streams: 2,
+                        },
+                        0.5,
+                    ),
+                ],
+                0.30,
+                0.28,
+                0.08,
+            )],
+        ),
+        app(
+            "x264",
+            Suite::Spec17Like,
+            212,
+            vec![phase(
+                vec![
+                    (
+                        Stream {
+                            footprint_lines: 1 << 13,
+                            streams: 2,
+                        },
+                        0.6,
+                    ),
+                    (
+                        HotCold {
+                            hot_lines: 512,
+                            cold_lines: 1 << 12,
+                            hot_frac: 0.7,
+                        },
+                        0.4,
+                    ),
+                ],
+                0.22,
+                0.30,
+                0.12,
+            )],
+        ),
     ]
 }
 
@@ -183,18 +615,74 @@ fn spec17() -> Vec<AppSpec> {
 fn parsec() -> Vec<AppSpec> {
     use PatternSpec::*;
     vec![
-        app("canneal", Suite::ParsecLike, 301, vec![
-            phase(vec![(Random { footprint_lines: 1 << 18 }, 1.0)], 0.28, 0.20, 0.15),
-        ]),
-        app("streamcluster", Suite::ParsecLike, 302, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 16, streams: 2 }, 1.0)], 0.34, 0.15, 0.08),
-        ]),
-        app("blackscholes", Suite::ParsecLike, 303, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 12, streams: 1 }, 1.0)], 0.15, 0.25, 0.08),
-        ]),
-        app("fluidanimate", Suite::ParsecLike, 304, vec![
-            phase(vec![(Region { region_lines: 64, regions: 4096, density: 0.45 }, 1.0)], 0.28, 0.30, 0.10),
-        ]),
+        app(
+            "canneal",
+            Suite::ParsecLike,
+            301,
+            vec![phase(
+                vec![(
+                    Random {
+                        footprint_lines: 1 << 18,
+                    },
+                    1.0,
+                )],
+                0.28,
+                0.20,
+                0.15,
+            )],
+        ),
+        app(
+            "streamcluster",
+            Suite::ParsecLike,
+            302,
+            vec![phase(
+                vec![(
+                    Stream {
+                        footprint_lines: 1 << 16,
+                        streams: 2,
+                    },
+                    1.0,
+                )],
+                0.34,
+                0.15,
+                0.08,
+            )],
+        ),
+        app(
+            "blackscholes",
+            Suite::ParsecLike,
+            303,
+            vec![phase(
+                vec![(
+                    Stream {
+                        footprint_lines: 1 << 12,
+                        streams: 1,
+                    },
+                    1.0,
+                )],
+                0.15,
+                0.25,
+                0.08,
+            )],
+        ),
+        app(
+            "fluidanimate",
+            Suite::ParsecLike,
+            304,
+            vec![phase(
+                vec![(
+                    Region {
+                        region_lines: 64,
+                        regions: 4096,
+                        density: 0.45,
+                    },
+                    1.0,
+                )],
+                0.28,
+                0.30,
+                0.10,
+            )],
+        ),
     ]
 }
 
@@ -202,22 +690,106 @@ fn parsec() -> Vec<AppSpec> {
 fn ligra() -> Vec<AppSpec> {
     use PatternSpec::*;
     vec![
-        app("bfs", Suite::LigraLike, 401, vec![
-            phase(vec![(Random { footprint_lines: 1 << 18 }, 0.7),
-                       (Stream { footprint_lines: 1 << 15, streams: 1 }, 0.3)], 0.30, 0.15, 0.18),
-        ]),
-        app("pagerank", Suite::LigraLike, 402, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 17, streams: 2 }, 0.5),
-                       (Random { footprint_lines: 1 << 17 }, 0.5)], 0.34, 0.20, 0.10),
-        ]),
-        app("components", Suite::LigraLike, 403, vec![
-            phase(vec![(Random { footprint_lines: 1 << 17 }, 0.8),
-                       (Stream { footprint_lines: 1 << 14, streams: 1 }, 0.2)], 0.30, 0.22, 0.15),
-        ]),
-        app("bc", Suite::LigraLike, 404, vec![
-            phase(vec![(PointerChase { footprint_lines: 1 << 17 }, 0.6),
-                       (Stream { footprint_lines: 1 << 15, streams: 1 }, 0.4)], 0.30, 0.18, 0.15),
-        ]),
+        app(
+            "bfs",
+            Suite::LigraLike,
+            401,
+            vec![phase(
+                vec![
+                    (
+                        Random {
+                            footprint_lines: 1 << 18,
+                        },
+                        0.7,
+                    ),
+                    (
+                        Stream {
+                            footprint_lines: 1 << 15,
+                            streams: 1,
+                        },
+                        0.3,
+                    ),
+                ],
+                0.30,
+                0.15,
+                0.18,
+            )],
+        ),
+        app(
+            "pagerank",
+            Suite::LigraLike,
+            402,
+            vec![phase(
+                vec![
+                    (
+                        Stream {
+                            footprint_lines: 1 << 17,
+                            streams: 2,
+                        },
+                        0.5,
+                    ),
+                    (
+                        Random {
+                            footprint_lines: 1 << 17,
+                        },
+                        0.5,
+                    ),
+                ],
+                0.34,
+                0.20,
+                0.10,
+            )],
+        ),
+        app(
+            "components",
+            Suite::LigraLike,
+            403,
+            vec![phase(
+                vec![
+                    (
+                        Random {
+                            footprint_lines: 1 << 17,
+                        },
+                        0.8,
+                    ),
+                    (
+                        Stream {
+                            footprint_lines: 1 << 14,
+                            streams: 1,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.30,
+                0.22,
+                0.15,
+            )],
+        ),
+        app(
+            "bc",
+            Suite::LigraLike,
+            404,
+            vec![phase(
+                vec![
+                    (
+                        PointerChase {
+                            footprint_lines: 1 << 17,
+                        },
+                        0.6,
+                    ),
+                    (
+                        Stream {
+                            footprint_lines: 1 << 15,
+                            streams: 1,
+                        },
+                        0.4,
+                    ),
+                ],
+                0.30,
+                0.18,
+                0.15,
+            )],
+        ),
     ]
 }
 
@@ -225,20 +797,93 @@ fn ligra() -> Vec<AppSpec> {
 fn cloud() -> Vec<AppSpec> {
     use PatternSpec::*;
     vec![
-        app("cassandra", Suite::CloudLike, 501, vec![
-            phase(vec![(HotCold { hot_lines: 4096, cold_lines: 1 << 18, hot_frac: 0.6 }, 1.0)], 0.26, 0.25, 0.20),
-        ]),
-        app("cloud9", Suite::CloudLike, 502, vec![
-            phase(vec![(Random { footprint_lines: 1 << 18 }, 0.8),
-                       (HotCold { hot_lines: 1024, cold_lines: 1 << 14, hot_frac: 0.5 }, 0.2)], 0.24, 0.25, 0.22),
-        ]),
-        app("nutch", Suite::CloudLike, 503, vec![
-            phase(vec![(HotCold { hot_lines: 2048, cold_lines: 1 << 17, hot_frac: 0.55 }, 1.0)], 0.24, 0.22, 0.24),
-        ]),
-        app("media-streaming", Suite::CloudLike, 504, vec![
-            phase(vec![(Stream { footprint_lines: 1 << 18, streams: 2 }, 0.8),
-                       (Random { footprint_lines: 1 << 14 }, 0.2)], 0.30, 0.15, 0.12),
-        ]),
+        app(
+            "cassandra",
+            Suite::CloudLike,
+            501,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 4096,
+                        cold_lines: 1 << 18,
+                        hot_frac: 0.6,
+                    },
+                    1.0,
+                )],
+                0.26,
+                0.25,
+                0.20,
+            )],
+        ),
+        app(
+            "cloud9",
+            Suite::CloudLike,
+            502,
+            vec![phase(
+                vec![
+                    (
+                        Random {
+                            footprint_lines: 1 << 18,
+                        },
+                        0.8,
+                    ),
+                    (
+                        HotCold {
+                            hot_lines: 1024,
+                            cold_lines: 1 << 14,
+                            hot_frac: 0.5,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.24,
+                0.25,
+                0.22,
+            )],
+        ),
+        app(
+            "nutch",
+            Suite::CloudLike,
+            503,
+            vec![phase(
+                vec![(
+                    HotCold {
+                        hot_lines: 2048,
+                        cold_lines: 1 << 17,
+                        hot_frac: 0.55,
+                    },
+                    1.0,
+                )],
+                0.24,
+                0.22,
+                0.24,
+            )],
+        ),
+        app(
+            "media-streaming",
+            Suite::CloudLike,
+            504,
+            vec![phase(
+                vec![
+                    (
+                        Stream {
+                            footprint_lines: 1 << 18,
+                            streams: 2,
+                        },
+                        0.8,
+                    ),
+                    (
+                        Random {
+                            footprint_lines: 1 << 14,
+                        },
+                        0.2,
+                    ),
+                ],
+                0.30,
+                0.15,
+                0.12,
+            )],
+        ),
     ]
 }
 

@@ -16,7 +16,11 @@ use micro_armed_bandit::workloads::suites;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let app_name = args.next().unwrap_or_else(|| "lbm".to_string());
-    let instructions: u64 = args.next().map(|v| v.parse()).transpose()?.unwrap_or(1_000_000);
+    let instructions: u64 = args
+        .next()
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1_000_000);
     let app = suites::app_by_name(&app_name)
         .ok_or_else(|| format!("unknown app {app_name:?}; try one of suites::all_apps()"))?;
 

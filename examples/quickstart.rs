@@ -14,7 +14,10 @@ use micro_armed_bandit::core::{cost, AlgorithmKind, BanditAgent, BanditConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 arms, DUCB with a mild forgetting factor.
     let config = BanditConfig::builder(4)
-        .algorithm(AlgorithmKind::Ducb { gamma: 0.98, c: 0.1 })
+        .algorithm(AlgorithmKind::Ducb {
+            gamma: 0.98,
+            c: 0.1,
+        })
         .seed(7)
         .build()?;
     let mut agent = BanditAgent::new(config);
@@ -33,10 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let arm = agent.select_arm();
         agent.observe_reward(payout(step, arm.index()));
         if step == 399 {
-            println!("before the phase change the agent prefers {}", agent.best_arm());
+            println!(
+                "before the phase change the agent prefers {}",
+                agent.best_arm()
+            );
         }
     }
-    println!("after the phase change the agent prefers  {}", agent.best_arm());
+    println!(
+        "after the phase change the agent prefers  {}",
+        agent.best_arm()
+    );
     assert_eq!(agent.best_arm().index(), 0, "DUCB adapted to the new phase");
 
     println!(

@@ -35,7 +35,10 @@ fn power(freq: f64) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = BanditConfig::builder(FREQS.len())
-        .algorithm(AlgorithmKind::Ducb { gamma: 0.97, c: 0.08 })
+        .algorithm(AlgorithmKind::Ducb {
+            gamma: 0.97,
+            c: 0.08,
+        })
         .seed(11)
         .build()?;
     let mut agent = BanditAgent::new(config);

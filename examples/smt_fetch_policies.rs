@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let a = args.next().unwrap_or_else(|| "lbm".to_string());
     let b = args.next().unwrap_or_else(|| "mcf".to_string());
-    let commits: u64 = args.next().map(|v| v.parse()).transpose()?.unwrap_or(60_000);
+    let commits: u64 = args
+        .next()
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(60_000);
     let specs = [
         smt::thread_by_name(&a).ok_or(format!("unknown thread {a:?}"))?,
         smt::thread_by_name(&b).ok_or(format!("unknown thread {b:?}"))?,
@@ -39,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut pipe = SmtPipeline::new(params, specs.clone(), 42);
-    run("ICount", pipe.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), commits));
+    run(
+        "ICount",
+        pipe.run(Box::new(StaticPgController::new(PgPolicy::ICOUNT)), commits),
+    );
 
     let mut pipe = SmtPipeline::new(params, specs.clone(), 42);
     run("Choi", pipe.run(Box::new(ChoiController::new()), commits));
@@ -52,9 +59,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nBandit's policy trajectory (arm per bandit step): {:?}",
         bandit.history()
     );
-    println!(
-        "arms: {:?}",
-        PgPolicy::bandit_arms().map(|p| p.to_string())
-    );
+    println!("arms: {:?}", PgPolicy::bandit_arms().map(|p| p.to_string()));
     Ok(())
 }

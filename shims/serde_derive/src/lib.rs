@@ -1,0 +1,21 @@
+//! No-op stand-ins for `serde_derive`'s `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses serde derives as annotations — nothing is actually
+//! serialized through serde at runtime (telemetry export is hand-rolled), and
+//! the build environment cannot fetch the real crate. These derives expand to
+//! nothing, which satisfies the `#[derive(Serialize, Deserialize)]` sites
+//! without pulling in a full serialization framework.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; marks the type as serde-serializable in source only.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; marks the type as serde-deserializable in source only.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,11 +8,15 @@ fn algorithm_strategy() -> impl Strategy<Value = AlgorithmKind> {
     prop_oneof![
         (0.0..=1.0f64).prop_map(|epsilon| AlgorithmKind::EpsilonGreedy { epsilon }),
         (0.0..=2.0f64).prop_map(|c| AlgorithmKind::Ucb { c }),
-        ((0.5..=1.0f64), (0.0..=2.0f64))
-            .prop_map(|(gamma, c)| AlgorithmKind::Ducb { gamma: gamma.max(0.5), c }),
+        ((0.5..=1.0f64), (0.0..=2.0f64)).prop_map(|(gamma, c)| AlgorithmKind::Ducb {
+            gamma: gamma.max(0.5),
+            c
+        }),
         Just(AlgorithmKind::Single),
-        ((1u32..=50), (1usize..=8))
-            .prop_map(|(exploit_len, window)| AlgorithmKind::Periodic { exploit_len, window }),
+        ((1u32..=50), (1usize..=8)).prop_map(|(exploit_len, window)| AlgorithmKind::Periodic {
+            exploit_len,
+            window
+        }),
     ]
 }
 

@@ -51,7 +51,13 @@ fn different_seeds_differ() {
 #[test]
 fn every_lineup_prefetcher_runs_every_suite_app() {
     // Smoke coverage: no panics, sane IPC, for a sample across suites.
-    for app in ["milc", "xalancbmk", "streamcluster", "pagerank", "cassandra"] {
+    for app in [
+        "milc",
+        "xalancbmk",
+        "streamcluster",
+        "pagerank",
+        "cassandra",
+    ] {
         for pf in catalog::L2_LINEUP {
             let app_spec = suites::app_by_name(app).unwrap();
             let mut system = System::single_core(SystemConfig::default());
@@ -107,7 +113,10 @@ fn four_core_shared_llc_and_dram() {
     let app = suites::app_by_name("milc").unwrap();
     let mut system = System::multi_core(SystemConfig::default(), 4);
     for core in 0..4 {
-        system.set_prefetcher(core, catalog::build_l2("bandit-multicore", 10 + core as u64));
+        system.set_prefetcher(
+            core,
+            catalog::build_l2("bandit-multicore", 10 + core as u64),
+        );
     }
     let mut traces: Vec<_> = (0..4).map(|i| app.trace(20 + i)).collect();
     let mut dyn_traces: Vec<&mut dyn Iterator<Item = micro_armed_bandit::workloads::TraceRecord>> =

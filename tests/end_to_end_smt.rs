@@ -21,7 +21,12 @@ const COMMITS: u64 = 30_000;
 #[test]
 fn choi_beats_plain_icount_on_average() {
     // Over a handful of mixes, gating should not lose to no-gating.
-    let mixes = [("gcc", "lbm"), ("mcf", "exchange2"), ("lbm", "bwaves"), ("xz", "fotonik3d")];
+    let mixes = [
+        ("gcc", "lbm"),
+        ("mcf", "exchange2"),
+        ("lbm", "bwaves"),
+        ("xz", "fotonik3d"),
+    ];
     let mut choi_total = 0.0;
     let mut icount_total = 0.0;
     for (a, b) in mixes {
@@ -40,7 +45,12 @@ fn choi_beats_plain_icount_on_average() {
 
 #[test]
 fn bandit_is_competitive_with_choi() {
-    let mixes = [("gcc", "lbm"), ("lbm", "mcf"), ("cactus", "lbm"), ("xz", "deepsjeng")];
+    let mixes = [
+        ("gcc", "lbm"),
+        ("lbm", "mcf"),
+        ("cactus", "lbm"),
+        ("xz", "deepsjeng"),
+    ];
     let mut bandit_total = 0.0;
     let mut choi_total = 0.0;
     for (a, b) in mixes {
@@ -82,7 +92,10 @@ fn bandit_history_walks_round_robin_first() {
     let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix("gcc", "lbm"), 4);
     // Short steps so the whole round-robin phase fits in a small run.
     let config = BanditConfig::builder(6)
-        .algorithm(AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 })
+        .algorithm(AlgorithmKind::Ducb {
+            gamma: 0.975,
+            c: 0.01,
+        })
         .seed(4)
         .build()
         .expect("valid config");

@@ -4,8 +4,8 @@
 use micro_armed_bandit::core::hierarchical::HyperBandit;
 use micro_armed_bandit::core::AlgorithmKind;
 use micro_armed_bandit::memsim::{config::SystemConfig, System};
-use micro_armed_bandit::prefetch::classified::ClassifiedBandit;
 use micro_armed_bandit::prefetch::catalog;
+use micro_armed_bandit::prefetch::classified::ClassifiedBandit;
 use micro_armed_bandit::workloads::suites;
 
 #[test]
@@ -16,8 +16,14 @@ fn hyper_bandit_handles_fast_and_slow_phases() {
     let mut hyper = HyperBandit::new(
         3,
         vec![
-            AlgorithmKind::Ducb { gamma: 0.85, c: 0.1 },
-            AlgorithmKind::Ducb { gamma: 0.999, c: 0.1 },
+            AlgorithmKind::Ducb {
+                gamma: 0.85,
+                c: 0.1,
+            },
+            AlgorithmKind::Ducb {
+                gamma: 0.999,
+                c: 0.1,
+            },
         ],
         5,
     )
@@ -34,7 +40,11 @@ fn hyper_bandit_handles_fast_and_slow_phases() {
         hyper.observe_reward(if arm.index() == 2 { 1.0 } else { 0.2 });
     }
     assert_eq!(hyper.best_arm().index(), 2);
-    assert!(hyper.storage_bytes() < 200, "still tiny: {}", hyper.storage_bytes());
+    assert!(
+        hyper.storage_bytes() < 200,
+        "still tiny: {}",
+        hyper.storage_bytes()
+    );
 }
 
 #[test]
@@ -49,7 +59,10 @@ fn classified_bandit_runs_the_full_memory_stack() {
     };
     let classified = {
         let mut sys = System::single_core(SystemConfig::default());
-        sys.set_prefetcher(0, Box::new(ClassifiedBandit::paper_default(1).expect("valid")));
+        sys.set_prefetcher(
+            0,
+            Box::new(ClassifiedBandit::paper_default(1).expect("valid")),
+        );
         sys.run(&mut app.trace(1), 200_000).ipc()
     };
     assert!(

@@ -62,7 +62,10 @@ fn extreme_gating_shares_still_make_progress() {
     let mut pipe = SmtPipeline::new(SmtParams::test_scale(), mix("bwaves", "gcc"), 2);
     let stats = pipe.run(Box::new(Starver), 5_000);
     assert!(stats.commits[0] >= 5_000, "starved thread still finished");
-    assert!(stats.ipc(1) > stats.ipc(0) * 0.9, "favored thread not slower");
+    assert!(
+        stats.ipc(1) > stats.ipc(0) * 0.9,
+        "favored thread not slower"
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn reward_metric_changes_bandit_behaviour_end_to_end() {
     // outcomes must differ (the reward actually reaches the agent).
     let run = |metric: RewardMetric| {
         let mut controller = smt_runs::scaled_bandit(
-            micro_armed_bandit::core::AlgorithmKind::Ducb { gamma: 0.975, c: 0.01 },
+            micro_armed_bandit::core::AlgorithmKind::Ducb {
+                gamma: 0.975,
+                c: 0.01,
+            },
             3,
         );
         controller.set_reward_metric(metric);
@@ -81,7 +87,9 @@ fn reward_metric_changes_bandit_behaviour_end_to_end() {
         controller.history().to_vec()
     };
     let throughput = run(RewardMetric::SumIpc);
-    let fairness = run(RewardMetric::HarmonicWeighted { isolated: [2.0, 0.2] });
+    let fairness = run(RewardMetric::HarmonicWeighted {
+        isolated: [2.0, 0.2],
+    });
     assert_ne!(throughput, fairness, "metrics should steer different arms");
 }
 
@@ -114,7 +122,10 @@ fn alt_cache_hierarchy_helps_l2_sized_footprints() {
         let mut sys = System::single_core(SystemConfig::alt_cache());
         sys.run(&mut trace, 120_000).ipc()
     };
-    assert!(alt > base, "1MB L2 should help a 512KB loop: {base:.3} -> {alt:.3}");
+    assert!(
+        alt > base,
+        "1MB L2 should help a 512KB loop: {base:.3} -> {alt:.3}"
+    );
 }
 
 #[test]

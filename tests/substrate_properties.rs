@@ -2,8 +2,8 @@
 
 use micro_armed_bandit::memsim::cache::{Cache, LookupResult, Mshr};
 use micro_armed_bandit::memsim::config::CacheParams;
-use micro_armed_bandit::memsim::core::CoreModel;
 use micro_armed_bandit::memsim::config::CoreParams;
+use micro_armed_bandit::memsim::core::CoreModel;
 use micro_armed_bandit::memsim::dram::Dram;
 use micro_armed_bandit::workloads::patterns::{Pattern, PointerChase};
 use proptest::prelude::*;

@@ -1,0 +1,105 @@
+//! End-to-end telemetry replay test (requires `--features telemetry`).
+//!
+//! Runs a bandit-prefetched single-core simulation with the recorder
+//! installed, exports the telemetry as JSON lines, and checks that the
+//! exported event log *reconstructs* the run: per-arm `arm_pulled` counts
+//! must equal the per-arm counts in the bandit's own selection history, and
+//! the exported counters must agree with the simulator's `RunStats`.
+#![cfg(feature = "telemetry")]
+
+use mab_memsim::{config::SystemConfig, System};
+use mab_prefetch::{shared::SharedPrefetcher, BanditL2};
+use mab_workloads::suites;
+
+const SEED: u64 = 11;
+const INSTRUCTIONS: u64 = 150_000;
+
+/// Extracts the unsigned integer following `"key":` on a JSONL line.
+fn field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} field in: {line}"));
+    line[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} value in: {line}"))
+}
+
+#[test]
+fn exported_event_log_replays_the_prefetch_run() {
+    let rec = mab_telemetry::install(mab_telemetry::RecorderConfig::default());
+
+    let mut bandit = BanditL2::paper_default(SEED);
+    bandit.record_history();
+    let handle = SharedPrefetcher::new(bandit);
+    let mut system = System::single_core(SystemConfig::default());
+    system.set_prefetcher(0, Box::new(handle.clone()));
+    let app = suites::app_by_name("cactus").expect("catalog app");
+    let stats = system.run(&mut app.trace(SEED), INSTRUCTIONS);
+
+    let history = handle.with(|b| b.history().expect("history enabled").to_vec());
+    let steps = handle.with(|b| b.agent().steps());
+    assert!(
+        history.len() >= 8,
+        "run too short to exercise the bandit: {} selections",
+        history.len()
+    );
+
+    let mut out = Vec::new();
+    rec.export_jsonl(&mut out).expect("export");
+    let text = String::from_utf8(out).expect("utf8");
+
+    // Nothing may have been evicted, or the replay below would be partial.
+    let meta = text.lines().next().expect("meta line");
+    assert!(meta.contains("\"kind\":\"meta\""), "{meta}");
+    assert_eq!(field_u64(meta, "events_dropped"), 0, "{meta}");
+
+    // Replay: per-arm pull counts reconstructed from the exported events
+    // must equal the per-arm counts in the bandit's selection history.
+    let n_arms = history.iter().map(|&(_, arm)| arm).max().unwrap() + 1;
+    let mut from_events = vec![0u64; n_arms];
+    let mut pulls_in_log = 0u64;
+    for line in text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"arm_pulled\""))
+    {
+        assert_eq!(field_u64(line, "agent"), SEED, "{line}");
+        from_events[field_u64(line, "arm") as usize] += 1;
+        pulls_in_log += 1;
+    }
+    let mut from_history = vec![0u64; n_arms];
+    for &(_, arm) in &history {
+        from_history[arm] += 1;
+    }
+    assert_eq!(from_events, from_history, "per-arm pull counts diverge");
+
+    // Counter lines agree with the event log and the agent's final state:
+    // every selection is one history entry, and all but the final pending
+    // selection completed a reward step.
+    assert_eq!(pulls_in_log, history.len() as u64);
+    let counter = |stat: &str| {
+        let line = text
+            .lines()
+            .find(|l| l.contains(&format!("\"stat\":\"{stat}\"")))
+            .unwrap_or_else(|| panic!("no {stat} counter in export"));
+        field_u64(line, "value")
+    };
+    assert_eq!(counter("arm_pulls"), history.len() as u64);
+    assert_eq!(counter("rewards_observed"), steps);
+    assert_eq!(steps, history.len() as u64 - 1);
+
+    // Simulator counters agree with the run's own statistics.
+    assert_eq!(counter("prefetch_issued"), stats.prefetch.issued);
+    assert_eq!(counter("l2_demand_hit"), stats.l2.demand_hits);
+    assert_eq!(counter("l2_demand_miss"), stats.l2.demand_misses);
+
+    // The reward histogram saw exactly one observation per completed step.
+    let hist = text
+        .lines()
+        .find(|l| l.contains("\"hist\":\"reward\""))
+        .expect("reward histogram in export");
+    assert_eq!(field_u64(hist, "count"), steps);
+}
