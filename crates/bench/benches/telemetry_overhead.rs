@@ -138,14 +138,45 @@ fn main() {
     let per_step = (best_ns(&c, "agent", "on") - best_ns(&c, "agent", "off")) / AGENT_STEPS as f64;
     println!("agent    bare decision loop: {per_step:+.1} ns/step probe cost (informational)");
 
-    let worst = overhead_pct(&c, "memsim").max(overhead_pct(&c, "smtsim"));
+    let memsim = overhead_pct(&c, "memsim");
+    let smtsim = overhead_pct(&c, "smtsim");
+    let worst = memsim.max(smtsim);
     let budget = 5.0;
-    if worst < budget {
+    let pass = worst < budget;
+    write_report(&c, per_step, memsim, smtsim, budget, pass);
+    if pass {
         println!(
             "PASS: worst-case simulator telemetry overhead {worst:+.2}% is under the {budget}% budget"
         );
     } else {
         println!("FAIL: simulator telemetry overhead {worst:+.2}% exceeds the {budget}% budget");
         std::process::exit(1);
+    }
+}
+
+/// Writes the machine-readable result to BENCH_trace_overhead.json at the
+/// repo root so CI and regression tooling can track the overhead over time.
+fn write_report(c: &Criterion, per_step: f64, memsim: f64, smtsim: f64, budget: f64, pass: bool) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trace_overhead.json"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"telemetry_feature\": {},\n  \
+         \"agent_probe_ns_per_step\": {per_step:.3},\n  \
+         \"memsim_off_ns\": {:.1},\n  \"memsim_on_ns\": {:.1},\n  \
+         \"memsim_overhead_pct\": {memsim:.3},\n  \
+         \"smtsim_off_ns\": {:.1},\n  \"smtsim_on_ns\": {:.1},\n  \
+         \"smtsim_overhead_pct\": {smtsim:.3},\n  \
+         \"budget_pct\": {budget},\n  \"pass\": {pass}\n}}\n",
+        mab_telemetry::STATIC_ENABLED,
+        best_ns(c, "memsim", "off"),
+        best_ns(c, "memsim", "on"),
+        best_ns(c, "smtsim", "off"),
+        best_ns(c, "smtsim", "on"),
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

@@ -295,7 +295,45 @@ impl BanditAgent {
             arm: arm.index(),
             phase: self.phase.telemetry_name(),
         });
+        self.record_decision(arm);
         arm
+    }
+
+    /// Captures full decision provenance — per-arm Q-values, the algorithm's
+    /// selection bounds, pull counts, the explore/exploit classification —
+    /// into the recorder's trace ring. The delayed reward is attributed back
+    /// by [`BanditAgent::observe_reward`]. Compiles to nothing without the
+    /// `telemetry` feature; the per-arm scan only runs while a recorder is
+    /// live.
+    fn record_decision(&mut self, arm: ArmId) {
+        if mab_telemetry::enabled() {
+            if let Some(rec) = mab_telemetry::recorder() {
+                let mut bounds = Vec::with_capacity(self.config.arms);
+                self.algorithm.probe_bounds(&self.tables, &mut bounds);
+                let explore = self.phase != AgentPhase::Main || arm != self.tables.best_by_reward();
+                let arms = self
+                    .tables
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, r, n))| mab_telemetry::ArmProbe {
+                        q: r,
+                        bound: bounds.get(i).copied().unwrap_or(r),
+                        pulls: n,
+                    })
+                    .collect();
+                rec.trace().push(mab_telemetry::DecisionRecord {
+                    agent: self.config.seed,
+                    epoch: self.steps,
+                    cycle: rec.clock(),
+                    chosen: arm.index(),
+                    explore,
+                    phase: self.phase.telemetry_name(),
+                    arms,
+                    reward: f64::NAN,
+                    normalized: f64::NAN,
+                });
+            }
+        }
     }
 
     /// Delivers the reward collected at the end of the current bandit step.
@@ -318,6 +356,17 @@ impl BanditAgent {
             reward: r_step,
             normalized: r_step / self.normalizer,
         });
+        if mab_telemetry::enabled() {
+            if let Some(rec) = mab_telemetry::recorder() {
+                // The matching decision was recorded before `steps` advanced.
+                rec.trace().attribute(
+                    self.config.seed,
+                    self.steps - 1,
+                    r_step,
+                    r_step / self.normalizer,
+                );
+            }
+        }
         match self.phase {
             AgentPhase::RoundRobin => {
                 self.tables.record_initial(arm, r_step);

@@ -67,6 +67,13 @@ impl Algorithm for EpsilonGreedy {
     fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
         tables.fold_reward(arm, r_step);
     }
+
+    fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
+        // ε-Greedy selects on the empirical means alone (the ε coin adds no
+        // per-arm score), so its bounds are exactly the Q-values.
+        out.clear();
+        out.extend(tables.iter().map(|(_, r, _)| r));
+    }
 }
 
 #[cfg(test)]

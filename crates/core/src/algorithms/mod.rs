@@ -51,6 +51,18 @@ pub trait Algorithm {
     /// `updRew(r_step)` — folds the step reward into the tables once the
     /// bandit step is over.
     fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64);
+
+    /// Telemetry: fills `out` with the per-arm selection bound the algorithm
+    /// is currently using — the UCB/DUCB potential, SW-UCB's windowed bound,
+    /// Thompson's one-sigma posterior quantile. Captured into
+    /// [decision records](mab_telemetry::DecisionRecord) so traces show not
+    /// just *what* was picked but what the alternatives scored. Must not
+    /// mutate algorithm state or draw randomness. The default is the
+    /// pure-greedy view: the empirical mean rewards.
+    fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(tables.iter().map(|(_, r, _)| r));
+    }
 }
 
 /// Configuration-level description of which algorithm to run.

@@ -135,6 +135,23 @@ impl Algorithm for SwUcb {
             }
         }
     }
+
+    fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
+        // Mirrors `next_arm` without `ensure_arms`: arms beyond the windowed
+        // bookkeeping (no reward observed yet) read as window-unseen.
+        let t = self.history.len().max(1) as f64;
+        out.clear();
+        for (arm, r, _) in tables.iter() {
+            let i = arm.index();
+            let p = if i >= self.counts.len() || self.counts[i] == 0 {
+                1e18 + r
+            } else {
+                let mean = self.sums[i] / self.counts[i] as f64;
+                mean + self.c * (t.ln().max(0.0) / self.counts[i] as f64).sqrt()
+            };
+            out.push(p);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,17 @@ impl Algorithm for ThompsonGaussian {
     fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
         tables.fold_reward(arm, r_step);
     }
+
+    fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
+        // The deterministic one-sigma upper posterior quantile: sampling here
+        // would double-draw from the shared RNG and perturb trajectories.
+        out.clear();
+        out.extend(
+            tables
+                .iter()
+                .map(|(_, r, n)| r + self.sigma / n.max(1e-9).sqrt()),
+        );
+    }
 }
 
 #[cfg(test)]

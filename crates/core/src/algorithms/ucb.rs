@@ -66,6 +66,16 @@ impl Algorithm for Ucb {
     fn update_reward(&mut self, tables: &mut BanditTables, arm: ArmId, r_step: f64) {
         tables.fold_reward(arm, r_step);
     }
+
+    fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
+        let n_total = tables.n_total();
+        out.clear();
+        out.extend(
+            tables
+                .iter()
+                .map(|(_, r, n)| super::potential(r, n, n_total, self.c)),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //! - `--quick` — a fast smoke-test preset,
 //! - `--telemetry PATH` — export the telemetry recorder at exit
 //!   (`.csv` → CSV, anything else → JSON lines),
+//! - `--trace PATH` — export the decision trace at exit (`.json` → Perfetto
+//!   Chrome-trace JSON, anything else → decision JSONL for `mab-inspect`),
 //! - `--help`.
 
 use std::path::PathBuf;
@@ -26,6 +28,8 @@ pub struct Options {
     pub quick: bool,
     /// Where to export the telemetry recorder at exit, if anywhere.
     pub telemetry: Option<PathBuf>,
+    /// Where to export the decision trace at exit, if anywhere.
+    pub trace: Option<PathBuf>,
 }
 
 impl Options {
@@ -58,6 +62,7 @@ impl Options {
             mixes: default_mixes,
             quick: false,
             telemetry: None,
+            trace: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -86,6 +91,11 @@ impl Options {
                             .unwrap_or_else(|| usage("--telemetry needs a path")),
                     ));
                 }
+                "--trace" => {
+                    opts.trace = Some(PathBuf::from(
+                        args.next().unwrap_or_else(|| usage("--trace needs a path")),
+                    ));
+                }
                 "--quick" | "-q" => {
                     opts.quick = true;
                     opts.instructions = (default_instructions / 10).max(10_000);
@@ -109,14 +119,17 @@ fn usage<T>(error: &str) -> T {
     }
     eprintln!(
         "usage: <experiment> [--instructions N] [--seed S] [--mixes N] [--quick]\n\
-         \x20                   [--telemetry PATH]\n\
+         \x20                   [--telemetry PATH] [--trace PATH]\n\
          \n\
          --instructions N  instructions per core / commits per thread\n\
          --seed S          base RNG seed (default 42)\n\
          --mixes N         cap on workload mixes in sweeps\n\
          --quick           10x smaller preset for smoke tests\n\
          --telemetry PATH  export telemetry at exit (.csv -> CSV, else JSONL;\n\
-         \x20                 needs the `telemetry` cargo feature)"
+         \x20                 needs the `telemetry` cargo feature)\n\
+         --trace PATH      export the decision trace at exit (.json -> Perfetto\n\
+         \x20                 Chrome-trace JSON, else decision JSONL for\n\
+         \x20                 mab-inspect; needs the `telemetry` cargo feature)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -168,5 +181,12 @@ mod tests {
         let o = parse(&["-t", "run.csv"]);
         assert_eq!(o.telemetry, Some(PathBuf::from("run.csv")));
         assert!(parse(&[]).telemetry.is_none());
+    }
+
+    #[test]
+    fn trace_path_is_captured() {
+        let o = parse(&["--trace", "out/run.trace.json"]);
+        assert_eq!(o.trace, Some(PathBuf::from("out/run.trace.json")));
+        assert!(parse(&[]).trace.is_none());
     }
 }

@@ -4,9 +4,11 @@
 //! cargo feature is enabled this installs the global recorder at startup,
 //! prints a counter/histogram summary to stderr at the end, and — if the
 //! user passed `--telemetry PATH` — exports the full recorder state to that
-//! path (`.csv` → CSV, anything else → JSON lines). With the feature off
-//! every method is a cheap no-op except for a warning when an export path
-//! was requested that cannot be honored.
+//! path (`.csv` → CSV, anything else → JSON lines). `--trace PATH`
+//! additionally exports the decision trace (`.json` → Perfetto Chrome-trace
+//! JSON, anything else → decision JSONL for `mab-inspect`). With the
+//! feature off every method is a cheap no-op except for a warning when an
+//! export path was requested that cannot be honored.
 
 use crate::cli::Options;
 use mab_telemetry::progress;
@@ -19,6 +21,7 @@ use std::path::PathBuf;
 #[derive(Debug)]
 pub struct TelemetrySession {
     export: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 impl TelemetrySession {
@@ -27,11 +30,12 @@ impl TelemetrySession {
     pub fn start(opts: &Options) -> Self {
         if mab_telemetry::STATIC_ENABLED {
             mab_telemetry::install(mab_telemetry::RecorderConfig::default());
-        } else if opts.telemetry.is_some() {
-            progress!("--telemetry ignored: rebuild with `--features telemetry` to record");
+        } else if opts.telemetry.is_some() || opts.trace.is_some() {
+            progress!("--telemetry/--trace ignored: rebuild with `--features telemetry` to record");
         }
         TelemetrySession {
             export: opts.telemetry.clone(),
+            trace: opts.trace.clone(),
         }
     }
 
@@ -50,6 +54,12 @@ impl TelemetrySession {
                 Err(e) => progress!("telemetry export to {} failed: {e}", path.display()),
             }
         }
+        if let Some(path) = &self.trace {
+            match rec.export_trace_to_path(path) {
+                Ok(()) => progress!("decision trace written to {}", path.display()),
+                Err(e) => progress!("trace export to {} failed: {e}", path.display()),
+            }
+        }
     }
 }
 
@@ -64,6 +74,7 @@ mod tests {
             mixes: 1,
             quick: false,
             telemetry: telemetry.map(PathBuf::from),
+            trace: None,
         }
     }
 
@@ -85,6 +96,21 @@ mod tests {
         session.finish();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("arm_pulls"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn session_exports_the_decision_trace() {
+        let dir = std::env::temp_dir().join("mab-session-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.trace.jsonl");
+        let mut opts = options(None);
+        opts.trace = Some(path.clone());
+        let session = TelemetrySession::start(&opts);
+        session.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"kind\":\"trace_meta\""), "{text}");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,359 @@
+//! Post-hoc analyses over decision traces.
+//!
+//! Everything here is computed from [`Decision`] records alone: the post-hoc
+//! best arm, regret curves against it, arm-switch timelines, per-phase and
+//! time-windowed arm occupancy. These are the offline counterparts of the
+//! paper's behavioural figures — Fig. 7's dominant-arm-per-phase bands fall
+//! out of [`windowed_occupancy`], and convergence claims out of
+//! [`regret_curve`].
+
+use crate::artifact::Decision;
+
+/// The arm with the highest mean attributed reward, judged after the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestArm {
+    /// Arm index.
+    pub arm: usize,
+    /// Mean attributed (raw) reward of that arm.
+    pub mean_reward: f64,
+    /// Number of attributed decisions backing the mean.
+    pub samples: u64,
+}
+
+/// Per-arm mean attributed rewards: `(mean, samples)` indexed by arm.
+/// Arms never pulled (or never attributed) have zero samples.
+pub fn arm_means(decisions: &[Decision], arms: usize) -> Vec<(f64, u64)> {
+    let mut sums = vec![0.0; arms];
+    let mut counts = vec![0u64; arms];
+    for d in decisions {
+        if let Some(r) = d.reward {
+            if r.is_finite() && d.arm < arms {
+                sums[d.arm] += r;
+                counts[d.arm] += 1;
+            }
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &n)| (if n == 0 { 0.0 } else { s / n as f64 }, n))
+        .collect()
+}
+
+/// The post-hoc best arm, or `None` when no decision carries a reward.
+pub fn best_arm(decisions: &[Decision], arms: usize) -> Option<BestArm> {
+    arm_means(decisions, arms)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, (_, n))| n > 0)
+        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+        .map(|(arm, (mean_reward, samples))| BestArm {
+            arm,
+            mean_reward,
+            samples,
+        })
+}
+
+/// One point of a cumulative-regret curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretPoint {
+    /// Bandit epoch of the decision.
+    pub epoch: u64,
+    /// Simulated cycle of the decision.
+    pub cycle: u64,
+    /// Instantaneous regret: best-arm mean reward minus this step's reward.
+    pub instant: f64,
+    /// Running sum of instantaneous regret.
+    pub cumulative: f64,
+}
+
+/// Cumulative regret of the attributed decisions against the post-hoc best
+/// arm, in record order. Empty when nothing was attributed.
+pub fn regret_curve(decisions: &[Decision], arms: usize) -> Vec<RegretPoint> {
+    let Some(best) = best_arm(decisions, arms) else {
+        return Vec::new();
+    };
+    let mut cumulative = 0.0;
+    decisions
+        .iter()
+        .filter_map(|d| {
+            let r = d.reward.filter(|r| r.is_finite())?;
+            let instant = best.mean_reward - r;
+            cumulative += instant;
+            Some(RegretPoint {
+                epoch: d.epoch,
+                cycle: d.cycle,
+                instant,
+                cumulative,
+            })
+        })
+        .collect()
+}
+
+/// One arm change in an agent's decision stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArmSwitch {
+    /// The agent that switched.
+    pub agent: u64,
+    /// Epoch of the decision that switched.
+    pub epoch: u64,
+    /// Cycle of the decision that switched.
+    pub cycle: u64,
+    /// Arm before the switch.
+    pub from: usize,
+    /// Arm after the switch.
+    pub to: usize,
+}
+
+/// Every arm change, per agent, in record order.
+pub fn arm_switches(decisions: &[Decision]) -> Vec<ArmSwitch> {
+    let mut last: Vec<(u64, usize)> = Vec::new();
+    let mut out = Vec::new();
+    for d in decisions {
+        match last.iter_mut().find(|(agent, _)| *agent == d.agent) {
+            None => last.push((d.agent, d.arm)),
+            Some((_, prev)) => {
+                if *prev != d.arm {
+                    out.push(ArmSwitch {
+                        agent: d.agent,
+                        epoch: d.epoch,
+                        cycle: d.cycle,
+                        from: *prev,
+                        to: d.arm,
+                    });
+                    *prev = d.arm;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Arm-occupancy counts for one agent phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseOccupancy {
+    /// Phase name (`round_robin`, `main`, `restart_sweep`).
+    pub phase: String,
+    /// Decision counts per arm.
+    pub counts: Vec<u64>,
+    /// The arm with the most decisions in this phase.
+    pub dominant: usize,
+}
+
+/// Decision counts per arm, grouped by agent phase (sorted by phase name).
+pub fn phase_occupancy(decisions: &[Decision], arms: usize) -> Vec<PhaseOccupancy> {
+    let mut phases: Vec<PhaseOccupancy> = Vec::new();
+    for d in decisions {
+        let entry = match phases.iter_mut().find(|p| p.phase == d.phase) {
+            Some(p) => p,
+            None => {
+                phases.push(PhaseOccupancy {
+                    phase: d.phase.clone(),
+                    counts: vec![0; arms],
+                    dominant: 0,
+                });
+                phases.last_mut().unwrap()
+            }
+        };
+        if d.arm < entry.counts.len() {
+            entry.counts[d.arm] += 1;
+        }
+    }
+    for p in &mut phases {
+        p.dominant = argmax(&p.counts);
+    }
+    phases.sort_by(|a, b| a.phase.cmp(&b.phase));
+    phases
+}
+
+/// Arm occupancy inside one time window of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOccupancy {
+    /// First cycle of the window (inclusive).
+    pub start_cycle: u64,
+    /// Last cycle of the window (exclusive, except the final window).
+    pub end_cycle: u64,
+    /// Decision counts per arm inside the window.
+    pub counts: Vec<u64>,
+    /// The arm with the most decisions, or the window's plurality arm.
+    pub dominant: usize,
+    /// Total decisions in the window.
+    pub total: u64,
+}
+
+/// Splits the run's cycle span into `windows` equal slices and reports the
+/// arm occupancy of each — the textual rendering of Fig. 7's timeline bands.
+/// Windows without decisions are kept (all-zero counts) so gaps are visible.
+pub fn windowed_occupancy(
+    decisions: &[Decision],
+    arms: usize,
+    windows: usize,
+) -> Vec<WindowOccupancy> {
+    if decisions.is_empty() || windows == 0 {
+        return Vec::new();
+    }
+    let lo = decisions.iter().map(|d| d.cycle).min().unwrap();
+    let hi = decisions.iter().map(|d| d.cycle).max().unwrap();
+    let span = (hi - lo).max(1);
+    let mut out: Vec<WindowOccupancy> = (0..windows)
+        .map(|i| WindowOccupancy {
+            start_cycle: lo + span * i as u64 / windows as u64,
+            end_cycle: lo + span * (i as u64 + 1) / windows as u64,
+            counts: vec![0; arms],
+            dominant: 0,
+            total: 0,
+        })
+        .collect();
+    for d in decisions {
+        let idx = (((d.cycle - lo) as u128 * windows as u128) / (span as u128 + 1)) as usize;
+        let w = &mut out[idx.min(windows - 1)];
+        if d.arm < w.counts.len() {
+            w.counts[d.arm] += 1;
+            w.total += 1;
+        }
+    }
+    for w in &mut out {
+        w.dominant = argmax(&w.counts);
+    }
+    out
+}
+
+/// Fraction of decisions flagged exploratory (0 when there are none).
+pub fn explore_rate(decisions: &[Decision]) -> f64 {
+    if decisions.is_empty() {
+        return 0.0;
+    }
+    decisions.iter().filter(|d| d.explore).count() as f64 / decisions.len() as f64
+}
+
+/// Mean attributed raw reward across all decisions, if any were attributed.
+pub fn mean_reward(decisions: &[Decision]) -> Option<f64> {
+    let attributed: Vec<f64> = decisions
+        .iter()
+        .filter_map(|d| d.reward.filter(|r| r.is_finite()))
+        .collect();
+    if attributed.is_empty() {
+        None
+    } else {
+        Some(attributed.iter().sum::<f64>() / attributed.len() as f64)
+    }
+}
+
+fn argmax(counts: &[u64]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(agent: u64, epoch: u64, cycle: u64, arm: usize, reward: Option<f64>) -> Decision {
+        Decision {
+            seq: epoch,
+            agent,
+            epoch,
+            cycle,
+            arm,
+            explore: arm != 1,
+            phase: if epoch < 2 { "round_robin" } else { "main" }.to_string(),
+            reward,
+            normalized: reward,
+            q: vec![0.0; 3],
+            bound: vec![0.0; 3],
+            pulls: vec![0.0; 3],
+        }
+    }
+
+    #[test]
+    fn best_arm_is_posthoc_mean_argmax() {
+        let ds = vec![
+            decision(1, 0, 0, 0, Some(0.5)),
+            decision(1, 1, 100, 1, Some(2.0)),
+            decision(1, 2, 200, 1, Some(1.0)),
+            decision(1, 3, 300, 2, Some(1.4)),
+        ];
+        // Arm 1 mean = 1.5, arm 2 = 1.4, arm 0 = 0.5.
+        let best = best_arm(&ds, 3).unwrap();
+        assert_eq!(best.arm, 1);
+        assert!((best.mean_reward - 1.5).abs() < 1e-12);
+        assert_eq!(best.samples, 2);
+    }
+
+    #[test]
+    fn regret_accumulates_against_best_mean() {
+        let ds = vec![
+            decision(1, 0, 0, 0, Some(1.0)),
+            decision(1, 1, 10, 1, Some(2.0)),
+            decision(1, 2, 20, 0, None), // unattributed: skipped
+            decision(1, 3, 30, 1, Some(2.0)),
+        ];
+        let curve = regret_curve(&ds, 2);
+        // Best arm is 1 (mean 2.0). Instants: 1.0, 0.0, 0.0.
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0].instant - 1.0).abs() < 1e-12);
+        assert!((curve[2].cumulative - 1.0).abs() < 1e-12);
+        assert_eq!(curve[2].epoch, 3);
+    }
+
+    #[test]
+    fn switches_track_per_agent_transitions() {
+        let ds = vec![
+            decision(1, 0, 0, 0, None),
+            decision(2, 0, 5, 2, None),
+            decision(1, 1, 10, 1, None), // agent 1: 0 -> 1
+            decision(2, 1, 15, 2, None), // agent 2: no change
+            decision(1, 2, 20, 1, None), // no change
+            decision(2, 2, 25, 0, None), // agent 2: 2 -> 0
+        ];
+        let s = arm_switches(&ds);
+        assert_eq!(s.len(), 2);
+        assert_eq!((s[0].agent, s[0].from, s[0].to), (1, 0, 1));
+        assert_eq!((s[1].agent, s[1].from, s[1].to), (2, 2, 0));
+    }
+
+    #[test]
+    fn phase_occupancy_counts_and_dominates() {
+        let ds = vec![
+            decision(1, 0, 0, 0, None),  // round_robin
+            decision(1, 1, 10, 1, None), // round_robin
+            decision(1, 2, 20, 1, None), // main
+            decision(1, 3, 30, 1, None), // main
+            decision(1, 4, 40, 2, None), // main
+        ];
+        let phases = phase_occupancy(&ds, 3);
+        assert_eq!(phases.len(), 2);
+        let main = phases.iter().find(|p| p.phase == "main").unwrap();
+        assert_eq!(main.counts, vec![0, 2, 1]);
+        assert_eq!(main.dominant, 1);
+    }
+
+    #[test]
+    fn windows_partition_the_cycle_span() {
+        let ds: Vec<Decision> = (0..100)
+            .map(|i| decision(1, i, i * 10, if i < 50 { 0 } else { 2 }, None))
+            .collect();
+        let ws = windowed_occupancy(&ds, 3, 4);
+        assert_eq!(ws.len(), 4);
+        let total: u64 = ws.iter().map(|w| w.total).sum();
+        assert_eq!(total, 100);
+        // First half dominated by arm 0, second half by arm 2.
+        assert_eq!(ws[0].dominant, 0);
+        assert_eq!(ws[3].dominant, 2);
+        assert!(ws[0].start_cycle < ws[3].start_cycle);
+    }
+
+    #[test]
+    fn explore_rate_and_mean_reward() {
+        let ds = vec![
+            decision(1, 0, 0, 1, Some(1.0)),  // explore = false
+            decision(1, 1, 10, 0, Some(3.0)), // explore = true
+        ];
+        assert!((explore_rate(&ds) - 0.5).abs() < 1e-12);
+        assert!((mean_reward(&ds).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(mean_reward(&[]), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Regression comparison between two run artifacts.
+//!
+//! `mab-inspect diff baseline.jsonl candidate.jsonl` watches the metrics
+//! that summarize run quality — every histogram mean the two runs share
+//! (reward, epoch IPC, latencies) plus the mean attributed decision reward —
+//! and flags any whose relative change exceeds a threshold. The CLI turns a
+//! flagged metric into a non-zero exit, so CI can gate on "telemetry says
+//! this run got >2% worse".
+
+use crate::analysis;
+use crate::artifact::RunArtifact;
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name (`hist:<name>:mean` or `decisions:mean_reward`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Relative change `(candidate - baseline) / |baseline|`; ±∞ when the
+    /// baseline is zero and the candidate is not.
+    pub rel_delta: f64,
+    /// True when `|rel_delta|` exceeds the threshold.
+    pub flagged: bool,
+}
+
+/// Compares the shared metrics of two artifacts. `threshold` is a relative
+/// fraction (0.02 = 2%). Metrics present in only one artifact are skipped —
+/// a run without decision tracing still diffs on histograms, and vice versa.
+pub fn diff_artifacts(
+    baseline: &RunArtifact,
+    candidate: &RunArtifact,
+    threshold: f64,
+) -> Vec<MetricDelta> {
+    let mut out = Vec::new();
+    for (name, base_hist) in &baseline.histograms {
+        if let Some(cand_hist) = candidate.histograms.get(name) {
+            out.push(compare(
+                format!("hist:{name}:mean"),
+                base_hist.mean,
+                cand_hist.mean,
+                threshold,
+            ));
+        }
+    }
+    let base_arms = baseline.arm_count();
+    let cand_arms = candidate.arm_count();
+    if let (Some(b), Some(c)) = (
+        analysis::mean_reward(&baseline.decisions),
+        analysis::mean_reward(&candidate.decisions),
+    ) {
+        out.push(compare(
+            "decisions:mean_reward".to_string(),
+            b,
+            c,
+            threshold,
+        ));
+    }
+    if let (Some(b), Some(c)) = (
+        analysis::best_arm(&baseline.decisions, base_arms),
+        analysis::best_arm(&candidate.decisions, cand_arms),
+    ) {
+        out.push(compare(
+            "decisions:best_arm_mean_reward".to_string(),
+            b.mean_reward,
+            c.mean_reward,
+            threshold,
+        ));
+    }
+    out
+}
+
+/// True when any compared metric crossed the threshold.
+pub fn has_regression(deltas: &[MetricDelta]) -> bool {
+    deltas.iter().any(|d| d.flagged)
+}
+
+fn compare(metric: String, baseline: f64, candidate: f64, threshold: f64) -> MetricDelta {
+    let rel_delta = if baseline == 0.0 {
+        if candidate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * candidate.signum()
+        }
+    } else {
+        (candidate - baseline) / baseline.abs()
+    };
+    MetricDelta {
+        metric,
+        baseline,
+        candidate,
+        flagged: rel_delta.abs() > threshold,
+        rel_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::RunArtifact;
+
+    fn artifact(reward_mean: f64, decision_reward: f64) -> RunArtifact {
+        let mut a = RunArtifact::new();
+        a.absorb_line(&format!(
+            "{{\"kind\":\"histogram\",\"hist\":\"reward\",\"count\":10,\"mean\":{reward_mean},\
+             \"p50\":1,\"p90\":1,\"p99\":1}}"
+        ));
+        a.absorb_line(&format!(
+            "{{\"kind\":\"decision\",\"seq\":0,\"agent\":1,\"epoch\":0,\"cycle\":0,\
+             \"arm\":0,\"explore\":false,\"phase\":\"main\",\"reward\":{decision_reward},\
+             \"normalized\":1,\"q\":[0],\"bound\":[0],\"pulls\":[1]}}"
+        ));
+        a
+    }
+
+    #[test]
+    fn small_delta_passes_large_delta_flags() {
+        let base = artifact(1.0, 2.0);
+        let ok = artifact(1.01, 2.01);
+        let bad = artifact(0.9, 2.0);
+
+        let deltas = diff_artifacts(&base, &ok, 0.02);
+        assert!(!has_regression(&deltas));
+
+        let deltas = diff_artifacts(&base, &bad, 0.02);
+        assert!(has_regression(&deltas));
+        let hist = deltas
+            .iter()
+            .find(|d| d.metric == "hist:reward:mean")
+            .unwrap();
+        assert!(hist.flagged);
+        assert!((hist.rel_delta + 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvements_beyond_threshold_also_flag() {
+        // A big *improvement* still flags: the gate is about unexplained
+        // change, and sign is visible in rel_delta for triage.
+        let deltas = diff_artifacts(&artifact(1.0, 1.0), &artifact(1.5, 1.0), 0.02);
+        assert!(deltas.iter().any(|d| d.flagged && d.rel_delta > 0.0));
+    }
+
+    #[test]
+    fn missing_metrics_are_skipped() {
+        let base = artifact(1.0, 1.0);
+        let empty = RunArtifact::new();
+        assert!(diff_artifacts(&base, &empty, 0.02).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_yields_infinite_delta() {
+        let mut base = RunArtifact::new();
+        base.absorb_line(
+            "{\"kind\":\"histogram\",\"hist\":\"x\",\"count\":1,\"mean\":0,\
+             \"p50\":0,\"p90\":0,\"p99\":0}",
+        );
+        let mut cand = RunArtifact::new();
+        cand.absorb_line(
+            "{\"kind\":\"histogram\",\"hist\":\"x\",\"count\":1,\"mean\":3,\
+             \"p50\":0,\"p90\":0,\"p99\":0}",
+        );
+        let deltas = diff_artifacts(&base, &cand, 0.02);
+        assert!(deltas[0].rel_delta.is_infinite());
+        assert!(deltas[0].flagged);
+    }
+}

@@ -1,0 +1,113 @@
+//! The `mab-inspect` binary: analyse Micro-Armed Bandit run artifacts.
+//!
+//! ```text
+//! mab-inspect report <artifact.jsonl>... [--windows N]
+//! mab-inspect diff <baseline.jsonl> <candidate.jsonl> [--threshold PCT]
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when `diff` finds a regression past the
+//! threshold, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mab_inspect::artifact::RunArtifact;
+use mab_inspect::diff::{diff_artifacts, has_regression};
+use mab_inspect::report::{render_diff, render_report};
+
+const USAGE: &str = "\
+mab-inspect — analyse Micro-Armed Bandit telemetry and decision-trace artifacts
+
+USAGE:
+    mab-inspect report <artifact.jsonl>... [--windows N]
+        Regret vs the post-hoc best arm, arm-switch timeline, per-phase and
+        windowed arm occupancy, counters and histograms. Multiple artifacts
+        (e.g. a --telemetry export plus a --trace file) are merged.
+        --windows N   occupancy-timeline resolution (default 8)
+
+    mab-inspect diff <baseline.jsonl> <candidate.jsonl> [--threshold PCT]
+        Compares shared metrics (histogram means, mean decision reward) and
+        exits 1 when any relative change exceeds the threshold.
+        --threshold PCT   flag deltas beyond PCT percent (default 2)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => run_report(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => usage_error("expected a subcommand: report | diff | help"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_report(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut windows = 8usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--windows" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => windows = n,
+                _ => return usage_error("--windows needs a positive integer"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        return usage_error("report needs at least one artifact path");
+    }
+    match RunArtifact::load(&paths) {
+        Ok(run) => {
+            print!("{}", render_report(&run, windows));
+            ExitCode::SUCCESS
+        }
+        Err(e) => usage_error(&format!("cannot read artifact: {e}")),
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold_pct = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t >= 0.0 => threshold_pct = t,
+                _ => return usage_error("--threshold needs a non-negative number"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.len() != 2 {
+        return usage_error("diff needs exactly two artifact paths");
+    }
+    let threshold = threshold_pct / 100.0;
+    let load = |p: &PathBuf| RunArtifact::load(std::slice::from_ref(p));
+    let (baseline, candidate) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => return usage_error(&format!("cannot read artifact: {e}")),
+    };
+    let deltas = diff_artifacts(&baseline, &candidate, threshold);
+    print!("{}", render_diff(&deltas, threshold));
+    if has_regression(&deltas) {
+        eprintln!("regression detected (threshold {threshold_pct}%)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,257 @@
+//! Text rendering for `mab-inspect report` and `mab-inspect diff`.
+//!
+//! Pure string builders so tests can assert on the output without spawning
+//! the binary; the CLI just prints the returned strings.
+
+use std::fmt::Write as _;
+
+use crate::analysis;
+use crate::artifact::RunArtifact;
+use crate::diff::MetricDelta;
+
+/// Renders the full report for an artifact: ring accounting, counters,
+/// histograms, and — when decisions are present — the decision analyses.
+/// `windows` controls the occupancy-timeline resolution.
+pub fn render_report(run: &RunArtifact, windows: usize) -> String {
+    let mut out = String::new();
+
+    if let Some(total) = run.events_total {
+        let _ = writeln!(out, "telemetry events: {total} recorded");
+    }
+    if let Some(tm) = run.trace_meta {
+        let _ = writeln!(
+            out,
+            "decision trace: {} retained, {} dropped, {} total, {} rewards unattributed",
+            tm.retained, tm.dropped, tm.total, tm.unattributed
+        );
+    }
+    if run.skipped_lines > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} unparsable lines skipped",
+            run.skipped_lines
+        );
+    }
+
+    if !run.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in &run.counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+    }
+
+    if !run.histograms.is_empty() {
+        let _ = writeln!(out, "\nhistograms:");
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "p50", "p90", "p99"
+        );
+        for (name, h) in &run.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                name, h.count, h.mean, h.p50, h.p90, h.p99
+            );
+        }
+    }
+
+    if !run.event_counts.is_empty() {
+        let _ = writeln!(out, "\nevents by kind:");
+        for (kind, count) in &run.event_counts {
+            let _ = writeln!(out, "  {kind:<28} {count}");
+        }
+    }
+
+    if !run.decisions.is_empty() {
+        render_decisions(&mut out, run, windows);
+    }
+    out
+}
+
+fn render_decisions(out: &mut String, run: &RunArtifact, windows: usize) {
+    let ds = &run.decisions;
+    let arms = run.arm_count();
+    let agents: std::collections::BTreeSet<u64> = ds.iter().map(|d| d.agent).collect();
+
+    let _ = writeln!(
+        out,
+        "\ndecisions: {} across {} agent(s), {} arms, explore rate {:.1}%",
+        ds.len(),
+        agents.len(),
+        arms,
+        100.0 * analysis::explore_rate(ds)
+    );
+
+    match analysis::best_arm(ds, arms) {
+        None => {
+            let _ = writeln!(out, "no attributed rewards — regret analysis unavailable");
+        }
+        Some(best) => {
+            let _ = writeln!(
+                out,
+                "post-hoc best arm: {} (mean reward {:.4} over {} attributed steps)",
+                best.arm, best.mean_reward, best.samples
+            );
+            let means = analysis::arm_means(ds, arms);
+            let _ = writeln!(out, "\nper-arm attributed reward:");
+            let _ = writeln!(out, "  {:<5} {:>10} {:>12}", "arm", "steps", "mean");
+            for (arm, (mean, n)) in means.iter().enumerate() {
+                if *n > 0 {
+                    let _ = writeln!(out, "  {arm:<5} {n:>10} {mean:>12.4}");
+                }
+            }
+            let curve = analysis::regret_curve(ds, arms);
+            if let Some(last) = curve.last() {
+                let _ = writeln!(
+                    out,
+                    "\nregret vs post-hoc best arm: cumulative {:.4} over {} steps \
+                     ({:.4}/step)",
+                    last.cumulative,
+                    curve.len(),
+                    last.cumulative / curve.len() as f64
+                );
+                for (label, frac) in [("25%", 0.25), ("50%", 0.5), ("75%", 0.75), ("100%", 1.0)] {
+                    let idx = ((curve.len() as f64 * frac) as usize).clamp(1, curve.len()) - 1;
+                    let p = &curve[idx];
+                    let _ = writeln!(
+                        out,
+                        "  at {label:>4} of run (epoch {:>8}): cumulative {:.4}",
+                        p.epoch, p.cumulative
+                    );
+                }
+            }
+        }
+    }
+
+    let switches = analysis::arm_switches(ds);
+    let _ = writeln!(out, "\narm switches: {}", switches.len());
+    const SHOWN: usize = 20;
+    for s in switches.iter().take(SHOWN) {
+        let _ = writeln!(
+            out,
+            "  cycle {:>12} epoch {:>8} agent {:#x}: arm {} -> {}",
+            s.cycle, s.epoch, s.agent, s.from, s.to
+        );
+    }
+    if switches.len() > SHOWN {
+        let _ = writeln!(out, "  ... {} more", switches.len() - SHOWN);
+    }
+
+    let phases = analysis::phase_occupancy(ds, arms);
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\narm occupancy by phase:");
+        for p in &phases {
+            let total: u64 = p.counts.iter().sum();
+            let _ = writeln!(
+                out,
+                "  {:<14} dominant arm {} ({}/{} decisions) counts {:?}",
+                p.phase, p.dominant, p.counts[p.dominant], total, p.counts
+            );
+        }
+    }
+
+    let ws = analysis::windowed_occupancy(ds, arms, windows);
+    if !ws.is_empty() {
+        let _ = writeln!(out, "\ndominant arm timeline ({windows} windows):");
+        for w in &ws {
+            if w.total == 0 {
+                let _ = writeln!(
+                    out,
+                    "  [{:>12} .. {:>12}) no decisions",
+                    w.start_cycle, w.end_cycle
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  [{:>12} .. {:>12}) arm {:<3} ({:>5.1}% of {} decisions)",
+                    w.start_cycle,
+                    w.end_cycle,
+                    w.dominant,
+                    100.0 * w.counts[w.dominant] as f64 / w.total as f64,
+                    w.total
+                );
+            }
+        }
+    }
+}
+
+/// Renders the diff table; flagged rows carry a `REGRESSION` marker.
+pub fn render_diff(deltas: &[MetricDelta], threshold: f64) -> String {
+    let mut out = String::new();
+    if deltas.is_empty() {
+        let _ = writeln!(out, "no shared metrics to compare");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<32} {:>14} {:>14} {:>10}  (threshold {:.2}%)",
+        "metric",
+        "baseline",
+        "candidate",
+        "delta",
+        threshold * 100.0
+    );
+    for d in deltas {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14.6} {:>14.6} {:>9.2}%  {}",
+            d.metric,
+            d.baseline,
+            d.candidate,
+            d.rel_delta * 100.0,
+            if d.flagged { "REGRESSION" } else { "ok" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_artifacts;
+
+    fn sample_run() -> RunArtifact {
+        let mut a = RunArtifact::new();
+        a.absorb_line("{\"kind\":\"counter\",\"stat\":\"arm_pulls\",\"value\":6}");
+        a.absorb_line(
+            "{\"kind\":\"histogram\",\"hist\":\"reward\",\"count\":6,\"mean\":1.2,\
+             \"p50\":1.1,\"p90\":1.9,\"p99\":2.0}",
+        );
+        a.absorb_line(
+            "{\"kind\":\"trace_meta\",\"decisions_retained\":3,\"decisions_dropped\":0,\
+             \"decisions_total\":3,\"rewards_unattributed\":0}",
+        );
+        for (epoch, arm, reward) in [(0u64, 0usize, 0.5), (1, 1, 2.0), (2, 1, 2.0)] {
+            a.absorb_line(&format!(
+                "{{\"kind\":\"decision\",\"seq\":{epoch},\"agent\":1,\"epoch\":{epoch},\
+                 \"cycle\":{},\"arm\":{arm},\"explore\":false,\"phase\":\"main\",\
+                 \"reward\":{reward},\"normalized\":{reward},\"q\":[0,0],\"bound\":[0,0],\
+                 \"pulls\":[0,0]}}",
+                epoch * 1000
+            ));
+        }
+        a
+    }
+
+    #[test]
+    fn report_names_the_dominant_arm_and_regret() {
+        let text = render_report(&sample_run(), 4);
+        assert!(text.contains("post-hoc best arm: 1"));
+        assert!(text.contains("arm switches: 1"));
+        assert!(text.contains("regret vs post-hoc best arm"));
+        assert!(text.contains("dominant arm timeline"));
+        assert!(text.contains("decision trace: 3 retained"));
+    }
+
+    #[test]
+    fn diff_render_marks_regressions() {
+        let base = sample_run();
+        let mut cand = sample_run();
+        cand.histograms.get_mut("reward").unwrap().mean = 0.9;
+        let deltas = diff_artifacts(&base, &cand, 0.02);
+        let text = render_diff(&deltas, 0.02);
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("hist:reward:mean"));
+    }
+}

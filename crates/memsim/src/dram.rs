@@ -78,6 +78,13 @@ impl Dram {
         (queue_delay + self.latency as f64 + self.service_cycles).round() as u64
     }
 
+    /// Outstanding channel busy time at cycle `now`, in cycles (0 when the
+    /// channel is idle). This is the queueing pressure a request arriving now
+    /// would see — the occupancy signal sampled into telemetry traces.
+    pub fn backlog(&self, now: u64) -> f64 {
+        (self.busy_until - now as f64).max(0.0)
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> DramStats {
         self.stats
@@ -124,6 +131,17 @@ mod tests {
         let mut slow = Dram::new(213.0, 90);
         let mut fast = Dram::new(3.3, 90);
         assert!(slow.access(0) > fast.access(0));
+    }
+
+    #[test]
+    fn backlog_tracks_channel_pressure() {
+        let mut d = Dram::new(10.0, 90);
+        assert_eq!(d.backlog(0), 0.0);
+        d.access(0);
+        d.access(0);
+        assert_eq!(d.backlog(0), 20.0);
+        assert_eq!(d.backlog(5), 15.0);
+        assert_eq!(d.backlog(10_000), 0.0);
     }
 
     #[test]

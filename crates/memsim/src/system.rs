@@ -99,6 +99,10 @@ impl RunStats {
     }
 }
 
+/// L2 demand accesses between occupancy samples: a few samples per bandit
+/// step (1,000 accesses), cheap enough to leave always on with telemetry.
+const OCCUPANCY_SAMPLE_PERIOD: u64 = 512;
+
 struct CoreCtx {
     core: CoreModel,
     l1: Cache,
@@ -135,6 +139,8 @@ pub struct System {
     llc: Cache,
     dram: Dram,
     probe: ProbeCounts,
+    /// L2 demand accesses since the run started (occupancy sample clock).
+    occ_accesses: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -182,6 +188,7 @@ impl System {
             dram: Dram::new(config.dram_service_cycles(), config.dram_latency),
             config,
             probe: ProbeCounts::new(),
+            occ_accesses: 0,
         }
     }
 
@@ -380,6 +387,26 @@ impl System {
         self.issue_l1_prefetches(i, t);
         if l1_hit {
             return l1_lat;
+        }
+
+        // Sampled occupancy tracks (DRAM channel backlog, per-core MSHR
+        // fill) for the Perfetto timeline, on the L2-demand-access clock.
+        if mab_telemetry::enabled() {
+            self.occ_accesses += 1;
+            if self.occ_accesses.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+                mab_telemetry::emit!(Occupancy {
+                    track: "dram_backlog",
+                    id: 0,
+                    value: self.dram.backlog(t),
+                    cycle: t,
+                });
+                mab_telemetry::emit!(Occupancy {
+                    track: "mshr",
+                    id: i,
+                    value: self.cores[i].mshr.len() as f64,
+                    cycle: t,
+                });
+            }
         }
 
         // L2 demand access: this is where the prefetcher trains.

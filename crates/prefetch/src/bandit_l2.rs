@@ -194,6 +194,7 @@ impl Prefetcher for BanditL2 {
         if !self.started {
             self.started = true;
             self.meter.latch(access.instructions, access.cycle);
+            mab_telemetry::clock!(access.cycle);
             let arm_id = self.agent.select_arm();
             // The very first arm applies immediately: nothing ran before it.
             let arm = self.arms[arm_id.index()];
@@ -215,6 +216,9 @@ impl Prefetcher for BanditL2 {
         if self.accesses_in_step >= self.step_len {
             self.accesses_in_step = 0;
             let reward = self.meter.step(access.instructions, access.cycle);
+            // Publish the step-boundary cycle so the decision the agent is
+            // about to record lands at the right timeline position.
+            mab_telemetry::clock!(access.cycle);
             self.agent.observe_reward(reward);
             let arm_id = self.agent.select_arm();
             self.apply(arm_id, access.cycle);

@@ -179,6 +179,9 @@ pub struct SmtPipeline {
     /// recorder at epoch boundaries — per-cycle counter traffic would cost
     /// more than the fetch stage itself.
     probe_fetch: [u64; 2],
+    /// Fetch-slot grants per thread within the current epoch, sampled into
+    /// `fetch_share` occupancy tracks at each epoch boundary.
+    epoch_grants: [u64; 2],
 }
 
 impl std::fmt::Debug for SmtPipeline {
@@ -207,6 +210,7 @@ impl SmtPipeline {
             rr_last: 0,
             epoch_commits_latch: [0; 2],
             probe_fetch: [0; 2],
+            epoch_grants: [0; 2],
         }
     }
 
@@ -255,6 +259,31 @@ impl SmtPipeline {
                 mab_telemetry::count!(SmtEpochs);
                 mab_telemetry::record!(EpochIpc, per_thread[0] + per_thread[1]);
                 self.flush_probes();
+                // Publish the epoch-boundary cycle before the controller
+                // runs, so any bandit decision it records lands at the right
+                // timeline position; sample the per-thread fetch shares and
+                // IPCs as occupancy tracks.
+                mab_telemetry::clock!(self.cycle);
+                if mab_telemetry::STATIC_ENABLED {
+                    if mab_telemetry::enabled() {
+                        let total = (self.epoch_grants[0] + self.epoch_grants[1]).max(1) as f64;
+                        for (i, &grants) in self.epoch_grants.iter().enumerate() {
+                            mab_telemetry::emit!(Occupancy {
+                                track: "fetch_share",
+                                id: i,
+                                value: grants as f64 / total,
+                                cycle: self.cycle,
+                            });
+                            mab_telemetry::emit!(Occupancy {
+                                track: "thread_ipc",
+                                id: i,
+                                value: per_thread[i],
+                                cycle: self.cycle,
+                            });
+                        }
+                    }
+                    self.epoch_grants = [0; 2];
+                }
                 controller.on_epoch(EpochIpc { per_thread });
             }
         }
@@ -576,6 +605,7 @@ impl SmtPipeline {
         self.rr_last = chosen;
         if mab_telemetry::STATIC_ENABLED {
             self.probe_fetch[0] += 1;
+            self.epoch_grants[chosen] += 1;
         }
         mab_telemetry::emit_sim!(FetchSlotGrant {
             thread: chosen,

@@ -125,6 +125,21 @@ pub enum Event {
         /// Cycle of the decision.
         cycle: u64,
     },
+    /// A sampled occupancy/utilization reading from a simulator resource
+    /// (DRAM backlog, MSHR fill, per-thread fetch share). Sampled at bandit
+    /// epoch granularity — far below probe frequency — so it is *not* gated
+    /// on [`crate::RecorderConfig::sim_events`]; these become counter tracks
+    /// in the Perfetto export.
+    Occupancy {
+        /// Resource track name (e.g. `dram_backlog`, `fetch_share`).
+        track: &'static str,
+        /// Resource instance (core or thread index; 0 for shared resources).
+        id: usize,
+        /// The sampled value, in track-specific units.
+        value: f64,
+        /// Cycle of the sample.
+        cycle: u64,
+    },
 }
 
 impl Event {
@@ -140,6 +155,7 @@ impl Event {
             Event::PrefetchIssued { .. } => "prefetch_issued",
             Event::FetchSlotGrant { .. } => "fetch_slot_grant",
             Event::FetchGated { .. } => "fetch_gated",
+            Event::Occupancy { .. } => "occupancy",
         }
     }
 

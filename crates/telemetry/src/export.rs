@@ -104,6 +104,17 @@ pub fn event_fields(event: &Event) -> Vec<(&'static str, Field)> {
             ("thread", Field::U64(thread as u64)),
             ("cycle", Field::U64(cycle)),
         ],
+        Event::Occupancy {
+            track,
+            id,
+            value,
+            cycle,
+        } => vec![
+            ("track", Field::Str(track)),
+            ("id", Field::U64(id as u64)),
+            ("value", Field::F64(value)),
+            ("cycle", Field::U64(cycle)),
+        ],
     }
 }
 
@@ -172,7 +183,7 @@ pub fn event_to_json(e: &SeqEvent) -> String {
 
 /// Every CSV column, in output order. Events leave inapplicable columns
 /// empty, so heterogeneous kinds share one table.
-pub const CSV_COLUMNS: [&str; 18] = [
+pub const CSV_COLUMNS: [&str; 21] = [
     "seq",
     "kind",
     "agent",
@@ -190,6 +201,9 @@ pub const CSV_COLUMNS: [&str; 18] = [
     "line",
     "hit",
     "prefetch",
+    "track",
+    "id",
+    "value",
     "cycle",
 ];
 
@@ -326,6 +340,12 @@ mod tests {
                 line: 42,
                 hit: true,
                 cycle: 99,
+            },
+            Event::Occupancy {
+                track: "dram_backlog",
+                id: 0,
+                value: 3.5,
+                cycle: 120,
             },
         ];
         for (seq, event) in events.into_iter().enumerate() {

@@ -31,18 +31,21 @@ pub mod counters;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod perfetto;
 pub mod ring;
 pub mod summary;
+pub mod trace;
 
 pub use counters::{Counters, Stat};
 pub use event::{CacheLevel, Event};
 pub use hist::{Hist, Histogram};
 pub use ring::{EventRing, SeqEvent};
 pub use summary::SummarySink;
+pub use trace::{ArmProbe, DecisionRecord, SeqDecision, TraceRing};
 
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Compile-time master switch: `true` only when the `on` feature is enabled.
@@ -58,6 +61,9 @@ pub struct RecorderConfig {
     /// Also push high-frequency simulator probe events into the ring.
     /// Off by default: per-access logging would dominate simulator runtime.
     pub sim_events: bool,
+    /// Maximum decision records retained in the trace ring (oldest evicted
+    /// beyond this).
+    pub trace_capacity: usize,
 }
 
 impl Default for RecorderConfig {
@@ -65,6 +71,7 @@ impl Default for RecorderConfig {
         RecorderConfig {
             ring_capacity: 65_536,
             sim_events: false,
+            trace_capacity: 65_536,
         }
     }
 }
@@ -74,6 +81,8 @@ pub struct Recorder {
     counters: Counters,
     hists: [Histogram; Hist::COUNT],
     ring: EventRing,
+    trace: TraceRing,
+    clock: AtomicU64,
     sim_events: bool,
 }
 
@@ -84,6 +93,8 @@ impl Recorder {
             counters: Counters::new(),
             hists: std::array::from_fn(|_| Histogram::new()),
             ring: EventRing::new(config.ring_capacity),
+            trace: TraceRing::new(config.trace_capacity),
+            clock: AtomicU64::new(0),
             sim_events: config.sim_events,
         }
     }
@@ -104,6 +115,26 @@ impl Recorder {
     #[inline]
     pub fn ring(&self) -> &EventRing {
         &self.ring
+    }
+
+    /// The decision-provenance trace ring.
+    #[inline]
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Publishes the current simulated cycle. Simulators call this at bandit
+    /// step / epoch boundaries so decision records and occupancy samples
+    /// carry a timeline position.
+    #[inline]
+    pub fn set_clock(&self, cycle: u64) {
+        self.clock.store(cycle, Ordering::Relaxed);
+    }
+
+    /// The last published simulated cycle (0 before any simulator reported).
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
     }
 
     /// Whether simulator probe events are ring-logged.
@@ -147,6 +178,17 @@ impl Recorder {
         match path.extension().and_then(|e| e.to_str()) {
             Some("csv") => self.export_csv(&mut file),
             _ => self.export_jsonl(&mut file),
+        }
+    }
+
+    /// Exports the decision trace to `path`, choosing the format from the
+    /// extension (`.json` → Chrome trace-event JSON for Perfetto, anything
+    /// else → decision JSON lines).
+    pub fn export_trace_to_path(&self, path: &Path) -> io::Result<()> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => perfetto::write_trace_json(self, &mut file),
+            _ => trace::write_trace_jsonl(&self.trace, &mut file),
         }
     }
 }
@@ -240,6 +282,20 @@ macro_rules! emit {
     };
 }
 
+/// Publishes the simulated cycle to the recorder clock: `clock!(cycle)`.
+/// Called by simulators at bandit step / epoch boundaries (not per cycle),
+/// so decision records carry a timeline position.
+#[macro_export]
+macro_rules! clock {
+    ($cycle:expr) => {
+        if $crate::STATIC_ENABLED {
+            if let Some(r) = $crate::recorder() {
+                r.set_clock($cycle as u64);
+            }
+        }
+    };
+}
+
 /// Like [`emit!`] but for high-frequency simulator probe events: checks
 /// [`RecorderConfig::sim_events`] *before* constructing the event, so with
 /// ring-logging of probes off (the default) the per-access/per-cycle cost is
@@ -271,6 +327,7 @@ mod tests {
         let rec = Recorder::new(RecorderConfig {
             ring_capacity: 8,
             sim_events: false,
+            ..RecorderConfig::default()
         });
         rec.emit(Event::ArmPulled {
             agent: 1,
@@ -295,6 +352,7 @@ mod tests {
         let rec = Recorder::new(RecorderConfig {
             ring_capacity: 8,
             sim_events: true,
+            ..RecorderConfig::default()
         });
         rec.emit(Event::FetchSlotGrant {
             thread: 1,

@@ -95,6 +95,17 @@ impl SummarySink {
             ring.dropped(),
             ring.total_pushed()
         )?;
+        let trace = rec.trace();
+        if trace.total_pushed() != 0 {
+            writeln!(
+                w,
+                "{PREFIX}   decisions: {} retained, {} dropped, {} total, {} unattributed",
+                trace.len(),
+                trace.dropped(),
+                trace.total_pushed(),
+                trace.unattributed()
+            )?;
+        }
         Ok(())
     }
 }

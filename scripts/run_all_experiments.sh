@@ -3,6 +3,12 @@
 # Sizes below are the "recorded run" configuration documented in
 # EXPERIMENTS.md (scaled down from the paper's 1B-instruction traces to
 # laptop scale; pass larger --instructions for higher fidelity).
+#
+# Every run is built with --features telemetry and writes, alongside the
+# table in results/$name.txt:
+#   results/$name.jsonl       telemetry export (counters, histograms, events)
+#   results/$name.trace.json  Perfetto decision timeline (ui.perfetto.dev)
+# Analyse them with `cargo run -p mab-inspect -- report results/$name.jsonl`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -10,7 +16,8 @@ mkdir -p results
 run() {
   local name="$1"; shift
   echo "=== running $name $* ==="
-  cargo run --release -q -p mab-experiments --bin "$name" -- "$@" \
+  cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
+    --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
     >"results/$name.txt" 2>"results/$name.log"
   echo "--- wrote results/$name.txt"
 }

@@ -7,7 +7,8 @@ mkdir -p results
 run() {
   local name="$1"; shift
   echo "=== running $name $* ==="
-  cargo run --release -q -p mab-experiments --bin "$name" -- "$@" \
+  cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
+    --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
     >"results/$name.txt" 2>"results/$name.log"
   echo "--- wrote results/$name.txt"
 }

@@ -102,4 +102,63 @@ fn exported_event_log_replays_the_prefetch_run() {
         .find(|l| l.contains("\"hist\":\"reward\""))
         .expect("reward histogram in export");
     assert_eq!(field_u64(hist, "count"), steps);
+
+    // --- Decision trace replay -------------------------------------------
+    // One DecisionRecord per selection, in history order, with every step's
+    // delayed reward attributed (only the final pending selection stays
+    // unattributed).
+    let decisions = rec.trace().decisions();
+    assert_eq!(rec.trace().dropped(), 0);
+    assert_eq!(rec.trace().unattributed(), 0);
+    assert_eq!(decisions.len(), history.len());
+    let attributed = decisions
+        .iter()
+        .filter(|d| d.record.reward.is_finite())
+        .count() as u64;
+    assert_eq!(attributed, steps);
+    for (d, &(_, arm)) in decisions.iter().zip(&history) {
+        assert_eq!(d.record.chosen, arm, "trace arm diverges from history");
+        assert_eq!(d.record.agent, SEED);
+        // The probe covers the full arm set, not just the arms pulled so far.
+        assert_eq!(
+            d.record.arms.len(),
+            mab_prefetch::composite::PAPER_ARMS.len()
+        );
+    }
+    let cycles: Vec<u64> = decisions.iter().map(|d| d.record.cycle).collect();
+    assert!(
+        cycles.windows(2).all(|w| w[0] <= w[1]),
+        "cycles not monotone"
+    );
+    assert!(cycles.last().copied().unwrap() > 0, "clock never published");
+
+    // JSONL trace export round-trips the same decision count.
+    let mut trace_out = Vec::new();
+    mab_telemetry::trace::write_trace_jsonl(rec.trace(), &mut trace_out).expect("trace export");
+    let trace_text = String::from_utf8(trace_out).expect("utf8");
+    let meta_line = trace_text.lines().next().expect("trace_meta line");
+    assert_eq!(
+        field_u64(meta_line, "decisions_retained"),
+        history.len() as u64
+    );
+    assert_eq!(
+        trace_text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"decision\""))
+            .count(),
+        history.len()
+    );
+
+    // The Perfetto export renders one slice per decision plus the sampled
+    // memsim occupancy counters.
+    let mut perfetto = Vec::new();
+    mab_telemetry::perfetto::write_trace_json(rec, &mut perfetto).expect("perfetto export");
+    let perfetto = String::from_utf8(perfetto).expect("utf8");
+    assert!(perfetto.contains("\"traceEvents\""));
+    assert_eq!(
+        perfetto.matches("\"ph\":\"X\"").count(),
+        history.len(),
+        "one duration slice per decision"
+    );
+    assert!(perfetto.contains("dram_backlog"), "occupancy track missing");
 }
