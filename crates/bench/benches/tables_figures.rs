@@ -29,7 +29,7 @@ fn bench_prefetch_experiments(c: &mut Criterion) {
         });
     });
     group.bench_function("tab08_best_static_oracle", |b| {
-        b.iter(|| prefetch_runs::best_static_arm(&app, cfg, INSTR, 1));
+        b.iter(|| prefetch_runs::best_static_arm(&app, cfg, INSTR, 1, 1));
     });
     group.bench_function("fig10_low_bandwidth_point", |b| {
         let slow = cfg.with_dram_mtps(150);
@@ -72,7 +72,7 @@ fn bench_smt_experiments(c: &mut Criterion) {
         });
     });
     group.bench_function("tab09_best_static_oracle", |b| {
-        b.iter(|| smt_runs::best_static_arm(specs.clone(), params, COMMITS, 1));
+        b.iter(|| smt_runs::best_static_arm(specs.clone(), params, COMMITS, 1, 1));
     });
     group.finish();
 }

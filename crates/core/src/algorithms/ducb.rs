@@ -1,6 +1,6 @@
 //! The Discounted Upper Confidence Bound (DUCB) bandit algorithm.
 
-use super::{argmax_potential, count_explore_exploit, Algorithm};
+use super::{argmax_potential, count_explore_exploit, Algorithm, LnCache};
 use crate::arm::ArmId;
 use crate::tables::BanditTables;
 use rand::rngs::StdRng;
@@ -42,13 +42,18 @@ use rand::rngs::StdRng;
 pub struct Ducb {
     gamma: f64,
     c: f64,
+    ln_cache: LnCache,
 }
 
 impl Ducb {
     /// Creates a DUCB policy with forgetting factor `gamma` and exploration
     /// constant `c`.
     pub fn new(gamma: f64, c: f64) -> Self {
-        Ducb { gamma, c }
+        Ducb {
+            gamma,
+            c,
+            ln_cache: LnCache::new(),
+        }
     }
 
     /// The forgetting factor γ.
@@ -64,7 +69,7 @@ impl Ducb {
 
 impl Algorithm for Ducb {
     fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
-        let arm = argmax_potential(tables, self.c);
+        let arm = argmax_potential(tables, self.c, &self.ln_cache);
         count_explore_exploit(tables, arm);
         arm
     }
@@ -78,12 +83,12 @@ impl Algorithm for Ducb {
     }
 
     fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
-        let n_total = tables.n_total();
+        let ln_total = self.ln_cache.ln_total(tables.n_total());
         out.clear();
         out.extend(
             tables
                 .iter()
-                .map(|(_, r, n)| super::potential(r, n, n_total, self.c)),
+                .map(|(_, r, n)| super::potential_with_ln(r, n, ln_total, self.c)),
         );
     }
 }

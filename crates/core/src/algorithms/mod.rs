@@ -226,13 +226,65 @@ impl AlgorithmKind {
 /// Arms whose (discounted) count has decayed to (near) zero get an infinite
 /// potential so they are re-tried, mirroring the growth of the exploration
 /// factor for rarely selected arms.
+///
+/// Production scans go through [`potential_with_ln`]; this form is the
+/// reference the unit tests check the split against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn potential(r: f64, n: f64, n_total: f64, c: f64) -> f64 {
+    potential_with_ln(r, n, n_total.max(1.0).ln(), c)
+}
+
+/// [`potential`] with `ln(max(n_total, 1))` precomputed: the logarithm is
+/// identical for every arm of a selection scan, so callers hoist it out of
+/// the per-arm loop (and cache it across calls via [`LnCache`]) without
+/// changing a single bit of the result.
+pub(crate) fn potential_with_ln(r: f64, n: f64, ln_total: f64, c: f64) -> f64 {
     const N_FLOOR: f64 = 1e-9;
     if n <= N_FLOOR {
         return f64::INFINITY;
     }
-    let ln_total = n_total.max(1.0).ln();
     r + c * (ln_total / n).sqrt()
+}
+
+/// One-entry memo of `n_total → ln(max(n_total, 1))`.
+///
+/// The pull-count total only changes when a selection is folded in, but the
+/// logarithm is consulted several times per bandit step: once per
+/// `next_arm` scan and again by `probe_bounds` when tracing is live.
+/// Interior mutability keeps the read-only [`Algorithm::probe_bounds`]
+/// signature honest.
+#[derive(Debug, Clone)]
+pub(crate) struct LnCache {
+    arg: std::cell::Cell<f64>,
+    value: std::cell::Cell<f64>,
+}
+
+impl LnCache {
+    pub(crate) fn new() -> Self {
+        // ln(1) = 0 seeds a valid entry for the empty-tables case.
+        LnCache {
+            arg: std::cell::Cell::new(1.0),
+            value: std::cell::Cell::new(0.0),
+        }
+    }
+
+    /// `ln(max(n_total, 1))`, recomputed only when `n_total` moved.
+    pub(crate) fn ln_total(&self, n_total: f64) -> f64 {
+        let x = n_total.max(1.0);
+        if x != self.arg.get() {
+            self.arg.set(x);
+            self.value.set(x.ln());
+        }
+        self.value.get()
+    }
+}
+
+/// The cache is invisible state: algorithms holding different memo entries
+/// are still the same policy.
+impl PartialEq for LnCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 /// Telemetry: classifies a pull as exploration or exploitation by comparing
@@ -250,13 +302,15 @@ pub(crate) fn count_explore_exploit(tables: &BanditTables, arm: ArmId) {
 }
 
 /// Selects the arm with the highest potential; ties resolve to the lowest
-/// index (hardware priority encoder).
-pub(crate) fn argmax_potential(tables: &BanditTables, c: f64) -> ArmId {
-    let n_total = tables.n_total();
+/// index (hardware priority encoder). The `ln(n_total)` term is shared by
+/// every arm, so it is looked up once through `ln_cache` instead of being
+/// recomputed inside the scan.
+pub(crate) fn argmax_potential(tables: &BanditTables, c: f64, ln_cache: &LnCache) -> ArmId {
+    let ln_total = ln_cache.ln_total(tables.n_total());
     let mut best = ArmId::new(0);
     let mut best_p = f64::NEG_INFINITY;
     for (arm, r, n) in tables.iter() {
-        let p = potential(r, n, n_total, c);
+        let p = potential_with_ln(r, n, ln_total, c);
         if p > best_p {
             best_p = p;
             best = arm;
@@ -287,7 +341,7 @@ mod tests {
         t.record_initial(ArmId::new(0), 0.2);
         t.record_initial(ArmId::new(1), 0.9);
         t.record_initial(ArmId::new(2), 0.4);
-        assert_eq!(argmax_potential(&t, 0.0), ArmId::new(1));
+        assert_eq!(argmax_potential(&t, 0.0, &LnCache::new()), ArmId::new(1));
     }
 
     #[test]
@@ -299,7 +353,7 @@ mod tests {
         for _ in 0..200 {
             t.increment_selection(ArmId::new(0));
         }
-        assert_eq!(argmax_potential(&t, 10.0), ArmId::new(1));
+        assert_eq!(argmax_potential(&t, 10.0, &LnCache::new()), ArmId::new(1));
     }
 
     #[test]

@@ -97,6 +97,8 @@ impl Algorithm for SwUcb {
     fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
         self.ensure_arms(tables.arms());
         let t = self.history.len().max(1) as f64;
+        // ln(t) is common to every arm's bound: hoist it out of the scan.
+        let ln_t = t.ln().max(0.0);
         let mut best = ArmId::new(0);
         let mut best_p = f64::NEG_INFINITY;
         for (arm, r, _) in tables.iter() {
@@ -107,7 +109,7 @@ impl Algorithm for SwUcb {
                 1e18 + r
             } else {
                 let mean = self.sums[i] / self.counts[i] as f64;
-                mean + self.c * (t.ln().max(0.0) / self.counts[i] as f64).sqrt()
+                mean + self.c * (ln_t / self.counts[i] as f64).sqrt()
             };
             if p > best_p {
                 best_p = p;
@@ -140,6 +142,7 @@ impl Algorithm for SwUcb {
         // Mirrors `next_arm` without `ensure_arms`: arms beyond the windowed
         // bookkeeping (no reward observed yet) read as window-unseen.
         let t = self.history.len().max(1) as f64;
+        let ln_t = t.ln().max(0.0);
         out.clear();
         for (arm, r, _) in tables.iter() {
             let i = arm.index();
@@ -147,7 +150,7 @@ impl Algorithm for SwUcb {
                 1e18 + r
             } else {
                 let mean = self.sums[i] / self.counts[i] as f64;
-                mean + self.c * (t.ln().max(0.0) / self.counts[i] as f64).sqrt()
+                mean + self.c * (ln_t / self.counts[i] as f64).sqrt()
             };
             out.push(p);
         }

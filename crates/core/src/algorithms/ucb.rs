@@ -1,6 +1,6 @@
 //! The Upper Confidence Bound (UCB) bandit algorithm.
 
-use super::{argmax_potential, count_explore_exploit, Algorithm};
+use super::{argmax_potential, count_explore_exploit, Algorithm, LnCache};
 use crate::arm::ArmId;
 use crate::tables::BanditTables;
 use rand::rngs::StdRng;
@@ -38,12 +38,16 @@ use rand::rngs::StdRng;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ucb {
     c: f64,
+    ln_cache: LnCache,
 }
 
 impl Ucb {
     /// Creates a UCB policy with exploration constant `c`.
     pub fn new(c: f64) -> Self {
-        Ucb { c }
+        Ucb {
+            c,
+            ln_cache: LnCache::new(),
+        }
     }
 
     /// The exploration constant.
@@ -54,7 +58,7 @@ impl Ucb {
 
 impl Algorithm for Ucb {
     fn next_arm(&mut self, tables: &BanditTables, _rng: &mut StdRng) -> ArmId {
-        let arm = argmax_potential(tables, self.c);
+        let arm = argmax_potential(tables, self.c, &self.ln_cache);
         count_explore_exploit(tables, arm);
         arm
     }
@@ -68,12 +72,12 @@ impl Algorithm for Ucb {
     }
 
     fn probe_bounds(&self, tables: &BanditTables, out: &mut Vec<f64>) {
-        let n_total = tables.n_total();
+        let ln_total = self.ln_cache.ln_total(tables.n_total());
         out.clear();
         out.extend(
             tables
                 .iter()
-                .map(|(_, r, n)| super::potential(r, n, n_total, self.c)),
+                .map(|(_, r, n)| super::potential_with_ln(r, n, ln_total, self.c)),
         );
     }
 }

@@ -23,7 +23,7 @@ fn main() {
     for (a, b) in mixes.into_iter().take(opts.mixes) {
         let name = format!("{}-{}", a.name, b.name);
         let (best, best_ratio, worst, worst_ratio) =
-            smt_runs::pg_space_extremes([a, b], params, opts.instructions, opts.seed);
+            smt_runs::pg_space_extremes([a, b], params, opts.instructions, opts.seed, opts.jobs);
         best_ratios.push(best_ratio);
         worst_ratios.push(worst_ratio);
         table.row(vec![

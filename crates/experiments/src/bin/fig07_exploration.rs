@@ -36,7 +36,7 @@ fn main() {
         let app = suites::app_by_name(app_name).expect("catalog app");
         let cfg = SystemConfig::default();
         let (best_arm, best_ipc) =
-            prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed);
+            prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed, opts.jobs);
         println!("## prefetching / {app_name}");
         print_series(
             &format!("BestStatic (arm {best_arm}, ipc {best_ipc:.3})"),
@@ -72,7 +72,7 @@ fn main() {
         let params = smt_runs::scaled_params();
         println!("## smt / {a}-{b}");
         let (best_arm, best_ipc) =
-            smt_runs::best_static_arm(specs.clone(), params, smt_commits, opts.seed);
+            smt_runs::best_static_arm(specs.clone(), params, smt_commits, opts.seed, opts.jobs);
         print_series(
             &format!("BestStatic (arm {best_arm}, sum-ipc {best_ipc:.3})"),
             &[("0".into(), best_arm as f64)],

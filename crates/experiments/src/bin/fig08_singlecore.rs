@@ -12,6 +12,7 @@ fn main() {
         opts.instructions,
         opts.seed,
         "Fig. 8: single-core IPC normalized to no prefetching",
+        opts.jobs,
     );
     println!("\n(paper: Bandit beats Stride +9%, Bingo +2.6%, MLOP +2.3%, matches Pythia ±0.2%)");
     session.finish();

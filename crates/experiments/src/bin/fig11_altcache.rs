@@ -12,6 +12,7 @@ fn main() {
         opts.instructions,
         opts.seed,
         "Fig. 11: single-core IPC vs no prefetching, alternative hierarchy (1MB L2, 1.5MB LLC/core)",
+        opts.jobs,
     );
     println!("\n(paper: Bandit beats Stride +9%, Bingo +1.5%, MLOP +4.9%, matches Pythia ±0.2%)");
     session.finish();

@@ -9,41 +9,54 @@ fn main() {
     let session = TelemetrySession::start(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 13: Bandit vs Choi across 2-thread mixes (sorted ratios) ===\n");
-    let mixes = smt::two_thread_mixes(&smt::smt_apps());
-    let total = mixes.len().min(opts.mixes);
-    let mut ratios: Vec<(String, f64, f64)> = Vec::new(); // (mix, vs choi, vs icount)
-    for (idx, (a, b)) in mixes.into_iter().take(total).enumerate() {
-        let specs = [a.clone(), b.clone()];
-        let choi =
-            smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed).sum_ipc();
-        let icount = smt_runs::run_static(
-            "IC_0000".parse().expect("valid policy"),
-            specs.clone(),
-            params,
-            opts.instructions,
-            opts.seed,
-        )
-        .sum_ipc();
-        let bandit = smt_runs::run_bandit_algorithm(
-            mab_core::AlgorithmKind::Ducb {
-                gamma: 0.975,
-                c: 0.01,
-            },
-            specs,
-            params,
-            opts.instructions,
-            opts.seed,
-        )
-        .sum_ipc();
-        ratios.push((
-            format!("{}-{}", a.name, b.name),
-            bandit / choi.max(1e-9),
-            bandit / icount.max(1e-9),
-        ));
-        if (idx + 1) % 10 == 0 {
-            mab_telemetry::progress!("{} / {total} mixes done", idx + 1);
-        }
-    }
+    let mixes: Vec<_> = smt::two_thread_mixes(&smt::smt_apps())
+        .into_iter()
+        .take(opts.mixes)
+        .collect();
+    let total = mixes.len();
+    // One sweep run per mix (Choi + ICount + Bandit inside); results come
+    // back in mix order regardless of worker count, and the progress counter
+    // tracks completions rather than positions.
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let mut ratios: Vec<(String, f64, f64)> = mab_runner::sweep(
+        &mixes,
+        mab_runner::SweepOptions::new(opts.jobs, opts.seed),
+        |_ctx, (a, b)| {
+            let specs = [a.clone(), b.clone()];
+            let choi =
+                smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed).sum_ipc();
+            let icount = smt_runs::run_static(
+                "IC_0000".parse().expect("valid policy"),
+                specs.clone(),
+                params,
+                opts.instructions,
+                opts.seed,
+            )
+            .sum_ipc();
+            let bandit = smt_runs::run_bandit_algorithm(
+                mab_core::AlgorithmKind::Ducb {
+                    gamma: 0.975,
+                    c: 0.01,
+                },
+                specs,
+                params,
+                opts.instructions,
+                opts.seed,
+            )
+            .sum_ipc();
+            let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if n.is_multiple_of(10) {
+                mab_telemetry::progress!("{n} / {total} mixes done");
+            }
+            (
+                format!("{}-{}", a.name, b.name),
+                bandit / choi.max(1e-9),
+                bandit / icount.max(1e-9),
+            )
+        },
+    )
+    .unwrap_or_else(|e| panic!("fig13 mix sweep failed: {e}"));
+    // Stable sort over deterministically ordered input: ties keep mix order.
     ratios.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("ratios are finite"));
     for (mix, vs_choi, _) in &ratios {
         println!("{mix}\t{vs_choi:.4}");

@@ -39,7 +39,8 @@ fn main() {
 
     let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
     for app in suites::tune_set() {
-        let (_, best_ipc) = prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed);
+        let (_, best_ipc) =
+            prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed, opts.jobs);
         let mut line = format!("{:14} best-static {:.3} |", app.name, best_ipc);
         for (i, (name, algorithm)) in columns.iter().enumerate() {
             let ipc = match algorithm {

@@ -39,8 +39,13 @@ fn main() {
     let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
     for (a, b) in mixes.into_iter().take(opts.mixes) {
         let specs = [a.clone(), b.clone()];
-        let (_, best_ipc) =
-            smt_runs::best_static_arm(specs.clone(), params, opts.instructions, opts.seed);
+        let (_, best_ipc) = smt_runs::best_static_arm(
+            specs.clone(),
+            params,
+            opts.instructions,
+            opts.seed,
+            opts.jobs,
+        );
         let mut line = format!("{:>10}-{:10} best-static {:.3} |", a.name, b.name, best_ipc);
         for (i, (name, algorithm)) in columns.iter().enumerate() {
             let ipc = match algorithm {

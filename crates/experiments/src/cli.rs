@@ -7,6 +7,8 @@
 //! - `--seed S` — the base RNG seed,
 //! - `--mixes N` — cap on the number of workload mixes (SMT sweeps),
 //! - `--quick` — a fast smoke-test preset,
+//! - `--jobs N` — worker threads for sweep-style experiments (default: all
+//!   available cores; results are identical at any setting),
 //! - `--telemetry PATH` — export the telemetry recorder at exit
 //!   (`.csv` → CSV, anything else → JSON lines),
 //! - `--trace PATH` — export the decision trace at exit (`.json` → Perfetto
@@ -26,6 +28,9 @@ pub struct Options {
     pub mixes: usize,
     /// Quick-preset flag.
     pub quick: bool,
+    /// Worker threads for sweep-style experiments. Sweeps are deterministic:
+    /// any value produces bit-identical reports (see `mab-runner`).
+    pub jobs: usize,
     /// Where to export the telemetry recorder at exit, if anywhere.
     pub telemetry: Option<PathBuf>,
     /// Where to export the decision trace at exit, if anywhere.
@@ -61,6 +66,7 @@ impl Options {
             seed: 42,
             mixes: default_mixes,
             quick: false,
+            jobs: mab_runner::available_jobs(),
             telemetry: None,
             trace: None,
         };
@@ -84,6 +90,13 @@ impl Options {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--mixes needs a number"));
+                }
+                "--jobs" | "-j" => {
+                    opts.jobs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--jobs needs a positive number"));
                 }
                 "--telemetry" | "-t" => {
                     opts.telemetry = Some(PathBuf::from(
@@ -119,12 +132,14 @@ fn usage<T>(error: &str) -> T {
     }
     eprintln!(
         "usage: <experiment> [--instructions N] [--seed S] [--mixes N] [--quick]\n\
-         \x20                   [--telemetry PATH] [--trace PATH]\n\
+         \x20                   [--jobs N] [--telemetry PATH] [--trace PATH]\n\
          \n\
          --instructions N  instructions per core / commits per thread\n\
          --seed S          base RNG seed (default 42)\n\
          --mixes N         cap on workload mixes in sweeps\n\
          --quick           10x smaller preset for smoke tests\n\
+         --jobs N          worker threads for sweeps (default: all cores;\n\
+         \x20                 results are identical at any setting)\n\
          --telemetry PATH  export telemetry at exit (.csv -> CSV, else JSONL;\n\
          \x20                 needs the `telemetry` cargo feature)\n\
          --trace PATH      export the decision trace at exit (.json -> Perfetto\n\
@@ -172,6 +187,19 @@ mod tests {
         let o = parse(&["-n", "123456", "-s", "9"]);
         assert_eq!(o.instructions, 123_456);
         assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism() {
+        let o = parse(&[]);
+        assert_eq!(o.jobs, mab_runner::available_jobs());
+        assert!(o.jobs >= 1);
+    }
+
+    #[test]
+    fn jobs_flag_overrides() {
+        assert_eq!(parse(&["--jobs", "4"]).jobs, 4);
+        assert_eq!(parse(&["-j", "2"]).jobs, 2);
     }
 
     #[test]

@@ -49,23 +49,35 @@ pub fn run_bandit_algorithm(
 }
 
 /// The *Best Static* oracle (§6.4): runs each of the 11 arms pinned for the
-/// whole episode, returns `(best arm index, best IPC)`.
+/// whole episode (in parallel across `jobs` workers), returns
+/// `(best arm index, best IPC)`.
 pub fn best_static_arm(
     app: &AppSpec,
     config: SystemConfig,
     instructions: u64,
     seed: u64,
+    jobs: usize,
 ) -> (usize, f64) {
+    let arms: Vec<usize> = (0..PAPER_ARMS.len()).collect();
+    let ipcs = mab_runner::sweep(
+        &arms,
+        mab_runner::SweepOptions::new(jobs, seed),
+        |_ctx, &arm| {
+            run_bandit_algorithm(
+                AlgorithmKind::Static { arm },
+                app,
+                config,
+                instructions,
+                seed,
+            )
+            .ipc()
+        },
+    )
+    .unwrap_or_else(|e| panic!("best-static sweep failed: {e}"));
+    // Ordered collection means ties resolve exactly as the old serial loop
+    // did: the lowest arm index wins.
     let mut best = (0usize, f64::NEG_INFINITY);
-    for arm in 0..PAPER_ARMS.len() {
-        let stats = run_bandit_algorithm(
-            AlgorithmKind::Static { arm },
-            app,
-            config,
-            instructions,
-            seed,
-        );
-        let ipc = stats.ipc();
+    for (arm, &ipc) in ipcs.iter().enumerate() {
         if ipc > best.1 {
             best = (arm, ipc);
         }
@@ -97,20 +109,39 @@ pub fn run_four_core_homogeneous(
 
 /// Per-application normalized IPC (vs the no-prefetcher baseline) for a
 /// lineup of prefetchers: the data behind Figs. 8/11.
+///
+/// One run per `(app, prefetcher)` cell plus the per-app baseline, all
+/// dispatched through [`mab_runner::sweep`]. Every run seeds from its own
+/// content (never from scheduling order), so the result is bit-identical
+/// at any `jobs` setting.
 pub fn normalized_ipcs(
     prefetchers: &[&str],
     apps: &[AppSpec],
     config: SystemConfig,
     instructions: u64,
     seed: u64,
+    jobs: usize,
 ) -> Vec<(String, Vec<f64>)> {
+    let mut specs: Vec<(usize, &str)> = Vec::new();
+    for app_idx in 0..apps.len() {
+        specs.push((app_idx, "none"));
+        for &p in prefetchers {
+            specs.push((app_idx, p));
+        }
+    }
+    let ipcs = mab_runner::sweep(
+        &specs,
+        mab_runner::SweepOptions::new(jobs, seed),
+        |_ctx, &(app_idx, name)| run_single(name, &apps[app_idx], config, instructions, seed).ipc(),
+    )
+    .unwrap_or_else(|e| panic!("prefetcher lineup sweep failed: {e}"));
+    let stride = prefetchers.len() + 1;
     apps.iter()
-        .map(|app| {
-            let base = run_single("none", app, config, instructions, seed).ipc();
-            let normalized = prefetchers
-                .iter()
-                .map(|p| run_single(p, app, config, instructions, seed).ipc() / base.max(1e-9))
-                .collect();
+        .enumerate()
+        .map(|(app_idx, app)| {
+            let chunk = &ipcs[app_idx * stride..(app_idx + 1) * stride];
+            let base = chunk[0];
+            let normalized = chunk[1..].iter().map(|ipc| ipc / base.max(1e-9)).collect();
             (app.name.clone(), normalized)
         })
         .collect()
@@ -119,7 +150,7 @@ pub fn normalized_ipcs(
 /// Prints the Fig. 8/Fig. 11-style report: per-suite gmean IPC of the
 /// standard lineup (stride, bingo, mlop, pythia, bandit) normalized to no
 /// prefetching, plus the overall gmean. Per-app values go to stderr.
-pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: &str) {
+pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: &str, jobs: usize) {
     use crate::report::{gmean, Table};
     use mab_workloads::{suites, Suite};
 
@@ -133,7 +164,7 @@ pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: 
     let mut overall: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
     for suite in Suite::ALL {
         let apps = suites::suite(suite);
-        let rows = normalized_ipcs(&lineup, &apps, config, instructions, seed);
+        let rows = normalized_ipcs(&lineup, &apps, config, instructions, seed, jobs);
         let mut per_pf: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
         for (app, values) in &rows {
             let mut line = format!("{app:16}");
@@ -182,7 +213,7 @@ mod tests {
     #[test]
     fn best_static_arm_beats_or_matches_the_off_arm() {
         let (app, cfg) = small();
-        let (_, best_ipc) = best_static_arm(&app, cfg, 30_000, 1);
+        let (_, best_ipc) = best_static_arm(&app, cfg, 30_000, 1, 2);
         let off =
             run_bandit_algorithm(AlgorithmKind::Static { arm: 1 }, &app, cfg, 30_000, 1).ipc();
         assert!(best_ipc >= off);
@@ -192,7 +223,7 @@ mod tests {
     fn normalized_ipcs_have_one_row_per_app() {
         let cfg = SystemConfig::default();
         let apps = vec![suites::app_by_name("hmmer").unwrap()];
-        let rows = normalized_ipcs(&["stride"], &apps, cfg, 20_000, 1);
+        let rows = normalized_ipcs(&["stride"], &apps, cfg, 20_000, 1, 2);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1.len(), 1);
         assert!(rows[0].1[0] > 0.0);

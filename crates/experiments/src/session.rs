@@ -73,6 +73,7 @@ mod tests {
             seed: 1,
             mixes: 1,
             quick: false,
+            jobs: 1,
             telemetry: telemetry.map(PathBuf::from),
             trace: None,
         }

@@ -105,18 +105,26 @@ pub fn run_bandit_algorithm(
     )
 }
 
-/// The SMT *Best Static* oracle over the 6 Bandit arms: returns
-/// `(best arm index, best summed IPC)`.
+/// The SMT *Best Static* oracle over the 6 Bandit arms (run in parallel
+/// across `jobs` workers): returns `(best arm index, best summed IPC)`.
 pub fn best_static_arm(
     specs: [ThreadSpec; 2],
     params: SmtParams,
     commits: u64,
     seed: u64,
+    jobs: usize,
 ) -> (usize, f64) {
+    let arms = PgPolicy::bandit_arms();
+    let ipcs = mab_runner::sweep(
+        &arms,
+        mab_runner::SweepOptions::new(jobs, seed),
+        |_ctx, policy| run_static(*policy, specs.clone(), params, commits, seed).sum_ipc(),
+    )
+    .unwrap_or_else(|e| panic!("SMT best-static sweep failed: {e}"));
+    // Ordered collection: ties resolve to the lowest arm index, exactly as
+    // the old serial loop did.
     let mut best = (0usize, f64::NEG_INFINITY);
-    for (i, policy) in PgPolicy::bandit_arms().into_iter().enumerate() {
-        let stats = run_static(policy, specs.clone(), params, commits, seed);
-        let ipc = stats.sum_ipc();
+    for (i, &ipc) in ipcs.iter().enumerate() {
         if ipc > best.1 {
             best = (i, ipc);
         }
@@ -132,12 +140,26 @@ pub fn pg_space_extremes(
     params: SmtParams,
     commits: u64,
     seed: u64,
+    jobs: usize,
 ) -> (PgPolicy, f64, PgPolicy, f64) {
-    let choi = run_choi(specs.clone(), params, commits, seed).sum_ipc();
+    // The Choi baseline rides along as run 0 of the sweep; the 64 policies
+    // follow in `PgPolicy::all()` order so the min/max scan below keeps the
+    // serial loop's tie-breaking.
+    let mut runs: Vec<Option<PgPolicy>> = vec![None];
+    runs.extend(PgPolicy::all().into_iter().map(Some));
+    let ipcs = mab_runner::sweep(
+        &runs,
+        mab_runner::SweepOptions::new(jobs, seed),
+        |_ctx, run| match run {
+            None => run_choi(specs.clone(), params, commits, seed).sum_ipc(),
+            Some(policy) => run_static(*policy, specs.clone(), params, commits, seed).sum_ipc(),
+        },
+    )
+    .unwrap_or_else(|e| panic!("PG design-space sweep failed: {e}"));
+    let choi = ipcs[0];
     let mut best = (PgPolicy::CHOI, f64::NEG_INFINITY);
     let mut worst = (PgPolicy::CHOI, f64::INFINITY);
-    for policy in PgPolicy::all() {
-        let ipc = run_static(policy, specs.clone(), params, commits, seed).sum_ipc();
+    for (policy, ipc) in PgPolicy::all().into_iter().zip(&ipcs[1..]) {
         let ratio = ipc / choi.max(1e-9);
         if ratio > best.1 {
             best = (policy, ratio);
@@ -174,6 +196,7 @@ mod tests {
             SmtParams::test_scale(),
             3_000,
             1,
+            2,
         );
         assert!(arm < 6);
         assert!(ipc > 0.0);

@@ -1,0 +1,96 @@
+//! Parallel sweeps must be invisible in the results: any `--jobs` value has
+//! to produce byte-identical reports and telemetry-equivalent runs.
+//!
+//! The stdout comparisons drive real experiment binaries (fig05 exercises
+//! the 64-policy smtsim grid, fig13 the per-mix sweep) at `--jobs 1` and
+//! `--jobs 8` and require byte equality. The telemetry test additionally
+//! exports both runs' artifacts and checks `mab-inspect` finds nothing to
+//! flag — the counters the sweep engine itself maintains are
+//! scheduling-invariant by design (see `mab-telemetry`'s `Stat` docs).
+
+use std::process::Command;
+
+/// Runs an experiment binary and returns its stdout; panics loudly on a
+/// non-zero exit so CI logs show the failing invocation.
+fn stdout_of(exe: &str, args: &[&str]) -> String {
+    let output = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("experiment output is UTF-8")
+}
+
+#[test]
+fn fig13_report_is_byte_identical_at_any_job_count() {
+    let exe = env!("CARGO_BIN_EXE_fig13_smt_scurve");
+    let args = ["--instructions", "3000", "--mixes", "3"];
+    let serial = stdout_of(exe, &[&args[..], &["--jobs", "1"]].concat());
+    let parallel = stdout_of(exe, &[&args[..], &["--jobs", "8"]].concat());
+    assert_eq!(serial, parallel, "fig13 stdout diverged across --jobs");
+    assert!(
+        serial.contains("gmean speedup vs Choi"),
+        "fig13 produced no report:\n{serial}"
+    );
+}
+
+#[test]
+fn fig05_report_is_byte_identical_at_any_job_count() {
+    let exe = env!("CARGO_BIN_EXE_fig05_pg_space");
+    let args = ["--instructions", "1500", "--mixes", "2"];
+    let serial = stdout_of(exe, &[&args[..], &["--jobs", "1"]].concat());
+    let parallel = stdout_of(exe, &[&args[..], &["--jobs", "8"]].concat());
+    assert_eq!(serial, parallel, "fig05 stdout diverged across --jobs");
+    assert!(
+        serial.contains("best-policy gain over Choi"),
+        "fig05 produced no report:\n{serial}"
+    );
+}
+
+/// With telemetry compiled in, the exported artifacts of a 1-job and an
+/// 8-job run must be equivalent: identical counters and no metric delta
+/// under `mab-inspect`'s diff.
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_artifacts_are_equivalent_at_any_job_count() {
+    use mab_inspect::artifact::RunArtifact;
+    use mab_inspect::diff::{diff_artifacts, has_regression};
+
+    let dir = std::env::temp_dir().join("mab-determinism-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = env!("CARGO_BIN_EXE_fig13_smt_scurve");
+    let mut artifacts = Vec::new();
+    for jobs in ["1", "8"] {
+        let path = dir.join(format!("jobs{jobs}.jsonl"));
+        stdout_of(
+            exe,
+            &[
+                "--instructions",
+                "3000",
+                "--mixes",
+                "3",
+                "--jobs",
+                jobs,
+                "--telemetry",
+                path.to_str().unwrap(),
+            ],
+        );
+        artifacts.push(RunArtifact::load(&[path]).expect("artifact loads"));
+    }
+    let (serial, parallel) = (&artifacts[0], &artifacts[1]);
+    assert_eq!(
+        serial.counters, parallel.counters,
+        "counter export depends on the worker count"
+    );
+    let deltas = diff_artifacts(serial, parallel, 1e-9);
+    assert!(!deltas.is_empty(), "runs shared no metrics to compare");
+    assert!(
+        !has_regression(&deltas),
+        "mab-inspect flagged deltas between job counts: {deltas:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,8 +1,22 @@
 //! Set-associative cache with LRU replacement and prefetch bookkeeping.
+//!
+//! Both structures here sit on the simulator's per-access hot path, so they
+//! are laid out for scan speed rather than convenience:
+//!
+//! - [`Cache`] keeps tags, LRU stamps and status flags in parallel arrays
+//!   (structure-of-arrays) so a set probe touches one contiguous run of
+//!   tags — one cache line for an 8-way set — instead of striding over
+//!   wider per-line structs. Set indexing uses a mask when the set count is
+//!   a power of two (the common case; the Fig. 11 alternate LLC with 1536
+//!   sets falls back to a modulo).
+//! - [`Mshr`] indexes in-flight lines with an open-addressed table
+//!   (multiplicative hashing, tombstone deletion) instead of a `HashMap`'s
+//!   SipHash, and keeps the earliest completion cycle cached so the
+//!   per-access drain is a single compare when nothing has landed.
 
 use crate::config::CacheParams;
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Result of a demand lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,13 +53,9 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct CacheLine {
-    tag: u64,
-    valid: bool,
-    prefetched: bool,
-    lru: u64,
-}
+/// Per-way status bits, packed so the flag array stays one byte per way.
+const FLAG_VALID: u8 = 1 << 0;
+const FLAG_PREFETCHED: u8 = 1 << 1;
 
 /// A set-associative, write-allocate cache with true-LRU replacement.
 ///
@@ -68,9 +78,20 @@ struct CacheLine {
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: u64,
+    /// `sets - 1` when the set count is a power of two.
+    set_mask: u64,
+    pow2_sets: bool,
     ways: usize,
     latency: u32,
-    lines: Vec<CacheLine>,
+    /// Way tags, contiguous per set. Invalid ways carry `u64::MAX` so the
+    /// tag scan rarely false-matches, but a match is always confirmed
+    /// against the valid flag.
+    tags: Vec<u64>,
+    /// Per-way [`FLAG_VALID`] / [`FLAG_PREFETCHED`] bits.
+    flags: Vec<u8>,
+    /// Per-way last-touch stamps (always ≥ 1 for valid ways: the clock is
+    /// incremented before any fill or lookup touches a way).
+    lru: Vec<u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -80,11 +101,16 @@ impl Cache {
     pub fn new(params: CacheParams) -> Self {
         let sets = params.sets();
         let ways = params.ways as usize;
+        let lines = (sets as usize) * ways;
         Cache {
             sets,
+            set_mask: sets.wrapping_sub(1),
+            pow2_sets: sets.is_power_of_two(),
             ways,
             latency: params.latency,
-            lines: vec![CacheLine::default(); (sets as usize) * ways],
+            tags: vec![u64::MAX; lines],
+            flags: vec![0; lines],
+            lru: vec![0; lines],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -105,30 +131,42 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line % self.sets) as usize;
-        set * self.ways..(set + 1) * self.ways
+    #[inline]
+    fn set_base(&self, line: u64) -> usize {
+        let set = if self.pow2_sets {
+            line & self.set_mask
+        } else {
+            line % self.sets
+        };
+        (set as usize) * self.ways
+    }
+
+    /// Index of the way holding `line`, if present and valid.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let base = self.set_base(line);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&tag| tag == line)
+            .map(|way| base + way)
+            .filter(|&idx| self.flags[idx] & FLAG_VALID != 0)
     }
 
     /// Demand lookup: updates LRU and hit/miss statistics, and consumes the
     /// prefetched bit on first use.
     pub fn demand_lookup(&mut self, line: u64) -> LookupResult {
         self.clock += 1;
-        let clock = self.clock;
-        let range = self.set_range(line);
-        for way in &mut self.lines[range] {
-            if way.valid && way.tag == line {
-                way.lru = clock;
-                let first_use = way.prefetched;
-                if first_use {
-                    way.prefetched = false;
-                    self.stats.prefetch_used += 1;
-                }
-                self.stats.demand_hits += 1;
-                return LookupResult::Hit {
-                    first_prefetch_use: first_use,
-                };
+        if let Some(idx) = self.find(line) {
+            self.lru[idx] = self.clock;
+            let first_use = self.flags[idx] & FLAG_PREFETCHED != 0;
+            if first_use {
+                self.flags[idx] &= !FLAG_PREFETCHED;
+                self.stats.prefetch_used += 1;
             }
+            self.stats.demand_hits += 1;
+            return LookupResult::Hit {
+                first_prefetch_use: first_use,
+            };
         }
         self.stats.demand_misses += 1;
         LookupResult::Miss
@@ -136,52 +174,62 @@ impl Cache {
 
     /// Non-mutating presence check (used to filter redundant prefetches).
     pub fn contains(&self, line: u64) -> bool {
-        let set = (line % self.sets) as usize;
-        self.lines[set * self.ways..(set + 1) * self.ways]
-            .iter()
-            .any(|w| w.valid && w.tag == line)
+        self.find(line).is_some()
     }
 
     /// Fills `line`, evicting the LRU way if needed. Returns the eviction,
     /// if any. `prefetched` marks prefetcher-initiated fills.
     pub fn fill(&mut self, line: u64, prefetched: bool) -> Option<Evicted> {
+        self.fill_inner(line, prefetched).0
+    }
+
+    /// Fill plus the index of the way that now holds `line`.
+    fn fill_inner(&mut self, line: u64, prefetched: bool) -> (Option<Evicted>, usize) {
         self.clock += 1;
         let clock = self.clock;
         if prefetched {
             self.stats.prefetch_fills += 1;
         }
-        let range = self.set_range(line);
-        // Already present (e.g. demand raced a prefetch): refresh only.
-        if let Some(way) = self.lines[range.clone()]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == line)
-        {
-            way.lru = clock;
-            return None;
+        let base = self.set_base(line);
+        // One scan finds a present line and the LRU victim: an invalid way
+        // ranks as stamp 0 (valid stamps are ≥ 1), first-minimum wins —
+        // the same victim a `min_by_key` over the ways would pick.
+        let mut victim = base;
+        let mut victim_key = u64::MAX;
+        for idx in base..base + self.ways {
+            let flags = self.flags[idx];
+            if flags & FLAG_VALID != 0 {
+                if self.tags[idx] == line {
+                    // Already present (e.g. demand raced a prefetch):
+                    // refresh only.
+                    self.lru[idx] = clock;
+                    return (None, idx);
+                }
+                if self.lru[idx] < victim_key {
+                    victim_key = self.lru[idx];
+                    victim = idx;
+                }
+            } else if victim_key > 0 {
+                victim_key = 0;
+                victim = idx;
+            }
         }
-        let set_lines = &mut self.lines[range];
-        let victim = set_lines
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("caches have at least one way");
-        let evicted = if victim.valid {
-            if victim.prefetched {
+        let evicted = if self.flags[victim] & FLAG_VALID != 0 {
+            let unused_prefetch = self.flags[victim] & FLAG_PREFETCHED != 0;
+            if unused_prefetch {
                 self.stats.prefetch_evicted_unused += 1;
             }
             Some(Evicted {
-                line: victim.tag,
-                unused_prefetch: victim.prefetched,
+                line: self.tags[victim],
+                unused_prefetch,
             })
         } else {
             None
         };
-        *victim = CacheLine {
-            tag: line,
-            valid: true,
-            prefetched,
-            lru: clock,
-        };
-        evicted
+        self.tags[victim] = line;
+        self.flags[victim] = FLAG_VALID | if prefetched { FLAG_PREFETCHED } else { 0 };
+        self.lru[victim] = clock;
+        (evicted, victim)
     }
 
     /// Fills `line` for a **late** prefetch: the demand access that is
@@ -190,16 +238,10 @@ impl Cache {
     /// and leaves the line's prefetched bit clear (a later eviction must
     /// not classify it as a wrong prefetch).
     pub fn fill_late_prefetch(&mut self, line: u64) -> Option<Evicted> {
-        let evicted = self.fill(line, true);
-        let range = self.set_range(line);
-        if let Some(way) = self.lines[range]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == line)
-        {
-            if way.prefetched {
-                way.prefetched = false;
-                self.stats.prefetch_used += 1;
-            }
+        let (evicted, idx) = self.fill_inner(line, true);
+        if self.flags[idx] & FLAG_PREFETCHED != 0 {
+            self.flags[idx] &= !FLAG_PREFETCHED;
+            self.stats.prefetch_used += 1;
         }
         evicted
     }
@@ -245,76 +287,209 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Empty,
+    Live,
+    /// Tombstone: keeps probe chains intact after a removal; reclaimed on
+    /// the next rehash.
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: SlotState,
+    line: u64,
+    ready: u64,
+    fill_l1: bool,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    state: SlotState::Empty,
+    line: 0,
+    ready: 0,
+    fill_l1: false,
+};
+
 /// Miss-status holding registers for in-flight *prefetch* fills.
 ///
 /// Demand misses in this model fill immediately (their latency is charged to
 /// the load), but prefetches stay "in flight" until their completion cycle so
 /// that a demand access arriving earlier can be classified as covered by a
 /// **late** prefetch (paper Fig. 9).
-#[derive(Debug, Clone, Default)]
+///
+/// Lines are indexed by an open-addressed table (multiplicative hashing,
+/// linear probing, tombstone deletion) rather than a `HashMap`: the MSHR is
+/// probed on every L2 access and `SipHash` dominated the lookup cost.
+/// Completion order still comes from a min-heap whose entries carry the
+/// `ready` stamp they were posted with; an entry is stale — the line was
+/// removed or re-posted since — exactly when its stamp no longer matches the
+/// table, so drains skip it without any eager heap surgery.
+#[derive(Debug, Clone)]
 pub struct Mshr {
-    inflight: HashMap<u64, Inflight>,
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`; the table size is a power of two.
+    mask: usize,
+    /// Number of live entries.
+    live: usize,
+    /// Live entries plus tombstones (bounds probe-chain length; reset by
+    /// rehashing).
+    used: usize,
     order: BinaryHeap<HeapEntry>,
+    /// Completion cycle of the earliest posted fill, `u64::MAX` when none
+    /// are in flight: the common "nothing landed yet" drain is one compare.
+    earliest: u64,
+}
+
+impl Default for Mshr {
+    fn default() -> Self {
+        Mshr::new()
+    }
 }
 
 impl Mshr {
+    const INITIAL_SLOTS: usize = 64;
+
     /// Creates an empty MSHR file.
     pub fn new() -> Self {
-        Mshr::default()
+        Mshr {
+            slots: vec![EMPTY_SLOT; Self::INITIAL_SLOTS],
+            mask: Self::INITIAL_SLOTS - 1,
+            live: 0,
+            used: 0,
+            order: BinaryHeap::new(),
+            earliest: u64::MAX,
+        }
     }
 
     /// Number of in-flight prefetches.
     pub fn len(&self) -> usize {
-        self.inflight.len()
+        self.live
     }
 
     /// True when nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.inflight.is_empty()
+        self.live == 0
+    }
+
+    #[inline]
+    fn bucket(&self, line: u64) -> usize {
+        // Multiplicative (Fibonacci) hashing: the golden-ratio multiply
+        // mixes low line bits into the high bits we index with.
+        ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.mask
+    }
+
+    /// Probes for `line`: the index of its live slot if present, and the
+    /// slot where an insert should land (first tombstone on the chain, else
+    /// the terminating empty slot).
+    #[inline]
+    fn probe(&self, line: u64) -> (Option<usize>, usize) {
+        let mut idx = self.bucket(line);
+        let mut insert_at = None;
+        loop {
+            let slot = &self.slots[idx];
+            match slot.state {
+                SlotState::Empty => return (None, insert_at.unwrap_or(idx)),
+                SlotState::Live if slot.line == line => return (Some(idx), idx),
+                SlotState::Dead if insert_at.is_none() => insert_at = Some(idx),
+                _ => {}
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn rehash(&mut self, new_len: usize) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_len]);
+        self.mask = new_len - 1;
+        self.used = self.live;
+        for slot in old {
+            if slot.state == SlotState::Live {
+                let (_, idx) = self.probe(slot.line);
+                self.slots[idx] = slot;
+            }
+        }
     }
 
     /// Looks up an in-flight prefetch for `line`.
     pub fn get(&self, line: u64) -> Option<Inflight> {
-        self.inflight.get(&line).copied()
+        self.probe(line).0.map(|idx| Inflight {
+            ready: self.slots[idx].ready,
+            fill_l1: self.slots[idx].fill_l1,
+        })
     }
 
     /// Registers a prefetch for `line` completing at `ready`; `fill_l1`
     /// additionally fills the L1 on completion (L1-prefetcher requests).
     /// Returns false (and does nothing) if the line is already in flight.
     pub fn insert(&mut self, line: u64, ready: u64, fill_l1: bool) -> bool {
-        if self.inflight.contains_key(&line) {
+        // Keep the load factor (live + tombstones) under 3/4 so probe
+        // chains stay short; rehashing also reclaims tombstones.
+        if (self.used + 1) * 4 > self.slots.len() * 3 {
+            self.rehash(self.slots.len() * 2);
+        }
+        let (found, insert_at) = self.probe(line);
+        if found.is_some() {
             return false;
         }
-        self.inflight.insert(line, Inflight { ready, fill_l1 });
+        if self.slots[insert_at].state == SlotState::Empty {
+            self.used += 1;
+        }
+        self.slots[insert_at] = Slot {
+            state: SlotState::Live,
+            line,
+            ready,
+            fill_l1,
+        };
+        self.live += 1;
         self.order.push(HeapEntry { ready, line });
+        self.earliest = self.earliest.min(ready);
         true
     }
 
     /// Removes `line` (e.g. a demand miss arrived and took over the fill).
     pub fn remove(&mut self, line: u64) {
-        self.inflight.remove(&line);
-        // The heap entry becomes stale and is skipped on drain.
+        if let (Some(idx), _) = self.probe(line) {
+            self.slots[idx].state = SlotState::Dead;
+            self.live -= 1;
+        }
+        // The heap entry becomes stale and is skipped on drain; `earliest`
+        // may now read low, which only costs a harmless extra heap peek.
     }
 
     /// Pops every prefetch that has completed by `now`, returning
     /// `(line, fill_l1)` pairs, oldest first.
     pub fn drain_ready(&mut self, now: u64) -> Vec<(u64, bool)> {
         let mut done = Vec::new();
+        self.drain_ready_into(now, &mut done);
+        done
+    }
+
+    /// Allocation-free [`Mshr::drain_ready`]: clears `done` and fills it
+    /// with the completed `(line, fill_l1)` pairs, oldest first. When no
+    /// fill has completed — the overwhelmingly common per-access case —
+    /// this is a single compare against the cached earliest completion.
+    pub fn drain_ready_into(&mut self, now: u64, done: &mut Vec<(u64, bool)>) {
+        done.clear();
+        if now < self.earliest {
+            return;
+        }
         while let Some(&HeapEntry { ready, line }) = self.order.peek() {
             if ready > now {
                 break;
             }
             self.order.pop();
-            // Skip stale entries whose MSHR was removed or re-posted.
-            if let Some(inflight) = self.inflight.get(&line) {
-                if inflight.ready == ready {
-                    let fill_l1 = inflight.fill_l1;
-                    self.inflight.remove(&line);
+            // Skip stale entries whose MSHR was removed or re-posted: the
+            // posted `ready` stamp no longer matches the live slot.
+            if let (Some(idx), _) = self.probe(line) {
+                if self.slots[idx].ready == ready {
+                    let fill_l1 = self.slots[idx].fill_l1;
+                    self.slots[idx].state = SlotState::Dead;
+                    self.live -= 1;
                     done.push((line, fill_l1));
                 }
             }
         }
-        done
+        self.earliest = self.order.peek().map_or(u64::MAX, |entry| entry.ready);
     }
 }
 
@@ -420,6 +595,37 @@ mod tests {
     }
 
     #[test]
+    fn invalid_way_is_preferred_over_eviction() {
+        let mut c = small_cache();
+        c.fill(0, false);
+        // The second fill into set 0 must take the free way, not evict.
+        assert_eq!(c.fill(2, false), None);
+        assert!(c.contains(0));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn non_pow2_set_count_maps_lines_consistently() {
+        // 3 sets x 2 ways exercises the modulo fallback (cf. the Fig. 11
+        // alternate LLC with 1536 sets).
+        let mut c = Cache::new(CacheParams {
+            capacity_bytes: 6 * 64,
+            ways: 2,
+            latency: 4,
+        });
+        for line in 0..12u64 {
+            c.fill(line, false);
+        }
+        // The last two fills per set survive: lines 6..12 (two per set).
+        for line in 6..12u64 {
+            assert!(c.contains(line), "line {line}");
+        }
+        for line in 0..6u64 {
+            assert!(!c.contains(line), "line {line}");
+        }
+    }
+
+    #[test]
     fn mshr_tracks_and_drains_in_order() {
         let mut m = Mshr::new();
         assert!(m.insert(1, 100, false));
@@ -451,5 +657,53 @@ mod tests {
             })
         );
         assert_eq!(m.get(4), None);
+    }
+
+    #[test]
+    fn mshr_repost_after_remove_uses_new_ready() {
+        let mut m = Mshr::new();
+        m.insert(9, 100, false);
+        m.remove(9);
+        assert!(m.insert(9, 200, true), "slot is reusable after removal");
+        // The stale heap entry (ready 100) must not drain the re-posted
+        // fill early.
+        assert_eq!(m.drain_ready(150), Vec::<(u64, bool)>::new());
+        assert_eq!(m.get(9).map(|i| i.ready), Some(200));
+        assert_eq!(m.drain_ready(250), vec![(9, true)]);
+    }
+
+    #[test]
+    fn mshr_survives_growth_beyond_initial_capacity() {
+        let mut m = Mshr::new();
+        for line in 0..500u64 {
+            assert!(m.insert(line, 1000 + line, line % 2 == 0));
+        }
+        assert_eq!(m.len(), 500);
+        for line in 0..500u64 {
+            assert_eq!(
+                m.get(line),
+                Some(Inflight {
+                    ready: 1000 + line,
+                    fill_l1: line % 2 == 0
+                })
+            );
+        }
+        let drained = m.drain_ready(2000);
+        assert_eq!(drained.len(), 500);
+        // Oldest first.
+        assert_eq!(drained[0], (0, true));
+        assert_eq!(drained[499], (499, false));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mshr_drain_into_reuses_the_buffer() {
+        let mut m = Mshr::new();
+        let mut scratch = vec![(7u64, true)]; // stale content must be cleared
+        m.insert(1, 10, false);
+        m.drain_ready_into(5, &mut scratch);
+        assert!(scratch.is_empty());
+        m.drain_ready_into(10, &mut scratch);
+        assert_eq!(scratch, vec![(1, false)]);
     }
 }

@@ -59,6 +59,15 @@ impl PrefetchQueue {
     pub fn drain(&mut self) -> std::vec::Drain<'_, u64> {
         self.lines.drain(..)
     }
+
+    /// Moves the buffered requests into `out` (cleared first), leaving the
+    /// queue empty. Allocation-free once both buffers are warm: the system
+    /// calls this per access, so the buffers are recycled rather than
+    /// collected into a fresh `Vec` each time.
+    pub fn drain_into(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        std::mem::swap(&mut self.lines, out);
+    }
 }
 
 /// An L2 prefetcher.

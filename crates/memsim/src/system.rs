@@ -117,6 +117,10 @@ struct CoreCtx {
     /// demand-MSHR count); a full file delays the next miss.
     demand_inflight: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
     done: bool,
+    /// Recycled buffer for MSHR fills completing on this access.
+    fill_scratch: Vec<(u64, bool)>,
+    /// Recycled buffer for prefetch requests being issued.
+    req_scratch: Vec<u64>,
 }
 
 /// A simulated system: `n` cores with private L1/L2, a shared LLC and a
@@ -180,6 +184,8 @@ impl System {
                 pf: PrefetchStats::default(),
                 demand_inflight: std::collections::BinaryHeap::new(),
                 done: false,
+                fill_scratch: Vec::new(),
+                req_scratch: Vec::new(),
             })
             .collect();
         System {
@@ -339,7 +345,9 @@ impl System {
 
         // Complete any prefetch fills that have landed by now.
         let ctx = &mut self.cores[i];
-        for (filled, fill_l1) in ctx.mshr.drain_ready(t) {
+        let mut fills = std::mem::take(&mut ctx.fill_scratch);
+        ctx.mshr.drain_ready_into(t, &mut fills);
+        for &(filled, fill_l1) in &fills {
             self.probe.bump(Stat::L2Fill);
             mab_telemetry::emit_sim!(CacheFill {
                 level: mab_telemetry::CacheLevel::L2,
@@ -360,6 +368,7 @@ impl System {
             }
             ctx.prefetcher.on_prefetch_fill(filled, t);
         }
+        ctx.fill_scratch = fills;
 
         let l1_hit = matches!(ctx.l1.demand_lookup(line), LookupResult::Hit { .. });
         if l1_hit {
@@ -545,10 +554,11 @@ impl System {
             self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
         let cap = self.config.prefetch_queue;
         let ctx = &mut self.cores[i];
-        let requests: Vec<u64> = ctx.l1_queue.drain().collect();
+        let mut requests = std::mem::take(&mut ctx.req_scratch);
+        ctx.l1_queue.drain_into(&mut requests);
         self.probe
             .add(Stat::PrefetchRequested, requests.len() as u64);
-        for line in requests {
+        for &line in &requests {
             if ctx.l1.contains(line) {
                 continue;
             }
@@ -583,17 +593,22 @@ impl System {
                 cycle: t,
             });
         }
+        ctx.req_scratch = requests;
     }
 
     fn issue_prefetches(&mut self, i: usize, t: u64) {
+        if self.cores[i].queue.is_empty() {
+            return;
+        }
         let llc_lat =
             self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
         let cap = self.config.prefetch_queue;
         let ctx = &mut self.cores[i];
-        let requests: Vec<u64> = ctx.queue.drain().collect();
+        let mut requests = std::mem::take(&mut ctx.req_scratch);
+        ctx.queue.drain_into(&mut requests);
         self.probe
             .add(Stat::PrefetchRequested, requests.len() as u64);
-        for line in requests {
+        for &line in &requests {
             if ctx.l2.contains(line) || ctx.mshr.get(line).is_some() {
                 continue; // redundant
             }
@@ -621,6 +636,7 @@ impl System {
                 cycle: t,
             });
         }
+        ctx.req_scratch = requests;
     }
 }
 

@@ -115,6 +115,11 @@ struct ThreadState {
     fetch_queue: VecDeque<SmtInstr>,
     fetch_blocked_until: u64,
     rob: VecDeque<Slot>,
+    /// Index of the first ROB slot that may be unissued: every slot before
+    /// it is known issued, so the issue stage starts scanning here instead
+    /// of walking the issued prefix each cycle. Commits (front pops) shift
+    /// it down; issues of the leading slots push it up.
+    issue_hint: usize,
     complete_time: Box<[u64; DEP_RING]>,
     seq_next: u64,
     committed: u64,
@@ -135,6 +140,7 @@ impl ThreadState {
             fetch_queue: VecDeque::new(),
             fetch_blocked_until: 0,
             rob: VecDeque::new(),
+            issue_hint: 0,
             complete_time: Box::new([0; DEP_RING]),
             seq_next: DEP_RING as u64, // dependencies on "pre-history" are ready
             committed: 0,
@@ -242,14 +248,21 @@ impl SmtPipeline {
         commits_per_thread: u64,
     ) -> SmtStats {
         let epoch_len = self.params.epoch_cycles.max(1);
+        // Controllers only change their policy and shares inside
+        // `on_epoch` (the trait reads them through `&self`), so the per-
+        // cycle virtual calls are hoisted out of the loop and refreshed
+        // only at epoch boundaries. A countdown replaces the per-cycle
+        // divisibility check.
+        let mut policy = controller.policy();
+        let mut shares = [controller.share(0), controller.share(1)];
+        let mut cycles_left = epoch_len;
         while self.threads[0].committed < commits_per_thread
             || self.threads[1].committed < commits_per_thread
         {
-            self.step(
-                controller.policy(),
-                [controller.share(0), controller.share(1)],
-            );
-            if self.cycle.is_multiple_of(epoch_len) {
+            self.step(policy, shares);
+            cycles_left -= 1;
+            if cycles_left == 0 {
+                cycles_left = epoch_len;
                 let mut per_thread = [0.0; 2];
                 for (i, t) in self.threads.iter().enumerate() {
                     per_thread[i] =
@@ -285,6 +298,8 @@ impl SmtPipeline {
                     self.epoch_grants = [0; 2];
                 }
                 controller.on_epoch(EpochIpc { per_thread });
+                policy = controller.policy();
+                shares = [controller.share(0), controller.share(1)];
             }
         }
         self.flush_probes();
@@ -332,6 +347,9 @@ impl SmtPipeline {
                     break;
                 }
                 let slot = t.rob.pop_front().expect("checked non-empty");
+                // The committed head was issued, so the issue hint's
+                // issued-prefix invariant survives the index shift.
+                t.issue_hint = t.issue_hint.saturating_sub(1);
                 budget -= 1;
                 t.committed += 1;
                 if slot.is_load {
@@ -366,8 +384,15 @@ impl SmtPipeline {
                 break;
             }
             let t = &mut self.threads[(first + off) % 2];
+            // Advance past the issued prefix once, then scan from there:
+            // the scheduler window counts only unissued slots, so skipping
+            // already-issued leading slots visits the same candidates the
+            // full walk would.
+            while t.rob.get(t.issue_hint).is_some_and(|slot| slot.issued) {
+                t.issue_hint += 1;
+            }
             let mut scanned = 0usize;
-            for slot in t.rob.iter_mut() {
+            for slot in t.rob.range_mut(t.issue_hint..) {
                 if budget == 0 || scanned >= window {
                     break;
                 }
@@ -415,19 +440,21 @@ impl SmtPipeline {
         // thread fills shared structures first, so a slow thread cannot clog
         // the IQ just by having a backlog in its front-end queue.
         let first = self.favored_thread(policy.priority, cycle);
+        // Shared-structure occupancy across both threads, maintained
+        // incrementally as instructions rename instead of re-summed per
+        // instruction.
+        let mut rob_total = self.threads[0].rob.len() + self.threads[1].rob.len();
+        let mut iq_total = self.threads[0].iq + self.threads[1].iq;
+        let mut lq_total = self.threads[0].lq + self.threads[1].lq;
+        let mut sq_total = self.threads[0].sq + self.threads[1].sq;
+        let mut irf_total = self.threads[0].irf + self.threads[1].irf;
+        let mut frf_total = self.threads[0].frf + self.threads[1].frf;
         for off in 0..2 {
             let ti = (first + off) % 2;
             loop {
                 if budget == 0 {
                     break;
                 }
-                // Shared-structure occupancy across both threads.
-                let rob_total = self.threads[0].rob.len() + self.threads[1].rob.len();
-                let iq_total = self.threads[0].iq + self.threads[1].iq;
-                let lq_total = self.threads[0].lq + self.threads[1].lq;
-                let sq_total = self.threads[0].sq + self.threads[1].sq;
-                let irf_total = self.threads[0].irf + self.threads[1].irf;
-                let frf_total = self.threads[0].frf + self.threads[1].frf;
                 let t = &mut self.threads[ti];
                 let Some(&instr) = t.fetch_queue.front() else {
                     break;
@@ -490,19 +517,25 @@ impl SmtPipeline {
                     SmtOpKind::Branch { mispredicted } => (1, false, false, true, mispredicted, 0),
                 };
                 t.iq += 1;
+                iq_total += 1;
+                rob_total += 1;
                 if is_load {
                     t.lq += 1;
+                    lq_total += 1;
                 }
                 if is_store {
                     t.sq += 1;
+                    sq_total += 1;
                 }
                 if is_branch {
                     t.branches_in_rob += 1;
                 }
                 if instr.int_dest {
                     t.irf += 1;
+                    irf_total += 1;
                 } else {
                     t.frf += 1;
+                    frf_total += 1;
                 }
                 t.rob.push_back(Slot {
                     seq,
@@ -551,7 +584,9 @@ impl SmtPipeline {
 
     fn fetch_stage(&mut self, cycle: u64, policy: PgPolicy, shares: [f64; 2]) {
         let p = self.params;
-        let mut eligible: Vec<usize> = Vec::with_capacity(2);
+        // At most two threads: a fixed pair beats a per-cycle Vec.
+        let mut eligible = [0usize; 2];
+        let mut eligible_len = 0usize;
         for (i, &share) in shares.iter().enumerate() {
             let t = &self.threads[i];
             if t.fetch_blocked_until > cycle
@@ -569,12 +604,13 @@ impl SmtPipeline {
                 });
                 continue;
             }
-            eligible.push(i);
+            eligible[eligible_len] = i;
+            eligible_len += 1;
         }
-        if eligible.is_empty() {
+        if eligible_len == 0 {
             return;
         }
-        let chosen = if eligible.len() == 1 {
+        let chosen = if eligible_len == 1 {
             eligible[0]
         } else {
             match policy.priority {

@@ -43,11 +43,16 @@ pub enum Stat {
     SmtFetchGrant,
     SmtFetchGated,
     SmtEpochs,
+    // Parallel sweep engine. Only scheduling-invariant quantities are
+    // counted (runs completed, panics observed), never worker counts, so
+    // telemetry exports stay byte-identical at any `--jobs` setting.
+    SweepRuns,
+    SweepPanics,
 }
 
 impl Stat {
     /// Number of distinct statistics.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 28;
 
     /// All statistics, in declaration order.
     pub const ALL: [Stat; Stat::COUNT] = [
@@ -77,6 +82,8 @@ impl Stat {
         Stat::SmtFetchGrant,
         Stat::SmtFetchGated,
         Stat::SmtEpochs,
+        Stat::SweepRuns,
+        Stat::SweepPanics,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -108,6 +115,8 @@ impl Stat {
             Stat::SmtFetchGrant => "smt_fetch_grant",
             Stat::SmtFetchGated => "smt_fetch_gated",
             Stat::SmtEpochs => "smt_epochs",
+            Stat::SweepRuns => "sweep_runs",
+            Stat::SweepPanics => "sweep_panics",
         }
     }
 }

@@ -4,6 +4,12 @@
 # EXPERIMENTS.md (scaled down from the paper's 1B-instruction traces to
 # laptop scale; pass larger --instructions for higher fidelity).
 #
+# Usage: run_all_experiments.sh [--jobs N]
+#
+# --jobs N (or JOBS=N in the environment) fans each sweep out over N worker
+# threads via mab-runner. Reports are bit-identical at any worker count, so
+# pick whatever the machine has; the default lets each binary use all cores.
+#
 # Every run is built with --features telemetry and writes, alongside the
 # table in results/$name.txt:
 #   results/$name.jsonl       telemetry export (counters, histograms, events)
@@ -11,12 +17,24 @@
 # Analyse them with `cargo run -p mab-inspect -- report results/$name.jsonl`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-}"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs|-j)
+      JOBS="$2"; shift 2 ;;
+    *)
+      echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
 mkdir -p results
 
 run() {
   local name="$1"; shift
   echo "=== running $name $* ==="
   cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
+    ${JOBS:+--jobs "$JOBS"} \
     --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
     >"results/$name.txt" 2>"results/$name.log"
   echo "--- wrote results/$name.txt"

@@ -1,17 +1,41 @@
 #!/usr/bin/env bash
 # Round 2: SMT experiments with scaled epochs (the round-1 SMT runs used
 # unscaled step-RR and are superseded), plus larger prefetch runs.
+#
+# Usage: run_round2.sh [--jobs N]
+#
+# --jobs N (or JOBS=N) fans each sweep out over N worker threads; reports
+# are bit-identical at any worker count (see mab-runner).
+#
+# Outputs land in results/round2/ so they never clobber the round-1 files:
+# each round's artifacts are addressed by directory, not by which script
+# happened to run last.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-mkdir -p results
+
+JOBS="${JOBS:-}"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs|-j)
+      JOBS="$2"; shift 2 ;;
+    *)
+      echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+OUT=results/round2
+mkdir -p "$OUT"
+
 run() {
   local name="$1"; shift
   echo "=== running $name $* ==="
   cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
-    --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
-    >"results/$name.txt" 2>"results/$name.log"
-  echo "--- wrote results/$name.txt"
+    ${JOBS:+--jobs "$JOBS"} \
+    --telemetry "$OUT/$name.jsonl" --trace "$OUT/$name.trace.json" \
+    >"$OUT/$name.txt" 2>"$OUT/$name.log"
+  echo "--- wrote $OUT/$name.txt"
 }
+
 run tab09_tuneset_smt --instructions 100000 --mixes 30
 run fig15_rename      --instructions 80000 --mixes 40
 run fig05_pg_space    --instructions 80000 --mixes 8
