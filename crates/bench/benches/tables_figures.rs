@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mab_core::AlgorithmKind;
-use mab_experiments::{prefetch_runs, smt_runs};
+use mab_experiments::{prefetch_runs, smt_runs, traces::TraceStore};
 use mab_memsim::config::SystemConfig;
 use mab_smtsim::config::SmtParams;
 use mab_workloads::{smt, suites};
@@ -18,29 +18,39 @@ fn bench_prefetch_experiments(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = SystemConfig::default();
     let app = suites::app_by_name("milc").expect("catalog app");
+    let store = TraceStore::disabled();
 
     group.bench_function("fig08_lineup_one_app", |b| {
         b.iter(|| {
             let mut total = 0.0;
             for pf in ["stride", "bingo", "mlop", "pythia", "bandit"] {
-                total += prefetch_runs::run_single(pf, &app, cfg, INSTR, 1).ipc();
+                total += prefetch_runs::run_single(pf, &app, cfg, INSTR, 1, &store).ipc();
             }
             total
         });
     });
     group.bench_function("tab08_best_static_oracle", |b| {
-        b.iter(|| prefetch_runs::best_static_arm(&app, cfg, INSTR, 1, 1));
+        b.iter(|| prefetch_runs::best_static_arm(&app, cfg, INSTR, 1, 1, &store));
     });
     group.bench_function("fig10_low_bandwidth_point", |b| {
         let slow = cfg.with_dram_mtps(150);
-        b.iter(|| prefetch_runs::run_single("bandit", &app, slow, INSTR, 1).ipc());
+        b.iter(|| prefetch_runs::run_single("bandit", &app, slow, INSTR, 1, &store).ipc());
     });
     group.bench_function("fig12_multilevel_combo", |b| {
-        b.iter(|| prefetch_runs::run_multilevel("stride", "bandit", &app, cfg, INSTR, 1).ipc());
+        b.iter(|| {
+            prefetch_runs::run_multilevel("stride", "bandit", &app, cfg, INSTR, 1, &store).ipc()
+        });
     });
     group.bench_function("fig14_four_core_mix", |b| {
         b.iter(|| {
-            prefetch_runs::run_four_core_homogeneous("bandit-multicore", &app, cfg, INSTR / 4, 1)
+            prefetch_runs::run_four_core_homogeneous(
+                "bandit-multicore",
+                &app,
+                cfg,
+                INSTR / 4,
+                1,
+                &store,
+            )
         });
     });
     group.finish();
@@ -54,9 +64,10 @@ fn bench_smt_experiments(c: &mut Criterion) {
         smt::thread_by_name("gcc").expect("catalog thread"),
         smt::thread_by_name("lbm").expect("catalog thread"),
     ];
+    let store = TraceStore::disabled();
     group.bench_function("fig13_one_mix_bandit_vs_choi", |b| {
         b.iter(|| {
-            let choi = smt_runs::run_choi(specs.clone(), params, COMMITS, 1).sum_ipc();
+            let choi = smt_runs::run_choi(specs.clone(), params, COMMITS, 1, &store).sum_ipc();
             let bandit = smt_runs::run_bandit_algorithm(
                 AlgorithmKind::Ducb {
                     gamma: 0.975,
@@ -66,13 +77,14 @@ fn bench_smt_experiments(c: &mut Criterion) {
                 params,
                 COMMITS,
                 1,
+                &store,
             )
             .sum_ipc();
             bandit / choi
         });
     });
     group.bench_function("tab09_best_static_oracle", |b| {
-        b.iter(|| smt_runs::best_static_arm(specs.clone(), params, COMMITS, 1, 1));
+        b.iter(|| smt_runs::best_static_arm(specs.clone(), params, COMMITS, 1, 1, &store));
     });
     group.finish();
 }

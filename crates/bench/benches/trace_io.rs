@@ -1,0 +1,225 @@
+//! Trace container I/O benchmark (`BENCH_trace_io.json` at the repo root).
+//!
+//! Three questions:
+//!
+//! 1. **Codec throughput** — encode and decode rates of the delta/varint
+//!    memory codec, in records/s and MB/s of on-disk bytes.
+//! 2. **Source speed** — decoding a recorded trace vs regenerating the same
+//!    records from the seeded workload generator. Replay only pays off if
+//!    the decoder is the faster source.
+//! 3. **Sweep gate** — a full 3-config prefetcher sweep (the unit of work
+//!    `--trace-dir` actually caches) run in generator mode and in replay
+//!    mode over a pre-recorded cache. The gate requires replay to beat
+//!    regeneration; this is the acceptance criterion for the record/replay
+//!    subsystem and the bench exits non-zero if it fails.
+//!
+//! Run with: `cargo bench -p mab-bench --bench trace_io`
+
+use criterion::{black_box, Criterion};
+use mab_experiments::{prefetch_runs, traces::TraceStore};
+use mab_memsim::config::SystemConfig;
+use mab_traces::format::TraceMeta;
+use mab_traces::{TraceReader, TraceWriter};
+use mab_workloads::suites;
+
+/// Records for the codec-throughput measurements.
+const CODEC_RECORDS: u64 = 200_000;
+/// Instructions per sweep run (the gate measurement).
+const SWEEP_INSTRUCTIONS: u64 = 60_000;
+/// The ≥3 prefetcher configurations the sweep gate runs per mode.
+const SWEEP_CONFIGS: [&str; 3] = ["stride", "bingo", "bandit"];
+const SWEEP_APP: &str = "mcf";
+const SEED: u64 = 7;
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mab-bench-trace-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Writes `CODEC_RECORDS` of the benchmark app's trace to `path`.
+fn encode_once(path: &std::path::Path) -> u64 {
+    let app = suites::app_by_name(SWEEP_APP).expect("catalog app");
+    let mut writer =
+        TraceWriter::create(path, TraceMeta::new(SEED, "bench:trace_io")).expect("create trace");
+    for record in app.trace(SEED).take(CODEC_RECORDS as usize) {
+        writer.push(&record).expect("push");
+    }
+    writer.finish().expect("finish");
+    std::fs::metadata(path).expect("metadata").len()
+}
+
+/// Decodes the whole file, returning a checksum so the work is observable.
+fn decode_once(path: &std::path::Path) -> u64 {
+    let mut reader = TraceReader::open(path).expect("open trace");
+    let mut acc = 0u64;
+    while let Some(r) = reader.next_record().expect("decode") {
+        acc = acc.wrapping_add(r.pc);
+    }
+    acc
+}
+
+/// Regenerates the same records from the seeded generator (the source replay
+/// competes against).
+fn generate_once() -> u64 {
+    let app = suites::app_by_name(SWEEP_APP).expect("catalog app");
+    let mut acc = 0u64;
+    for r in app.trace(SEED).take(CODEC_RECORDS as usize) {
+        acc = acc.wrapping_add(r.pc);
+    }
+    acc
+}
+
+/// One full multi-config sweep through the real experiment runner.
+fn sweep_once(store: &TraceStore) -> f64 {
+    let app = suites::app_by_name(SWEEP_APP).expect("catalog app");
+    let cfg = SystemConfig::default();
+    SWEEP_CONFIGS
+        .iter()
+        .map(|name| {
+            prefetch_runs::run_single(name, &app, cfg, SWEEP_INSTRUCTIONS, SEED, store).ipc()
+        })
+        .sum()
+}
+
+fn main() {
+    let dir = temp_dir();
+    let codec_path = dir.join("codec.mabt");
+    let trace_bytes = encode_once(&codec_path);
+
+    let replay_store = TraceStore::new(Some(dir.join("sweep-cache")));
+    let generator_store = TraceStore::disabled();
+    // Pre-record the sweep cache so the replay measurement is a warm-cache
+    // replay, not a record+replay mix.
+    let app = suites::app_by_name(SWEEP_APP).expect("catalog app");
+    replay_store.ensure_mem(&app, SEED, SWEEP_INSTRUCTIONS);
+
+    let mut c = Criterion::default();
+    c.bench_function("codec/encode", |b| {
+        b.iter(|| black_box(encode_once(&codec_path)))
+    });
+    c.bench_function("codec/decode", |b| {
+        b.iter(|| black_box(decode_once(&codec_path)))
+    });
+    c.bench_function("codec/generate", |b| b.iter(|| black_box(generate_once())));
+    c.bench_function("sweep/generator", |b| {
+        b.iter(|| black_box(sweep_once(&generator_store)))
+    });
+    c.bench_function("sweep/replay", |b| {
+        b.iter(|| black_box(sweep_once(&replay_store)))
+    });
+
+    let ns = |id: &str| c.result_ns(id).expect("bench result");
+    let encode_ns = ns("codec/encode");
+    let decode_ns = ns("codec/decode");
+    let generate_ns = ns("codec/generate");
+    let sweep_generator_ns = ns("sweep/generator");
+    let sweep_replay_ns = ns("sweep/replay");
+
+    let mb_per_s = |total_ns: f64| trace_bytes as f64 / (total_ns / 1e9) / (1024.0 * 1024.0);
+    let records_per_s = |total_ns: f64| CODEC_RECORDS as f64 / (total_ns / 1e9);
+    let decode_vs_generate = generate_ns / decode_ns;
+    let sweep_speedup = sweep_generator_ns / sweep_replay_ns;
+    let replay_pass = sweep_replay_ns < sweep_generator_ns;
+
+    println!();
+    println!(
+        "trace file: {trace_bytes} bytes for {CODEC_RECORDS} records \
+         ({:.2} bytes/record)",
+        trace_bytes as f64 / CODEC_RECORDS as f64
+    );
+    println!(
+        "encode            {encode_ns:>14.1} ns/iter ({:>8.1} MB/s, {:>12.0} records/s)",
+        mb_per_s(encode_ns),
+        records_per_s(encode_ns)
+    );
+    println!(
+        "decode            {decode_ns:>14.1} ns/iter ({:>8.1} MB/s, {:>12.0} records/s)",
+        mb_per_s(decode_ns),
+        records_per_s(decode_ns)
+    );
+    println!(
+        "generate          {generate_ns:>14.1} ns/iter (decode is {decode_vs_generate:.2}x \
+         the generator's speed)"
+    );
+    println!(
+        "sweep ({} configs x {SWEEP_INSTRUCTIONS} instructions, app {SWEEP_APP})",
+        SWEEP_CONFIGS.len()
+    );
+    println!("  generator mode  {sweep_generator_ns:>14.1} ns/iter");
+    println!("  replay mode     {sweep_replay_ns:>14.1} ns/iter ({sweep_speedup:.3}x)");
+
+    write_report(
+        trace_bytes,
+        encode_ns,
+        decode_ns,
+        generate_ns,
+        decode_vs_generate,
+        sweep_generator_ns,
+        sweep_replay_ns,
+        sweep_speedup,
+        replay_pass,
+        mb_per_s(encode_ns),
+        mb_per_s(decode_ns),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    if replay_pass {
+        println!(
+            "PASS: replaying the {}-config sweep is {sweep_speedup:.3}x regeneration",
+            SWEEP_CONFIGS.len()
+        );
+    } else {
+        println!(
+            "FAIL: replay ({sweep_replay_ns:.0} ns) is not faster than regeneration \
+             ({sweep_generator_ns:.0} ns)"
+        );
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    trace_bytes: u64,
+    encode_ns: f64,
+    decode_ns: f64,
+    generate_ns: f64,
+    decode_vs_generate: f64,
+    sweep_generator_ns: f64,
+    sweep_replay_ns: f64,
+    sweep_speedup: f64,
+    replay_pass: bool,
+    encode_mb_s: f64,
+    decode_mb_s: f64,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace_io.json");
+    let configs = SWEEP_CONFIGS
+        .iter()
+        .map(|c| format!("\"{c}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"trace_io\",\n  \
+         \"records\": {CODEC_RECORDS},\n  \
+         \"trace_bytes\": {trace_bytes},\n  \
+         \"bytes_per_record\": {:.3},\n  \
+         \"encode_ns\": {encode_ns:.1},\n  \
+         \"encode_mb_per_s\": {encode_mb_s:.2},\n  \
+         \"decode_ns\": {decode_ns:.1},\n  \
+         \"decode_mb_per_s\": {decode_mb_s:.2},\n  \
+         \"generate_ns\": {generate_ns:.1},\n  \
+         \"decode_vs_generate_speedup\": {decode_vs_generate:.3},\n  \
+         \"sweep_app\": \"{SWEEP_APP}\",\n  \
+         \"sweep_configs\": [{configs}],\n  \
+         \"sweep_instructions\": {SWEEP_INSTRUCTIONS},\n  \
+         \"sweep_generator_ns\": {sweep_generator_ns:.1},\n  \
+         \"sweep_replay_ns\": {sweep_replay_ns:.1},\n  \
+         \"sweep_replay_speedup\": {sweep_speedup:.3},\n  \
+         \"replay_pass\": {replay_pass}\n}}\n",
+        trace_bytes as f64 / CODEC_RECORDS as f64,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

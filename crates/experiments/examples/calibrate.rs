@@ -1,9 +1,10 @@
-use mab_experiments::{prefetch_runs, report};
+use mab_experiments::{prefetch_runs, report, traces::TraceStore};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let cfg = SystemConfig::default();
+    let store = TraceStore::disabled();
     let apps = [
         "libquantum",
         "lbm",
@@ -22,10 +23,10 @@ fn main() {
     let mut per_pf: Vec<Vec<f64>> = vec![vec![]; names.len()];
     for app_name in apps {
         let app = suites::app_by_name(app_name).unwrap();
-        let base = prefetch_runs::run_single("none", &app, cfg, n, 1).ipc();
+        let base = prefetch_runs::run_single("none", &app, cfg, n, 1, &store).ipc();
         let mut row = format!("{app_name:12} base={base:.3}");
         for (i, p) in names.iter().enumerate() {
-            let ipc = prefetch_runs::run_single(p, &app, cfg, n, 1).ipc();
+            let ipc = prefetch_runs::run_single(p, &app, cfg, n, 1, &store).ipc();
             per_pf[i].push(ipc / base);
             row += &format!("  {p}={:.3}", ipc / base);
         }

@@ -3,7 +3,9 @@
 //! 4-core runs, and the bandit step length.
 
 use mab_core::{AlgorithmKind, BanditConfig};
-use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report, session::TelemetrySession, traces::TraceStore,
+};
 use mab_memsim::{config::SystemConfig, System};
 use mab_prefetch::{BanditL2, PAPER_ARMS};
 use mab_workloads::suites;
@@ -15,16 +17,20 @@ fn run_custom(
     cfg: SystemConfig,
     instructions: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> f64 {
     let bandit = BanditL2::new(config, PAPER_ARMS.to_vec(), step, 500).expect("valid setup");
     let mut system = System::single_core(cfg);
     system.set_prefetcher(0, Box::new(bandit));
-    system.run(&mut app.trace(seed), instructions).ipc()
+    system
+        .run(&mut store.mem_source(app, seed, instructions), instructions)
+        .ipc()
 }
 
 fn main() {
     let opts = Options::parse(1_000_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     let apps: Vec<_> = ["libquantum", "lbm", "cactus", "mcf", "soplex", "bfs"]
         .iter()
@@ -46,7 +52,7 @@ fn main() {
                 .seed(opts.seed)
                 .build()
                 .expect("valid");
-            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
+            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed, &store)
         });
         table.row(vec![format!("{gamma}"), format!("{g:.4}")]);
     }
@@ -61,7 +67,7 @@ fn main() {
                 .seed(opts.seed)
                 .build()
                 .expect("valid");
-            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
+            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed, &store)
         });
         table.row(vec![format!("{c}"), format!("{g:.4}")]);
     }
@@ -80,7 +86,7 @@ fn main() {
                 .seed(opts.seed)
                 .build()
                 .expect("valid");
-            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed)
+            run_custom(config, 1000, app, cfg, opts.instructions, opts.seed, &store)
         });
         table.row(vec![
             if on { "on" } else { "off" }.into(),
@@ -101,7 +107,7 @@ fn main() {
                 .seed(opts.seed)
                 .build()
                 .expect("valid");
-            run_custom(config, step, app, cfg, opts.instructions, opts.seed)
+            run_custom(config, step, app, cfg, opts.instructions, opts.seed, &store)
         });
         table.row(vec![step.to_string(), format!("{g:.4}")]);
     }
@@ -117,6 +123,7 @@ fn main() {
             cfg,
             opts.instructions / 4,
             opts.seed,
+            &store,
         );
         let sum: f64 = stats.iter().map(|s| s.ipc()).sum();
         table.row(vec![

@@ -2,12 +2,15 @@
 //! worst-performing of the 64 PG policies relative to the Choi policy
 //! (IC_1011), per 2-thread mix, with the best policy labelled.
 
-use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
+use mab_experiments::{
+    cli::Options, report, session::TelemetrySession, smt_runs, traces::TraceStore,
+};
 use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(60_000, 12);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 5: best/worst of the 64 fetch PG policies vs Choi (IC_1011) ===\n");
     let mixes = smt::two_thread_mixes(&smt::smt_tune_apps());
@@ -22,8 +25,14 @@ fn main() {
     let mut worst_ratios = Vec::new();
     for (a, b) in mixes.into_iter().take(opts.mixes) {
         let name = format!("{}-{}", a.name, b.name);
-        let (best, best_ratio, worst, worst_ratio) =
-            smt_runs::pg_space_extremes([a, b], params, opts.instructions, opts.seed, opts.jobs);
+        let (best, best_ratio, worst, worst_ratio) = smt_runs::pg_space_extremes(
+            [a, b],
+            params,
+            opts.instructions,
+            opts.seed,
+            opts.jobs,
+            &store,
+        );
         best_ratios.push(best_ratio);
         worst_ratios.push(worst_ratio);
         table.row(vec![

@@ -6,10 +6,11 @@
 use mab_core::AlgorithmKind;
 use mab_experiments::{
     cli::Options, prefetch_runs, report::print_series, session::TelemetrySession, smt_runs,
+    traces::TraceStore,
 };
 use mab_memsim::{config::SystemConfig, System};
 use mab_prefetch::{shared::SharedPrefetcher, BanditL2};
-use mab_smtsim::pipeline::SmtPipeline;
+use mab_smtsim::pipeline::{SmtPipeline, THREAD1_SEED_SALT};
 use mab_workloads::{smt, suites};
 
 fn algorithms() -> Vec<(&'static str, AlgorithmKind)> {
@@ -29,14 +30,21 @@ fn algorithms() -> Vec<(&'static str, AlgorithmKind)> {
 fn main() {
     let opts = Options::parse(3_000_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     println!("=== Fig. 7: arm exploration over time (series of (cycle, arm)) ===\n");
 
     // Prefetching columns: cactus (stable) and mcf (phase change).
     for app_name in ["cactus", "mcf"] {
         let app = suites::app_by_name(app_name).expect("catalog app");
         let cfg = SystemConfig::default();
-        let (best_arm, best_ipc) =
-            prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed, opts.jobs);
+        let (best_arm, best_ipc) = prefetch_runs::best_static_arm(
+            &app,
+            cfg,
+            opts.instructions,
+            opts.seed,
+            opts.jobs,
+            &store,
+        );
         println!("## prefetching / {app_name}");
         print_series(
             &format!("BestStatic (arm {best_arm}, ipc {best_ipc:.3})"),
@@ -50,7 +58,10 @@ fn main() {
             });
             let mut system = System::single_core(cfg);
             system.set_prefetcher(0, Box::new(handle.clone()));
-            let stats = system.run(&mut app.trace(opts.seed), opts.instructions);
+            let stats = system.run(
+                &mut store.mem_source(&app, opts.seed, opts.instructions),
+                opts.instructions,
+            );
             let history = handle.with(|b| b.history().map(<[(u64, usize)]>::to_vec));
             let points: Vec<(String, f64)> = history
                 .unwrap_or_default()
@@ -71,8 +82,14 @@ fn main() {
         ];
         let params = smt_runs::scaled_params();
         println!("## smt / {a}-{b}");
-        let (best_arm, best_ipc) =
-            smt_runs::best_static_arm(specs.clone(), params, smt_commits, opts.seed, opts.jobs);
+        let (best_arm, best_ipc) = smt_runs::best_static_arm(
+            specs.clone(),
+            params,
+            smt_commits,
+            opts.seed,
+            opts.jobs,
+            &store,
+        );
         print_series(
             &format!("BestStatic (arm {best_arm}, sum-ipc {best_ipc:.3})"),
             &[("0".into(), best_arm as f64)],
@@ -89,7 +106,15 @@ fn main() {
             ),
         ] {
             let mut controller = smt_runs::scaled_bandit(kind, opts.seed);
-            let mut pipe = SmtPipeline::new(params, specs.clone(), opts.seed);
+            let streams = [
+                store.smt_stream(&specs[0], opts.seed, smt_commits),
+                store.smt_stream(
+                    &specs[1],
+                    opts.seed.wrapping_add(THREAD1_SEED_SALT),
+                    smt_commits,
+                ),
+            ];
+            let mut pipe = SmtPipeline::with_streams(params, streams);
             let stats = pipe.run_with(&mut controller, smt_commits);
             let points: Vec<(String, f64)> = controller
                 .history()

@@ -1,18 +1,20 @@
 //! Fig. 8 — Single-core performance of Stride, Bingo, MLOP, Pythia and
 //! Bandit across all application suites, normalized to no prefetching.
 
-use mab_experiments::{cli::Options, prefetch_runs, session::TelemetrySession};
+use mab_experiments::{cli::Options, prefetch_runs, session::TelemetrySession, traces::TraceStore};
 use mab_memsim::config::SystemConfig;
 
 fn main() {
     let opts = Options::parse(2_000_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     prefetch_runs::lineup_report(
         SystemConfig::default(),
         opts.instructions,
         opts.seed,
         "Fig. 8: single-core IPC normalized to no prefetching",
         opts.jobs,
+        &store,
     );
     println!("\n(paper: Bandit beats Stride +9%, Bingo +2.6%, MLOP +2.3%, matches Pythia ±0.2%)");
     session.finish();

@@ -3,13 +3,16 @@
 //! everything normalized to the LLC misses of the no-prefetch baseline.
 //! Includes `BanditIdeal` (zero arm-selection latency).
 
-use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report, session::TelemetrySession, traces::TraceStore,
+};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     let lineup = [
         "stride",
@@ -35,11 +38,13 @@ fn main() {
     let mut base_misses_total = 0.0;
     let mut per_pf = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); lineup.len()];
     for app in &apps {
-        let base = prefetch_runs::run_single("none", app, cfg, opts.instructions, opts.seed);
+        let base =
+            prefetch_runs::run_single("none", app, cfg, opts.instructions, opts.seed, &store);
         let base_misses = base.llc.demand_misses as f64;
         base_misses_total += base_misses;
         for (i, name) in lineup.iter().enumerate() {
-            let stats = prefetch_runs::run_single(name, app, cfg, opts.instructions, opts.seed);
+            let stats =
+                prefetch_runs::run_single(name, app, cfg, opts.instructions, opts.seed, &store);
             per_pf[i].0 += stats.prefetch.timely as f64;
             per_pf[i].1 += stats.prefetch.late as f64;
             per_pf[i].2 += stats.prefetch.wrong as f64;

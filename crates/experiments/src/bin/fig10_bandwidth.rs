@@ -2,13 +2,16 @@
 //! (150 / 600 / 2400 / 9600 MTPS), gmean IPC normalized to no prefetching
 //! at each bandwidth point.
 
-use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report, session::TelemetrySession, traces::TraceStore,
+};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     println!("=== Fig. 10: performance under DRAM bandwidth sweep (MTPS) ===\n");
     let mut table = report::Table::new(vec![
         "MTPS".into(),
@@ -22,15 +25,18 @@ fn main() {
         let mut pythia_vals = Vec::new();
         let mut bandit_vals = Vec::new();
         for app in &apps {
-            let base = prefetch_runs::run_single("none", app, cfg, opts.instructions, opts.seed)
-                .ipc()
-                .max(1e-9);
+            let base =
+                prefetch_runs::run_single("none", app, cfg, opts.instructions, opts.seed, &store)
+                    .ipc()
+                    .max(1e-9);
             pythia_vals.push(
-                prefetch_runs::run_single("pythia", app, cfg, opts.instructions, opts.seed).ipc()
+                prefetch_runs::run_single("pythia", app, cfg, opts.instructions, opts.seed, &store)
+                    .ipc()
                     / base,
             );
             bandit_vals.push(
-                prefetch_runs::run_single("bandit", app, cfg, opts.instructions, opts.seed).ipc()
+                prefetch_runs::run_single("bandit", app, cfg, opts.instructions, opts.seed, &store)
+                    .ipc()
                     / base,
             );
         }

@@ -1,18 +1,20 @@
 //! Fig. 11 — Single-core performance with the alternative cache hierarchy
 //! (L2 = 1 MB, LLC = 1.5 MB/core), without retuning any prefetcher.
 
-use mab_experiments::{cli::Options, prefetch_runs, session::TelemetrySession};
+use mab_experiments::{cli::Options, prefetch_runs, session::TelemetrySession, traces::TraceStore};
 use mab_memsim::config::SystemConfig;
 
 fn main() {
     let opts = Options::parse(2_000_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     prefetch_runs::lineup_report(
         SystemConfig::alt_cache(),
         opts.instructions,
         opts.seed,
         "Fig. 11: single-core IPC vs no prefetching, alternative hierarchy (1MB L2, 1.5MB LLC/core)",
         opts.jobs,
+        &store,
     );
     println!("\n(paper: Bandit beats Stride +9%, Bingo +1.5%, MLOP +4.9%, matches Pythia ±0.2%)");
     session.finish();

@@ -2,13 +2,16 @@
 //! levels, Stride(L1)+Pythia(L2) and Stride(L1)+Bandit(L2), gmean IPC
 //! normalized to no prefetching at either level.
 
-use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report, session::TelemetrySession, traces::TraceStore,
+};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     println!("=== Fig. 12: multi-level prefetcher combinations ===\n");
     let combos: [(&str, &str, &str); 4] = [
@@ -22,11 +25,20 @@ fn main() {
     for (label, l1, l2) in combos {
         let mut vals = Vec::new();
         for app in &apps {
-            let base = prefetch_runs::run_single("none", app, cfg, opts.instructions, opts.seed)
-                .ipc()
-                .max(1e-9);
-            let ipc =
-                prefetch_runs::run_multilevel(l1, l2, app, cfg, opts.instructions, opts.seed).ipc();
+            let base =
+                prefetch_runs::run_single("none", app, cfg, opts.instructions, opts.seed, &store)
+                    .ipc()
+                    .max(1e-9);
+            let ipc = prefetch_runs::run_multilevel(
+                l1,
+                l2,
+                app,
+                cfg,
+                opts.instructions,
+                opts.seed,
+                &store,
+            )
+            .ipc();
             vals.push(ipc / base);
         }
         table.row(vec![

@@ -1,12 +1,16 @@
 //! Fig. 13 — SMT thread fetching: IPC of Bandit relative to Choi across the
 //! 2-thread mixes, sorted ascending (the paper's s-curve over 226 mixes).
 
-use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
+use mab_experiments::{
+    cli::Options, report, session::TelemetrySession, smt_runs, traces::TraceStore,
+};
+use mab_smtsim::pipeline::THREAD1_SEED_SALT;
 use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(60_000, 226);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 13: Bandit vs Choi across 2-thread mixes (sorted ratios) ===\n");
     let mixes: Vec<_> = smt::two_thread_mixes(&smt::smt_apps())
@@ -14,6 +18,16 @@ fn main() {
         .take(opts.mixes)
         .collect();
     let total = mixes.len();
+    // Record every thread's stream serially before fanning out, so the
+    // sweep's workers only ever open finished trace files.
+    for (a, b) in &mixes {
+        store.ensure_smt(a, opts.seed, opts.instructions);
+        store.ensure_smt(
+            b,
+            opts.seed.wrapping_add(THREAD1_SEED_SALT),
+            opts.instructions,
+        );
+    }
     // One sweep run per mix (Choi + ICount + Bandit inside); results come
     // back in mix order regardless of worker count, and the progress counter
     // tracks completions rather than positions.
@@ -24,13 +38,15 @@ fn main() {
         |_ctx, (a, b)| {
             let specs = [a.clone(), b.clone()];
             let choi =
-                smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed).sum_ipc();
+                smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed, &store)
+                    .sum_ipc();
             let icount = smt_runs::run_static(
                 "IC_0000".parse().expect("valid policy"),
                 specs.clone(),
                 params,
                 opts.instructions,
                 opts.seed,
+                &store,
             )
             .sum_ipc();
             let bandit = smt_runs::run_bandit_algorithm(
@@ -42,6 +58,7 @@ fn main() {
                 params,
                 opts.instructions,
                 opts.seed,
+                &store,
             )
             .sum_ipc();
             let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;

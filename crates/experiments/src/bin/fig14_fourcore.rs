@@ -3,13 +3,16 @@
 //! no-prefetching baseline. Bandit runs with the §4.3 round-robin restart
 //! (`rr_restart_prob = 0.001`).
 
-use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report, session::TelemetrySession, traces::TraceStore,
+};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(400_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     let lineup = ["stride", "bingo", "mlop", "pythia", "bandit-multicore"];
     println!("=== Fig. 14: 4-core homogeneous mixes, sum-IPC vs no prefetching ===\n");
@@ -26,6 +29,7 @@ fn main() {
             cfg,
             opts.instructions,
             opts.seed,
+            &store,
         )
         .iter()
         .map(|s| s.ipc())
@@ -38,6 +42,7 @@ fn main() {
                 cfg,
                 opts.instructions,
                 opts.seed,
+                &store,
             )
             .iter()
             .map(|s| s.ipc())

@@ -3,7 +3,9 @@
 //! 2-thread mixes, for the Choi policy and for Bandit.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
+use mab_experiments::{
+    cli::Options, report, session::TelemetrySession, smt_runs, traces::TraceStore,
+};
 use mab_smtsim::pipeline::RenameStats;
 use mab_workloads::smt;
 
@@ -55,6 +57,7 @@ impl Acc {
 fn main() {
     let opts = Options::parse(60_000, 40);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 15: rename-stage cycles (% of cycles), Choi vs Bandit ===\n");
     let mixes = smt::two_thread_mixes(&smt::smt_apps());
@@ -62,7 +65,7 @@ fn main() {
     let mut bandit_acc = Acc::default();
     for (idx, (a, b)) in mixes.into_iter().take(opts.mixes).enumerate() {
         let specs = [a, b];
-        let choi = smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed);
+        let choi = smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed, &store);
         choi_acc.add(&choi.rename);
         let bandit = smt_runs::run_bandit_algorithm(
             AlgorithmKind::Ducb {
@@ -73,6 +76,7 @@ fn main() {
             params,
             opts.instructions,
             opts.seed,
+            &store,
         );
         bandit_acc.add(&bandit.rename);
         if (idx + 1) % 10 == 0 {

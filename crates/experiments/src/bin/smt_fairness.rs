@@ -11,14 +11,16 @@
 //! slowdowns, under each reward.
 
 use mab_core::reward::harmonic_mean_weighted;
-use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
+use mab_experiments::{
+    cli::Options, report, session::TelemetrySession, smt_runs, traces::TraceStore,
+};
 use mab_smtsim::controllers::RewardMetric;
-use mab_smtsim::pipeline::SmtPipeline;
+use mab_smtsim::pipeline::{SmtPipeline, THREAD1_SEED_SALT};
 use mab_workloads::smt::{self, ThreadSpec};
 
 /// Isolated (single-thread-like) IPC estimate: the thread paired with an
 /// almost-idle partner.
-fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64) -> f64 {
+fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64, store: &TraceStore) -> f64 {
     // Pair with the lightest catalog thread to approximate isolation.
     let idle = smt::thread_by_name("exchange2").expect("catalog thread");
     let stats = smt_runs::run_choi(
@@ -26,6 +28,7 @@ fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64) -> f64 {
         smt_runs::scaled_params(),
         commits,
         seed,
+        store,
     );
     stats.ipc(0)
 }
@@ -33,6 +36,7 @@ fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64) -> f64 {
 fn main() {
     let opts = Options::parse(80_000, 6);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== §6.4: throughput vs fairness rewards for the SMT Bandit ===\n");
 
@@ -61,8 +65,8 @@ fn main() {
         let sa = smt::thread_by_name(a).expect("catalog thread");
         let sb = smt::thread_by_name(b).expect("catalog thread");
         let isolated = [
-            isolated_ipc(&sa, opts.instructions, opts.seed),
-            isolated_ipc(&sb, opts.instructions, opts.seed),
+            isolated_ipc(&sa, opts.instructions, opts.seed, &store),
+            isolated_ipc(&sb, opts.instructions, opts.seed, &store),
         ];
         let mut results = Vec::new();
         for (label, metric) in [
@@ -77,7 +81,15 @@ fn main() {
                 opts.seed,
             );
             controller.set_reward_metric(metric);
-            let mut pipe = SmtPipeline::new(params, [sa.clone(), sb.clone()], opts.seed);
+            let streams = [
+                store.smt_stream(&sa, opts.seed, opts.instructions),
+                store.smt_stream(
+                    &sb,
+                    opts.seed.wrapping_add(THREAD1_SEED_SALT),
+                    opts.instructions,
+                ),
+            ];
+            let mut pipe = SmtPipeline::with_streams(params, streams);
             let stats = pipe.run_with(&mut controller, opts.instructions);
             let weighted = [
                 stats.ipc(0) / isolated[0].max(1e-9),

@@ -3,13 +3,16 @@
 //! tune set.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, prefetch_runs, report, session::TelemetrySession};
+use mab_experiments::{
+    cli::Options, prefetch_runs, report, session::TelemetrySession, traces::TraceStore,
+};
 use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     println!("=== Table 8: tune-set IPC as % of the best static arm (prefetching) ===\n");
 
@@ -39,21 +42,33 @@ fn main() {
 
     let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
     for app in suites::tune_set() {
-        let (_, best_ipc) =
-            prefetch_runs::best_static_arm(&app, cfg, opts.instructions, opts.seed, opts.jobs);
+        let (_, best_ipc) = prefetch_runs::best_static_arm(
+            &app,
+            cfg,
+            opts.instructions,
+            opts.seed,
+            opts.jobs,
+            &store,
+        );
         let mut line = format!("{:14} best-static {:.3} |", app.name, best_ipc);
         for (i, (name, algorithm)) in columns.iter().enumerate() {
             let ipc = match algorithm {
-                None => {
-                    prefetch_runs::run_single("pythia", &app, cfg, opts.instructions, opts.seed)
-                        .ipc()
-                }
+                None => prefetch_runs::run_single(
+                    "pythia",
+                    &app,
+                    cfg,
+                    opts.instructions,
+                    opts.seed,
+                    &store,
+                )
+                .ipc(),
                 Some(kind) => prefetch_runs::run_bandit_algorithm(
                     *kind,
                     &app,
                     cfg,
                     opts.instructions,
                     opts.seed,
+                    &store,
                 )
                 .ipc(),
             };

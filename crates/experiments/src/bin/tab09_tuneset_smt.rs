@@ -2,12 +2,15 @@
 //! DUCB as a percentage of the best-static-arm IPC, on the SMT tune set.
 
 use mab_core::AlgorithmKind;
-use mab_experiments::{cli::Options, report, session::TelemetrySession, smt_runs};
+use mab_experiments::{
+    cli::Options, report, session::TelemetrySession, smt_runs, traces::TraceStore,
+};
 use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(80_000, 43);
     let session = TelemetrySession::start(&opts);
+    let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Table 9: tune-set IPC as % of the best static arm (SMT fetch) ===\n");
 
@@ -45,18 +48,22 @@ fn main() {
             opts.instructions,
             opts.seed,
             opts.jobs,
+            &store,
         );
         let mut line = format!("{:>10}-{:10} best-static {:.3} |", a.name, b.name, best_ipc);
         for (i, (name, algorithm)) in columns.iter().enumerate() {
             let ipc = match algorithm {
-                None => smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed)
-                    .sum_ipc(),
+                None => {
+                    smt_runs::run_choi(specs.clone(), params, opts.instructions, opts.seed, &store)
+                        .sum_ipc()
+                }
                 Some(kind) => smt_runs::run_bandit_algorithm(
                     *kind,
                     specs.clone(),
                     params,
                     opts.instructions,
                     opts.seed,
+                    &store,
                 )
                 .sum_ipc(),
             };

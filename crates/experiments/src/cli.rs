@@ -13,6 +13,9 @@
 //!   (`.csv` → CSV, anything else → JSON lines),
 //! - `--trace PATH` — export the decision trace at exit (`.json` → Perfetto
 //!   Chrome-trace JSON, anything else → decision JSONL for `mab-inspect`),
+//! - `--trace-dir DIR` — record workload instruction streams to `.mabt`
+//!   files under DIR on first use and replay them afterwards; reports are
+//!   byte-identical to generator mode (see `mab_experiments::traces`),
 //! - `--help`.
 
 use std::path::PathBuf;
@@ -35,6 +38,8 @@ pub struct Options {
     pub telemetry: Option<PathBuf>,
     /// Where to export the decision trace at exit, if anywhere.
     pub trace: Option<PathBuf>,
+    /// Workload-trace record/replay cache directory (`--trace-dir`).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Options {
@@ -69,6 +74,7 @@ impl Options {
             jobs: mab_runner::available_jobs(),
             telemetry: None,
             trace: None,
+            trace_dir: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -109,6 +115,12 @@ impl Options {
                         args.next().unwrap_or_else(|| usage("--trace needs a path")),
                     ));
                 }
+                "--trace-dir" => {
+                    opts.trace_dir = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| usage("--trace-dir needs a directory")),
+                    ));
+                }
                 "--quick" | "-q" => {
                     opts.quick = true;
                     opts.instructions = (default_instructions / 10).max(10_000);
@@ -144,7 +156,10 @@ fn usage<T>(error: &str) -> T {
          \x20                 needs the `telemetry` cargo feature)\n\
          --trace PATH      export the decision trace at exit (.json -> Perfetto\n\
          \x20                 Chrome-trace JSON, else decision JSONL for\n\
-         \x20                 mab-inspect; needs the `telemetry` cargo feature)"
+         \x20                 mab-inspect; needs the `telemetry` cargo feature)\n\
+         --trace-dir DIR   record workload streams to .mabt files under DIR and\n\
+         \x20                 replay them on later runs; output is byte-identical\n\
+         \x20                 to generator mode"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -216,5 +231,12 @@ mod tests {
         let o = parse(&["--trace", "out/run.trace.json"]);
         assert_eq!(o.trace, Some(PathBuf::from("out/run.trace.json")));
         assert!(parse(&[]).trace.is_none());
+    }
+
+    #[test]
+    fn trace_dir_is_captured() {
+        let o = parse(&["--trace-dir", "cache/traces"]);
+        assert_eq!(o.trace_dir, Some(PathBuf::from("cache/traces")));
+        assert!(parse(&[]).trace_dir.is_none());
     }
 }

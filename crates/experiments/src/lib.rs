@@ -7,6 +7,8 @@
 //! - [`prefetch_runs`] — single/multi-core prefetching runs, the
 //!   best-static-arm oracle, and the tune-set comparison,
 //! - [`smt_runs`] — SMT mixes under any PG controller,
+//! - [`traces`] — the `--trace-dir` record/replay cache substituting
+//!   recorded `.mabt` files for the workload generators,
 //! - [`cli`] — the tiny argument parser shared by the binaries
 //!   (`--instructions`, `--seed`, `--quick`, `--telemetry`, …),
 //! - [`session`] — the telemetry recorder lifecycle (install, summarize,
@@ -24,3 +26,4 @@ pub mod prefetch_runs;
 pub mod report;
 pub mod session;
 pub mod smt_runs;
+pub mod traces;

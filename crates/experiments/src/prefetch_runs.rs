@@ -1,5 +1,12 @@
 //! Prefetching experiment runners.
+//!
+//! Every runner takes a [`TraceStore`]: pass [`TraceStore::disabled`] to
+//! stream records straight from the workload generators, or an enabled
+//! store (`--trace-dir`) to record each `(app, seed)` stream once and
+//! replay the file on every subsequent run — byte-identical output either
+//! way.
 
+use crate::traces::TraceStore;
 use mab_core::AlgorithmKind;
 use mab_memsim::{config::SystemConfig, system::RunStats, System};
 use mab_prefetch::{catalog, BanditL2, PAPER_ARMS};
@@ -13,10 +20,11 @@ pub fn run_single(
     config: SystemConfig,
     instructions: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> RunStats {
     let mut system = System::single_core(config);
     system.set_prefetcher(0, catalog::build_l2(prefetcher, seed));
-    system.run(&mut app.trace(seed), instructions)
+    system.run(&mut store.mem_source(app, seed, instructions), instructions)
 }
 
 /// Runs one application with named L1 **and** L2 prefetchers
@@ -28,11 +36,12 @@ pub fn run_multilevel(
     config: SystemConfig,
     instructions: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> RunStats {
     let mut system = System::single_core(config);
     system.set_l1_prefetcher(0, catalog::build_l1(l1, seed));
     system.set_prefetcher(0, catalog::build_l2(l2, seed));
-    system.run(&mut app.trace(seed), instructions)
+    system.run(&mut store.mem_source(app, seed, instructions), instructions)
 }
 
 /// Runs a Bandit variant with an explicit MAB algorithm (Table 8 columns).
@@ -42,10 +51,11 @@ pub fn run_bandit_algorithm(
     config: SystemConfig,
     instructions: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> RunStats {
     let mut system = System::single_core(config);
     system.set_prefetcher(0, Box::new(BanditL2::with_algorithm(algorithm, seed)));
-    system.run(&mut app.trace(seed), instructions)
+    system.run(&mut store.mem_source(app, seed, instructions), instructions)
 }
 
 /// The *Best Static* oracle (§6.4): runs each of the 11 arms pinned for the
@@ -57,7 +67,11 @@ pub fn best_static_arm(
     instructions: u64,
     seed: u64,
     jobs: usize,
+    store: &TraceStore,
 ) -> (usize, f64) {
+    // Record once, serially, before the workers fan out: the 11 arm runs
+    // all replay the same file.
+    store.ensure_mem(app, seed, instructions);
     let arms: Vec<usize> = (0..PAPER_ARMS.len()).collect();
     let ipcs = mab_runner::sweep(
         &arms,
@@ -69,6 +83,7 @@ pub fn best_static_arm(
                 config,
                 instructions,
                 seed,
+                store,
             )
             .ipc()
         },
@@ -94,12 +109,15 @@ pub fn run_four_core_homogeneous(
     config: SystemConfig,
     instructions_per_core: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> Vec<RunStats> {
     let mut system = System::multi_core(config, 4);
     for core in 0..4 {
         system.set_prefetcher(core, catalog::build_l2(prefetcher, seed + core as u64));
     }
-    let mut traces: Vec<_> = (0..4).map(|i| app.trace(seed + i as u64)).collect();
+    let mut traces: Vec<_> = (0..4)
+        .map(|i| store.mem_source(app, seed + i as u64, instructions_per_core))
+        .collect();
     let mut dyn_traces: Vec<&mut dyn Iterator<Item = TraceRecord>> = traces
         .iter_mut()
         .map(|t| t as &mut dyn Iterator<Item = TraceRecord>)
@@ -121,7 +139,13 @@ pub fn normalized_ipcs(
     instructions: u64,
     seed: u64,
     jobs: usize,
+    store: &TraceStore,
 ) -> Vec<(String, Vec<f64>)> {
+    // One recording pass per app before the parallel fan-out; the sweep's
+    // workers then only open finished files.
+    for app in apps {
+        store.ensure_mem(app, seed, instructions);
+    }
     let mut specs: Vec<(usize, &str)> = Vec::new();
     for app_idx in 0..apps.len() {
         specs.push((app_idx, "none"));
@@ -132,7 +156,9 @@ pub fn normalized_ipcs(
     let ipcs = mab_runner::sweep(
         &specs,
         mab_runner::SweepOptions::new(jobs, seed),
-        |_ctx, &(app_idx, name)| run_single(name, &apps[app_idx], config, instructions, seed).ipc(),
+        |_ctx, &(app_idx, name)| {
+            run_single(name, &apps[app_idx], config, instructions, seed, store).ipc()
+        },
     )
     .unwrap_or_else(|e| panic!("prefetcher lineup sweep failed: {e}"));
     let stride = prefetchers.len() + 1;
@@ -150,7 +176,14 @@ pub fn normalized_ipcs(
 /// Prints the Fig. 8/Fig. 11-style report: per-suite gmean IPC of the
 /// standard lineup (stride, bingo, mlop, pythia, bandit) normalized to no
 /// prefetching, plus the overall gmean. Per-app values go to stderr.
-pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: &str, jobs: usize) {
+pub fn lineup_report(
+    config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+    title: &str,
+    jobs: usize,
+    store: &TraceStore,
+) {
     use crate::report::{gmean, Table};
     use mab_workloads::{suites, Suite};
 
@@ -164,7 +197,7 @@ pub fn lineup_report(config: SystemConfig, instructions: u64, seed: u64, title: 
     let mut overall: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
     for suite in Suite::ALL {
         let apps = suites::suite(suite);
-        let rows = normalized_ipcs(&lineup, &apps, config, instructions, seed, jobs);
+        let rows = normalized_ipcs(&lineup, &apps, config, instructions, seed, jobs, store);
         let mut per_pf: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
         for (app, values) in &rows {
             let mut line = format!("{app:16}");
@@ -205,7 +238,7 @@ mod tests {
     #[test]
     fn single_run_produces_stats() {
         let (app, cfg) = small();
-        let stats = run_single("stride", &app, cfg, 30_000, 1);
+        let stats = run_single("stride", &app, cfg, 30_000, 1, &TraceStore::disabled());
         assert_eq!(stats.instructions, 30_000);
         assert!(stats.prefetch.issued > 0);
     }
@@ -213,9 +246,17 @@ mod tests {
     #[test]
     fn best_static_arm_beats_or_matches_the_off_arm() {
         let (app, cfg) = small();
-        let (_, best_ipc) = best_static_arm(&app, cfg, 30_000, 1, 2);
-        let off =
-            run_bandit_algorithm(AlgorithmKind::Static { arm: 1 }, &app, cfg, 30_000, 1).ipc();
+        let store = TraceStore::disabled();
+        let (_, best_ipc) = best_static_arm(&app, cfg, 30_000, 1, 2, &store);
+        let off = run_bandit_algorithm(
+            AlgorithmKind::Static { arm: 1 },
+            &app,
+            cfg,
+            30_000,
+            1,
+            &store,
+        )
+        .ipc();
         assert!(best_ipc >= off);
     }
 
@@ -223,7 +264,15 @@ mod tests {
     fn normalized_ipcs_have_one_row_per_app() {
         let cfg = SystemConfig::default();
         let apps = vec![suites::app_by_name("hmmer").unwrap()];
-        let rows = normalized_ipcs(&["stride"], &apps, cfg, 20_000, 1, 2);
+        let rows = normalized_ipcs(
+            &["stride"],
+            &apps,
+            cfg,
+            20_000,
+            1,
+            2,
+            &TraceStore::disabled(),
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1.len(), 1);
         assert!(rows[0].1[0] > 0.0);
@@ -232,14 +281,38 @@ mod tests {
     #[test]
     fn multilevel_run_issues_l1_prefetches() {
         let (app, cfg) = small();
-        let stats = run_multilevel("stride", "stride", &app, cfg, 30_000, 1);
+        let stats = run_multilevel(
+            "stride",
+            "stride",
+            &app,
+            cfg,
+            30_000,
+            1,
+            &TraceStore::disabled(),
+        );
         assert!(stats.l1.prefetch_fills > 0, "{:?}", stats.l1);
     }
 
     #[test]
     fn four_core_run_returns_four_stats() {
         let (app, cfg) = small();
-        let stats = run_four_core_homogeneous("stride", &app, cfg, 10_000, 1);
+        let stats =
+            run_four_core_homogeneous("stride", &app, cfg, 10_000, 1, &TraceStore::disabled());
         assert_eq!(stats.len(), 4);
+    }
+
+    #[test]
+    fn replayed_run_matches_the_generated_run() {
+        let (app, cfg) = small();
+        let dir = std::env::temp_dir().join("mab-prefetch-replay-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = TraceStore::new(Some(dir));
+        let generated = run_single("bandit", &app, cfg, 20_000, 3, &TraceStore::disabled());
+        // First pass records, second pass replays; both must equal the
+        // generated run exactly.
+        let recorded = run_single("bandit", &app, cfg, 20_000, 3, &store);
+        let replayed = run_single("bandit", &app, cfg, 20_000, 3, &store);
+        assert_eq!(generated, recorded);
+        assert_eq!(generated, replayed);
     }
 }

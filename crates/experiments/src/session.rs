@@ -76,6 +76,7 @@ mod tests {
             jobs: 1,
             telemetry: telemetry.map(PathBuf::from),
             trace: None,
+            trace_dir: None,
         }
     }
 

@@ -1,10 +1,18 @@
 //! SMT experiment runners.
+//!
+//! Every runner takes a [`TraceStore`]: pass [`TraceStore::disabled`] to
+//! stream instructions from the thread generators, or an enabled store
+//! (`--trace-dir`) to record each thread's stream once and replay it
+//! afterwards — byte-identical output either way (the replay stream chains
+//! back into the generator if the pipeline fetches past the recorded
+//! prefix).
 
+use crate::traces::TraceStore;
 use mab_core::{AlgorithmKind, BanditConfig};
 use mab_smtsim::{
     config::SmtParams,
     controllers::{BanditController, ChoiController, PgController, StaticPgController},
-    pipeline::{SmtPipeline, SmtStats},
+    pipeline::{SmtPipeline, SmtStats, THREAD1_SEED_SALT},
     policies::PgPolicy,
 };
 use mab_workloads::smt::ThreadSpec;
@@ -54,8 +62,13 @@ pub fn run_mix(
     params: SmtParams,
     commits: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> SmtStats {
-    let mut pipe = SmtPipeline::new(params, specs, seed);
+    let streams = [
+        store.smt_stream(&specs[0], seed, commits),
+        store.smt_stream(&specs[1], seed.wrapping_add(THREAD1_SEED_SALT), commits),
+    ];
+    let mut pipe = SmtPipeline::with_streams(params, streams);
     pipe.run(controller, commits)
 }
 
@@ -66,6 +79,7 @@ pub fn run_static(
     params: SmtParams,
     commits: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> SmtStats {
     run_mix(
         Box::new(StaticPgController::new(policy)),
@@ -73,17 +87,25 @@ pub fn run_static(
         params,
         commits,
         seed,
+        store,
     )
 }
 
 /// Runs a mix under the Choi policy.
-pub fn run_choi(specs: [ThreadSpec; 2], params: SmtParams, commits: u64, seed: u64) -> SmtStats {
+pub fn run_choi(
+    specs: [ThreadSpec; 2],
+    params: SmtParams,
+    commits: u64,
+    seed: u64,
+    store: &TraceStore,
+) -> SmtStats {
     run_mix(
         Box::new(ChoiController::new()),
         specs,
         params,
         commits,
         seed,
+        store,
     )
 }
 
@@ -95,6 +117,7 @@ pub fn run_bandit_algorithm(
     params: SmtParams,
     commits: u64,
     seed: u64,
+    store: &TraceStore,
 ) -> SmtStats {
     run_mix(
         Box::new(scaled_bandit(algorithm, seed)),
@@ -102,7 +125,15 @@ pub fn run_bandit_algorithm(
         params,
         commits,
         seed,
+        store,
     )
+}
+
+/// Records both threads of a mix serially, so a parallel sweep's workers
+/// only ever open finished files.
+fn ensure_mix(store: &TraceStore, specs: &[ThreadSpec; 2], commits: u64, seed: u64) {
+    store.ensure_smt(&specs[0], seed, commits);
+    store.ensure_smt(&specs[1], seed.wrapping_add(THREAD1_SEED_SALT), commits);
 }
 
 /// The SMT *Best Static* oracle over the 6 Bandit arms (run in parallel
@@ -113,12 +144,14 @@ pub fn best_static_arm(
     commits: u64,
     seed: u64,
     jobs: usize,
+    store: &TraceStore,
 ) -> (usize, f64) {
+    ensure_mix(store, &specs, commits, seed);
     let arms = PgPolicy::bandit_arms();
     let ipcs = mab_runner::sweep(
         &arms,
         mab_runner::SweepOptions::new(jobs, seed),
-        |_ctx, policy| run_static(*policy, specs.clone(), params, commits, seed).sum_ipc(),
+        |_ctx, policy| run_static(*policy, specs.clone(), params, commits, seed, store).sum_ipc(),
     )
     .unwrap_or_else(|e| panic!("SMT best-static sweep failed: {e}"));
     // Ordered collection: ties resolve to the lowest arm index, exactly as
@@ -141,7 +174,9 @@ pub fn pg_space_extremes(
     commits: u64,
     seed: u64,
     jobs: usize,
+    store: &TraceStore,
 ) -> (PgPolicy, f64, PgPolicy, f64) {
+    ensure_mix(store, &specs, commits, seed);
     // The Choi baseline rides along as run 0 of the sweep; the 64 policies
     // follow in `PgPolicy::all()` order so the min/max scan below keeps the
     // serial loop's tie-breaking.
@@ -151,8 +186,10 @@ pub fn pg_space_extremes(
         &runs,
         mab_runner::SweepOptions::new(jobs, seed),
         |_ctx, run| match run {
-            None => run_choi(specs.clone(), params, commits, seed).sum_ipc(),
-            Some(policy) => run_static(*policy, specs.clone(), params, commits, seed).sum_ipc(),
+            None => run_choi(specs.clone(), params, commits, seed, store).sum_ipc(),
+            Some(policy) => {
+                run_static(*policy, specs.clone(), params, commits, seed, store).sum_ipc()
+            }
         },
     )
     .unwrap_or_else(|e| panic!("PG design-space sweep failed: {e}"));
@@ -185,7 +222,13 @@ mod tests {
 
     #[test]
     fn choi_run_completes() {
-        let stats = run_choi(mix("gcc", "xz"), SmtParams::test_scale(), 5_000, 1);
+        let stats = run_choi(
+            mix("gcc", "xz"),
+            SmtParams::test_scale(),
+            5_000,
+            1,
+            &TraceStore::disabled(),
+        );
         assert!(stats.sum_ipc() > 0.0);
     }
 
@@ -197,6 +240,7 @@ mod tests {
             3_000,
             1,
             2,
+            &TraceStore::disabled(),
         );
         assert!(arm < 6);
         assert!(ipc > 0.0);
@@ -213,7 +257,22 @@ mod tests {
             SmtParams::test_scale(),
             5_000,
             1,
+            &TraceStore::disabled(),
         );
         assert!(stats.sum_ipc() > 0.0);
+    }
+
+    #[test]
+    fn replayed_mix_matches_the_generated_mix() {
+        let dir = std::env::temp_dir().join("mab-smt-replay-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = TraceStore::new(Some(dir));
+        let specs = mix("gcc", "lbm");
+        let params = SmtParams::test_scale();
+        let generated = run_choi(specs.clone(), params, 4_000, 7, &TraceStore::disabled());
+        let recorded = run_choi(specs.clone(), params, 4_000, 7, &store);
+        let replayed = run_choi(specs, params, 4_000, 7, &store);
+        assert_eq!(generated, recorded);
+        assert_eq!(generated, replayed);
     }
 }

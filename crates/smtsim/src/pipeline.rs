@@ -110,8 +110,50 @@ struct Slot {
     store_drain: u32,
 }
 
+/// Seed decorrelation salt for thread 1 of a 2-thread mix.
+///
+/// [`SmtPipeline::new`] streams thread 0 at `seed` and thread 1 at
+/// `seed.wrapping_add(THREAD1_SEED_SALT)`. Trace recorders must apply the
+/// same salt to reproduce the exact per-thread streams (see
+/// `mab_traces::record_smt_to_file`).
+pub const THREAD1_SEED_SALT: u64 = 0x5151;
+
+/// Instruction source for one hardware thread.
+///
+/// The generator arm keeps the common case statically dispatched (the
+/// per-fetch virtual call would show up in the pipeline's hot loop); the
+/// boxed arm is how trace replay plugs in via
+/// [`SmtPipeline::with_streams`].
+pub enum SmtStream {
+    /// The seeded workload-model generator.
+    Generated(ThreadGen),
+    /// Any other instruction stream, e.g. a trace-file reader.
+    Boxed(Box<dyn Iterator<Item = SmtInstr>>),
+}
+
+impl SmtStream {
+    #[inline]
+    fn next_instr(&mut self) -> SmtInstr {
+        match self {
+            SmtStream::Generated(g) => g.next().expect("thread generators are infinite"),
+            SmtStream::Boxed(it) => it
+                .next()
+                .expect("SMT instruction stream ended before the run finished"),
+        }
+    }
+}
+
+impl std::fmt::Debug for SmtStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmtStream::Generated(_) => f.write_str("SmtStream::Generated"),
+            SmtStream::Boxed(_) => f.write_str("SmtStream::Boxed"),
+        }
+    }
+}
+
 struct ThreadState {
-    gen: ThreadGen,
+    gen: SmtStream,
     fetch_queue: VecDeque<SmtInstr>,
     fetch_blocked_until: u64,
     rob: VecDeque<Slot>,
@@ -134,9 +176,9 @@ struct ThreadState {
 }
 
 impl ThreadState {
-    fn new(spec: &ThreadSpec, seed: u64) -> Self {
+    fn new(stream: SmtStream) -> Self {
         ThreadState {
-            gen: spec.stream(seed),
+            gen: stream,
             fetch_queue: VecDeque::new(),
             fetch_blocked_until: 0,
             rob: VecDeque::new(),
@@ -205,12 +247,26 @@ impl std::fmt::Debug for SmtPipeline {
 impl SmtPipeline {
     /// Creates a pipeline running the two thread models.
     pub fn new(params: SmtParams, specs: [ThreadSpec; 2], seed: u64) -> Self {
+        Self::with_streams(
+            params,
+            [
+                SmtStream::Generated(specs[0].stream(seed)),
+                SmtStream::Generated(specs[1].stream(seed.wrapping_add(THREAD1_SEED_SALT))),
+            ],
+        )
+    }
+
+    /// Creates a pipeline over two explicit instruction streams — how trace
+    /// replay substitutes recorded files for the generators. The streams
+    /// must not end before both threads reach the run's commit target (the
+    /// pipeline keeps fetching down wrong paths and past a finished
+    /// thread's target, so supply a margin; see
+    /// `mab_experiments::traces`).
+    pub fn with_streams(params: SmtParams, streams: [SmtStream; 2]) -> Self {
+        let [s0, s1] = streams;
         SmtPipeline {
             params,
-            threads: [
-                ThreadState::new(&specs[0], seed),
-                ThreadState::new(&specs[1], seed.wrapping_add(0x5151)),
-            ],
+            threads: [ThreadState::new(s0), ThreadState::new(s1)],
             cycle: 0,
             rename: RenameStats::default(),
             rr_last: 0,
@@ -649,7 +705,7 @@ impl SmtPipeline {
         });
         let t = &mut self.threads[chosen];
         for _ in 0..p.fetch_width {
-            let instr = t.gen.next().expect("thread generators are infinite");
+            let instr = t.gen.next_instr();
             t.fetch_queue.push_back(instr);
         }
     }

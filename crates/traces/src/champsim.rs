@@ -1,0 +1,258 @@
+//! Lossless import of ChampSim's 64-byte trace record format.
+//!
+//! ChampSim (and the DPC-3 / CRC-2 / Pythia artifact traces built on it)
+//! stores one fixed 64-byte little-endian struct per dynamic instruction:
+//!
+//! ```text
+//! u64 ip                      program counter
+//! u8  is_branch               1 when the instruction is a branch
+//! u8  branch_taken            1 when the branch was taken
+//! u8  destination_registers[2]
+//! u8  source_registers[4]
+//! u64 destination_memory[2]   store addresses (0 = unused slot)
+//! u64 source_memory[4]        load addresses  (0 = unused slot)
+//! ```
+//!
+//! The published traces are xz/gz-compressed; decompression happens
+//! upstream of this module (`xzcat trace.xz | mab-trace convert - ...`).
+//!
+//! # Mapping onto [`TraceRecord`]
+//!
+//! The memory simulator consumes at most one memory operand per record, so
+//! a ChampSim instruction expands to one [`TraceRecord`] **per memory
+//! operand** (loads first, then stores), all carrying the instruction's PC;
+//! an instruction with no memory operand becomes a single ALU or branch
+//! record. No memory access is dropped and no access is invented, which is
+//! the property the cache-hierarchy simulation depends on. Register fields
+//! have no counterpart in the simulator's model and are not retained; the
+//! branch flag rides on the instruction's first emitted record.
+
+use crate::codec::MemCodec;
+use crate::error::{Result, TraceError};
+use crate::format::TraceMeta;
+use crate::writer::Writer;
+use mab_workloads::{MemKind, TraceRecord};
+use std::io::Read;
+use std::path::Path;
+
+/// Size of one ChampSim trace record on disk.
+pub const CHAMPSIM_RECORD_BYTES: usize = 64;
+
+/// One decoded ChampSim instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChampSimInstr {
+    /// Program counter.
+    pub ip: u64,
+    /// Branch flag.
+    pub is_branch: bool,
+    /// Taken flag (kept for completeness; the simulators ignore it).
+    pub branch_taken: bool,
+    /// Destination registers (0 = unused slot).
+    pub dest_regs: [u8; 2],
+    /// Source registers (0 = unused slot).
+    pub src_regs: [u8; 4],
+    /// Store addresses (0 = unused slot).
+    pub dest_mem: [u64; 2],
+    /// Load addresses (0 = unused slot).
+    pub src_mem: [u64; 4],
+}
+
+impl ChampSimInstr {
+    /// Decodes one 64-byte record.
+    pub fn from_bytes(b: &[u8; CHAMPSIM_RECORD_BYTES]) -> Self {
+        let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        ChampSimInstr {
+            ip: u64_at(0),
+            is_branch: b[8] != 0,
+            branch_taken: b[9] != 0,
+            dest_regs: [b[10], b[11]],
+            src_regs: [b[12], b[13], b[14], b[15]],
+            dest_mem: [u64_at(16), u64_at(24)],
+            src_mem: [u64_at(32), u64_at(40), u64_at(48), u64_at(56)],
+        }
+    }
+
+    /// Appends this instruction's [`TraceRecord`] expansion to `out` (see
+    /// the module docs for the mapping).
+    pub fn to_records(&self, out: &mut Vec<TraceRecord>) {
+        let start = out.len();
+        for &addr in self.src_mem.iter().filter(|&&a| a != 0) {
+            out.push(TraceRecord {
+                pc: self.ip,
+                mem: Some((MemKind::Load, addr)),
+                is_branch: false,
+            });
+        }
+        for &addr in self.dest_mem.iter().filter(|&&a| a != 0) {
+            out.push(TraceRecord {
+                pc: self.ip,
+                mem: Some((MemKind::Store, addr)),
+                is_branch: false,
+            });
+        }
+        if out.len() == start {
+            out.push(if self.is_branch {
+                TraceRecord::branch(self.ip)
+            } else {
+                TraceRecord::alu(self.ip)
+            });
+        } else if self.is_branch {
+            out[start].is_branch = true;
+        }
+    }
+}
+
+/// Streaming decoder over raw (already decompressed) ChampSim bytes.
+///
+/// Yields `Err` once and then `None` if the stream ends mid-record.
+#[derive(Debug)]
+pub struct ChampSimDecoder<R: Read> {
+    input: R,
+    records_in: u64,
+    failed: bool,
+}
+
+impl<R: Read> ChampSimDecoder<R> {
+    /// Wraps a raw byte stream.
+    pub fn new(input: R) -> Self {
+        ChampSimDecoder {
+            input,
+            records_in: 0,
+            failed: false,
+        }
+    }
+
+    /// ChampSim instructions decoded so far.
+    pub fn records_in(&self) -> u64 {
+        self.records_in
+    }
+}
+
+impl<R: Read> Iterator for ChampSimDecoder<R> {
+    type Item = Result<ChampSimInstr>;
+
+    fn next(&mut self) -> Option<Result<ChampSimInstr>> {
+        if self.failed {
+            return None;
+        }
+        let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
+        let mut filled = 0;
+        while filled < CHAMPSIM_RECORD_BYTES {
+            match self.input.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return None, // clean end of stream
+                Ok(0) => {
+                    self.failed = true;
+                    return Some(Err(TraceError::Truncated {
+                        decoded: self.records_in,
+                        expected: self.records_in + 1,
+                    }));
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            }
+        }
+        self.records_in += 1;
+        Some(Ok(ChampSimInstr::from_bytes(&buf)))
+    }
+}
+
+/// Converts a raw ChampSim byte stream into a native trace file at
+/// `out_path`. Returns `(champsim instructions read, records written)`.
+///
+/// The caller owns decompression: pipe `xzcat`/`zcat` output in, or pass a
+/// `File` for pre-decompressed traces.
+pub fn convert<R: Read>(
+    input: R,
+    out_path: impl AsRef<Path>,
+    meta: TraceMeta,
+) -> Result<(u64, u64)> {
+    let mut writer = Writer::<MemCodec>::create(out_path, meta)?;
+    let mut decoder = ChampSimDecoder::new(input);
+    let mut expanded = Vec::with_capacity(8);
+    for instr in &mut decoder {
+        expanded.clear();
+        instr?.to_records(&mut expanded);
+        for record in &expanded {
+            writer.push(record)?;
+        }
+    }
+    let written = writer.records();
+    writer.finish()?;
+    Ok((decoder.records_in(), written))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the raw bytes of one ChampSim record.
+    pub(crate) fn raw(
+        ip: u64,
+        is_branch: bool,
+        dest_mem: [u64; 2],
+        src_mem: [u64; 4],
+    ) -> [u8; CHAMPSIM_RECORD_BYTES] {
+        let mut b = [0u8; CHAMPSIM_RECORD_BYTES];
+        b[0..8].copy_from_slice(&ip.to_le_bytes());
+        b[8] = is_branch as u8;
+        b[16..24].copy_from_slice(&dest_mem[0].to_le_bytes());
+        b[24..32].copy_from_slice(&dest_mem[1].to_le_bytes());
+        for (i, a) in src_mem.iter().enumerate() {
+            b[32 + 8 * i..40 + 8 * i].copy_from_slice(&a.to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn plain_instruction_maps_to_one_alu_record() {
+        let instr = ChampSimInstr::from_bytes(&raw(0x400, false, [0; 2], [0; 4]));
+        let mut out = Vec::new();
+        instr.to_records(&mut out);
+        assert_eq!(out, vec![TraceRecord::alu(0x400)]);
+    }
+
+    #[test]
+    fn branch_with_no_memory_maps_to_branch_record() {
+        let instr = ChampSimInstr::from_bytes(&raw(0x404, true, [0; 2], [0; 4]));
+        let mut out = Vec::new();
+        instr.to_records(&mut out);
+        assert_eq!(out, vec![TraceRecord::branch(0x404)]);
+    }
+
+    #[test]
+    fn every_memory_operand_becomes_a_record() {
+        let instr =
+            ChampSimInstr::from_bytes(&raw(0x408, true, [0x9000, 0], [0x1000, 0x2000, 0, 0]));
+        let mut out = Vec::new();
+        instr.to_records(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                TraceRecord {
+                    pc: 0x408,
+                    mem: Some((MemKind::Load, 0x1000)),
+                    is_branch: true, // the branch flag rides on the first record
+                },
+                TraceRecord::load(0x408, 0x2000),
+                TraceRecord::store(0x408, 0x9000),
+            ]
+        );
+    }
+
+    #[test]
+    fn decoder_reports_truncation_mid_record() {
+        let mut bytes = raw(0x400, false, [0; 2], [0; 4]).to_vec();
+        bytes.extend_from_slice(&[1, 2, 3]); // 3 stray bytes of a second record
+        let mut decoder = ChampSimDecoder::new(bytes.as_slice());
+        assert!(decoder.next().unwrap().is_ok());
+        assert!(matches!(
+            decoder.next(),
+            Some(Err(TraceError::Truncated { decoded: 1, .. }))
+        ));
+        assert!(decoder.next().is_none(), "decoder fuses after an error");
+    }
+}

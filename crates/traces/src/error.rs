@@ -1,0 +1,185 @@
+//! Error type for trace container I/O.
+//!
+//! Every failure mode a corrupt, truncated or foreign file can produce maps
+//! to a descriptive [`TraceError`] variant — the library never panics on bad
+//! input (the corruption tests in `tests/corruption.rs` pin this contract).
+
+use std::fmt;
+use std::io;
+
+/// Why a trace file could not be written, opened or decoded.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying filesystem or stream error.
+    Io(io::Error),
+    /// The file does not start with the `MABT` magic — not a trace file.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's format version is newer than this library understands.
+    UnsupportedVersion {
+        /// Version recorded in the header.
+        found: u16,
+        /// Newest version this build can decode.
+        supported: u16,
+    },
+    /// The header's payload-kind byte is not a known kind.
+    UnknownPayloadKind {
+        /// The byte actually found.
+        found: u8,
+    },
+    /// The file holds a different payload kind than the reader expects
+    /// (e.g. opening an SMT trace with the memory-trace reader).
+    PayloadKindMismatch {
+        /// Kind recorded in the file.
+        found: &'static str,
+        /// Kind the reader decodes.
+        expected: &'static str,
+    },
+    /// The writer never finalized the file: the header's record count is
+    /// still the in-progress sentinel.
+    Unfinalized,
+    /// The file ends before the header's record count is reached — the tail
+    /// of the file is missing.
+    Truncated {
+        /// Records decoded before the file ran out.
+        decoded: u64,
+        /// Records the header promised.
+        expected: u64,
+    },
+    /// A block's stored CRC32 does not match its payload.
+    CrcMismatch {
+        /// Zero-based index of the failing block.
+        block: u64,
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the payload actually read.
+        computed: u32,
+    },
+    /// A structural invariant does not hold (impossible field value,
+    /// varint overrun, unknown record tag, ...).
+    Corrupt {
+        /// What was being decoded when the invariant broke.
+        context: &'static str,
+        /// Byte offset (within the file or block) close to the damage.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic { found } => write!(
+                f,
+                "not a mab trace file: expected magic \"MABT\", found {found:02x?}"
+            ),
+            TraceError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "trace format version {found} is newer than this build supports \
+                 (max {supported}); upgrade mab-traces to read this file"
+            ),
+            TraceError::UnknownPayloadKind { found } => {
+                write!(
+                    f,
+                    "unknown trace payload kind {found} (expected 1=mem or 2=smt)"
+                )
+            }
+            TraceError::PayloadKindMismatch { found, expected } => write!(
+                f,
+                "payload kind mismatch: file holds a {found} trace but a {expected} \
+                 trace was expected"
+            ),
+            TraceError::Unfinalized => write!(
+                f,
+                "trace file was never finalized (record count sentinel still in \
+                 header) — the recording was interrupted before finish()"
+            ),
+            TraceError::Truncated { decoded, expected } => write!(
+                f,
+                "trace file is truncated: decoded {decoded} of {expected} records \
+                 before the file ended"
+            ),
+            TraceError::CrcMismatch {
+                block,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "block {block} failed its CRC32 check (stored {stored:#010x}, \
+                 computed {computed:#010x}) — the file is corrupt"
+            ),
+            TraceError::Corrupt { context, offset } => {
+                write!(
+                    f,
+                    "corrupt trace data while decoding {context} near offset {offset}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Shorthand used throughout the crate.
+pub type Result<T> = std::result::Result<T, TraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failure() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (TraceError::BadMagic { found: *b"GZIP" }, "magic"),
+            (
+                TraceError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (TraceError::Unfinalized, "finalized"),
+            (
+                TraceError::Truncated {
+                    decoded: 3,
+                    expected: 10,
+                },
+                "truncated",
+            ),
+            (
+                TraceError::CrcMismatch {
+                    block: 2,
+                    stored: 1,
+                    computed: 2,
+                },
+                "CRC32",
+            ),
+            (
+                TraceError::PayloadKindMismatch {
+                    found: "smt",
+                    expected: "mem",
+                },
+                "mismatch",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+        }
+    }
+}

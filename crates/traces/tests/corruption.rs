@@ -1,0 +1,191 @@
+//! Corruption contract: a damaged trace file must always surface a
+//! descriptive [`TraceError`] through [`Reader::next_record`] — never a
+//! panic, never silently wrong records. Each test damages a well-formed
+//! file in one specific way and pins the error variant it maps to.
+
+use mab_traces::format::{self, TraceMeta, RECORD_COUNT_OFFSET};
+use mab_traces::{SmtTraceReader, TraceError, TraceReader, TraceWriter};
+use mab_workloads::TraceRecord;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mab-traces-corruption-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.mabt"))
+}
+
+/// Writes a healthy 1000-record file and returns its bytes.
+fn healthy_bytes(tag: &str) -> (PathBuf, Vec<u8>) {
+    let path = temp_path(tag);
+    let mut meta = TraceMeta::new(5, "test:corruption");
+    meta.block_len = 128;
+    let mut writer = TraceWriter::create(&path, meta).expect("create");
+    for i in 0..1000u64 {
+        writer
+            .push(&TraceRecord::load(0x400 + i * 4, 0x8000 + i * 64))
+            .expect("push");
+    }
+    writer.finish().expect("finish");
+    let bytes = std::fs::read(&path).expect("read back");
+    (path, bytes)
+}
+
+/// Reads the whole file through the non-panicking API, returning the first
+/// error (or None if the file is clean).
+fn first_error(path: &PathBuf) -> Option<TraceError> {
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => return Some(e),
+    };
+    loop {
+        match reader.next_record() {
+            Ok(Some(_)) => continue,
+            Ok(None) => return None,
+            Err(e) => return Some(e),
+        }
+    }
+}
+
+#[test]
+fn healthy_file_validates_clean() {
+    let (path, _) = healthy_bytes("healthy");
+    assert!(first_error(&path).is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_magic_is_a_descriptive_error() {
+    let (path, mut bytes) = healthy_bytes("magic");
+    bytes[..4].copy_from_slice(b"GZIP");
+    std::fs::write(&path, &bytes).expect("write");
+    let err = first_error(&path).expect("must fail");
+    assert!(matches!(err, TraceError::BadMagic { found } if &found == b"GZIP"));
+    assert!(err.to_string().contains("MABT"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn future_format_version_is_rejected_with_upgrade_advice() {
+    let (path, mut bytes) = healthy_bytes("version");
+    bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    let err = first_error(&path).expect("must fail");
+    assert!(matches!(
+        err,
+        TraceError::UnsupportedVersion {
+            found: 7,
+            supported: format::FORMAT_VERSION
+        }
+    ));
+    assert!(err.to_string().contains("upgrade"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_reports_decoded_vs_expected() {
+    let (path, bytes) = healthy_bytes("truncated");
+    // Cut the file mid-way through the data section: the index footer is
+    // gone (sequential fallback) and a block ends early.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write");
+    match first_error(&path).expect("must fail") {
+        TraceError::Truncated { decoded, expected } => {
+            assert_eq!(expected, 1000);
+            assert!(decoded < expected, "decoded {decoded} of {expected}");
+        }
+        other => panic!("expected Truncated, got {other}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_truncation_point_errors_instead_of_panicking() {
+    let (path, bytes) = healthy_bytes("truncation-sweep");
+    // A file cut anywhere before the index footer is missing records, so it
+    // must fail; a cut inside the footer itself merely loses the index and
+    // still replays correctly, so stop the sweep at the footer. Its offset
+    // is the u64 stored 12 bytes before the end of a healthy file.
+    let footer_offset = u64::from_le_bytes(
+        bytes[bytes.len() - 12..bytes.len() - 4]
+            .try_into()
+            .expect("8 bytes"),
+    ) as usize;
+    for cut in (0..footer_offset).step_by(61) {
+        std::fs::write(&path, &bytes[..cut]).expect("write");
+        let err = first_error(&path).expect("a truncated file must fail");
+        // Any structured error is acceptable; the contract is "no panic,
+        // no silent success".
+        let _ = err.to_string();
+    }
+    // Cut inside the footer: index gone, records intact — reads clean.
+    std::fs::write(&path, &bytes[..footer_offset + 4]).expect("write");
+    assert!(first_error(&path).is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_block_payload_fails_its_crc() {
+    let (path, mut bytes) = healthy_bytes("crc");
+    // Flip one byte well inside the first block's payload (header is 34
+    // bytes + provenance + 8-byte block header).
+    let target = 34 + "test:corruption".len() + 8 + 40;
+    bytes[target] ^= 0xA5;
+    std::fs::write(&path, &bytes).expect("write");
+    match first_error(&path).expect("must fail") {
+        TraceError::CrcMismatch {
+            block: 0,
+            stored,
+            computed,
+        } => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected CrcMismatch on block 0, got {other}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unfinalized_file_is_detected() {
+    let (path, mut bytes) = healthy_bytes("unfinalized");
+    let at = RECORD_COUNT_OFFSET as usize;
+    bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    let err = first_error(&path).expect("must fail");
+    assert!(matches!(err, TraceError::Unfinalized));
+    assert!(err.to_string().contains("interrupted"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_payload_kind_is_rejected() {
+    let (path, mut bytes) = healthy_bytes("kind");
+    bytes[6] = 0x42;
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        first_error(&path),
+        Some(TraceError::UnknownPayloadKind { found: 0x42 })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn opening_a_mem_trace_with_the_smt_reader_is_a_kind_mismatch() {
+    let (path, _) = healthy_bytes("mismatch");
+    match SmtTraceReader::open(&path) {
+        Err(TraceError::PayloadKindMismatch { found, expected }) => {
+            assert_eq!(found, "mem");
+            assert_eq!(expected, "smt");
+        }
+        other => panic!("expected PayloadKindMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn peek_meta_reads_the_header_without_a_typed_reader() {
+    let (path, _) = healthy_bytes("peek");
+    let meta = format::peek_meta(&path).expect("peek");
+    assert_eq!(meta.record_count, 1000);
+    assert_eq!(meta.seed, 5);
+    assert_eq!(meta.provenance, "test:corruption");
+    std::fs::remove_file(&path).ok();
+}

@@ -4,11 +4,17 @@
 # EXPERIMENTS.md (scaled down from the paper's 1B-instruction traces to
 # laptop scale; pass larger --instructions for higher fidelity).
 #
-# Usage: run_all_experiments.sh [--jobs N]
+# Usage: run_all_experiments.sh [--jobs N] [--trace-dir DIR]
 #
 # --jobs N (or JOBS=N in the environment) fans each sweep out over N worker
 # threads via mab-runner. Reports are bit-identical at any worker count, so
 # pick whatever the machine has; the default lets each binary use all cores.
+#
+# --trace-dir DIR (or TRACE_DIR=DIR in the environment) records every
+# workload stream to DIR on first use and replays it afterwards — across
+# experiments and across reruns of this script. Replay is byte-identical to
+# generator mode (see tests/replay.rs), so results are unchanged; reruns
+# just skip regenerating the inputs.
 #
 # Every run is built with --features telemetry and writes, alongside the
 # table in results/$name.txt:
@@ -19,12 +25,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-}"
+TRACE_DIR="${TRACE_DIR:-}"
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs|-j)
       JOBS="$2"; shift 2 ;;
+    --trace-dir)
+      TRACE_DIR="$2"; shift 2 ;;
     *)
-      echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--trace-dir DIR]" >&2; exit 2 ;;
   esac
 done
 
@@ -35,6 +44,7 @@ run() {
   echo "=== running $name $* ==="
   cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
     ${JOBS:+--jobs "$JOBS"} \
+    ${TRACE_DIR:+--trace-dir "$TRACE_DIR"} \
     --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
     >"results/$name.txt" 2>"results/$name.log"
   echo "--- wrote results/$name.txt"

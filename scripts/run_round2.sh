@@ -2,10 +2,14 @@
 # Round 2: SMT experiments with scaled epochs (the round-1 SMT runs used
 # unscaled step-RR and are superseded), plus larger prefetch runs.
 #
-# Usage: run_round2.sh [--jobs N]
+# Usage: run_round2.sh [--jobs N] [--trace-dir DIR]
 #
 # --jobs N (or JOBS=N) fans each sweep out over N worker threads; reports
 # are bit-identical at any worker count (see mab-runner).
+#
+# --trace-dir DIR (or TRACE_DIR=DIR) records/replays workload streams in a
+# shared cache; point it at the same directory as round 1 to reuse the
+# traces already recorded there. Replay is byte-identical to generation.
 #
 # Outputs land in results/round2/ so they never clobber the round-1 files:
 # each round's artifacts are addressed by directory, not by which script
@@ -14,12 +18,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-}"
+TRACE_DIR="${TRACE_DIR:-}"
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs|-j)
       JOBS="$2"; shift 2 ;;
+    --trace-dir)
+      TRACE_DIR="$2"; shift 2 ;;
     *)
-      echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--trace-dir DIR]" >&2; exit 2 ;;
   esac
 done
 
@@ -31,6 +38,7 @@ run() {
   echo "=== running $name $* ==="
   cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
     ${JOBS:+--jobs "$JOBS"} \
+    ${TRACE_DIR:+--trace-dir "$TRACE_DIR"} \
     --telemetry "$OUT/$name.jsonl" --trace "$OUT/$name.trace.json" \
     >"$OUT/$name.txt" 2>"$OUT/$name.log"
   echo "--- wrote $OUT/$name.txt"

@@ -8,6 +8,8 @@
 //!   (ε-Greedy, UCB, DUCB) and the hardware `BanditAgent` model.
 //! - [`mab_workloads`] — synthetic trace and SMT-thread generators standing in
 //!   for the SPEC/PARSEC/Ligra/CloudSuite traces used by the paper.
+//! - [`mab_traces`] — on-disk trace container (record/replay, ChampSim
+//!   import) behind the `mab-trace` CLI.
 //! - [`mab_memsim`] — trace-driven cache-hierarchy/core/DRAM simulator
 //!   (ChampSim-class substrate).
 //! - [`mab_prefetch`] — every prefetcher the paper evaluates, plus the
@@ -41,4 +43,5 @@ pub use mab_experiments as experiments;
 pub use mab_memsim as memsim;
 pub use mab_prefetch as prefetch;
 pub use mab_smtsim as smtsim;
+pub use mab_traces as traces;
 pub use mab_workloads as workloads;
