@@ -252,6 +252,7 @@ impl BanditAgent {
     ///
     /// Panics if called again before [`BanditAgent::observe_reward`].
     pub fn select_arm(&mut self) -> ArmId {
+        mab_telemetry::span!(BanditSelect);
         assert!(
             self.pending.is_none(),
             "select_arm called twice without an intervening observe_reward"
@@ -342,6 +343,7 @@ impl BanditAgent {
     ///
     /// Panics if no arm selection is pending.
     pub fn observe_reward(&mut self, r_step: f64) {
+        mab_telemetry::span!(BanditUpdate);
         let arm = self
             .pending
             .take()

@@ -4,9 +4,14 @@
 
 use mab_core::cost;
 use mab_experiments::report::Table;
+use mab_experiments::{cli::Options, session::TelemetrySession};
 use mab_prefetch::catalog;
 
 fn main() {
+    // No simulation here, but parsing the common flags keeps `--quiet`,
+    // `--telemetry` and `--profile` uniform across every experiment binary.
+    let opts = Options::parse(1, 0);
+    let session = TelemetrySession::start(&opts);
     println!("=== §5.4: storage comparison ===\n");
     let mut table = Table::new(vec![
         "design".into(),
@@ -51,4 +56,5 @@ fn main() {
         area * 100.0,
         power * 100.0
     );
+    session.finish();
 }

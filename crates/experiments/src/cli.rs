@@ -16,6 +16,10 @@
 //! - `--trace-dir DIR` — record workload instruction streams to `.mabt`
 //!   files under DIR on first use and replay them afterwards; reports are
 //!   byte-identical to generator mode (see `mab_experiments::traces`),
+//! - `--profile PATH` — write a collapsed-stack span profile of the run
+//!   (`path;path count` lines, flamegraph-tool compatible),
+//! - `--quiet` — suppress `[mab]` stderr progress lines (also honored via
+//!   the `MAB_QUIET=1` environment variable),
 //! - `--help`.
 
 use std::path::PathBuf;
@@ -40,6 +44,10 @@ pub struct Options {
     pub trace: Option<PathBuf>,
     /// Workload-trace record/replay cache directory (`--trace-dir`).
     pub trace_dir: Option<PathBuf>,
+    /// Where to write the collapsed-stack span profile at exit, if anywhere.
+    pub profile: Option<PathBuf>,
+    /// Suppress `[mab]` stderr progress lines (`--quiet` / `MAB_QUIET=1`).
+    pub quiet: bool,
 }
 
 impl Options {
@@ -53,11 +61,15 @@ impl Options {
     /// Prints usage and exits the process on `--help` or malformed input —
     /// appropriate for a binary entry point.
     pub fn parse(default_instructions: u64, default_mixes: usize) -> Options {
-        Options::parse_from(
+        let mut opts = Options::parse_from(
             std::env::args().skip(1),
             default_instructions,
             default_mixes,
-        )
+        );
+        // The environment variable only augments real invocations; the
+        // testable core stays a pure function of its arguments.
+        opts.quiet |= quiet_env();
+        opts
     }
 
     /// Testable parser core.
@@ -75,6 +87,8 @@ impl Options {
             telemetry: None,
             trace: None,
             trace_dir: None,
+            profile: None,
+            quiet: false,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -121,6 +135,15 @@ impl Options {
                             .unwrap_or_else(|| usage("--trace-dir needs a directory")),
                     ));
                 }
+                "--profile" => {
+                    opts.profile = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| usage("--profile needs a path")),
+                    ));
+                }
+                "--quiet" => {
+                    opts.quiet = true;
+                }
                 "--quick" | "-q" => {
                     opts.quick = true;
                     opts.instructions = (default_instructions / 10).max(10_000);
@@ -136,6 +159,11 @@ impl Options {
         }
         opts
     }
+}
+
+/// True when `MAB_QUIET` is set to anything but `0` or the empty string.
+fn quiet_env() -> bool {
+    std::env::var("MAB_QUIET").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 fn usage<T>(error: &str) -> T {
@@ -159,7 +187,12 @@ fn usage<T>(error: &str) -> T {
          \x20                 mab-inspect; needs the `telemetry` cargo feature)\n\
          --trace-dir DIR   record workload streams to .mabt files under DIR and\n\
          \x20                 replay them on later runs; output is byte-identical\n\
-         \x20                 to generator mode"
+         \x20                 to generator mode\n\
+         --profile PATH    write a collapsed-stack span profile at exit\n\
+         \x20                 (`path;path count` lines for flamegraph tools;\n\
+         \x20                 needs the `telemetry` cargo feature)\n\
+         --quiet           suppress [mab] stderr progress lines (MAB_QUIET=1\n\
+         \x20                 does the same)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -238,5 +271,18 @@ mod tests {
         let o = parse(&["--trace-dir", "cache/traces"]);
         assert_eq!(o.trace_dir, Some(PathBuf::from("cache/traces")));
         assert!(parse(&[]).trace_dir.is_none());
+    }
+
+    #[test]
+    fn profile_path_is_captured() {
+        let o = parse(&["--profile", "out/run.collapsed"]);
+        assert_eq!(o.profile, Some(PathBuf::from("out/run.collapsed")));
+        assert!(parse(&[]).profile.is_none());
+    }
+
+    #[test]
+    fn quiet_flag_is_captured() {
+        assert!(parse(&["--quiet"]).quiet);
+        assert!(!parse(&[]).quiet);
     }
 }

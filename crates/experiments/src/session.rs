@@ -6,9 +6,12 @@
 //! user passed `--telemetry PATH` — exports the full recorder state to that
 //! path (`.csv` → CSV, anything else → JSON lines). `--trace PATH`
 //! additionally exports the decision trace (`.json` → Perfetto Chrome-trace
-//! JSON, anything else → decision JSONL for `mab-inspect`). With the
-//! feature off every method is a cheap no-op except for a warning when an
-//! export path was requested that cannot be honored.
+//! JSON, anything else → decision JSONL for `mab-inspect`). `--profile
+//! PATH` turns the hierarchical span profiler on for the run and writes a
+//! collapsed-stack file (`path;path count` lines, directly consumable by
+//! flamegraph tools) at the end. With the feature off every method is a
+//! cheap no-op except for a warning when an export path was requested that
+//! cannot be honored.
 
 use crate::cli::Options;
 use mab_telemetry::progress;
@@ -22,20 +25,32 @@ use std::path::PathBuf;
 pub struct TelemetrySession {
     export: Option<PathBuf>,
     trace: Option<PathBuf>,
+    profile: Option<PathBuf>,
 }
 
 impl TelemetrySession {
     /// Starts a session from parsed CLI options, installing the global
     /// recorder when instrumentation is compiled in.
     pub fn start(opts: &Options) -> Self {
+        mab_telemetry::summary::set_quiet(opts.quiet);
         if mab_telemetry::STATIC_ENABLED {
             mab_telemetry::install(mab_telemetry::RecorderConfig::default());
-        } else if opts.telemetry.is_some() || opts.trace.is_some() {
-            progress!("--telemetry/--trace ignored: rebuild with `--features telemetry` to record");
+            if opts.profile.is_some() {
+                mab_telemetry::profile::reset();
+                mab_telemetry::profile::set_enabled(true);
+            }
+        } else if opts.telemetry.is_some() || opts.trace.is_some() || opts.profile.is_some() {
+            progress!(
+                "--telemetry/--trace/--profile ignored: rebuild with `--features telemetry` to record"
+            );
         }
         TelemetrySession {
             export: opts.telemetry.clone(),
             trace: opts.trace.clone(),
+            profile: opts
+                .profile
+                .clone()
+                .filter(|_| mab_telemetry::STATIC_ENABLED),
         }
     }
 
@@ -60,6 +75,17 @@ impl TelemetrySession {
                 Err(e) => progress!("trace export to {} failed: {e}", path.display()),
             }
         }
+        if let Some(path) = &self.profile {
+            let report = mab_telemetry::profile::snapshot();
+            match report.write_collapsed_to_path(path) {
+                Ok(()) => progress!(
+                    "span profile ({} paths) written to {}",
+                    report.spans.len(),
+                    path.display()
+                ),
+                Err(e) => progress!("profile export to {} failed: {e}", path.display()),
+            }
+        }
     }
 }
 
@@ -77,6 +103,8 @@ mod tests {
             telemetry: telemetry.map(PathBuf::from),
             trace: None,
             trace_dir: None,
+            profile: None,
+            quiet: false,
         }
     }
 
@@ -98,6 +126,28 @@ mod tests {
         session.finish();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("arm_pulls"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn session_profiles_and_writes_collapsed_stacks() {
+        let dir = std::env::temp_dir().join("mab-session-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.collapsed");
+        let mut opts = options(None);
+        opts.profile = Some(path.clone());
+        let session = TelemetrySession::start(&opts);
+        assert!(mab_telemetry::profile::enabled());
+        mab_telemetry::profile::collect_run(|| {
+            mab_telemetry::span!(CacheAccess);
+        });
+        session.finish();
+        mab_telemetry::profile::set_enabled(false);
+        mab_telemetry::profile::reset();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("run ")), "{text}");
+        assert!(text.contains("run;cache_access "), "{text}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -156,6 +156,9 @@ impl TraceStore {
         if let Some(records) = self.memoized_mem(&path, n) {
             return MemSource::Replay { records, cursor: 0 };
         }
+        // The bulk replay decode; per-block `trace_decode` spans from the
+        // reader nest under it.
+        mab_telemetry::span!(TraceReplay);
         let reader = TraceReader::open(&path)
             .unwrap_or_else(|e| panic!("cannot replay {}: {e}", path.display()));
         let records = Arc::new(reader.records().take(n as usize).collect::<Vec<_>>());

@@ -57,6 +57,33 @@ pub struct HistogramLine {
     pub p99: f64,
 }
 
+/// One profiler span path, from a telemetry-export `span` line or a
+/// collapsed-stack profile file (which carries only `self_ns`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanLine {
+    /// Span entries (exact).
+    pub count: u64,
+    /// Entries that were wall-clock timed (sampling).
+    pub timed: u64,
+    /// Summed nanoseconds across the timed entries.
+    pub total_ns: u64,
+    /// Extrapolated total nanoseconds (`total_ns * count / timed`).
+    pub est_ns: u64,
+    /// Estimated nanoseconds minus direct children's estimates.
+    pub self_ns: u64,
+}
+
+impl SpanLine {
+    /// Accumulates another observation of the same path (multiple files).
+    fn add(&mut self, other: SpanLine) {
+        self.count += other.count;
+        self.timed += other.timed;
+        self.total_ns += other.total_ns;
+        self.est_ns += other.est_ns;
+        self.self_ns += other.self_ns;
+    }
+}
+
 /// Ring accounting from a `trace_meta` line.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceMeta {
@@ -77,6 +104,11 @@ pub struct RunArtifact {
     pub counters: BTreeMap<String, u64>,
     /// Histogram name → summary.
     pub histograms: BTreeMap<String, HistogramLine>,
+    /// Histogram name → raw bucket counts, when the export carried them.
+    pub histogram_buckets: BTreeMap<String, Vec<u64>>,
+    /// Profiler span path → totals, from `span` JSONL lines and/or
+    /// collapsed-stack profile files.
+    pub spans: BTreeMap<String, SpanLine>,
     /// Event kind → occurrence count (events are summarized, not stored).
     pub event_counts: BTreeMap<String, u64>,
     /// Decisions, in file order (seq-ascending per source file).
@@ -85,6 +117,10 @@ pub struct RunArtifact {
     pub trace_meta: Option<TraceMeta>,
     /// Event-ring accounting (`events_total`) from the telemetry meta line.
     pub events_total: Option<u64>,
+    /// Events still in the ring at export time (telemetry meta line).
+    pub events_retained: Option<u64>,
+    /// Events lost to ring wraparound (telemetry meta line).
+    pub events_dropped: Option<u64>,
     /// Lines that failed to parse or lacked a recognizable shape.
     pub skipped_lines: u64,
 }
@@ -130,7 +166,14 @@ impl RunArtifact {
             return;
         }
         let Ok(value) = json::parse(line) else {
-            self.skipped_lines += 1;
+            // Not JSON: maybe a collapsed-stack profile line (`path self_ns`).
+            match parse_collapsed(line) {
+                Some((path, self_ns)) => {
+                    let entry = self.spans.entry(path).or_default();
+                    entry.self_ns += self_ns;
+                }
+                None => self.skipped_lines += 1,
+            }
             return;
         };
         let Some(kind) = value.get("kind").and_then(JsonValue::as_str) else {
@@ -140,6 +183,8 @@ impl RunArtifact {
         match kind {
             "meta" => {
                 self.events_total = value.get("events_total").and_then(JsonValue::as_u64);
+                self.events_retained = value.get("events_retained").and_then(JsonValue::as_u64);
+                self.events_dropped = value.get("events_dropped").and_then(JsonValue::as_u64);
             }
             "counter" => {
                 if let (Some(stat), Some(v)) = (
@@ -153,8 +198,16 @@ impl RunArtifact {
             }
             "histogram" => match parse_histogram(&value) {
                 Some((name, hist)) => {
+                    if let Some(buckets) = value.get("buckets").and_then(JsonValue::as_f64_vec) {
+                        self.histogram_buckets
+                            .insert(name.clone(), buckets.iter().map(|&b| b as u64).collect());
+                    }
                     self.histograms.insert(name, hist);
                 }
+                None => self.skipped_lines += 1,
+            },
+            "span" => match parse_span(&value) {
+                Some((path, span)) => self.spans.entry(path).or_default().add(span),
                 None => self.skipped_lines += 1,
             },
             "trace_meta" => {
@@ -206,6 +259,30 @@ fn parse_histogram(value: &JsonValue) -> Option<(String, HistogramLine)> {
             p99: f64_field(value, "p99")?,
         },
     ))
+}
+
+fn parse_span(value: &JsonValue) -> Option<(String, SpanLine)> {
+    Some((
+        value.get("path")?.as_str()?.to_string(),
+        SpanLine {
+            count: value.get("count")?.as_u64()?,
+            timed: value.get("timed")?.as_u64()?,
+            total_ns: value.get("total_ns")?.as_u64()?,
+            est_ns: value.get("est_ns")?.as_u64()?,
+            self_ns: value.get("self_ns")?.as_u64()?,
+        },
+    ))
+}
+
+/// Parses one collapsed-stack line: a frame path (no quotes, no spaces)
+/// followed by a single integer self-time.
+fn parse_collapsed(line: &str) -> Option<(String, u64)> {
+    let (path, count) = line.rsplit_once(' ')?;
+    let path = path.trim();
+    if path.is_empty() || path.contains([' ', '"', '{']) {
+        return None;
+    }
+    Some((path.to_string(), count.trim().parse().ok()?))
 }
 
 fn parse_decision(value: &JsonValue) -> Option<Decision> {
@@ -284,6 +361,59 @@ mod tests {
         );
         assert_eq!(a.decisions[0].reward, None);
         assert_eq!(a.decisions[0].normalized, None);
+    }
+
+    #[test]
+    fn span_lines_are_parsed_and_merged_by_path() {
+        let mut a = RunArtifact::new();
+        a.absorb_line(
+            "{\"kind\":\"span\",\"path\":\"run;cache_access\",\"count\":100,\"timed\":2,\
+             \"total_ns\":50,\"est_ns\":2500,\"self_ns\":2000}",
+        );
+        a.absorb_line(
+            "{\"kind\":\"span\",\"path\":\"run;cache_access\",\"count\":50,\"timed\":1,\
+             \"total_ns\":25,\"est_ns\":1250,\"self_ns\":1000}",
+        );
+        let span = a.spans["run;cache_access"];
+        assert_eq!(span.count, 150);
+        assert_eq!(span.timed, 3);
+        assert_eq!(span.est_ns, 3750);
+        assert_eq!(span.self_ns, 3000);
+        assert_eq!(a.skipped_lines, 0);
+    }
+
+    #[test]
+    fn collapsed_stack_lines_are_absorbed() {
+        let mut a = RunArtifact::new();
+        a.absorb_line("run 5000");
+        a.absorb_line("run;cache_access;mshr 1234");
+        a.absorb_line("run;cache_access;mshr 766");
+        assert_eq!(a.spans["run"].self_ns, 5000);
+        assert_eq!(a.spans["run;cache_access;mshr"].self_ns, 2000);
+        assert_eq!(a.skipped_lines, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_round_trip() {
+        let mut a = RunArtifact::new();
+        a.absorb_line(
+            "{\"kind\":\"histogram\",\"hist\":\"reward\",\"count\":3,\"mean\":1.0,\
+             \"p50\":1.0,\"p90\":1.0,\"p99\":1.0,\"buckets\":[0,2,1]}",
+        );
+        assert_eq!(a.histogram_buckets["reward"], vec![0, 2, 1]);
+        assert_eq!(a.histograms["reward"].count, 3);
+    }
+
+    #[test]
+    fn meta_line_carries_ring_drop_accounting() {
+        let mut a = RunArtifact::new();
+        a.absorb_line(
+            "{\"kind\":\"meta\",\"events_retained\":10,\"events_dropped\":7,\
+             \"events_total\":17}",
+        );
+        assert_eq!(a.events_retained, Some(10));
+        assert_eq!(a.events_dropped, Some(7));
+        assert_eq!(a.events_total, Some(17));
     }
 
     #[test]

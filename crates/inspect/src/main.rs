@@ -3,6 +3,7 @@
 //! ```text
 //! mab-inspect report <artifact.jsonl>... [--windows N]
 //! mab-inspect diff <baseline.jsonl> <candidate.jsonl> [--threshold PCT]
+//! mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N]
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when `diff` finds a regression past the
@@ -13,7 +14,7 @@ use std::process::ExitCode;
 
 use mab_inspect::artifact::RunArtifact;
 use mab_inspect::diff::{diff_artifacts, has_regression};
-use mab_inspect::report::{render_diff, render_report};
+use mab_inspect::report::{render_diff, render_profile, render_report};
 
 const USAGE: &str = "\
 mab-inspect — analyse Micro-Armed Bandit telemetry and decision-trace artifacts
@@ -29,6 +30,13 @@ USAGE:
         Compares shared metrics (histogram means, mean decision reward) and
         exits 1 when any relative change exceeds the threshold.
         --threshold PCT   flag deltas beyond PCT percent (default 2)
+
+    mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N]
+        Self-time table from a --profile collapsed-stack file and/or the
+        span lines of a --telemetry JSONL export, with percent-of-run and
+        per-simulated-cycle cost (from the export's sim_cycles counter).
+        --top N       rows to show (default 20)
+        --cycles N    simulated-cycle denominator override
 ";
 
 fn main() -> ExitCode {
@@ -36,11 +44,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("report") => run_report(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
+        Some("profile") => run_profile(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        _ => usage_error("expected a subcommand: report | diff | help"),
+        _ => usage_error("expected a subcommand: report | diff | profile | help"),
     }
 }
 
@@ -71,6 +80,39 @@ fn run_report(args: &[String]) -> ExitCode {
     match RunArtifact::load(&paths) {
         Ok(run) => {
             print!("{}", render_report(&run, windows));
+            ExitCode::SUCCESS
+        }
+        Err(e) => usage_error(&format!("cannot read artifact: {e}")),
+    }
+}
+
+fn run_profile(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut top = 20usize;
+    let mut cycles = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => top = n,
+                _ => return usage_error("--top needs a positive integer"),
+            },
+            "--cycles" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cycles = Some(n),
+                _ => return usage_error("--cycles needs a number"),
+            },
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        return usage_error("profile needs at least one artifact path");
+    }
+    match RunArtifact::load(&paths) {
+        Ok(run) => {
+            print!("{}", render_profile(&run, top, cycles));
             ExitCode::SUCCESS
         }
         Err(e) => usage_error(&format!("cannot read artifact: {e}")),

@@ -18,12 +18,28 @@ pub fn render_report(run: &RunArtifact, windows: usize) -> String {
     if let Some(total) = run.events_total {
         let _ = writeln!(out, "telemetry events: {total} recorded");
     }
+    if let Some(dropped) = run.events_dropped.filter(|&d| d > 0) {
+        let _ = writeln!(
+            out,
+            "WARNING: event ring dropped {dropped} of {} events — oldest events are \
+             missing from this artifact; raise RecorderConfig::event_capacity to keep them",
+            run.events_total.unwrap_or(dropped)
+        );
+    }
     if let Some(tm) = run.trace_meta {
         let _ = writeln!(
             out,
             "decision trace: {} retained, {} dropped, {} total, {} rewards unattributed",
             tm.retained, tm.dropped, tm.total, tm.unattributed
         );
+        if tm.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: trace ring dropped {} of {} decisions — the earliest decisions \
+                 are missing; raise RecorderConfig::trace_capacity to keep them",
+                tm.dropped, tm.total
+            );
+        }
     }
     if run.skipped_lines > 0 {
         let _ = writeln!(
@@ -176,6 +192,80 @@ fn render_decisions(out: &mut String, run: &RunArtifact, windows: usize) {
     }
 }
 
+/// Renders the profile self-time table for `mab-inspect profile`.
+///
+/// Rows come from the artifact's span paths sorted by self time; percent is
+/// relative to the summed self time of every path (which equals the
+/// extrapolated total of the root spans). When `sim_cycles` is known — from
+/// a loaded telemetry export's `sim_cycles` counter or a `--cycles`
+/// override — each row also shows the per-simulated-cycle cost.
+pub fn render_profile(run: &RunArtifact, top: usize, cycles: Option<u64>) -> String {
+    let mut out = String::new();
+    if run.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "no span data — run an experiment with --profile PATH (and the `telemetry` \
+             cargo feature) to produce some"
+        );
+        return out;
+    }
+    let total_self: u64 = run.spans.values().map(|s| s.self_ns).sum();
+    let cycles = cycles.or_else(|| run.counters.get("sim_cycles").copied());
+    let mut rows: Vec<(&String, &crate::artifact::SpanLine)> = run.spans.iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.0.cmp(b.0)));
+
+    let _ = writeln!(
+        out,
+        "profile: {} paths, {:.3} ms total self time{}",
+        rows.len(),
+        total_self as f64 / 1e6,
+        match cycles {
+            Some(c) => format!(", {c} simulated cycles"),
+            None => ", simulated-cycle cost unavailable (no sim_cycles counter; pass --cycles N)"
+                .to_string(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  {:<44} {:>12} {:>12} {:>7} {:>12}",
+        "path (leaf frame)", "count", "self ms", "self %", "ns/cycle"
+    );
+    for (path, span) in rows.iter().take(top) {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * span.self_ns as f64 / total_self as f64
+        };
+        let per_cycle = cycles
+            .filter(|&c| c > 0)
+            .map(|c| format!("{:>12.4}", span.self_ns as f64 / c as f64))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>12} {:>12.3} {:>6.1}% {per_cycle}",
+            ellipsize(path, 44),
+            span.count,
+            span.self_ns as f64 / 1e6,
+            pct
+        );
+    }
+    if rows.len() > top {
+        let _ = writeln!(out, "  ... {} more paths (raise --top)", rows.len() - top);
+    }
+    out
+}
+
+/// Shortens a span path to `width` characters, keeping the leaf frames —
+/// the informative end of a collapsed stack.
+fn ellipsize(path: &str, width: usize) -> String {
+    if path.len() <= width {
+        path.to_string()
+    } else {
+        let tail: String = path.chars().rev().take(width - 2).collect();
+        format!("..{}", tail.chars().rev().collect::<String>())
+    }
+}
+
 /// Renders the diff table; flagged rows carry a `REGRESSION` marker.
 pub fn render_diff(deltas: &[MetricDelta], threshold: f64) -> String {
     let mut out = String::new();
@@ -242,6 +332,59 @@ mod tests {
         assert!(text.contains("regret vs post-hoc best arm"));
         assert!(text.contains("dominant arm timeline"));
         assert!(text.contains("decision trace: 3 retained"));
+    }
+
+    #[test]
+    fn report_warns_about_ring_drops() {
+        let mut a = sample_run();
+        a.absorb_line(
+            "{\"kind\":\"meta\",\"events_retained\":4,\"events_dropped\":6,\"events_total\":10}",
+        );
+        a.absorb_line(
+            "{\"kind\":\"trace_meta\",\"decisions_retained\":3,\"decisions_dropped\":2,\
+             \"decisions_total\":5,\"rewards_unattributed\":0}",
+        );
+        let text = render_report(&a, 4);
+        assert!(
+            text.contains("WARNING: event ring dropped 6 of 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("WARNING: trace ring dropped 2 of 5"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_is_warning_free_without_drops() {
+        let text = render_report(&sample_run(), 4);
+        assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn profile_table_ranks_by_self_time() {
+        let mut a = RunArtifact::new();
+        a.absorb_line("run 1000");
+        a.absorb_line("run;cache_access 3000");
+        a.absorb_line("run;cache_access;mshr 1000");
+        a.absorb_line("{\"kind\":\"counter\",\"stat\":\"sim_cycles\",\"value\":500}");
+        let text = render_profile(&a, 2, None);
+        assert!(text.contains("500 simulated cycles"), "{text}");
+        // cache_access leads with 60% of the 5000 ns total; only 2 rows shown.
+        let cache_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("run;cache_access "))
+            .unwrap();
+        assert!(cache_line.contains("60.0%"), "{cache_line}");
+        // 3000 ns over 500 cycles = 6 ns/cycle.
+        assert!(cache_line.contains("6.0000"), "{cache_line}");
+        assert!(text.contains("1 more paths"), "{text}");
+    }
+
+    #[test]
+    fn profile_without_spans_says_so() {
+        let text = render_profile(&RunArtifact::new(), 20, None);
+        assert!(text.contains("no span data"), "{text}");
     }
 
     #[test]

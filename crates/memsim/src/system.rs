@@ -103,6 +103,31 @@ impl RunStats {
 /// step (1,000 accesses), cheap enough to leave always on with telemetry.
 const OCCUPANCY_SAMPLE_PERIOD: u64 = 512;
 
+/// Every Nth demand access is *armed*: its profiling sites run real timed
+/// span guards. The other N−1 accesses only bump plain per-site tallies
+/// (see [`SitePending`]) that the next armed entry of each site deposits.
+/// This keeps the profiler's cost on the ~60 ns/instruction hot path to a
+/// counter increment per site while still timing an unbiased 1-in-N sample
+/// of every site.
+const ACCESS_SAMPLE_PERIOD: u64 = 256;
+
+/// Unarmed-call tallies, one per call-site-sampled span site (see
+/// [`ACCESS_SAMPLE_PERIOD`] and `mab_telemetry::span::enter_sampled`).
+/// Counts accumulated here are deposited onto the profile the next time
+/// the same site runs armed; a tail of fewer than one sampling period per
+/// site can be left undeposited at the end of a run.
+#[derive(Default)]
+struct SitePending {
+    fill: u64,
+    l1_train: u64,
+    access: u64,
+    mshr: u64,
+    dram: u64,
+    train: u64,
+    issue: u64,
+    l1_issue: u64,
+}
+
 struct CoreCtx {
     core: CoreModel,
     l1: Cache,
@@ -110,6 +135,13 @@ struct CoreCtx {
     mshr: Mshr,
     prefetcher: Box<dyn Prefetcher + Send>,
     l1_prefetcher: Box<dyn Prefetcher + Send>,
+    /// Interned profiler labels for the installed prefetchers, so span
+    /// paths read `prefetch_train:bandit` rather than just the category.
+    pf_label: u32,
+    l1_pf_label: u32,
+    /// A real L1 prefetcher was installed (the default [`NoPrefetcher`]
+    /// keeps the per-access L1 train call span-free).
+    has_l1_pf: bool,
     queue: PrefetchQueue,
     l1_queue: PrefetchQueue,
     pf: PrefetchStats,
@@ -121,6 +153,10 @@ struct CoreCtx {
     fill_scratch: Vec<(u64, bool)>,
     /// Recycled buffer for prefetch requests being issued.
     req_scratch: Vec<u64>,
+    /// Demand accesses so far, driving the armed/unarmed profiling cadence.
+    prof_ctr: u64,
+    /// Unarmed call tallies per profiling site.
+    pending: SitePending,
 }
 
 /// A simulated system: `n` cores with private L1/L2, a shared LLC and a
@@ -179,6 +215,9 @@ impl System {
                 mshr: Mshr::new(),
                 prefetcher: Box::new(NoPrefetcher),
                 l1_prefetcher: Box::new(NoPrefetcher),
+                pf_label: 0,
+                l1_pf_label: 0,
+                has_l1_pf: false,
                 queue: PrefetchQueue::new(),
                 l1_queue: PrefetchQueue::new(),
                 pf: PrefetchStats::default(),
@@ -186,6 +225,8 @@ impl System {
                 done: false,
                 fill_scratch: Vec::new(),
                 req_scratch: Vec::new(),
+                prof_ctr: 0,
+                pending: SitePending::default(),
             })
             .collect();
         System {
@@ -209,6 +250,7 @@ impl System {
     ///
     /// Panics if `core` is out of range.
     pub fn set_prefetcher(&mut self, core: usize, prefetcher: Box<dyn Prefetcher + Send>) {
+        self.cores[core].pf_label = mab_telemetry::span::intern(prefetcher.name());
         self.cores[core].prefetcher = prefetcher;
     }
 
@@ -224,6 +266,7 @@ impl System {
         core: usize,
         prefetcher: Box<dyn Prefetcher + Send>,
     ) -> Box<dyn Prefetcher + Send> {
+        self.cores[core].pf_label = mab_telemetry::span::intern(prefetcher.name());
         std::mem::replace(&mut self.cores[core].prefetcher, prefetcher)
     }
 
@@ -234,6 +277,8 @@ impl System {
     ///
     /// Panics if `core` is out of range.
     pub fn set_l1_prefetcher(&mut self, core: usize, prefetcher: Box<dyn Prefetcher + Send>) {
+        self.cores[core].l1_pf_label = mab_telemetry::span::intern(prefetcher.name());
+        self.cores[core].has_l1_pf = true;
         self.cores[core].l1_prefetcher = prefetcher;
     }
 
@@ -279,6 +324,7 @@ impl System {
         for ctx in &mut self.cores {
             ctx.done = false;
         }
+        let start_cycles: u64 = self.cores.iter().map(|c| c.core.cycles()).sum();
         loop {
             // Advance the core that is earliest in simulated time.
             let mut next: Option<(usize, u64)> = None;
@@ -298,6 +344,8 @@ impl System {
                 self.cores[i].done = true;
             }
         }
+        let end_cycles: u64 = self.cores.iter().map(|c| c.core.cycles()).sum();
+        self.probe.add(Stat::SimCycles, end_cycles - start_cycles);
         self.probe.flush();
         (0..self.cores.len()).map(|i| self.stats(i)).collect()
     }
@@ -338,35 +386,56 @@ impl System {
     /// Performs a demand access for core `i`; returns the load-to-use
     /// latency in cycles.
     fn access(&mut self, i: usize, pc: u64, line: u64, kind: MemKind, t: u64) -> u32 {
+        use mab_telemetry::span::{enter_sampled, Category};
+
         let cfg = &self.config;
         let l1_lat = cfg.l1.latency;
         let l2_lat = l1_lat + cfg.l2.latency;
         let llc_lat = l2_lat + cfg.llc_per_core.latency;
 
+        // Armed accesses run real timed span guards; all other accesses
+        // leave only plain per-site counter increments on the hot path.
+        // The profiling switch is read once here and handed to every site.
+        let profiling = mab_telemetry::profile::enabled();
+        let armed = profiling && {
+            let ctx = &mut self.cores[i];
+            ctx.prof_ctr += 1;
+            ctx.prof_ctr.is_multiple_of(ACCESS_SAMPLE_PERIOD)
+        };
+
         // Complete any prefetch fills that have landed by now.
         let ctx = &mut self.cores[i];
         let mut fills = std::mem::take(&mut ctx.fill_scratch);
         ctx.mshr.drain_ready_into(t, &mut fills);
-        for &(filled, fill_l1) in &fills {
-            self.probe.bump(Stat::L2Fill);
-            mab_telemetry::emit_sim!(CacheFill {
-                level: mab_telemetry::CacheLevel::L2,
-                core: i,
-                line: filled,
-                prefetch: true,
-            });
-            if let Some(ev) = ctx.l2.fill(filled, true) {
-                if ev.unused_prefetch {
-                    ctx.pf.wrong += 1;
-                    self.probe.bump(Stat::PrefetchWrong);
-                    ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
+        if !fills.is_empty() {
+            let _fill_span = enter_sampled(
+                Category::CacheFill,
+                0,
+                &mut ctx.pending.fill,
+                profiling,
+                armed,
+            );
+            for &(filled, fill_l1) in &fills {
+                self.probe.bump(Stat::L2Fill);
+                mab_telemetry::emit_sim!(CacheFill {
+                    level: mab_telemetry::CacheLevel::L2,
+                    core: i,
+                    line: filled,
+                    prefetch: true,
+                });
+                if let Some(ev) = ctx.l2.fill(filled, true) {
+                    if ev.unused_prefetch {
+                        ctx.pf.wrong += 1;
+                        self.probe.bump(Stat::PrefetchWrong);
+                        ctx.prefetcher.on_prefetch_evicted_unused(ev.line);
+                    }
                 }
+                if fill_l1 {
+                    self.probe.bump(Stat::L1Fill);
+                    ctx.l1.fill(filled, true);
+                }
+                ctx.prefetcher.on_prefetch_fill(filled, t);
             }
-            if fill_l1 {
-                self.probe.bump(Stat::L1Fill);
-                ctx.l1.fill(filled, true);
-            }
-            ctx.prefetcher.on_prefetch_fill(filled, t);
         }
         ctx.fill_scratch = fills;
 
@@ -392,11 +461,38 @@ impl System {
             instructions: ctx.core.instructions(),
             kind,
         };
-        ctx.l1_prefetcher.train(&l1_access, &mut ctx.l1_queue);
-        self.issue_l1_prefetches(i, t);
+        if mab_telemetry::STATIC_ENABLED && ctx.has_l1_pf {
+            // Only span the L1 train when a real L1 prefetcher is installed:
+            // this call sits on the every-access fast path, and the default
+            // NoPrefetcher would pay span cost for a no-op.
+            let _train_span = enter_sampled(
+                Category::PrefetchTrain,
+                ctx.l1_pf_label,
+                &mut ctx.pending.l1_train,
+                profiling,
+                armed,
+            );
+            ctx.l1_prefetcher.train(&l1_access, &mut ctx.l1_queue);
+        } else {
+            ctx.l1_prefetcher.train(&l1_access, &mut ctx.l1_queue);
+        }
+        self.issue_l1_prefetches(i, t, profiling, armed);
         if l1_hit {
             return l1_lat;
         }
+
+        // The rest of the access — L2 lookup and everything below it — runs
+        // under one profiling span. The L1-hit fast path above stays
+        // span-free on purpose: at ~0.3 accesses/instruction even an
+        // unarmed-site check would be measurable, and its time shows up
+        // as the run span's self-time instead.
+        let _access_span = enter_sampled(
+            Category::CacheAccess,
+            0,
+            &mut self.cores[i].pending.access,
+            profiling,
+            armed,
+        );
 
         // Sampled occupancy tracks (DRAM channel backlog, per-core MSHR
         // fill) for the Perfetto timeline, on the L2-demand-access clock.
@@ -473,6 +569,13 @@ impl System {
                     // A true demand miss needs a demand MSHR; when the file
                     // is full the miss waits for the oldest one to retire.
                     let mshr_wait = {
+                        let _mshr_span = enter_sampled(
+                            Category::Mshr,
+                            0,
+                            &mut self.cores[i].pending.mshr,
+                            profiling,
+                            armed,
+                        );
                         let ctx = &mut self.cores[i];
                         while ctx
                             .demand_inflight
@@ -500,7 +603,16 @@ impl System {
                         LookupResult::Miss => {
                             self.probe.bump(Stat::LlcDemandMiss);
                             self.probe.bump(Stat::DramAccess);
-                            let dram_lat = self.dram.access(start + llc_lat as u64);
+                            let dram_lat = {
+                                let _dram_span = enter_sampled(
+                                    Category::DramQueue,
+                                    0,
+                                    &mut self.cores[i].pending.dram,
+                                    profiling,
+                                    armed,
+                                );
+                                self.dram.access(start + llc_lat as u64)
+                            };
                             self.probe.bump(Stat::LlcFill);
                             self.llc.fill(line, false);
                             llc_lat + dram_lat as u32
@@ -539,17 +651,34 @@ impl System {
             instructions: ctx.core.instructions(),
             kind,
         };
-        ctx.prefetcher.train(&access, &mut ctx.queue);
-        self.issue_prefetches(i, t);
+        {
+            let _train_span = enter_sampled(
+                Category::PrefetchTrain,
+                ctx.pf_label,
+                &mut ctx.pending.train,
+                profiling,
+                armed,
+            );
+            ctx.prefetcher.train(&access, &mut ctx.queue);
+        }
+        self.issue_prefetches(i, t, profiling, armed);
         latency
     }
 
     /// Issues L1-prefetcher requests: lines already in L2 fill the L1
     /// directly; the rest go to memory and fill L1+L2 on completion.
-    fn issue_l1_prefetches(&mut self, i: usize, t: u64) {
+    fn issue_l1_prefetches(&mut self, i: usize, t: u64, profiling: bool, armed: bool) {
         if self.cores[i].l1_queue.is_empty() {
             return;
         }
+        let ctx = &mut self.cores[i];
+        let _issue_span = mab_telemetry::span::enter_sampled(
+            mab_telemetry::span::Category::PrefetchIssue,
+            ctx.l1_pf_label,
+            &mut ctx.pending.l1_issue,
+            profiling,
+            armed,
+        );
         let llc_lat =
             self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
         let cap = self.config.prefetch_queue;
@@ -596,10 +725,18 @@ impl System {
         ctx.req_scratch = requests;
     }
 
-    fn issue_prefetches(&mut self, i: usize, t: u64) {
+    fn issue_prefetches(&mut self, i: usize, t: u64, profiling: bool, armed: bool) {
         if self.cores[i].queue.is_empty() {
             return;
         }
+        let ctx = &mut self.cores[i];
+        let _issue_span = mab_telemetry::span::enter_sampled(
+            mab_telemetry::span::Category::PrefetchIssue,
+            ctx.pf_label,
+            &mut ctx.pending.issue,
+            profiling,
+            armed,
+        );
         let llc_lat =
             self.config.l1.latency + self.config.l2.latency + self.config.llc_per_core.latency;
         let cap = self.config.prefetch_queue;

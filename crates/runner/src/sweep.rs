@@ -81,14 +81,23 @@ where
     R: Send,
     F: Fn(RunCtx, &S) -> R + Sync,
 {
+    let progress = mab_telemetry::summary::SweepProgress::new(specs.len());
     let run_one = |index: usize, spec: &S| -> Result<R, SweepError> {
         let ctx = RunCtx {
             index,
             seed: child_seed(opts.master_seed, index as u64),
         };
-        match catch_unwind(AssertUnwindSafe(|| f(ctx, spec))) {
+        // Each run executes inside `collect_run`: a fresh span tree on this
+        // worker, drained into the profiler's merge registry afterwards.
+        // Merging is a path-keyed commutative sum over per-run trees, so
+        // the sweep-wide profile is identical at any `jobs` setting.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            mab_telemetry::profile::collect_run(|| f(ctx, spec))
+        }));
+        match outcome {
             Ok(result) => {
                 count!(SweepRuns);
+                progress.tick();
                 Ok(result)
             }
             Err(payload) => {
@@ -102,11 +111,13 @@ where
     };
 
     if opts.jobs <= 1 || specs.len() <= 1 {
-        return specs
+        let results = specs
             .iter()
             .enumerate()
             .map(|(index, spec)| run_one(index, spec))
             .collect();
+        progress.finish();
+        return results;
     }
 
     let cursor = AtomicUsize::new(0);
@@ -141,6 +152,7 @@ where
         }
     });
 
+    progress.finish();
     if let Some(error) = failure.into_inner().unwrap() {
         return Err(error);
     }

@@ -48,11 +48,14 @@ pub enum Stat {
     // telemetry exports stay byte-identical at any `--jobs` setting.
     SweepRuns,
     SweepPanics,
+    /// Total simulated cycles across all runs (memsim core cycles plus SMT
+    /// pipeline cycles) — the denominator for per-cycle profiler costs.
+    SimCycles,
 }
 
 impl Stat {
     /// Number of distinct statistics.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 29;
 
     /// All statistics, in declaration order.
     pub const ALL: [Stat; Stat::COUNT] = [
@@ -84,6 +87,7 @@ impl Stat {
         Stat::SmtEpochs,
         Stat::SweepRuns,
         Stat::SweepPanics,
+        Stat::SimCycles,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -117,6 +121,7 @@ impl Stat {
             Stat::SmtEpochs => "smt_epochs",
             Stat::SweepRuns => "sweep_runs",
             Stat::SweepPanics => "sweep_panics",
+            Stat::SimCycles => "sim_cycles",
         }
     }
 }

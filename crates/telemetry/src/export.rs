@@ -252,17 +252,38 @@ pub fn write_jsonl<W: Write>(rec: &Recorder, w: &mut W) -> io::Result<()> {
     for h in Hist::ALL {
         let hist = rec.hist(h);
         if hist.count() != 0 {
+            let buckets = hist
+                .bucket_counts()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
             writeln!(
                 w,
-                "{{\"kind\":\"histogram\",\"hist\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "{{\"kind\":\"histogram\",\"hist\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
                 escape_json(h.name()),
                 hist.count(),
                 json_value(Field::F64(rec.hist_display(h, hist.mean()))),
                 json_value(Field::F64(rec.hist_display(h, hist.percentile(0.5) as f64))),
                 json_value(Field::F64(rec.hist_display(h, hist.percentile(0.9) as f64))),
                 json_value(Field::F64(rec.hist_display(h, hist.percentile(0.99) as f64))),
+                buckets,
             )?;
         }
+    }
+    let prof = crate::profile::snapshot();
+    let self_ns = prof.self_ns();
+    for (path, totals) in &prof.spans {
+        writeln!(
+            w,
+            "{{\"kind\":\"span\",\"path\":\"{}\",\"count\":{},\"timed\":{},\"total_ns\":{},\"est_ns\":{},\"self_ns\":{}}}",
+            escape_json(path),
+            totals.count,
+            totals.timed,
+            totals.total_ns,
+            totals.estimated_ns(),
+            self_ns.get(path).copied().unwrap_or(0),
+        )?;
     }
     for e in ring.events() {
         writeln!(w, "{}", event_to_json(&e))?;

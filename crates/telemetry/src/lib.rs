@@ -12,6 +12,9 @@
 //!   structured [`Event`]s with sequence numbers and drop accounting.
 //! - [`export`] — hand-rolled JSON-lines and CSV exporters.
 //! - [`summary`] — the periodic-summary sink used by experiment binaries.
+//! - [`span`] / [`profile`] — hierarchical span profiler: thread-local span
+//!   stacks with sampled timing, run-scoped deterministic merging, and
+//!   flamegraph-compatible collapsed-stack export.
 //!
 //! # Gating
 //!
@@ -32,14 +35,18 @@ pub mod event;
 pub mod export;
 pub mod hist;
 pub mod perfetto;
+pub mod profile;
 pub mod ring;
+pub mod span;
 pub mod summary;
 pub mod trace;
 
 pub use counters::{Counters, Stat};
 pub use event::{CacheLevel, Event};
 pub use hist::{Hist, Histogram};
+pub use profile::ProfileReport;
 pub use ring::{EventRing, SeqEvent};
+pub use span::{Category, SpanGuard, SpanTotals};
 pub use summary::SummarySink;
 pub use trace::{ArmProbe, DecisionRecord, SeqDecision, TraceRing};
 
@@ -310,6 +317,21 @@ macro_rules! emit_sim {
                 }
             }
         }
+    };
+}
+
+/// Opens a hierarchical profiling span covering the rest of the enclosing
+/// scope: `span!(CacheAccess)`, or `span!(PrefetchTrain, label_id)` with a
+/// label from [`span::intern`]. With the `on` feature off this folds to
+/// nothing; with profiling disarmed at runtime it costs one relaxed load
+/// and a branch.
+#[macro_export]
+macro_rules! span {
+    ($cat:ident) => {
+        let _span_guard = $crate::span::enter($crate::span::Category::$cat, 0);
+    };
+    ($cat:ident, $label:expr) => {
+        let _span_guard = $crate::span::enter($crate::span::Category::$cat, $label);
     };
 }
 

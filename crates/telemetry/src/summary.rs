@@ -8,16 +8,97 @@
 
 use crate::hist::Hist;
 use crate::Recorder;
-use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Prefix for every line the sink writes, so telemetry output is filterable
 /// from the final result tables on stdout.
 pub const PREFIX: &str = "[mab]";
 
+/// Process-wide quiet switch (`--quiet` / `MAB_QUIET=1`): suppresses every
+/// `[mab]` progress line and the live sweep progress display.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Turns `[mab]` stderr progress lines on or off for the whole process.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::SeqCst);
+}
+
+/// True when `[mab]` progress output is suppressed.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
 #[doc(hidden)]
 pub fn progress_line(msg: &str) {
-    eprintln!("{PREFIX} {msg}");
+    if !quiet() {
+        eprintln!("{PREFIX} {msg}");
+    }
+}
+
+/// Live progress/ETA display for sweeps: `[mab] sweep 12/64 runs, 3.2
+/// runs/s, ETA 16s`, redrawn in place on stderr. Renders only when stderr
+/// is a TTY and quiet mode is off — on CI logs and redirected streams it is
+/// fully inert.
+pub struct SweepProgress {
+    total: usize,
+    done: AtomicUsize,
+    last_render_ms: AtomicU64,
+    start: Instant,
+    active: bool,
+}
+
+impl SweepProgress {
+    /// A progress display for `total` runs.
+    pub fn new(total: usize) -> Self {
+        SweepProgress {
+            total,
+            done: AtomicUsize::new(0),
+            last_render_ms: AtomicU64::new(u64::MAX),
+            start: Instant::now(),
+            active: total > 1 && !quiet() && std::io::stderr().is_terminal(),
+        }
+    }
+
+    /// Whether this display will ever draw anything.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Records one completed run and redraws (throttled to ~10 Hz).
+    pub fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.active {
+            return;
+        }
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_render_ms.load(Ordering::Relaxed);
+        if last != u64::MAX && done != self.total && elapsed_ms.saturating_sub(last) < 100 {
+            return;
+        }
+        self.last_render_ms.store(elapsed_ms, Ordering::Relaxed);
+        let secs = (elapsed_ms as f64 / 1e3).max(1e-9);
+        let rate = done as f64 / secs;
+        let eta = ((self.total - done) as f64 / rate.max(1e-9)).ceil() as u64;
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r{PREFIX} sweep {done}/{} runs, {rate:.1} runs/s, ETA {eta}s ",
+            self.total
+        );
+        let _ = err.flush();
+    }
+
+    /// Clears the progress line (call once after the sweep completes).
+    pub fn finish(&self) {
+        if !self.active {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{:width$}\r", "", width = 64);
+        let _ = err.flush();
+    }
 }
 
 /// Emits one progress line on stderr, prefixed with [`PREFIX`].
@@ -137,6 +218,24 @@ mod tests {
         assert!(!sink.tick(&rec));
         assert!(!sink.tick(&rec));
         assert!(sink.tick(&rec));
+    }
+
+    #[test]
+    fn sweep_progress_respects_quiet() {
+        set_quiet(true);
+        assert!(quiet());
+        let p = SweepProgress::new(10);
+        assert!(!p.active());
+        // Ticks and finish on an inactive display must not write anything.
+        p.tick();
+        p.finish();
+        set_quiet(false);
+    }
+
+    #[test]
+    fn single_run_sweep_never_draws() {
+        let p = SweepProgress::new(1);
+        assert!(!p.active());
     }
 
     #[test]

@@ -175,6 +175,10 @@ impl<C: Codec> Reader<C> {
     /// Loads and CRC-checks the next block; records decode on demand from
     /// the verified payload.
     fn load_block(&mut self) -> Result<()> {
+        // One span per block, not per record: the block is the unit of I/O
+        // and CRC work, and records decode out of it with a few arithmetic
+        // ops each.
+        mab_telemetry::span!(TraceDecode);
         let (decoded, expected) = (self.records_read, self.meta.record_count);
         let truncated = move |_| TraceError::Truncated { decoded, expected };
         let mut head = [0u8; 8];
