@@ -169,7 +169,10 @@ fn main() {
 }
 
 /// Writes the machine-readable result to BENCH_profile_overhead.json at the
-/// repo root so CI and regression tooling can track the overhead over time.
+/// repo root so CI and regression tooling can track the overhead over time
+/// (ingest it with `mab-inspect ingest` / gate it with `mab-inspect
+/// regress`). The exact JSON written is also echoed to stdout, so a CI log
+/// always shows the numbers the file pinned.
 fn write_report(memsim: &Measurement, smtsim: &Measurement, budget: f64, pass: bool) {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -190,7 +193,8 @@ fn write_report(memsim: &Measurement, smtsim: &Measurement, budget: f64, pass: b
         smtsim.on_ns,
         smtsim.overhead_pct,
     );
-    match std::fs::write(path, json) {
+    print!("{json}");
+    match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -29,7 +29,7 @@ fn run_custom(
 
 fn main() {
     let opts = Options::parse(1_000_000, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("ablations", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     let apps: Vec<_> = ["libquantum", "lbm", "cactus", "mcf", "soplex", "bfs"]

@@ -9,7 +9,7 @@ use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(60_000, 12);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig05_pg_space", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 5: best/worst of the 64 fetch PG policies vs Choi (IC_1011) ===\n");

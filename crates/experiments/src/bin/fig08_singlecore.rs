@@ -6,7 +6,7 @@ use mab_memsim::config::SystemConfig;
 
 fn main() {
     let opts = Options::parse(2_000_000, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig08_singlecore", &opts);
     let store = TraceStore::from_options(&opts);
     prefetch_runs::lineup_report(
         SystemConfig::default(),

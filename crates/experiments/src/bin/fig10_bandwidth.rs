@@ -10,7 +10,7 @@ use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig10_bandwidth", &opts);
     let store = TraceStore::from_options(&opts);
     println!("=== Fig. 10: performance under DRAM bandwidth sweep (MTPS) ===\n");
     let mut table = report::Table::new(vec![

@@ -10,7 +10,7 @@ use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig12_multilevel", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     println!("=== Fig. 12: multi-level prefetcher combinations ===\n");

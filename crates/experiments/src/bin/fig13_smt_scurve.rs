@@ -9,7 +9,7 @@ use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(60_000, 226);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig13_smt_scurve", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 13: Bandit vs Choi across 2-thread mixes (sorted ratios) ===\n");

@@ -11,7 +11,7 @@ use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(400_000, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig14_fourcore", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     let lineup = ["stride", "bingo", "mlop", "pythia", "bandit-multicore"];

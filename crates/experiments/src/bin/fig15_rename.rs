@@ -56,7 +56,7 @@ impl Acc {
 
 fn main() {
     let opts = Options::parse(60_000, 40);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("fig15_rename", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Fig. 15: rename-stage cycles (% of cycles), Choi vs Bandit ===\n");

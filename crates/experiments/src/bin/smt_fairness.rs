@@ -35,7 +35,7 @@ fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64, store: &TraceStore) 
 
 fn main() {
     let opts = Options::parse(80_000, 6);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("smt_fairness", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== §6.4: throughput vs fairness rewards for the SMT Bandit ===\n");

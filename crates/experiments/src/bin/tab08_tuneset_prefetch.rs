@@ -11,7 +11,7 @@ use mab_workloads::suites;
 
 fn main() {
     let opts = Options::parse(1_500_000, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("tab08_tuneset_prefetch", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();
     println!("=== Table 8: tune-set IPC as % of the best static arm (prefetching) ===\n");

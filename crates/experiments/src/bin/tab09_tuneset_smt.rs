@@ -9,7 +9,7 @@ use mab_workloads::smt;
 
 fn main() {
     let opts = Options::parse(80_000, 43);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("tab09_tuneset_smt", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();
     println!("=== Table 9: tune-set IPC as % of the best static arm (SMT fetch) ===\n");

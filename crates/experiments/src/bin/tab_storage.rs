@@ -11,7 +11,7 @@ fn main() {
     // No simulation here, but parsing the common flags keeps `--quiet`,
     // `--telemetry` and `--profile` uniform across every experiment binary.
     let opts = Options::parse(1, 0);
-    let session = TelemetrySession::start(&opts);
+    let session = TelemetrySession::start("tab_storage", &opts);
     println!("=== §5.4: storage comparison ===\n");
     let mut table = Table::new(vec![
         "design".into(),

@@ -18,6 +18,10 @@
 //!   byte-identical to generator mode (see `mab_experiments::traces`),
 //! - `--profile PATH` — write a collapsed-stack span profile of the run
 //!   (`path;path count` lines, flamegraph-tool compatible),
+//! - `--ledger DIR` — append a run record (config digest, wall time, key
+//!   stats, artifact pointers) to the append-only run ledger under DIR
+//!   (also honored via the `MAB_LEDGER` environment variable; the flag
+//!   wins, and an empty value disables recording),
 //! - `--quiet` — suppress `[mab]` stderr progress lines (also honored via
 //!   the `MAB_QUIET=1` environment variable),
 //! - `--help`.
@@ -46,6 +50,9 @@ pub struct Options {
     pub trace_dir: Option<PathBuf>,
     /// Where to write the collapsed-stack span profile at exit, if anywhere.
     pub profile: Option<PathBuf>,
+    /// Run-ledger directory (`--ledger` / `MAB_LEDGER`): append a run
+    /// record there at exit, if set.
+    pub ledger: Option<PathBuf>,
     /// Suppress `[mab]` stderr progress lines (`--quiet` / `MAB_QUIET=1`).
     pub quiet: bool,
 }
@@ -66,9 +73,12 @@ impl Options {
             default_instructions,
             default_mixes,
         );
-        // The environment variable only augments real invocations; the
+        // Environment variables only augment real invocations; the
         // testable core stays a pure function of its arguments.
         opts.quiet |= quiet_env();
+        if opts.ledger.is_none() {
+            opts.ledger = ledger_env();
+        }
         opts
     }
 
@@ -88,6 +98,7 @@ impl Options {
             trace: None,
             trace_dir: None,
             profile: None,
+            ledger: None,
             quiet: false,
         };
         let mut args = args.peekable();
@@ -141,6 +152,12 @@ impl Options {
                             .unwrap_or_else(|| usage("--profile needs a path")),
                     ));
                 }
+                "--ledger" => {
+                    opts.ledger = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| usage("--ledger needs a directory")),
+                    ));
+                }
                 "--quiet" => {
                     opts.quiet = true;
                 }
@@ -164,6 +181,16 @@ impl Options {
 /// True when `MAB_QUIET` is set to anything but `0` or the empty string.
 fn quiet_env() -> bool {
     std::env::var("MAB_QUIET").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Ledger directory from `MAB_LEDGER`, if set non-empty. Scripts export it
+/// once instead of threading `--ledger` through every invocation; setting
+/// it to the empty string disables recording.
+fn ledger_env() -> Option<PathBuf> {
+    std::env::var("MAB_LEDGER")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 fn usage<T>(error: &str) -> T {
@@ -191,6 +218,10 @@ fn usage<T>(error: &str) -> T {
          --profile PATH    write a collapsed-stack span profile at exit\n\
          \x20                 (`path;path count` lines for flamegraph tools;\n\
          \x20                 needs the `telemetry` cargo feature)\n\
+         --ledger DIR      append a run record (config digest, wall time, key\n\
+         \x20                 stats, artifact pointers) to the run ledger under\n\
+         \x20                 DIR (MAB_LEDGER does the same; query it with\n\
+         \x20                 mab-inspect history/trend/regress)\n\
          --quiet           suppress [mab] stderr progress lines (MAB_QUIET=1\n\
          \x20                 does the same)"
     );
@@ -284,5 +315,12 @@ mod tests {
     fn quiet_flag_is_captured() {
         assert!(parse(&["--quiet"]).quiet);
         assert!(!parse(&[]).quiet);
+    }
+
+    #[test]
+    fn ledger_dir_is_captured() {
+        let o = parse(&["--ledger", "results/ledger"]);
+        assert_eq!(o.ledger, Some(PathBuf::from("results/ledger")));
+        assert!(parse(&[]).ledger.is_none());
     }
 }

@@ -12,10 +12,28 @@
 //! flamegraph tools) at the end. With the feature off every method is a
 //! cheap no-op except for a warning when an export path was requested that
 //! cannot be honored.
+//!
+//! # Run-ledger recording
+//!
+//! `--ledger DIR` (or `MAB_LEDGER=DIR`) additionally appends one
+//! [`RunRecord`] to the append-only run ledger under DIR at
+//! [`TelemetrySession::finish`]: the experiment name, the canonical config
+//! (instructions/seed/mixes/quick — the digest inputs), wall time, key
+//! telemetry stats *for this session* (deltas from a start-of-run snapshot,
+//! since the recorder is process-global), per-arm sweep observations from
+//! `mab-runner`, and pointers to any artifacts the run exported. Ledger
+//! recording works with or without the `telemetry` feature (the metrics
+//! list is simply empty without it) and writes only to stderr and the
+//! ledger directory — experiment stdout stays byte-identical.
 
 use crate::cli::Options;
+use mab_ledger::{code_version, Append, ArmRun, Ledger, RunRecord};
+use mab_runner::ArmObservation;
 use mab_telemetry::progress;
+use mab_telemetry::summary::StatsSnapshot;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Recorder lifecycle handle for one experiment run.
 ///
@@ -26,12 +44,28 @@ pub struct TelemetrySession {
     export: Option<PathBuf>,
     trace: Option<PathBuf>,
     profile: Option<PathBuf>,
+    ledger: Option<LedgerCapture>,
+}
+
+/// In-flight state for one ledger record: the identity/config part of the
+/// record built at start, plus everything needed to fill in the outcome at
+/// finish.
+#[derive(Debug)]
+struct LedgerCapture {
+    dir: PathBuf,
+    record: RunRecord,
+    /// Recorder totals at session start; metrics are deltas from here.
+    base: Option<StatsSnapshot>,
+    /// Arms observed by `mab-runner` sweeps while this session was active.
+    arms: Arc<Mutex<Vec<ArmObservation>>>,
+    started: Instant,
 }
 
 impl TelemetrySession {
-    /// Starts a session from parsed CLI options, installing the global
-    /// recorder when instrumentation is compiled in.
-    pub fn start(opts: &Options) -> Self {
+    /// Starts a session for the named experiment from parsed CLI options,
+    /// installing the global recorder when instrumentation is compiled in
+    /// and the sweep arm observer when `--ledger` is active.
+    pub fn start(name: &str, opts: &Options) -> Self {
         mab_telemetry::summary::set_quiet(opts.quiet);
         if mab_telemetry::STATIC_ENABLED {
             mab_telemetry::install(mab_telemetry::RecorderConfig::default());
@@ -51,42 +85,131 @@ impl TelemetrySession {
                 .profile
                 .clone()
                 .filter(|_| mab_telemetry::STATIC_ENABLED),
+            ledger: opts.ledger.as_ref().map(|dir| {
+                let capture = LedgerCapture::start(name, dir.clone(), opts);
+                let sink = Arc::clone(&capture.arms);
+                mab_runner::set_arm_observer(Some(Arc::new(move |obs| {
+                    sink.lock().unwrap().push(obs);
+                })));
+                capture
+            }),
         }
     }
 
-    /// Prints the end-of-run counter/histogram summary to stderr and writes
-    /// the export file if one was requested. Errors writing the export are
-    /// reported on stderr rather than panicking: the experiment's tables
-    /// have already been printed and remain valid.
+    /// Prints the end-of-run counter/histogram summary to stderr, writes
+    /// the export files if requested, and appends the run record to the
+    /// ledger if one is active. Errors are reported on stderr rather than
+    /// panicking: the experiment's tables have already been printed and
+    /// remain valid.
     pub fn finish(&self) {
-        let Some(rec) = mab_telemetry::recorder() else {
-            return;
-        };
-        mab_telemetry::SummarySink::new(0).finish(rec);
-        if let Some(path) = &self.export {
-            match rec.export_to_path(path) {
-                Ok(()) => progress!("telemetry written to {}", path.display()),
-                Err(e) => progress!("telemetry export to {} failed: {e}", path.display()),
+        if let Some(rec) = mab_telemetry::recorder() {
+            mab_telemetry::SummarySink::new(0).finish(rec);
+            if let Some(path) = &self.export {
+                match rec.export_to_path(path) {
+                    Ok(()) => progress!("telemetry written to {}", path.display()),
+                    Err(e) => progress!("telemetry export to {} failed: {e}", path.display()),
+                }
+            }
+            if let Some(path) = &self.trace {
+                match rec.export_trace_to_path(path) {
+                    Ok(()) => progress!("decision trace written to {}", path.display()),
+                    Err(e) => progress!("trace export to {} failed: {e}", path.display()),
+                }
+            }
+            if let Some(path) = &self.profile {
+                let report = mab_telemetry::profile::snapshot();
+                match report.write_collapsed_to_path(path) {
+                    Ok(()) => progress!(
+                        "span profile ({} paths) written to {}",
+                        report.spans.len(),
+                        path.display()
+                    ),
+                    Err(e) => progress!("profile export to {} failed: {e}", path.display()),
+                }
             }
         }
-        if let Some(path) = &self.trace {
-            match rec.export_trace_to_path(path) {
-                Ok(()) => progress!("decision trace written to {}", path.display()),
-                Err(e) => progress!("trace export to {} failed: {e}", path.display()),
-            }
-        }
-        if let Some(path) = &self.profile {
-            let report = mab_telemetry::profile::snapshot();
-            match report.write_collapsed_to_path(path) {
-                Ok(()) => progress!(
-                    "span profile ({} paths) written to {}",
-                    report.spans.len(),
-                    path.display()
+        if let Some(capture) = &self.ledger {
+            mab_runner::set_arm_observer(None);
+            let record = capture.seal();
+            match Ledger::open(&capture.dir).and_then(|ledger| ledger.record(&record)) {
+                Ok(Append::Recorded(digest)) => progress!(
+                    "ledger: recorded {} run {digest} in {}",
+                    record.experiment,
+                    capture.dir.display()
                 ),
-                Err(e) => progress!("profile export to {} failed: {e}", path.display()),
+                Ok(Append::Deduplicated(digest)) => progress!(
+                    "ledger: run {digest} already recorded with identical outcome; not re-appended"
+                ),
+                Err(e) => progress!("ledger append to {} failed: {e}", capture.dir.display()),
             }
         }
     }
+}
+
+impl LedgerCapture {
+    /// Builds the identity half of the record and snapshots the recorder.
+    fn start(name: &str, dir: PathBuf, opts: &Options) -> LedgerCapture {
+        let mut record = RunRecord::new(name, &code_version());
+        record.config_pair("instructions", opts.instructions);
+        record.config_pair("seed", opts.seed);
+        record.config_pair("mixes", opts.mixes);
+        record.config_pair("quick", opts.quick);
+        record.jobs = opts.jobs as u64;
+        record.started_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let mut artifact = |kind: &str, path: &Option<PathBuf>| {
+            if let Some(path) = path {
+                record
+                    .artifacts
+                    .push((kind.to_string(), path.display().to_string()));
+            }
+        };
+        artifact("telemetry", &opts.telemetry);
+        artifact("trace", &opts.trace);
+        artifact("trace_dir", &opts.trace_dir);
+        artifact("profile", &opts.profile);
+        LedgerCapture {
+            dir,
+            record,
+            base: mab_telemetry::recorder().map(mab_telemetry::summary::snapshot),
+            arms: Arc::new(Mutex::new(Vec::new())),
+            started: Instant::now(),
+        }
+    }
+
+    /// Completes the record with this session's outcome: wall time, key
+    /// stats since the start snapshot, and the normalized arm log.
+    fn seal(&self) -> RunRecord {
+        let mut record = self.record.clone();
+        record.wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        if let (Some(rec), Some(base)) = (mab_telemetry::recorder(), &self.base) {
+            record.metrics = mab_telemetry::summary::key_stats_since(rec, base);
+        }
+        record.arms = normalize_arms(&self.arms.lock().unwrap());
+        record
+    }
+}
+
+/// Renumbers raw process-wide sweep ids to 0..n by ascending raw id (raw
+/// ids are claimed at sweep start in program order, so ascending order *is*
+/// start order) and sorts arms by `(sweep, index)`. The result depends only
+/// on program order and spec positions — identical at any `--jobs` setting.
+fn normalize_arms(observed: &[ArmObservation]) -> Vec<ArmRun> {
+    let mut sweep_ids: Vec<u32> = observed.iter().map(|o| o.sweep).collect();
+    sweep_ids.sort_unstable();
+    sweep_ids.dedup();
+    let mut arms: Vec<ArmRun> = observed
+        .iter()
+        .map(|o| ArmRun {
+            sweep: sweep_ids.binary_search(&o.sweep).unwrap_or(0) as u32,
+            index: o.index as u32,
+            seed: o.seed,
+            wall_ns: o.wall_ns,
+        })
+        .collect();
+    arms.sort_unstable_by_key(|a| (a.sweep, a.index));
+    arms
 }
 
 #[cfg(test)]
@@ -104,14 +227,35 @@ mod tests {
             trace: None,
             trace_dir: None,
             profile: None,
+            ledger: None,
             quiet: false,
         }
     }
 
     #[test]
     fn session_without_feature_or_path_is_inert() {
-        let session = TelemetrySession::start(&options(None));
+        let session = TelemetrySession::start("inert", &options(None));
         session.finish();
+    }
+
+    #[test]
+    fn arm_normalization_is_order_invariant() {
+        // Two sweeps with raw ids 7 and 3 (other threads claimed the rest),
+        // arms observed in scrambled completion order.
+        let obs = |sweep, index, seed| ArmObservation {
+            sweep,
+            index,
+            seed,
+            wall_ns: 1,
+        };
+        let scrambled = [obs(7, 1, 11), obs(3, 0, 20), obs(7, 0, 10), obs(3, 1, 21)];
+        let ordered = [obs(3, 0, 20), obs(3, 1, 21), obs(7, 0, 10), obs(7, 1, 11)];
+        let a = normalize_arms(&scrambled);
+        assert_eq!(a, normalize_arms(&ordered));
+        assert_eq!(a[0].sweep, 0);
+        assert_eq!(a[0].seed, 20);
+        assert_eq!(a[3].sweep, 1);
+        assert_eq!(a[3].seed, 11);
     }
 
     #[cfg(feature = "telemetry")]
@@ -120,7 +264,7 @@ mod tests {
         let dir = std::env::temp_dir().join("mab-session-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.jsonl");
-        let session = TelemetrySession::start(&options(path.to_str()));
+        let session = TelemetrySession::start("export", &options(path.to_str()));
         assert!(mab_telemetry::recorder().is_some());
         mab_telemetry::count!(ArmPulls);
         session.finish();
@@ -137,7 +281,7 @@ mod tests {
         let path = dir.join("out.collapsed");
         let mut opts = options(None);
         opts.profile = Some(path.clone());
-        let session = TelemetrySession::start(&opts);
+        let session = TelemetrySession::start("profile", &opts);
         assert!(mab_telemetry::profile::enabled());
         mab_telemetry::profile::collect_run(|| {
             mab_telemetry::span!(CacheAccess);
@@ -159,10 +303,42 @@ mod tests {
         let path = dir.join("out.trace.jsonl");
         let mut opts = options(None);
         opts.trace = Some(path.clone());
-        let session = TelemetrySession::start(&opts);
+        let session = TelemetrySession::start("trace", &opts);
         session.finish();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"kind\":\"trace_meta\""), "{text}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ledger_session_appends_a_record_and_dedups_reruns() {
+        let dir = std::env::temp_dir().join(format!("mab-session-ledger-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut opts = options(None);
+        opts.ledger = Some(dir.clone());
+        opts.seed = 77;
+
+        let session = TelemetrySession::start("fig_ledger_test", &opts);
+        session.finish();
+
+        let ledger = Ledger::open(&dir).unwrap();
+        let out = ledger.read_all().unwrap();
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        assert_eq!(out.records.len(), 1);
+        let record = &out.records[0];
+        assert_eq!(record.experiment, "fig_ledger_test");
+        assert_eq!(record.config_value("seed"), Some("77"));
+        assert_eq!(record.config_value("quick"), Some("false"));
+        assert_eq!(record.code, code_version());
+
+        // A second identical session in the same process dedups (unless the
+        // recorder picked up activity from concurrently running tests — the
+        // global recorder is shared, so only assert no *growth* in that
+        // case is impossible; instead require the digest to match).
+        let session = TelemetrySession::start("fig_ledger_test", &opts);
+        session.finish();
+        let again = ledger.read_all().unwrap();
+        assert!(again.records.iter().all(|r| r.digest() == record.digest()));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

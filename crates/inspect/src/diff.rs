@@ -3,9 +3,20 @@
 //! `mab-inspect diff baseline.jsonl candidate.jsonl` watches the metrics
 //! that summarize run quality — every histogram mean the two runs share
 //! (reward, epoch IPC, latencies) plus the mean attributed decision reward —
-//! and flags any whose relative change exceeds a threshold. The CLI turns a
+//! and flags any whose relative change reaches a threshold. The CLI turns a
 //! flagged metric into a non-zero exit, so CI can gate on "telemetry says
-//! this run got >2% worse".
+//! this run got ≥2% worse".
+//!
+//! # Boundary semantics
+//!
+//! A metric is flagged iff its relative delta is **non-zero and
+//! `|rel_delta| >= threshold`** — the threshold is *inclusive*, so a change
+//! of exactly 2% fails a 2% gate (a gate that lets through exactly-at-limit
+//! regressions invites threshold-riding), while identical values never
+//! flag, even at `--threshold 0`. That makes a self-diff (or a
+//! `mab-inspect regress` run against its own baseline) always pass, and
+//! `--threshold 0` a usable "any change at all" gate. `diff` and `regress`
+//! share [`compare`], so both enforce the same rule.
 
 use crate::analysis;
 use crate::artifact::RunArtifact;
@@ -22,7 +33,8 @@ pub struct MetricDelta {
     /// Relative change `(candidate - baseline) / |baseline|`; ±∞ when the
     /// baseline is zero and the candidate is not.
     pub rel_delta: f64,
-    /// True when `|rel_delta|` exceeds the threshold.
+    /// True when the delta is non-zero and `|rel_delta| >= threshold`
+    /// (inclusive; see the module docs on boundary semantics).
     pub flagged: bool,
 }
 
@@ -77,7 +89,10 @@ pub fn has_regression(deltas: &[MetricDelta]) -> bool {
     deltas.iter().any(|d| d.flagged)
 }
 
-fn compare(metric: String, baseline: f64, candidate: f64, threshold: f64) -> MetricDelta {
+/// Compares one metric under the shared boundary rule: flagged iff the
+/// relative delta is non-zero and `|rel_delta| >= threshold`. Used by both
+/// `diff` and `regress` so the two gates agree on edge cases.
+pub fn compare(metric: String, baseline: f64, candidate: f64, threshold: f64) -> MetricDelta {
     let rel_delta = if baseline == 0.0 {
         if candidate == 0.0 {
             0.0
@@ -91,7 +106,7 @@ fn compare(metric: String, baseline: f64, candidate: f64, threshold: f64) -> Met
         metric,
         baseline,
         candidate,
-        flagged: rel_delta.abs() > threshold,
+        flagged: rel_delta != 0.0 && rel_delta.abs() >= threshold,
         rel_delta,
     }
 }
@@ -140,6 +155,21 @@ mod tests {
         // change, and sign is visible in rel_delta for triage.
         let deltas = diff_artifacts(&artifact(1.0, 1.0), &artifact(1.5, 1.0), 0.02);
         assert!(deltas.iter().any(|d| d.flagged && d.rel_delta > 0.0));
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive_but_zero_delta_never_flags() {
+        // Exactly-at-threshold flags: a 2% drop fails a 2% gate.
+        let at = compare("m".into(), 100.0, 98.0, 0.02);
+        assert!((at.rel_delta + 0.02).abs() < 1e-12);
+        assert!(at.flagged);
+        // Just inside passes.
+        assert!(!compare("m".into(), 100.0, 98.1, 0.02).flagged);
+        // Identical values never flag, even at threshold 0 — self-diffs
+        // and self-regressions always pass.
+        assert!(!compare("m".into(), 100.0, 100.0, 0.0).flagged);
+        // …but any real change flags at threshold 0.
+        assert!(compare("m".into(), 100.0, 100.0001, 0.0).flagged);
     }
 
     #[test]

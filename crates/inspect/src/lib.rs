@@ -29,5 +29,10 @@
 pub mod analysis;
 pub mod artifact;
 pub mod diff;
-pub mod json;
+pub mod history;
 pub mod report;
+
+// The mini JSON parser moved to `mab-ledger` (the lowest layer that both
+// writes and reads JSONL); re-exported here so `mab_inspect::json` keeps
+// working.
+pub use mab_ledger::json;

@@ -1,4 +1,5 @@
-//! A minimal JSON parser for the workspace's JSONL artifacts.
+//! A minimal JSON parser (and string/number writer) for the workspace's
+//! JSONL artifacts.
 //!
 //! The offline build has no serde_json, and the shimmed `serde` is a no-op,
 //! so parsing is hand-rolled — mirroring the hand-rolled writers in
@@ -6,6 +7,10 @@
 //! JSON minus exotic escapes: objects, arrays, strings (with `\"`, `\\`,
 //! `\n`, `\t`, `\r`, `\uXXXX`), numbers, booleans and `null` — more than
 //! enough for the flat single-line records the exporters emit.
+//!
+//! This module started life in `mab-inspect`; it lives in `mab-ledger` now
+//! so the run ledger (the lowest layer that both records and reads JSONL)
+//! owns it, and `mab-inspect` re-exports it unchanged.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,7 +19,11 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number, held as `f64` (the exporters never need 2^53+).
+    /// A plain non-negative integer token, held exactly. Arm seeds are full
+    /// 64-bit values, so routing them through `f64` (2^53 mantissa) would
+    /// silently round them and break `parse → format → parse` round trips.
+    Int(u64),
+    /// Any other JSON number, held as `f64`.
     Num(f64),
     /// A string.
     Str(String),
@@ -36,14 +45,17 @@ impl JsonValue {
     /// The value as a float, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            JsonValue::Int(v) => Some(*v as f64),
             JsonValue::Num(v) => Some(*v),
             _ => None,
         }
     }
 
     /// The value as an unsigned integer, if numeric and representable.
+    /// Integer tokens are returned exactly (no `f64` rounding).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            JsonValue::Int(v) => Some(*v),
             JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
             _ => None,
         }
@@ -80,6 +92,7 @@ impl JsonValue {
         let mut out = Vec::with_capacity(items.len());
         for item in items {
             match item {
+                JsonValue::Int(v) => out.push(*v as f64),
                 JsonValue::Num(v) => out.push(*v),
                 JsonValue::Null => out.push(f64::NAN),
                 _ => return None,
@@ -106,6 +119,34 @@ pub fn parse(input: &str) -> Result<JsonValue, String> {
         return Err(format!("trailing garbage at byte {}", p.pos));
     }
     Ok(value)
+}
+
+/// Escapes `s` for embedding in a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number. Rust's shortest-round-trip `Display`
+/// keeps `parse → format → parse` lossless; NaN and ±∞ (not representable
+/// in JSON) become `null`, matching the telemetry exporters.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 struct Parser<'a> {
@@ -164,6 +205,11 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Plain integer tokens keep full 64-bit precision; anything with a
+        // sign, fraction or exponent (and integers past u64) stays f64.
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::Int(v));
+        }
         text.parse::<f64>()
             .map(JsonValue::Num)
             .map_err(|_| format!("invalid number at byte {start}"))
@@ -305,6 +351,41 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\rf\u{1}g";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn fmt_f64_round_trips_and_nulls_non_finite() {
+        for v in [0.0, -1.5, 0.1, 1e300, 123456789.0_f64] {
+            let text = fmt_f64(v);
+            assert_eq!(text.parse::<f64>().unwrap(), v, "{text}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn integer_tokens_keep_full_u64_precision() {
+        // Seeds are full 64-bit values; above 2^53 an f64 detour would
+        // round them (this exact value rounds to ...413 → ...412).
+        let doc = format!(
+            "{{\"seed\": {}, \"max\": {}}}",
+            13679457532755275413u64,
+            u64::MAX
+        );
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(13679457532755275413));
+        assert_eq!(v.get("max").unwrap().as_u64(), Some(u64::MAX));
+        // Huge integers that overflow u64 still parse, as f64.
+        let big = parse("{\"x\": 99999999999999999999999}").unwrap();
+        assert_eq!(big.get("x").unwrap().as_f64(), Some(1e23));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! End-to-end exercise of the public `mab-ledger` API: bench ingestion
+//! through the store, digest lookup, and idempotent re-records.
+
+use mab_ledger::{ingest_bench_file, Append, Ledger, RunRecord};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mab-ledger-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn ingest_record_lookup_pipeline() {
+    let dir = temp_dir("pipeline");
+    let bench = dir.join("BENCH_fake.json");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        &bench,
+        "{\"bench\":\"fake\",\"speedup\":1.25,\"pass\":true,\"host\":\"ci\"}",
+    )
+    .unwrap();
+
+    let ledger = Ledger::open(dir.join("ledger")).unwrap();
+    let record = ingest_bench_file(&bench).unwrap();
+    let first = ledger.record(&record).unwrap();
+    assert!(matches!(first, Append::Recorded(_)));
+
+    // Ingesting the identical file again under the same code version is a
+    // no-op append — the CI smoke job's "digest-stable re-record" check.
+    let again = ingest_bench_file(&bench).unwrap();
+    assert!(matches!(
+        ledger.record(&again).unwrap(),
+        Append::Deduplicated(_)
+    ));
+
+    // O(1) digest lookup returns the stored record.
+    let found = ledger.find(first.digest()).unwrap();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].experiment, "bench:fake");
+    assert_eq!(found[0].metric("speedup"), Some(1.25));
+
+    // A changed result under the same identity appends (history preserved).
+    let mut changed = record.clone();
+    changed
+        .metrics
+        .iter_mut()
+        .find(|(k, _)| k == "speedup")
+        .unwrap()
+        .1 = 1.10;
+    assert!(matches!(
+        ledger.record(&changed).unwrap(),
+        Append::Recorded(_)
+    ));
+    assert_eq!(ledger.find(first.digest()).unwrap().len(), 2);
+    assert_eq!(ledger.read_all().unwrap().records.len(), 2);
+}
+
+#[test]
+fn records_survive_reopen_across_handles() {
+    let dir = temp_dir("reopen");
+    let mut rec = RunRecord::new("fig_test", &mab_ledger::code_version());
+    rec.config_pair("seed", 3);
+    rec.metrics.push(("ipc".to_string(), 2.0));
+    {
+        let ledger = Ledger::open(&dir).unwrap();
+        ledger.record(&rec).unwrap();
+    }
+    let ledger = Ledger::open(&dir).unwrap();
+    let out = ledger.read_all().unwrap();
+    assert!(out.warnings.is_empty());
+    assert_eq!(out.records.len(), 1);
+    assert!(out.records[0].same_outcome(&rec));
+    assert!(matches!(
+        ledger.record(&rec).unwrap(),
+        Append::Deduplicated(_)
+    ));
+}

@@ -34,8 +34,10 @@
 //! The workspace is offline (no rayon — shims only), so the pool is a
 //! hand-rolled `std::thread::scope` fan-out; see [`sweep`].
 
+pub mod observe;
 mod seed;
 mod sweep;
 
+pub use observe::{set_arm_observer, ArmObservation, ArmObserver};
 pub use seed::child_seed;
 pub use sweep::{available_jobs, sweep, RunCtx, SweepError, SweepOptions};

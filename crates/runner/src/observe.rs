@@ -1,0 +1,99 @@
+//! Optional per-arm observation hook for run-ledger recording.
+//!
+//! When an observer is installed (the experiment session does this while a
+//! `--ledger` run is active), [`sweep`](crate::sweep) reports every
+//! completed arm: which sweep it belonged to, its spec index, its derived
+//! child seed, and its wall time. The `(sweep, index, seed)` triple follows
+//! the ordered-slot discipline — it depends only on program order and spec
+//! position, never on worker scheduling — so a collector that sorts by it
+//! reconstructs the identical arm log at any `--jobs` setting; only
+//! `wall_ns` is timing noise. With no observer installed the hook costs
+//! one relaxed load per sweep.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One completed sweep arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmObservation {
+    /// Process-wide sweep sequence number (order of sweep starts). Distinct
+    /// sweeps in one run get increasing ids; collectors should normalize by
+    /// first appearance rather than rely on absolute values, since other
+    /// threads may also start sweeps.
+    pub sweep: u32,
+    /// The arm's spec index within its sweep.
+    pub index: usize,
+    /// The arm's derived child seed.
+    pub seed: u64,
+    /// Arm wall time in nanoseconds (scheduling-dependent).
+    pub wall_ns: u64,
+}
+
+/// Observer callback type.
+pub type ArmObserver = Arc<dyn Fn(ArmObservation) + Send + Sync>;
+
+static OBSERVER: RwLock<Option<ArmObserver>> = RwLock::new(None);
+static SWEEP_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Installs (or, with `None`, removes) the process-wide arm observer.
+pub fn set_arm_observer(observer: Option<ArmObserver>) {
+    *OBSERVER.write().unwrap() = observer;
+}
+
+/// The currently installed observer, if any.
+pub(crate) fn current() -> Option<ArmObserver> {
+    OBSERVER.read().unwrap().clone()
+}
+
+/// Claims the next sweep sequence number.
+pub(crate) fn next_sweep_id() -> u32 {
+    SWEEP_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{sweep, SweepOptions};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    #[test]
+    fn observations_are_scheduling_invariant() {
+        // The observer is process-global, so other tests' sweeps may fire it
+        // too; filter down to this test's arms by their derived seeds.
+        let specs: Vec<u64> = (0..48).collect();
+        let master_seed = 0xC0FFEE_u64;
+        let mine: std::collections::BTreeSet<u64> = (0..specs.len())
+            .map(|i| crate::child_seed(master_seed, i as u64))
+            .collect();
+
+        let log: Arc<Mutex<Vec<ArmObservation>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        set_arm_observer(Some(Arc::new(move |obs: ArmObservation| {
+            sink.lock().unwrap().push(obs);
+        })));
+        sweep(&specs, SweepOptions::new(1, master_seed), |_, spec| *spec).unwrap();
+        sweep(&specs, SweepOptions::new(8, master_seed), |_, spec| *spec).unwrap();
+        set_arm_observer(None);
+
+        // Group this test's observations by sweep id, normalize each sweep
+        // to its sorted (index, seed) set, and demand the serial and
+        // parallel sweeps produced the same set.
+        let mut by_sweep: BTreeMap<u32, Vec<(usize, u64)>> = BTreeMap::new();
+        for obs in log.lock().unwrap().iter() {
+            if mine.contains(&obs.seed) {
+                by_sweep
+                    .entry(obs.sweep)
+                    .or_default()
+                    .push((obs.index, obs.seed));
+            }
+        }
+        assert_eq!(by_sweep.len(), 2, "expected exactly two observed sweeps");
+        let mut sweeps: Vec<Vec<(usize, u64)>> = by_sweep.into_values().collect();
+        for arms in &mut sweeps {
+            arms.sort_unstable();
+        }
+        assert_eq!(sweeps[0].len(), specs.len());
+        assert_eq!(sweeps[0], sweeps[1], "jobs=1 vs jobs=8 arm sets differ");
+    }
+}

@@ -82,11 +82,16 @@ where
     F: Fn(RunCtx, &S) -> R + Sync,
 {
     let progress = mab_telemetry::summary::SweepProgress::new(specs.len());
+    // Resolve the ledger's arm observer once per sweep; arms are only timed
+    // when somebody is listening.
+    let observer = crate::observe::current();
+    let sweep_id = observer.as_ref().map(|_| crate::observe::next_sweep_id());
     let run_one = |index: usize, spec: &S| -> Result<R, SweepError> {
         let ctx = RunCtx {
             index,
             seed: child_seed(opts.master_seed, index as u64),
         };
+        let arm_start = observer.as_ref().map(|_| std::time::Instant::now());
         // Each run executes inside `collect_run`: a fresh span tree on this
         // worker, drained into the profiler's merge registry afterwards.
         // Merging is a path-keyed commutative sum over per-run trees, so
@@ -97,6 +102,14 @@ where
         match outcome {
             Ok(result) => {
                 count!(SweepRuns);
+                if let (Some(observe), Some(start)) = (&observer, arm_start) {
+                    observe(crate::observe::ArmObservation {
+                        sweep: sweep_id.unwrap_or(0),
+                        index,
+                        seed: ctx.seed,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    });
+                }
                 progress.tick();
                 Ok(result)
             }

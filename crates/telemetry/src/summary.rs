@@ -6,6 +6,7 @@
 //! (replacing ad-hoc `eprintln!`), while the counter summaries only have
 //! content when a recorder is installed.
 
+use crate::counters::Stat;
 use crate::hist::Hist;
 use crate::Recorder;
 use std::io::{IsTerminal, Write};
@@ -107,6 +108,67 @@ macro_rules! progress {
     ($($fmt:tt)*) => {
         $crate::summary::progress_line(&format!($($fmt)*))
     };
+}
+
+/// Point-in-time capture of the recorder's counters and histograms.
+///
+/// The recorder is process-global and cumulative, so a session that wants
+/// *its own* totals (e.g. for a run-ledger record) must capture a snapshot
+/// at start and subtract it at finish; see [`key_stats_since`].
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    counters: [u64; Stat::COUNT],
+    /// Per-histogram `(count, sum)` in stored units; the sum is
+    /// reconstructed as `mean × count`, which is exact because the stored
+    /// sum is an integer total of `u64` samples.
+    hists: [(u64, f64); Hist::COUNT],
+}
+
+/// Captures the recorder's current counter and histogram totals.
+#[must_use]
+pub fn snapshot(rec: &Recorder) -> StatsSnapshot {
+    let mut hists = [(0u64, 0.0f64); Hist::COUNT];
+    for (slot, &h) in hists.iter_mut().zip(Hist::ALL.iter()) {
+        let hist = rec.hist(h);
+        let n = hist.count();
+        *slot = (n, hist.mean() * n as f64);
+    }
+    StatsSnapshot {
+        counters: rec.counters().snapshot(),
+        hists,
+    }
+}
+
+/// Key output stats accumulated since `base` was captured, as stable
+/// `(name, value)` pairs: every counter that moved (by its snake_case
+/// name), plus `<hist>_n` / `<hist>_mean` for every histogram that gained
+/// samples (means in display units). Pairs come out in declaration order,
+/// so the list is deterministic.
+#[must_use]
+pub fn key_stats_since(rec: &Recorder, base: &StatsSnapshot) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let now = rec.counters().snapshot();
+    for (i, &stat) in Stat::ALL.iter().enumerate() {
+        let delta = now[i].saturating_sub(base.counters[i]);
+        if delta != 0 {
+            out.push((stat.name().to_string(), delta as f64));
+        }
+    }
+    for (i, &h) in Hist::ALL.iter().enumerate() {
+        let hist = rec.hist(h);
+        let n = hist.count();
+        let (base_n, base_sum) = base.hists[i];
+        let dn = n.saturating_sub(base_n);
+        if dn != 0 {
+            let dsum = hist.mean() * n as f64 - base_sum;
+            out.push((format!("{}_n", h.name()), dn as f64));
+            out.push((
+                format!("{}_mean", h.name()),
+                rec.hist_display(h, dsum / dn as f64),
+            ));
+        }
+    }
+    out
 }
 
 /// Emits periodic and final counter/histogram summaries.
@@ -236,6 +298,45 @@ mod tests {
     fn single_run_sweep_never_draws() {
         let p = SweepProgress::new(1);
         assert!(!p.active());
+    }
+
+    #[test]
+    fn key_stats_are_deltas_not_totals() {
+        let rec = Recorder::new(RecorderConfig::default());
+        rec.counters().add(Stat::ArmPulls, 7);
+        rec.hist(Hist::Reward).record_f64(2.0);
+        let base = snapshot(&rec);
+
+        rec.counters().add(Stat::ArmPulls, 3);
+        rec.counters().add(Stat::DramAccess, 2);
+        rec.hist(Hist::Reward).record_f64(4.0);
+        rec.hist(Hist::Reward).record_f64(6.0);
+
+        let stats = key_stats_since(&rec, &base);
+        let get = |name: &str| {
+            stats
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {name} in {stats:?}"))
+        };
+        // Pre-snapshot activity is subtracted out.
+        assert_eq!(get("arm_pulls"), 3.0);
+        assert_eq!(get("dram_access"), 2.0);
+        assert_eq!(get("reward_n"), 2.0);
+        // Delta mean over the two new samples (4.0, 6.0), not the lifetime
+        // mean over all three.
+        assert!((get("reward_mean") - 5.0).abs() < 1e-6, "{stats:?}");
+        // Untouched counters never appear.
+        assert!(!stats.iter().any(|(k, _)| k == "l1_demand_hit"));
+    }
+
+    #[test]
+    fn key_stats_since_fresh_snapshot_of_idle_recorder_is_empty() {
+        let rec = Recorder::new(RecorderConfig::default());
+        rec.counters().add(Stat::ArmPulls, 7);
+        let base = snapshot(&rec);
+        assert!(key_stats_since(&rec, &base).is_empty());
     }
 
     #[test]

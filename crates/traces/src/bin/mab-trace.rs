@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! mab-trace record (--app NAME | --smt NAME) [--seed S] --records N <out.mabt>
-//! mab-trace info <file.mabt>
+//! mab-trace info <file.mabt> [--json]
 //! mab-trace validate <file.mabt>...
-//! mab-trace stats <file.mabt> [--top N]
+//! mab-trace stats <file.mabt> [--top N] [--json]
 //! mab-trace convert <champsim.bin | -> <out.mabt> [--provenance STR]
 //! ```
 //!
@@ -28,18 +28,19 @@ USAGE:
         --smt NAME    SMT thread workload
         --seed S      generator seed (default 1)
 
-    mab-trace info <file.mabt>
+    mab-trace info <file.mabt> [--json]
         Prints the header: kind, record count, line size, seed, provenance,
-        and whether the file carries an index footer.
+        and whether the file carries an index footer. --json emits the same
+        fields as one JSON object.
 
     mab-trace validate <file.mabt>...
         Fully decodes each file, verifying every block CRC. Prints one line
         per file; exits 1 if any file is truncated or corrupt.
 
-    mab-trace stats <file.mabt> [--top N]
+    mab-trace stats <file.mabt> [--top N] [--json]
         Workload summary of a memory trace: load/store/branch mix, cache-line
         footprint, and per-PC stride profiles of the N hottest PCs
-        (default 8).
+        (default 8). --json emits {\"meta\":…,\"stats\":…} as one object.
 
     mab-trace convert <champsim.bin | -> <out.mabt> [--provenance STR]
         Imports a raw (already decompressed) ChampSim 64-byte-record trace;
@@ -149,6 +150,39 @@ fn smt_names() -> String {
         .join(", ")
 }
 
+/// Minimal JSON string escaping for the provenance field (the only
+/// free-form string in the header).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The header as a JSON object body (no trailing brace, so `info` can
+/// append the index probe).
+fn meta_json_fields(meta: &TraceMeta) -> String {
+    format!(
+        "\"kind\":\"{}\",\"records\":{},\"line_size\":{},\"block_len\":{},\
+         \"seed\":{},\"provenance\":\"{}\"",
+        meta.kind.name(),
+        meta.record_count,
+        meta.line_size,
+        meta.block_len,
+        meta.seed,
+        json_escape(&meta.provenance),
+    )
+}
+
 fn print_meta(meta: &TraceMeta) {
     println!("kind             {}", meta.kind.name());
     println!("records          {}", meta.record_count);
@@ -166,23 +200,38 @@ fn print_meta(meta: &TraceMeta) {
 }
 
 fn run_info(args: &[String]) -> ExitCode {
-    let [path] = args else {
+    let (json, paths): (bool, Vec<&String>) = {
+        let json = args.iter().any(|a| a == "--json");
+        (json, args.iter().filter(|a| *a != "--json").collect())
+    };
+    let [path] = paths.as_slice() else {
         return usage_error("info needs exactly one trace path");
     };
     let meta = match peek_meta(path) {
         Ok(meta) => meta,
         Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
     };
-    print_meta(&meta);
     // The index probe needs a typed reader; dispatch on the header's kind.
     let index = match meta.kind {
         PayloadKind::Mem => TraceReader::open(path).map(|r| r.indexed_blocks()),
         PayloadKind::Smt => SmtTraceReader::open(path).map(|r| r.indexed_blocks()),
     };
-    match index {
-        Ok(Some(blocks)) => println!("index            {blocks} blocks"),
-        Ok(None) => println!("index            absent (sequential reads only)"),
+    let index = match index {
+        Ok(index) => index,
         Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+    };
+    if json {
+        let blocks = index.map_or("null".to_string(), |b| b.to_string());
+        println!(
+            "{{{},\"indexed_blocks\":{blocks}}}",
+            meta_json_fields(&meta)
+        );
+    } else {
+        print_meta(&meta);
+        match index {
+            Some(blocks) => println!("index            {blocks} blocks"),
+            None => println!("index            absent (sequential reads only)"),
+        }
     }
     ExitCode::SUCCESS
 }
@@ -237,6 +286,7 @@ fn validate_one(path: &str) -> mab_traces::Result<String> {
 fn run_stats(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut top = 8usize;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -244,6 +294,7 @@ fn run_stats(args: &[String]) -> ExitCode {
                 Some(n) if n > 0 => top = n,
                 _ => return usage_error("--top needs a positive integer"),
             },
+            "--json" => json = true,
             flag if flag.starts_with("--") => {
                 return usage_error(&format!("unknown flag {flag}"));
             }
@@ -257,14 +308,26 @@ fn run_stats(args: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
     };
-    print_meta(reader.meta());
+    let meta = reader.meta().clone();
+    if !json {
+        print_meta(&meta);
+    }
     // Collect through the non-panicking API so corruption stays a clean
     // CLI error rather than a panic.
     let records = match reader.read_all() {
         Ok(records) => records,
         Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
     };
-    print!("{}", mab_traces::stats::analyze(records.into_iter(), top));
+    let stats = mab_traces::stats::analyze(records.into_iter(), top);
+    if json {
+        println!(
+            "{{\"meta\":{{{}}},\"stats\":{}}}",
+            meta_json_fields(&meta),
+            stats.to_json()
+        );
+    } else {
+        print!("{stats}");
+    }
     ExitCode::SUCCESS
 }
 

@@ -66,6 +66,38 @@ impl TraceStats {
     pub fn footprint_bytes(&self) -> u64 {
         self.footprint_lines * LINE_BYTES
     }
+
+    /// The summary as one JSON object (the `mab-trace stats --json`
+    /// payload). All fields are numbers, so no string escaping is needed;
+    /// ratios use `Display` round-tripping like the telemetry exporters.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"records\":{},\"loads\":{},\"stores\":{},\"branches\":{},\
+             \"mem_ratio\":{},\"branch_ratio\":{},\"footprint_lines\":{},\
+             \"footprint_bytes\":{},\"mem_pcs\":{},\"top_pcs\":[",
+            self.records,
+            self.loads,
+            self.stores,
+            self.branches,
+            self.mem_ratio(),
+            self.branch_ratio(),
+            self.footprint_lines,
+            self.footprint_bytes(),
+            self.mem_pcs,
+        );
+        for (i, p) in self.top_pcs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"pc\":{},\"accesses\":{},\"top_stride\":{},\"top_stride_frac\":{}}}",
+                p.pc, p.accesses, p.top_stride, p.top_stride_frac
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 impl fmt::Display for TraceStats {
@@ -218,5 +250,20 @@ mod tests {
         assert_eq!(stats.records, 0);
         assert_eq!(stats.mem_ratio(), 0.0);
         assert!(stats.top_pcs.is_empty());
+    }
+
+    #[test]
+    fn json_summary_carries_the_same_numbers() {
+        let records = vec![
+            TraceRecord::branch(0x104),
+            TraceRecord::load(0x108, 64),
+            TraceRecord::load(0x108, 128),
+        ];
+        let json = analyze(records.into_iter(), 8).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"records\":3"), "{json}");
+        assert!(json.contains("\"loads\":2"), "{json}");
+        assert!(json.contains("\"branches\":1"), "{json}");
+        assert!(json.contains("\"top_pcs\":[{\"pc\":264,"), "{json}");
     }
 }

@@ -21,19 +21,27 @@
 #   results/$name.jsonl       telemetry export (counters, histograms, events)
 #   results/$name.trace.json  Perfetto decision timeline (ui.perfetto.dev)
 # Analyse them with `cargo run -p mab-inspect -- report results/$name.jsonl`.
+#
+# Each run also appends one record (config digest, wall time, key stats,
+# artifact pointers) to the run ledger — LEDGER=DIR overrides the default
+# results/ledger, LEDGER= (empty) disables recording. Query it with
+# `cargo run -p mab-inspect -- history | trend | regress`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-}"
 TRACE_DIR="${TRACE_DIR:-}"
+LEDGER="${LEDGER-results/ledger}"
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs|-j)
       JOBS="$2"; shift 2 ;;
     --trace-dir)
       TRACE_DIR="$2"; shift 2 ;;
+    --ledger)
+      LEDGER="$2"; shift 2 ;;
     *)
-      echo "usage: $0 [--jobs N] [--trace-dir DIR]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--trace-dir DIR] [--ledger DIR]" >&2; exit 2 ;;
   esac
 done
 
@@ -45,6 +53,7 @@ run() {
   cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
     ${JOBS:+--jobs "$JOBS"} \
     ${TRACE_DIR:+--trace-dir "$TRACE_DIR"} \
+    ${LEDGER:+--ledger "$LEDGER"} \
     --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
     >"results/$name.txt" 2>"results/$name.log"
   echo "--- wrote results/$name.txt"

@@ -13,20 +13,25 @@
 #
 # Outputs land in results/round2/ so they never clobber the round-1 files:
 # each round's artifacts are addressed by directory, not by which script
-# happened to run last.
+# happened to run last. Ledger records go to the shared results/ledger by
+# default (LEDGER=DIR overrides, LEDGER= disables): rounds are
+# distinguished by config digest, so one history spans both.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-}"
 TRACE_DIR="${TRACE_DIR:-}"
+LEDGER="${LEDGER-results/ledger}"
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs|-j)
       JOBS="$2"; shift 2 ;;
     --trace-dir)
       TRACE_DIR="$2"; shift 2 ;;
+    --ledger)
+      LEDGER="$2"; shift 2 ;;
     *)
-      echo "usage: $0 [--jobs N] [--trace-dir DIR]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--trace-dir DIR] [--ledger DIR]" >&2; exit 2 ;;
   esac
 done
 
@@ -39,6 +44,7 @@ run() {
   cargo run --release -q -p mab-experiments --features telemetry --bin "$name" -- "$@" \
     ${JOBS:+--jobs "$JOBS"} \
     ${TRACE_DIR:+--trace-dir "$TRACE_DIR"} \
+    ${LEDGER:+--ledger "$LEDGER"} \
     --telemetry "$OUT/$name.jsonl" --trace "$OUT/$name.trace.json" \
     >"$OUT/$name.txt" 2>"$OUT/$name.log"
   echo "--- wrote $OUT/$name.txt"
