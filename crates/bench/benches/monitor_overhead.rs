@@ -1,0 +1,282 @@
+//! Live-monitor overhead benchmark.
+//!
+//! Measures full `mab_runner::sweep` runs — the unit the monitor actually
+//! observes — with the monitoring plane off and on. The "on" side is the
+//! worst realistic case: a `mab-monitor` server with its runner observer
+//! registered, an SSE subscriber attached, and a scraper thread fetching
+//! `/metrics` and `/status` every [`SCRAPE_INTERVAL`] — tens of times
+//! faster than any real Prometheus scrape cadence, but *bounded*: an
+//! interval-free busy-poll on a small host just measures the CPU a spinning
+//! client steals, not the monitoring plane (on a single-core runner it
+//! inflates the delta to ~40%). The measured delta covers the per-arm event
+//! fan-out (`ArmStart`/`ArmFinish` timestamps, the arm-table mutex, SSE
+//! ring publishes) plus the snapshot renders concurrent scrapes trigger.
+//!
+//! Arm length is chosen to keep the *event rate* production-shaped, for
+//! the same reason the scrape cadence is bounded: each arm fires two
+//! observer events, so on a host with no spare core an artificially short
+//! arm (e.g. 2k instructions ≈ 170µs) turns the bench into a
+//! thread-scheduling ping-pong between the sweep workers and the SSE
+//! streamer at ~10k wakes/s — measured +10–14% here, none of which a real
+//! sweep ever sees (the smallest recorded config, fig05 at 50k
+//! instructions, fires events 25x slower; most configs are 100–1000x).
+//! [`SIM_INSTRUCTIONS`] still over-represents per-arm costs vs every
+//! recorded config.
+//!
+//! Like `profile_overhead`, the two sides run as *adjacent pairs* — each
+//! off-sample is immediately followed by an on-sample with a freshly
+//! started monitor (exactly the `--monitor` switch: no observer is
+//! registered at all on the off side) — and the reported overhead is the
+//! median pair ratio, so frequency drift on a timescale longer than one
+//! pair cancels out. Monitor startup, client connects, and shutdown all
+//! happen outside the timed regions. The <5% budget is enforced in both
+//! feature modes and the result lands in BENCH_monitor_overhead.json.
+//!
+//! Run with: `cargo bench -p mab-bench --bench monitor_overhead
+//! [--features telemetry]`
+
+use criterion::black_box;
+use mab_memsim::{config::SystemConfig, System};
+use mab_monitor::{client, Monitor, RunInfo};
+use mab_prefetch::BanditL2;
+use mab_runner::{sweep, SweepOptions};
+use mab_workloads::suites;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Arms per sweep: enough that per-arm observer costs dominate any
+/// per-sweep setup in the delta.
+const ARMS: usize = 16;
+
+/// Workers per sweep — the parallel path is the one the monitor observes
+/// in production sweeps.
+const JOBS: usize = 2;
+
+/// Instructions per arm: short enough that per-arm observer costs are
+/// over-represented relative to every recorded experiment config, long
+/// enough that the event rate stays in the regime real sweeps produce
+/// (see the module comment on why 2k-instruction arms measure scheduler
+/// ping-pong instead on a single-core host).
+const SIM_INSTRUCTIONS: u64 = 20_000;
+
+/// Off/on sample pairs. The median pair ratio is reported.
+const PAIRS: usize = 15;
+
+/// Pause between scrape rounds (one `/metrics` + one `/status` fetch).
+/// 100ms is 10x a 1s dev-dashboard cadence and 150x Prometheus's default
+/// 15s. Each scrape round costs real serialized work on a single-core
+/// host — a fresh TCP connect plus a handler-thread spawn per request —
+/// so the cadence, like the arm length above, is pinned adversarial-but-
+/// production-shaped rather than interval-free (see the module comment).
+const SCRAPE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Minimum wall time per sample; iteration counts are calibrated to it.
+/// Long enough that every sample integrates several scrape rounds at the
+/// steady [`SCRAPE_INTERVAL`] duty cycle — with samples shorter than the
+/// cadence, whether a round lands inside the timed region is a coin flip
+/// and the pair ratios bimodal.
+const SAMPLE_MS: u128 = 250;
+
+/// One monitored unit: a parallel sweep of short bandit-prefetcher
+/// simulations, exactly as the experiment binaries drive them.
+fn sweep_once() -> f64 {
+    let app = suites::app_by_name("cactus").expect("catalog app");
+    let specs: Vec<u64> = (0..ARMS as u64).collect();
+    let results = sweep(&specs, SweepOptions::new(JOBS, 7), |ctx, _spec| {
+        let mut system = System::single_core(SystemConfig::default());
+        system.set_prefetcher(0, Box::new(BanditL2::paper_default(ctx.seed)));
+        system.run(&mut app.trace(ctx.seed), SIM_INSTRUCTIONS).ipc()
+    })
+    .expect("sweep");
+    results.iter().sum()
+}
+
+/// Times `iters` sweeps, returning ns/iter.
+fn sample(iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(sweep_once());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// A scraper thread polling `/metrics` and `/status` every
+/// [`SCRAPE_INTERVAL`] until stopped — an aggressively fast Prometheus.
+fn spawn_scraper(
+    url: String,
+    stop: Arc<AtomicBool>,
+    scrapes: Arc<AtomicU64>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let timeout = Duration::from_secs(2);
+        while !stop.load(Ordering::SeqCst) {
+            let m = client::get(&format!("{url}/metrics"), timeout);
+            let s = client::get(&format!("{url}/status"), timeout);
+            if m.is_ok() && s.is_ok() {
+                scrapes.fetch_add(2, Ordering::Relaxed);
+            }
+            std::thread::sleep(SCRAPE_INTERVAL);
+        }
+    })
+}
+
+/// One on-sample worth of monitoring plane: server + SSE drain + scraper.
+/// Everything starts before and stops after the timed region.
+struct Plane {
+    monitor: Monitor,
+    stop: Arc<AtomicBool>,
+    scraper: std::thread::JoinHandle<()>,
+    drain: std::thread::JoinHandle<()>,
+}
+
+impl Plane {
+    fn start(scrapes: &Arc<AtomicU64>) -> Plane {
+        let monitor = Monitor::start(
+            mab_monitor::DEFAULT_ADDR,
+            RunInfo {
+                experiment: "monitor_overhead".to_string(),
+                jobs: JOBS as u64,
+                ..RunInfo::default()
+            },
+        )
+        .expect("monitor bind");
+        let url = monitor.url();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut subscriber =
+            client::SseClient::connect(&format!("{url}/events"), Duration::from_secs(2))
+                .expect("sse subscribe");
+        // Drain the subscriber concurrently so the server never sees a
+        // slow client; EOF arrives when the monitor shuts down.
+        let drain = std::thread::spawn(move || while let Ok(Some(_)) = subscriber.next_frame() {});
+        let scraper = spawn_scraper(url, Arc::clone(&stop), Arc::clone(scrapes));
+        Plane {
+            monitor,
+            stop,
+            scraper,
+            drain,
+        }
+    }
+
+    /// Tears the plane down, returning scrapes the server itself counted.
+    fn shutdown(self) -> u64 {
+        self.stop.store(true, Ordering::SeqCst);
+        self.scraper.join().expect("scraper join");
+        let served = self.monitor.shutdown();
+        self.drain.join().expect("sse drain join");
+        served
+    }
+}
+
+struct Measurement {
+    off_ns: f64,
+    on_ns: f64,
+    overhead_pct: f64,
+    scrapes: u64,
+}
+
+fn measure() -> Measurement {
+    // Calibrate the per-sample iteration count (monitor off), then warm up.
+    let mut iters = 1u64;
+    while {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(sweep_once());
+        }
+        start.elapsed().as_millis() < SAMPLE_MS
+    } {
+        iters *= 2;
+    }
+
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let mut served = 0u64;
+    let mut overheads = Vec::with_capacity(PAIRS);
+    let mut offs = Vec::with_capacity(PAIRS);
+    let mut ons = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let off = sample(iters);
+        let plane = Plane::start(&scrapes);
+        let on = sample(iters);
+        served += plane.shutdown();
+        overheads.push((on - off) / off * 100.0);
+        offs.push(off);
+        ons.push(on);
+    }
+
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    // The server's own count includes the final scrape a worker may have
+    // had in flight at stop time; prefer it when larger.
+    Measurement {
+        off_ns: median(&mut offs),
+        on_ns: median(&mut ons),
+        overhead_pct: median(&mut overheads),
+        scrapes: served.max(scrapes.load(Ordering::Relaxed)),
+    }
+}
+
+fn main() {
+    // A recorder is installed and recording, matching a telemetry-enabled
+    // experiment run; in the default build the macros compile away and the
+    // recorder is inert. Identical on both sides of every pair.
+    mab_telemetry::install(mab_telemetry::RecorderConfig::default());
+    mab_telemetry::set_recording(true);
+
+    let mode = if mab_telemetry::STATIC_ENABLED {
+        "telemetry feature ON"
+    } else {
+        "telemetry feature OFF"
+    };
+    println!("mode: {mode}; {ARMS} arms x {SIM_INSTRUCTIONS} instructions at --jobs {JOBS}");
+
+    let m = measure();
+    println!(
+        "sweep    off {:>12.1} ns/iter, monitor+scraper on {:>12.1} ns/iter -> {:+.2}% \
+         (median of {PAIRS} paired samples; {} scrapes served during on-samples)",
+        m.off_ns, m.on_ns, m.overhead_pct, m.scrapes
+    );
+
+    let budget = 5.0;
+    let pass = m.overhead_pct < budget;
+    write_report(&m, budget, pass);
+    if pass {
+        println!(
+            "PASS: live-monitor overhead {:+.2}% is under the {budget}% budget",
+            m.overhead_pct
+        );
+    } else {
+        println!(
+            "FAIL: live-monitor overhead {:+.2}% exceeds the {budget}% budget",
+            m.overhead_pct
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Writes the machine-readable result to BENCH_monitor_overhead.json at the
+/// repo root (ingest with `mab-inspect ingest`, gate with `mab-inspect
+/// regress`). The JSON is echoed to stdout so CI logs pin the numbers.
+fn write_report(m: &Measurement, budget: f64, pass: bool) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_monitor_overhead.json"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"monitor_overhead\",\n  \"telemetry_feature\": {},\n  \
+         \"sweep_off_ns\": {:.1},\n  \"sweep_on_ns\": {:.1},\n  \
+         \"monitor_overhead_pct\": {:.3},\n  \"scrapes_served\": {},\n  \
+         \"budget_pct\": {budget},\n  \"pass\": {pass}\n}}\n",
+        mab_telemetry::STATIC_ENABLED,
+        m.off_ns,
+        m.on_ns,
+        m.overhead_pct,
+        m.scrapes,
+    );
+    print!("{json}");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -22,6 +22,10 @@
 //!   stats, artifact pointers) to the append-only run ledger under DIR
 //!   (also honored via the `MAB_LEDGER` environment variable; the flag
 //!   wins, and an empty value disables recording),
+//! - `--monitor ADDR` — serve live `/metrics`, `/status` and `/events`
+//!   endpoints on ADDR for the duration of the run (also honored via the
+//!   `MAB_MONITOR` environment variable when the flag is absent; an empty
+//!   value keeps the monitor off),
 //! - `--quiet` — suppress `[mab]` stderr progress lines (also honored via
 //!   the `MAB_QUIET=1` environment variable),
 //! - `--help`.
@@ -53,6 +57,10 @@ pub struct Options {
     /// Run-ledger directory (`--ledger` / `MAB_LEDGER`): append a run
     /// record there at exit, if set.
     pub ledger: Option<PathBuf>,
+    /// Live-monitor bind address (`--monitor` / `MAB_MONITOR`), e.g.
+    /// `127.0.0.1:9464` (port `0` picks an ephemeral port). `None` keeps
+    /// the monitor off.
+    pub monitor: Option<String>,
     /// Suppress `[mab]` stderr progress lines (`--quiet` / `MAB_QUIET=1`).
     pub quiet: bool,
 }
@@ -79,6 +87,9 @@ impl Options {
         if opts.ledger.is_none() {
             opts.ledger = ledger_env();
         }
+        if opts.monitor.is_none() {
+            opts.monitor = monitor_env();
+        }
         opts
     }
 
@@ -99,6 +110,7 @@ impl Options {
             trace_dir: None,
             profile: None,
             ledger: None,
+            monitor: None,
             quiet: false,
         };
         let mut args = args.peekable();
@@ -158,6 +170,12 @@ impl Options {
                             .unwrap_or_else(|| usage("--ledger needs a directory")),
                     ));
                 }
+                "--monitor" => {
+                    let addr = args
+                        .next()
+                        .unwrap_or_else(|| usage("--monitor needs an address (host:port)"));
+                    opts.monitor = (!addr.is_empty()).then_some(addr);
+                }
                 "--quiet" => {
                     opts.quiet = true;
                 }
@@ -193,6 +211,12 @@ fn ledger_env() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
+/// Monitor bind address from `MAB_MONITOR`, if set non-empty. Setting it to
+/// the empty string keeps the monitor off.
+fn monitor_env() -> Option<String> {
+    std::env::var("MAB_MONITOR").ok().filter(|v| !v.is_empty())
+}
+
 fn usage<T>(error: &str) -> T {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
@@ -222,6 +246,10 @@ fn usage<T>(error: &str) -> T {
          \x20                 stats, artifact pointers) to the run ledger under\n\
          \x20                 DIR (MAB_LEDGER does the same; query it with\n\
          \x20                 mab-inspect history/trend/regress)\n\
+         --monitor ADDR    serve live /metrics, /status and /events endpoints\n\
+         \x20                 on ADDR (host:port; port 0 picks one) for the\n\
+         \x20                 duration of the run (MAB_MONITOR does the same;\n\
+         \x20                 watch it with mab-inspect watch URL)\n\
          --quiet           suppress [mab] stderr progress lines (MAB_QUIET=1\n\
          \x20                 does the same)"
     );
@@ -322,5 +350,14 @@ mod tests {
         let o = parse(&["--ledger", "results/ledger"]);
         assert_eq!(o.ledger, Some(PathBuf::from("results/ledger")));
         assert!(parse(&[]).ledger.is_none());
+    }
+
+    #[test]
+    fn monitor_addr_is_captured() {
+        let o = parse(&["--monitor", "127.0.0.1:9464"]);
+        assert_eq!(o.monitor.as_deref(), Some("127.0.0.1:9464"));
+        assert!(parse(&[]).monitor.is_none());
+        // An empty value keeps the monitor off.
+        assert!(parse(&["--monitor", ""]).monitor.is_none());
     }
 }

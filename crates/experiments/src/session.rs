@@ -28,6 +28,7 @@
 
 use crate::cli::Options;
 use mab_ledger::{code_version, Append, ArmRun, Ledger, RunRecord};
+use mab_monitor::Monitor;
 use mab_runner::ArmObservation;
 use mab_telemetry::progress;
 use mab_telemetry::summary::StatsSnapshot;
@@ -45,6 +46,9 @@ pub struct TelemetrySession {
     trace: Option<PathBuf>,
     profile: Option<PathBuf>,
     ledger: Option<LedgerCapture>,
+    /// The live monitor, when `--monitor` was given. Shut down (and its
+    /// scrape count harvested for the ledger) at [`TelemetrySession::finish`].
+    monitor: Mutex<Option<Monitor>>,
 }
 
 /// In-flight state for one ledger record: the identity/config part of the
@@ -78,6 +82,29 @@ impl TelemetrySession {
                 "--telemetry/--trace/--profile ignored: rebuild with `--features telemetry` to record"
             );
         }
+        let monitor = opts.monitor.as_ref().and_then(|addr| {
+            // The monitor needs the run's config digest; building the
+            // identity record is cheap, so do it whether or not `--ledger`
+            // is also active.
+            let identity = identity_record(name, opts);
+            let run = mab_monitor::RunInfo {
+                experiment: name.to_string(),
+                digest: identity.digest(),
+                code: identity.code.clone(),
+                jobs: opts.jobs as u64,
+                started_unix: unix_now(),
+            };
+            match Monitor::start(addr, run) {
+                Ok(monitor) => {
+                    progress!("monitor listening on {}", monitor.url());
+                    Some(monitor)
+                }
+                Err(e) => {
+                    progress!("monitor bind to {addr} failed: {e}");
+                    None
+                }
+            }
+        });
         TelemetrySession {
             export: opts.telemetry.clone(),
             trace: opts.trace.clone(),
@@ -93,7 +120,13 @@ impl TelemetrySession {
                 })));
                 capture
             }),
+            monitor: Mutex::new(monitor),
         }
+    }
+
+    /// The live monitor's base URL while one is serving.
+    pub fn monitor_url(&self) -> Option<String> {
+        self.monitor.lock().unwrap().as_ref().map(Monitor::url)
     }
 
     /// Prints the end-of-run counter/histogram summary to stderr, writes
@@ -128,9 +161,20 @@ impl TelemetrySession {
                 }
             }
         }
+        // Stop the monitor before sealing the ledger record so the scrape
+        // count it reports is final.
+        let monitor_meta = self
+            .monitor
+            .lock()
+            .unwrap()
+            .take()
+            .map(|monitor| (monitor.addr().to_string(), monitor.shutdown()));
+        if let Some((endpoint, scrapes)) = &monitor_meta {
+            progress!("monitor on {endpoint} served {scrapes} scrapes");
+        }
         if let Some(capture) = &self.ledger {
             mab_runner::set_arm_observer(None);
-            let record = capture.seal();
+            let record = capture.seal(monitor_meta);
             match Ledger::open(&capture.dir).and_then(|ledger| ledger.record(&record)) {
                 Ok(Append::Recorded(digest)) => progress!(
                     "ledger: recorded {} run {digest} in {}",
@@ -146,18 +190,31 @@ impl TelemetrySession {
     }
 }
 
+/// Seconds since the Unix epoch (0 when the clock is unavailable).
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// Builds the identity (digest-relevant) part of a run record: experiment
+/// name, code version and the canonical config pairs. Shared by ledger
+/// recording and the live monitor, so both planes report the same digest.
+fn identity_record(name: &str, opts: &Options) -> RunRecord {
+    let mut record = RunRecord::new(name, &code_version());
+    record.config_pair("instructions", opts.instructions);
+    record.config_pair("seed", opts.seed);
+    record.config_pair("mixes", opts.mixes);
+    record.config_pair("quick", opts.quick);
+    record
+}
+
 impl LedgerCapture {
     /// Builds the identity half of the record and snapshots the recorder.
     fn start(name: &str, dir: PathBuf, opts: &Options) -> LedgerCapture {
-        let mut record = RunRecord::new(name, &code_version());
-        record.config_pair("instructions", opts.instructions);
-        record.config_pair("seed", opts.seed);
-        record.config_pair("mixes", opts.mixes);
-        record.config_pair("quick", opts.quick);
+        let mut record = identity_record(name, opts);
         record.jobs = opts.jobs as u64;
-        record.started_unix = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map_or(0, |d| d.as_secs());
+        record.started_unix = unix_now();
         let mut artifact = |kind: &str, path: &Option<PathBuf>| {
             if let Some(path) = path {
                 record
@@ -179,14 +236,19 @@ impl LedgerCapture {
     }
 
     /// Completes the record with this session's outcome: wall time, key
-    /// stats since the start snapshot, and the normalized arm log.
-    fn seal(&self) -> RunRecord {
+    /// stats since the start snapshot, the normalized arm log, and the
+    /// monitor circumstance (`(endpoint, scrape count)`) when one served.
+    fn seal(&self, monitor_meta: Option<(String, u64)>) -> RunRecord {
         let mut record = self.record.clone();
         record.wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
         if let (Some(rec), Some(base)) = (mab_telemetry::recorder(), &self.base) {
             record.metrics = mab_telemetry::summary::key_stats_since(rec, base);
         }
         record.arms = normalize_arms(&self.arms.lock().unwrap());
+        if let Some((endpoint, scrapes)) = monitor_meta {
+            record.monitor = Some(endpoint);
+            record.monitor_scrapes = scrapes;
+        }
         record
     }
 }
@@ -228,6 +290,7 @@ mod tests {
             trace_dir: None,
             profile: None,
             ledger: None,
+            monitor: None,
             quiet: false,
         }
     }
@@ -247,6 +310,7 @@ mod tests {
             index,
             seed,
             wall_ns: 1,
+            worker: 0,
         };
         let scrambled = [obs(7, 1, 11), obs(3, 0, 20), obs(7, 0, 10), obs(3, 1, 21)];
         let ordered = [obs(3, 0, 20), obs(3, 1, 21), obs(7, 0, 10), obs(7, 1, 11)];

@@ -25,6 +25,7 @@ fn options(ledger: &Path, jobs: usize) -> Options {
         trace_dir: None,
         profile: None,
         ledger: Some(ledger.to_path_buf()),
+        monitor: None,
         quiet: true,
     }
 }

@@ -84,12 +84,20 @@ pub fn render_history(rows: &[&RunRecord]) -> String {
         "started (UTC)", "digest", "experiment", "jobs", "wall"
     ));
     for r in rows {
-        let config = r
+        let mut config = r
             .config
             .iter()
             .map(|(k, v)| format!("{k}={v}"))
             .collect::<Vec<_>>()
             .join(" ");
+        // Monitored runs carry their endpoint and scrape count as
+        // circumstance (non-digested) fields; show them inline.
+        if let Some(endpoint) = &r.monitor {
+            config.push_str(&format!(
+                " [monitored {endpoint}, {} scrape(s)]",
+                r.monitor_scrapes
+            ));
+        }
         out.push_str(&format!(
             "{:<17} {:<16} {:<24} {:>5} {:>10}  {config}\n",
             fmt_unix(r.started_unix),
@@ -490,6 +498,23 @@ mod tests {
         assert_eq!(fmt_unix(0), "1970-01-01 00:00");
         // 2026-08-07 12:34:00 UTC.
         assert_eq!(fmt_unix(1_786_106_040), "2026-08-07 12:34");
+    }
+
+    #[test]
+    fn history_shows_monitor_circumstance_when_present() {
+        let mut monitored = record("a", "c", 10, 1.0);
+        monitored.monitor = Some("127.0.0.1:9464".to_string());
+        monitored.monitor_scrapes = 7;
+        let plain = record("a", "c", 20, 2.0);
+        let records = [monitored, plain];
+        let rows: Vec<&RunRecord> = records.iter().collect();
+        let text = render_history(&rows);
+        assert!(
+            text.contains("[monitored 127.0.0.1:9464, 7 scrape(s)]"),
+            "{text}"
+        );
+        // Exactly one row is marked.
+        assert_eq!(text.matches("[monitored").count(), 1, "{text}");
     }
 
     #[test]

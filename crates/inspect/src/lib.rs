@@ -6,7 +6,8 @@
 //! back ([`artifact`]), runs post-hoc analyses ([`analysis`]: regret against
 //! the post-hoc best arm, arm-switch timelines, phase/windowed occupancy),
 //! compares runs for regressions ([`diff`]), and renders the `mab-inspect`
-//! CLI's `report` output ([`report`]).
+//! CLI's `report` output ([`report`]). The one live surface is [`watch`],
+//! which tails a `--monitor` endpoint served by `mab-monitor`.
 //!
 //! # Example
 //!
@@ -31,6 +32,7 @@ pub mod artifact;
 pub mod diff;
 pub mod history;
 pub mod report;
+pub mod watch;
 
 // The mini JSON parser moved to `mab-ledger` (the lowest layer that both
 // writes and reads JSONL); re-exported here so `mab_inspect::json` keeps

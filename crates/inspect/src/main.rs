@@ -3,7 +3,8 @@
 //! ```text
 //! mab-inspect report <artifact.jsonl>... [--windows N]
 //! mab-inspect diff <baseline.jsonl> <candidate.jsonl> [--threshold PCT]
-//! mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N]
+//! mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N] [--json]
+//! mab-inspect watch <URL> [--interval SECS] [--once]
 //! mab-inspect history [--ledger DIR] [--experiment NAME] [--config K=V] [--limit N] [--json]
 //! mab-inspect trend --metric NAME [--ledger DIR] [--experiment NAME] [--json]
 //! mab-inspect regress [--ledger DIR] [--experiment NAME | <BENCH.json>...] [--threshold PCT] [--metric NAME=PCT]
@@ -19,7 +20,8 @@ use std::process::ExitCode;
 use mab_inspect::artifact::RunArtifact;
 use mab_inspect::diff::{diff_artifacts, has_regression};
 use mab_inspect::history::{self, Filter, Thresholds};
-use mab_inspect::report::{render_diff, render_profile, render_report};
+use mab_inspect::report::{profile_json, render_diff, render_profile, render_report};
+use mab_inspect::watch;
 use mab_ledger::{ingest_bench_file, Append, Ledger, RunRecord};
 
 const USAGE: &str = "\
@@ -37,12 +39,21 @@ USAGE:
         exits 1 when any relative change exceeds the threshold.
         --threshold PCT   flag deltas beyond PCT percent (default 2)
 
-    mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N]
+    mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N] [--json]
         Self-time table from a --profile collapsed-stack file and/or the
         span lines of a --telemetry JSONL export, with percent-of-run and
         per-simulated-cycle cost (from the export's sim_cycles counter).
         --top N       rows to show (default 20)
         --cycles N    simulated-cycle denominator override
+        --json        emit the rows as a JSON document instead of a table
+
+    mab-inspect watch <URL> [--interval SECS] [--once]
+        Live view of a run started with --monitor ADDR: tails the /events
+        SSE stream and re-renders the /status arm table until the run
+        finishes (the stream closes). URL is the monitor's base address,
+        e.g. 127.0.0.1:9464.
+        --interval SECS   seconds between table refreshes (default 2)
+        --once            print one status snapshot and exit
 
     mab-inspect history [--ledger DIR] [--experiment NAME] [--config K=V]...
                         [--digest PREFIX] [--limit N] [--json]
@@ -106,6 +117,7 @@ fn main() -> ExitCode {
         Some("report") => run_report(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
         Some("profile") => run_profile(&args[1..]),
+        Some("watch") => run_watch(&args[1..]),
         Some("history") => run_history(&args[1..]),
         Some("trend") => run_trend(&args[1..]),
         Some("regress") => run_regress(&args[1..]),
@@ -115,13 +127,20 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage_error(
-            "expected a subcommand: report | diff | profile | history | trend | regress | ingest | help",
+            "expected a subcommand: report | diff | profile | watch | history | trend | regress | ingest | help",
         ),
     }
 }
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// A failure after the arguments parsed fine (server unreachable, stream
+/// cut): report it without drowning the message in the usage text.
+fn runtime_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
     ExitCode::from(2)
 }
 
@@ -157,6 +176,7 @@ fn run_profile(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut top = 20usize;
     let mut cycles = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -168,6 +188,7 @@ fn run_profile(args: &[String]) -> ExitCode {
                 Some(n) => cycles = Some(n),
                 _ => return usage_error("--cycles needs a number"),
             },
+            "--json" => json = true,
             flag if flag.starts_with("--") => {
                 return usage_error(&format!("unknown flag {flag}"));
             }
@@ -179,10 +200,42 @@ fn run_profile(args: &[String]) -> ExitCode {
     }
     match RunArtifact::load(&paths) {
         Ok(run) => {
-            print!("{}", render_profile(&run, top, cycles));
+            if json {
+                print!("{}", profile_json(&run, top, cycles));
+            } else {
+                print!("{}", render_profile(&run, top, cycles));
+            }
             ExitCode::SUCCESS
         }
         Err(e) => usage_error(&format!("cannot read artifact: {e}")),
+    }
+}
+
+fn run_watch(args: &[String]) -> ExitCode {
+    let mut url = None;
+    let mut interval = 2.0f64;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) if s > 0.0 => interval = s,
+                _ => return usage_error("--interval needs a positive number of seconds"),
+            },
+            "--once" => once = true,
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            positional if url.is_none() => url = Some(positional.to_string()),
+            _ => return usage_error("watch takes exactly one URL"),
+        }
+    }
+    let Some(url) = url else {
+        return usage_error("watch needs the monitor URL (e.g. 127.0.0.1:9464)");
+    };
+    match watch::watch(&url, std::time::Duration::from_secs_f64(interval), once) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => runtime_error(&e),
     }
 }
 

@@ -255,6 +255,49 @@ pub fn render_profile(run: &RunArtifact, top: usize, cycles: Option<u64>) -> Str
     out
 }
 
+/// Renders the profile as a JSON document for `mab-inspect profile --json`:
+/// the same rows as [`render_profile`] (top-N by self time) plus the run
+/// totals, machine-readable for dashboards and CI gates.
+pub fn profile_json(run: &RunArtifact, top: usize, cycles: Option<u64>) -> String {
+    use mab_ledger::json::{escape, fmt_f64};
+    let total_self: u64 = run.spans.values().map(|s| s.self_ns).sum();
+    let cycles = cycles.or_else(|| run.counters.get("sim_cycles").copied());
+    let mut rows: Vec<(&String, &crate::artifact::SpanLine)> = run.spans.iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.0.cmp(b.0)));
+
+    let mut out = format!(
+        "{{\"paths_total\":{},\"total_self_ns\":{total_self},\"sim_cycles\":{},\"paths\":[",
+        rows.len(),
+        cycles.map_or("null".to_string(), |c| c.to_string()),
+    );
+    for (i, (path, span)) in rows.iter().take(top).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * span.self_ns as f64 / total_self as f64
+        };
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"count\":{},\"self_ns\":{},\"self_pct\":{}",
+            escape(path),
+            span.count,
+            span.self_ns,
+            fmt_f64(pct),
+        ));
+        if let Some(c) = cycles.filter(|&c| c > 0) {
+            out.push_str(&format!(
+                ",\"ns_per_cycle\":{}",
+                fmt_f64(span.self_ns as f64 / c as f64)
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Shortens a span path to `width` characters, keeping the leaf frames —
 /// the informative end of a collapsed stack.
 fn ellipsize(path: &str, width: usize) -> String {
@@ -385,6 +428,37 @@ mod tests {
     fn profile_without_spans_says_so() {
         let text = render_profile(&RunArtifact::new(), 20, None);
         assert!(text.contains("no span data"), "{text}");
+    }
+
+    #[test]
+    fn profile_json_parses_and_matches_the_table() {
+        let mut a = RunArtifact::new();
+        a.absorb_line("run 1000");
+        a.absorb_line("run;cache_access 3000");
+        a.absorb_line("run;cache_access;mshr 1000");
+        a.absorb_line("{\"kind\":\"counter\",\"stat\":\"sim_cycles\",\"value\":500}");
+        let doc = mab_ledger::json::parse(profile_json(&a, 2, None).trim()).unwrap();
+        assert_eq!(doc.get("paths_total").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("total_self_ns").unwrap().as_u64(), Some(5000));
+        assert_eq!(doc.get("sim_cycles").unwrap().as_u64(), Some(500));
+        let paths = doc.get("paths").unwrap().as_arr().unwrap();
+        // --top 2 keeps the two largest rows, ranked by self time.
+        assert_eq!(paths.len(), 2);
+        assert_eq!(
+            paths[0].get("path").unwrap().as_str(),
+            Some("run;cache_access")
+        );
+        assert_eq!(paths[0].get("self_pct").unwrap().as_f64(), Some(60.0));
+        assert_eq!(paths[0].get("ns_per_cycle").unwrap().as_f64(), Some(6.0));
+
+        // Without a cycle denominator the per-cycle field is omitted.
+        let no_cycles = {
+            let mut b = RunArtifact::new();
+            b.absorb_line("run 1000");
+            profile_json(&b, 20, None)
+        };
+        assert!(!no_cycles.contains("ns_per_cycle"), "{no_cycles}");
+        assert!(no_cycles.contains("\"sim_cycles\":null"), "{no_cycles}");
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! `mab-inspect watch`: a live terminal view of a monitored run.
+//!
+//! Connects to a `mab-monitor` endpoint (an experiment started with
+//! `--monitor ADDR`), tails its `/events` SSE stream, and re-polls
+//! `/status` to render a per-arm state table. The rendering is pure over
+//! the parsed status document so tests can exercise it without a server;
+//! the `mab-inspect` binary owns the socket loop.
+
+use mab_ledger::json::JsonValue;
+use mab_monitor::client::{self, SseClient};
+use mab_telemetry::live;
+use std::fmt::Write as _;
+use std::io::ErrorKind;
+use std::time::{Duration, Instant};
+
+/// How many arm rows the table shows (newest last).
+const ARM_ROWS: usize = 12;
+
+/// Renders one status snapshot as the watch screen: run identity, sweep
+/// progress, per-worker line, and the tail of the arm table.
+#[must_use]
+pub fn render_status(doc: &JsonValue) -> String {
+    let mut out = String::new();
+    let str_of = |key: &str| doc.get(key).and_then(JsonValue::as_str).unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "{} (digest {}, code {}) --jobs {}",
+        str_of("experiment"),
+        str_of("digest"),
+        str_of("code"),
+        doc.get("jobs").and_then(JsonValue::as_u64).unwrap_or(0),
+    );
+
+    match doc.get("sweep") {
+        Some(sweep) if sweep.get("total").is_some() => {
+            let field = |key: &str| sweep.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let (done, total) = (field("done"), field("total"));
+            let rate = sweep
+                .get("rate_per_sec")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            let eta = sweep.get("eta_secs").and_then(JsonValue::as_f64);
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * done as f64 / total as f64
+            };
+            let _ = writeln!(
+                out,
+                "sweep: {done}/{total} arms ({pct:.1}%)  {}  ETA {}",
+                live::format_rate(rate),
+                live::format_eta(eta),
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "sweep: idle (no sweep in flight)");
+        }
+    }
+
+    if let Some(workers) = doc.get("workers").and_then(JsonValue::as_arr) {
+        if !workers.is_empty() {
+            out.push_str("workers:");
+            for w in workers {
+                let field = |key: &str| w.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+                let busy = field("busy_ns") as f64 / 1e9;
+                let running = match w.get("running") {
+                    Some(r) if r.get("index").is_some() => format!(
+                        " on #{}",
+                        r.get("index").and_then(JsonValue::as_u64).unwrap_or(0)
+                    ),
+                    _ => String::new(),
+                };
+                let _ = write!(
+                    out,
+                    "  [{}] {} arms {:.2}s busy{}",
+                    field("worker"),
+                    field("arms"),
+                    busy,
+                    running
+                );
+            }
+            out.push('\n');
+        }
+    }
+
+    if let Some(arms) = doc.get("arms").and_then(JsonValue::as_arr) {
+        if !arms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>6} {:>20} {:>7}  {:<8} {:>10}",
+                "sweep", "index", "seed", "worker", "state", "wall"
+            );
+            let skip = arms.len().saturating_sub(ARM_ROWS);
+            if skip > 0 {
+                let _ = writeln!(out, "  ... {skip} earlier arm(s)");
+            }
+            for arm in &arms[skip..] {
+                let field = |key: &str| arm.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+                let wall_ns = field("wall_ns");
+                let wall = if wall_ns == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}ms", wall_ns as f64 / 1e6)
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>6} {:>20} {:>7}  {:<8} {:>10}",
+                    field("sweep"),
+                    field("index"),
+                    field("seed"),
+                    field("worker"),
+                    arm.get("state").and_then(JsonValue::as_str).unwrap_or("?"),
+                    wall
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Fetches `/status` from `base` and renders it.
+fn fetch_and_render(base: &str, timeout: Duration) -> Result<String, String> {
+    let url = format!("{base}/status");
+    let resp = client::get(&url, timeout).map_err(|e| format!("cannot fetch {url}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("{url} returned HTTP {}", resp.status));
+    }
+    let doc = mab_ledger::json::parse(resp.body.trim())
+        .map_err(|e| format!("{url} returned unparsable JSON: {e}"))?;
+    Ok(render_status(&doc))
+}
+
+/// Normalizes the positional URL: adds the scheme, strips a trailing `/`.
+#[must_use]
+pub fn normalize_url(url: &str) -> String {
+    let with_scheme = if url.starts_with("http://") {
+        url.to_string()
+    } else {
+        format!("http://{url}")
+    };
+    with_scheme.trim_end_matches('/').to_string()
+}
+
+/// Watches a monitor endpoint until its SSE stream closes (the run
+/// finished) or, with `once`, after a single status snapshot.
+///
+/// # Errors
+///
+/// Returns a message when the endpoint is unreachable or malformed.
+pub fn watch(url: &str, interval: Duration, once: bool) -> Result<(), String> {
+    let base = normalize_url(url);
+    let timeout = interval.max(Duration::from_secs(2)) + Duration::from_secs(1);
+    print!("{}", fetch_and_render(&base, timeout)?);
+    if once {
+        return Ok(());
+    }
+
+    let events_url = format!("{base}/events");
+    let mut events = SseClient::connect(&events_url, timeout)
+        .map_err(|e| format!("cannot subscribe to {events_url}: {e}"))?;
+    let mut last_render = Instant::now();
+    loop {
+        // Heartbeats arrive every second, so this wakes at least that
+        // often; a timeout just means a slow stream, not a dead server.
+        let frame = match events.next_frame() {
+            Ok(Some(frame)) => Some(frame),
+            Ok(None) => break, // orderly EOF: the run is over
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => None,
+            Err(e) => return Err(format!("event stream failed: {e}")),
+        };
+        match frame {
+            Some(f) if f.event == "sweep_begin" || f.event == "sweep_end" => {
+                println!("-- {}: {}", f.event, f.data);
+            }
+            _ => {}
+        }
+        if last_render.elapsed() >= interval {
+            match fetch_and_render(&base, timeout) {
+                Ok(text) => print!("\n{text}"),
+                // The server can vanish between a frame and the poll.
+                Err(_) => break,
+            }
+            last_render = Instant::now();
+        }
+    }
+    println!("monitor stream closed — run finished or monitor shut down");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATUS: &str = r#"{"experiment":"fig10","digest":"feedface","code":"0.1.0+abc","jobs":2,
+        "started_unix":0,
+        "sweep":{"active":1,"done":3,"total":24,"elapsed_secs":1.5,"rate_per_sec":2.0,
+                 "eta_secs":10.5,"eta":"10s"},
+        "scrapes":{"metrics":1,"status":2,"sse_clients":0,"sse_dropped":0,"rejected_conns":0},
+        "arms_started":4,"arms_finished":3,"arm_rows_evicted":0,
+        "workers":[{"worker":0,"busy_ns":1500000000,"arms":2,"running":null},
+                   {"worker":1,"busy_ns":900000000,"arms":1,"running":{"sweep":0,"index":3}}],
+        "arms":[{"sweep":0,"index":0,"seed":11,"worker":0,"state":"done","wall_ns":2000000},
+                {"sweep":0,"index":3,"seed":14,"worker":1,"state":"running","wall_ns":0}]}"#;
+
+    #[test]
+    fn render_status_shows_progress_workers_and_arms() {
+        let doc = mab_ledger::json::parse(STATUS).unwrap();
+        let text = render_status(&doc);
+        assert!(
+            text.contains("fig10 (digest feedface, code 0.1.0+abc) --jobs 2"),
+            "{text}"
+        );
+        assert!(text.contains("sweep: 3/24 arms (12.5%)"), "{text}");
+        assert!(text.contains("[1] 1 arms 0.90s busy on #3"), "{text}");
+        assert!(text.contains("running"), "{text}");
+        assert!(text.contains("2.00ms"), "{text}");
+    }
+
+    #[test]
+    fn render_status_handles_idle_and_empty_documents() {
+        let doc = mab_ledger::json::parse(r#"{"experiment":"x","sweep":null}"#).unwrap();
+        let text = render_status(&doc);
+        assert!(text.contains("sweep: idle"), "{text}");
+        assert!(!text.contains("workers:"), "{text}");
+    }
+
+    #[test]
+    fn normalize_url_adds_scheme_and_strips_slash() {
+        assert_eq!(normalize_url("127.0.0.1:9464/"), "http://127.0.0.1:9464");
+        assert_eq!(
+            normalize_url("http://127.0.0.1:9464"),
+            "http://127.0.0.1:9464"
+        );
+    }
+
+    #[test]
+    fn watch_against_a_live_monitor_renders_and_exits_on_shutdown() {
+        let monitor = mab_monitor::Monitor::start(
+            mab_monitor::DEFAULT_ADDR,
+            mab_monitor::RunInfo {
+                experiment: "watch_unit".to_string(),
+                ..mab_monitor::RunInfo::default()
+            },
+        )
+        .unwrap();
+        let addr = monitor.addr().to_string();
+
+        // --once path: one snapshot, no SSE subscription.
+        watch(&addr, Duration::from_millis(100), true).unwrap();
+
+        // Full path: shut the monitor down from another thread; the SSE
+        // stream EOF must end the loop.
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            monitor.shutdown();
+        });
+        watch(&addr, Duration::from_millis(100), false).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -62,6 +62,13 @@ pub struct RunRecord {
     /// Pointers to the run's exported artifacts (telemetry, trace, profile),
     /// as `(kind, path)` pairs (circumstance).
     pub artifacts: Vec<(String, String)>,
+    /// Live-monitor endpoint the run served (`--monitor`), if any
+    /// (circumstance). Lets post-hoc queries cross-reference which runs
+    /// were observed live.
+    pub monitor: Option<String>,
+    /// `/metrics` + `/status` scrapes the monitor served during the run
+    /// (circumstance).
+    pub monitor_scrapes: u64,
 }
 
 impl RunRecord {
@@ -77,6 +84,8 @@ impl RunRecord {
             metrics: Vec::new(),
             arms: Vec::new(),
             artifacts: Vec::new(),
+            monitor: None,
+            monitor_scrapes: 0,
         }
     }
 
@@ -177,6 +186,13 @@ impl RunRecord {
             ));
         }
         out.push(']');
+        if let Some(endpoint) = &self.monitor {
+            out.push_str(&format!(
+                ",\"monitor\":\"{}\",\"monitor_scrapes\":{}",
+                json::escape(endpoint),
+                self.monitor_scrapes
+            ));
+        }
         out.push_str(",\"artifacts\":{");
         for (i, (k, v)) in self.artifacts.iter().enumerate() {
             if i > 0 {
@@ -238,6 +254,14 @@ impl RunRecord {
                 });
             }
         }
+        record.monitor = v
+            .get("monitor")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        record.monitor_scrapes = v
+            .get("monitor_scrapes")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
         if let Some(JsonValue::Obj(arts)) = v.get("artifacts") {
             for (k, val) in arts {
                 if let Some(s) = val.as_str() {
@@ -364,6 +388,23 @@ mod tests {
     }
 
     #[test]
+    fn monitor_circumstance_round_trips() {
+        let mut r = sample();
+        r.monitor = Some("127.0.0.1:9464".to_string());
+        r.monitor_scrapes = 17;
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.monitor.as_deref(), Some("127.0.0.1:9464"));
+        assert_eq!(parsed.monitor_scrapes, 17);
+        // Absent on unmonitored records (and in their JSON).
+        let plain = sample();
+        assert!(!plain.to_json().contains("monitor"), "{}", plain.to_json());
+        assert_eq!(
+            RunRecord::from_json(&plain.to_json()).unwrap().monitor,
+            None
+        );
+    }
+
+    #[test]
     fn digest_ignores_circumstance_fields() {
         let mut a = sample();
         let mut b = sample();
@@ -372,6 +413,8 @@ mod tests {
         b.started_unix = 1;
         b.artifacts.clear();
         b.metrics.clear();
+        b.monitor = Some("127.0.0.1:1".to_string());
+        b.monitor_scrapes = 3;
         assert_eq!(a.digest(), b.digest());
         // …but any identity change produces a new digest.
         b.config_pair("mixes", 40);

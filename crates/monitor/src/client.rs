@@ -1,0 +1,179 @@
+//! A minimal std-only HTTP/SSE client for the monitor's own endpoints.
+//!
+//! Used by `mab-inspect watch`, the e2e tests and the overhead benchmark —
+//! the workspace is offline, so the client speaks just enough HTTP/1.1 to
+//! talk to [`crate::http`]: one `GET` per connection (`Connection: close`)
+//! and a line-oriented SSE reader for `/events`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A fetched response: status code and body (headers are dropped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Numeric status code (200, 404, ...).
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+/// Splits `http://host:port/path` into `(authority, path)`.
+pub fn split_url(url: &str) -> Option<(&str, &str)> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    match rest.find('/') {
+        Some(i) => Some((&rest[..i], &rest[i..])),
+        None => Some((rest, "/")),
+    }
+}
+
+/// Fetches `url` with a blocking `GET`, honoring `timeout` for connect and
+/// reads.
+///
+/// # Errors
+///
+/// Propagates connect/read failures; malformed responses surface as
+/// `InvalidData`.
+pub fn get(url: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    let (authority, path) = split_url(url)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad url"))?;
+    let mut stream = connect(authority, timeout)?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn connect(authority: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let addr: std::net::SocketAddr = authority
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+fn parse_response(raw: &str) -> Option<HttpResponse> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let status = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+/// One parsed SSE frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseFrame {
+    /// The `id:` field, when the frame carried one.
+    pub id: Option<u64>,
+    /// The `event:` field; `"comment"` for `:`-prefixed keep-alives.
+    pub event: String,
+    /// The `data:` payload (or the comment text).
+    pub data: String,
+}
+
+/// A connected `/events` subscriber.
+pub struct SseClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl SseClient {
+    /// Connects to an `/events` URL and consumes the response headers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures; a non-SSE response is `InvalidData`.
+    pub fn connect(url: &str, timeout: Duration) -> std::io::Result<SseClient> {
+        let (authority, path) = split_url(url)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad url"))?;
+        let mut stream = connect(authority, timeout)?;
+        let request = format!(
+            "GET {path} HTTP/1.1\r\nHost: {authority}\r\nAccept: text/event-stream\r\n\r\n"
+        );
+        stream.write_all(request.as_bytes())?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if !line.contains("200") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected status: {}", line.trim()),
+            ));
+        }
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 || line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        Ok(SseClient { reader })
+    }
+
+    /// Reads the next frame; `Ok(None)` on orderly EOF. Read timeouts
+    /// surface as errors (`WouldBlock`/`TimedOut`), letting callers poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and read timeouts.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<SseFrame>> {
+        let mut frame = SseFrame {
+            id: None,
+            event: String::new(),
+            data: String::new(),
+        };
+        let mut saw_field = false;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                if saw_field {
+                    return Ok(Some(frame));
+                }
+                continue;
+            }
+            saw_field = true;
+            if let Some(comment) = line.strip_prefix(':') {
+                frame.event = "comment".to_string();
+                frame.data = comment.trim().to_string();
+            } else if let Some(id) = line.strip_prefix("id:") {
+                frame.id = id.trim().parse().ok();
+            } else if let Some(event) = line.strip_prefix("event:") {
+                frame.event = event.trim().to_string();
+            } else if let Some(data) = line.strip_prefix("data:") {
+                frame.data = data.trim().to_string();
+            } else if let Some(_retry) = line.strip_prefix("retry:") {
+                frame.event = "retry".to_string();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_url_handles_paths_and_bare_hosts() {
+        assert_eq!(
+            split_url("http://127.0.0.1:9464/metrics"),
+            Some(("127.0.0.1:9464", "/metrics"))
+        );
+        assert_eq!(split_url("127.0.0.1:9464"), Some(("127.0.0.1:9464", "/")));
+    }
+
+    #[test]
+    fn parse_response_extracts_status_and_body() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "hello");
+        assert!(parse_response("garbage").is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! The std-only blocking HTTP/1.1 server behind the monitor endpoints.
+//!
+//! One accept-loop thread owns the listener; each accepted connection is
+//! handled on a short-lived thread (bounded by [`MAX_CONNECTIONS`] — beyond
+//! the cap the connection is answered `503` and closed, so a scrape storm
+//! cannot exhaust threads). `/metrics` and `/status` render a snapshot and
+//! close; `/events` stays open streaming SSE frames until the client hangs
+//! up or the server stops. Shutdown sets a stop flag and pokes the listener
+//! with a loopback connect so the blocking `accept` wakes immediately.
+
+use crate::state::MonitorState;
+use crate::{metrics, sse, status};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum concurrently handled connections; the rest get `503`.
+pub const MAX_CONNECTIONS: usize = 32;
+
+/// A running HTTP server: bound address plus the shutdown handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. Streaming connections notice the
+    /// stop flag at their next heartbeat and unwind on their own.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so it observes the flag now.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral port)
+/// and starts serving `state` on a background thread.
+///
+/// # Errors
+///
+/// Returns the bind error when the address is unavailable.
+pub fn serve(
+    state: Arc<MonitorState>,
+    addr: &str,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("mab-monitor".to_string())
+        .spawn(move || {
+            let active = Arc::new(AtomicUsize::new(0));
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    state.rejected_conns.fetch_add(1, Ordering::Relaxed);
+                    let _ = respond(
+                        &stream,
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "connection cap reached\n",
+                    );
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&accept_stop);
+                let conn_active = Arc::clone(&active);
+                let spawned = std::thread::Builder::new()
+                    .name("mab-monitor-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &state, &stop);
+                        conn_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(stream: TcpStream, state: &MonitorState, stop: &AtomicBool) {
+    // Bound header reads so a half-open client cannot pin the thread.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let Some((method, path)) = read_request(&stream) else {
+        return;
+    };
+    if method != "GET" {
+        let _ = respond(
+            &stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    // Ignore any query string: /status?x=1 serves /status.
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            state.metrics_scrapes.fetch_add(1, Ordering::Relaxed);
+            let _ = respond(
+                &stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &metrics::render(state),
+            );
+        }
+        "/status" => {
+            state.status_scrapes.fetch_add(1, Ordering::Relaxed);
+            let mut body = status::render(state);
+            body.push('\n');
+            let _ = respond(&stream, "200 OK", "application/json", &body);
+        }
+        "/events" => sse::stream(stream, state, stop),
+        "/" | "/healthz" => {
+            let _ = respond(&stream, "200 OK", "text/plain; charset=utf-8", "ok\n");
+        }
+        _ => {
+            let _ = respond(
+                &stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics, /status or /events\n",
+            );
+        }
+    }
+}
+
+/// Reads the request line and drains the headers; returns `(method, path)`.
+fn read_request(stream: &TcpStream) -> Option<(String, String)> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    // Drain headers until the blank line (values are irrelevant to GET).
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return None,
+        }
+    }
+    Some((method, path))
+}
+
+fn respond(
+    mut stream: &TcpStream,
+    status_line: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes raw bytes (used by the SSE streamer, which owns its framing).
+pub(crate) fn write_raw(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+/// Reads an entire `Connection: close` response (used only by tests and the
+/// in-crate client).
+#[allow(dead_code)]
+pub(crate) fn read_to_string(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    Ok(text)
+}

@@ -1,0 +1,55 @@
+//! Server-Sent-Events streaming for `GET /events`.
+//!
+//! Framing follows the SSE spec: each event is an `id:` line (the ring
+//! sequence number), an `event:` line (`sweep_begin`, `arm_start`,
+//! `arm_finish`, `sweep_end`), and a `data:` line with a one-line JSON
+//! payload, terminated by a blank line. While the run is quiet the streamer
+//! emits a `: heartbeat` comment every [`HEARTBEAT`] so proxies and clients
+//! can tell a silent run from a dead socket.
+//!
+//! Clients that read slower than the run publishes fall behind the bounded
+//! ring ([`crate::state::SSE_RING_CAP`]); the gap is skipped, announced
+//! with a `: dropped N` comment, and added to the monitor's
+//! `sse_dropped` counter — the publisher never blocks on a slow client.
+
+use crate::http::write_raw;
+use crate::state::MonitorState;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Idle interval between heartbeat comments.
+pub const HEARTBEAT: Duration = Duration::from_secs(1);
+
+/// Streams events to one client until it disconnects or `stop` is set.
+pub fn stream(mut stream: TcpStream, state: &MonitorState, stop: &AtomicBool) {
+    // Capture the tail before the response headers go out: anything
+    // published after the client sees our headers must be delivered.
+    let mut next = state.events.next_seq();
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if write_raw(&mut stream, head.as_bytes()).is_err() {
+        return;
+    }
+    state.sse_clients.fetch_add(1, Ordering::Relaxed);
+    // Announce the reconnect delay, then stream from the captured tail.
+    let alive = write_raw(&mut stream, b"retry: 2000\n\n").is_ok();
+    let mut frame = String::new();
+    let mut ok = alive;
+    while ok && !stop.load(Ordering::SeqCst) {
+        let (events, dropped) = state.events.wait_after(next, HEARTBEAT);
+        frame.clear();
+        if dropped > 0 {
+            state.sse_dropped.fetch_add(dropped, Ordering::Relaxed);
+            frame.push_str(&format!(": dropped {dropped}\n\n"));
+        }
+        if events.is_empty() {
+            frame.push_str(": heartbeat\n\n");
+        }
+        for (seq, event, payload) in &events {
+            frame.push_str(&format!("id: {seq}\nevent: {event}\ndata: {payload}\n\n"));
+            next = seq + 1;
+        }
+        ok = write_raw(&mut stream, frame.as_bytes()).is_ok();
+    }
+    state.sse_clients.fetch_sub(1, Ordering::Relaxed);
+}

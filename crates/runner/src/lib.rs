@@ -38,6 +38,9 @@ pub mod observe;
 mod seed;
 mod sweep;
 
-pub use observe::{set_arm_observer, ArmObservation, ArmObserver};
+pub use observe::{
+    add_observer, remove_observer, set_arm_observer, ArmEvent, ArmObservation, ArmObserver,
+    EventObserver, ObserverId,
+};
 pub use seed::child_seed;
 pub use sweep::{available_jobs, sweep, RunCtx, SweepError, SweepOptions};

@@ -1,16 +1,24 @@
-//! Optional per-arm observation hook for run-ledger recording.
+//! Optional sweep/arm observation hooks for run-ledger recording and live
+//! monitoring.
 //!
-//! When an observer is installed (the experiment session does this while a
-//! `--ledger` run is active), [`sweep`](crate::sweep) reports every
-//! completed arm: which sweep it belonged to, its spec index, its derived
-//! child seed, and its wall time. The `(sweep, index, seed)` triple follows
-//! the ordered-slot discipline — it depends only on program order and spec
-//! position, never on worker scheduling — so a collector that sorts by it
-//! reconstructs the identical arm log at any `--jobs` setting; only
-//! `wall_ns` is timing noise. With no observer installed the hook costs
-//! one relaxed load per sweep.
+//! Two observer flavors coexist:
+//!
+//! - The legacy **arm observer** ([`set_arm_observer`]) receives one
+//!   [`ArmObservation`] per *completed* arm — this is what `--ledger`
+//!   recording installs.
+//! - **Event observers** ([`add_observer`] / [`remove_observer`]) receive
+//!   the full [`ArmEvent`] stream: sweep begin/end plus per-arm start and
+//!   finish — this is what the `mab-monitor` live plane installs. Any
+//!   number can be registered concurrently.
+//!
+//! The `(sweep, index, seed)` triple follows the ordered-slot discipline —
+//! it depends only on program order and spec position, never on worker
+//! scheduling — so a collector that sorts by it reconstructs the identical
+//! arm log at any `--jobs` setting; only `wall_ns`, `worker` and event
+//! *arrival order* are scheduling noise. With no observer installed the
+//! hooks cost one `RwLock` read per sweep, nothing per arm.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// One completed sweep arm.
@@ -27,22 +35,98 @@ pub struct ArmObservation {
     pub seed: u64,
     /// Arm wall time in nanoseconds (scheduling-dependent).
     pub wall_ns: u64,
+    /// Index of the worker thread that ran the arm (0 for serial sweeps;
+    /// scheduling-dependent).
+    pub worker: usize,
 }
 
-/// Observer callback type.
+/// One step of a sweep's lifecycle, as seen by event observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmEvent {
+    /// A sweep of `total` specs is starting with `jobs` workers.
+    SweepBegin {
+        /// Process-wide sweep sequence number.
+        sweep: u32,
+        /// Number of specs in the sweep.
+        total: usize,
+        /// Worker threads the sweep will use.
+        jobs: usize,
+    },
+    /// A worker claimed an arm and is about to run it.
+    ArmStart {
+        /// The arm's sweep.
+        sweep: u32,
+        /// The arm's spec index.
+        index: usize,
+        /// The arm's derived child seed.
+        seed: u64,
+        /// The claiming worker's index.
+        worker: usize,
+    },
+    /// An arm completed.
+    ArmFinish(ArmObservation),
+    /// Every arm of the sweep completed (not emitted when a run panicked).
+    SweepEnd {
+        /// The finished sweep.
+        sweep: u32,
+    },
+}
+
+/// Legacy per-completed-arm observer callback type.
 pub type ArmObserver = Arc<dyn Fn(ArmObservation) + Send + Sync>;
 
-static OBSERVER: RwLock<Option<ArmObserver>> = RwLock::new(None);
-static SWEEP_SEQ: AtomicU32 = AtomicU32::new(0);
+/// Full-lifecycle event observer callback type.
+pub type EventObserver = Arc<dyn Fn(&ArmEvent) + Send + Sync>;
 
-/// Installs (or, with `None`, removes) the process-wide arm observer.
-pub fn set_arm_observer(observer: Option<ArmObserver>) {
-    *OBSERVER.write().unwrap() = observer;
+/// Handle identifying a registered event observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverId(u64);
+
+static OBSERVERS: RwLock<Vec<(u64, EventObserver)>> = RwLock::new(Vec::new());
+static NEXT_OBSERVER: AtomicU64 = AtomicU64::new(1);
+static SWEEP_SEQ: AtomicU32 = AtomicU32::new(0);
+/// Registration id of the legacy observer slot, 0 when none is installed.
+static LEGACY_SLOT: AtomicU64 = AtomicU64::new(0);
+
+/// Registers an event observer; it stays active until [`remove_observer`].
+pub fn add_observer(observer: EventObserver) -> ObserverId {
+    let id = NEXT_OBSERVER.fetch_add(1, Ordering::Relaxed);
+    OBSERVERS.write().unwrap().push((id, observer));
+    ObserverId(id)
 }
 
-/// The currently installed observer, if any.
-pub(crate) fn current() -> Option<ArmObserver> {
-    OBSERVER.read().unwrap().clone()
+/// Removes a previously registered event observer (idempotent).
+pub fn remove_observer(id: ObserverId) {
+    OBSERVERS.write().unwrap().retain(|(held, _)| *held != id.0);
+}
+
+/// Installs (or, with `None`, removes) the process-wide legacy arm
+/// observer. Implemented as an event observer that forwards only
+/// [`ArmEvent::ArmFinish`]; at most one legacy observer exists at a time
+/// (a new one replaces the old).
+pub fn set_arm_observer(observer: Option<ArmObserver>) {
+    let old = LEGACY_SLOT.swap(0, Ordering::Relaxed);
+    if old != 0 {
+        remove_observer(ObserverId(old));
+    }
+    if let Some(f) = observer {
+        let id = add_observer(Arc::new(move |event| {
+            if let ArmEvent::ArmFinish(obs) = event {
+                f(*obs);
+            }
+        }));
+        LEGACY_SLOT.store(id.0, Ordering::Relaxed);
+    }
+}
+
+/// The currently registered event observers, cloned once per sweep.
+pub(crate) fn observers() -> Vec<EventObserver> {
+    OBSERVERS
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(_, f)| Arc::clone(f))
+        .collect()
 }
 
 /// Claims the next sweep sequence number.
@@ -95,5 +179,72 @@ mod tests {
         }
         assert_eq!(sweeps[0].len(), specs.len());
         assert_eq!(sweeps[0], sweeps[1], "jobs=1 vs jobs=8 arm sets differ");
+    }
+
+    #[test]
+    fn event_observers_see_the_full_lifecycle() {
+        let specs: Vec<u64> = (0..6).collect();
+        let master_seed = 0xFEED_u64;
+        let mine: std::collections::BTreeSet<u64> = (0..specs.len())
+            .map(|i| crate::child_seed(master_seed, i as u64))
+            .collect();
+
+        let log: Arc<Mutex<Vec<ArmEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let id = add_observer(Arc::new(move |event: &ArmEvent| {
+            sink.lock().unwrap().push(*event);
+        }));
+        sweep(&specs, SweepOptions::new(2, master_seed), |_, spec| *spec).unwrap();
+        remove_observer(id);
+        // Removal is effective: later sweeps add nothing.
+        let seen = log.lock().unwrap().len();
+        sweep(&specs, SweepOptions::new(1, master_seed), |_, spec| *spec).unwrap();
+        assert_eq!(log.lock().unwrap().len(), seen);
+
+        // Pick out this test's sweep by its begin event (other tests run
+        // concurrently and also emit events).
+        let events = log.lock().unwrap().clone();
+        let my_sweep = events
+            .iter()
+            .find_map(|e| match e {
+                ArmEvent::ArmStart { sweep, seed, .. } if mine.contains(seed) => Some(*sweep),
+                _ => None,
+            })
+            .expect("saw at least one of our arm starts");
+        let begin = events.iter().any(|e| {
+            matches!(e, ArmEvent::SweepBegin { sweep, total, jobs }
+                     if *sweep == my_sweep && *total == specs.len() && *jobs == 2)
+        });
+        assert!(begin, "missing SweepBegin: {events:?}");
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, ArmEvent::ArmStart { sweep, .. } if *sweep == my_sweep))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, ArmEvent::ArmFinish(o) if o.sweep == my_sweep))
+            .count();
+        assert_eq!(starts, specs.len());
+        assert_eq!(finishes, specs.len());
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ArmEvent::SweepEnd { sweep } if *sweep == my_sweep)),
+            "missing SweepEnd: {events:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_observer_replacement_drops_the_old_one() {
+        let a: Arc<Mutex<u32>> = Arc::new(Mutex::new(0));
+        let b: Arc<Mutex<u32>> = Arc::new(Mutex::new(0));
+        let (ca, cb) = (Arc::clone(&a), Arc::clone(&b));
+        set_arm_observer(Some(Arc::new(move |_| *ca.lock().unwrap() += 1)));
+        set_arm_observer(Some(Arc::new(move |_| *cb.lock().unwrap() += 1)));
+        let specs = [(); 4];
+        sweep(&specs, SweepOptions::new(1, 3), |_, _| ()).unwrap();
+        set_arm_observer(None);
+        assert_eq!(*a.lock().unwrap(), 0, "replaced observer still fired");
+        assert_eq!(*b.lock().unwrap(), 4);
     }
 }

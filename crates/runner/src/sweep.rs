@@ -82,16 +82,46 @@ where
     F: Fn(RunCtx, &S) -> R + Sync,
 {
     let progress = mab_telemetry::summary::SweepProgress::new(specs.len());
-    // Resolve the ledger's arm observer once per sweep; arms are only timed
-    // when somebody is listening.
-    let observer = crate::observe::current();
-    let sweep_id = observer.as_ref().map(|_| crate::observe::next_sweep_id());
-    let run_one = |index: usize, spec: &S| -> Result<R, SweepError> {
+    // Resolve the registered event observers once per sweep; arms are only
+    // timed when somebody is listening.
+    let observers = crate::observe::observers();
+    let emit = |event: &crate::observe::ArmEvent| {
+        for observe in &observers {
+            observe(event);
+        }
+    };
+    let serial = opts.jobs <= 1 || specs.len() <= 1;
+    let sweep_id = if observers.is_empty() {
+        0
+    } else {
+        let id = crate::observe::next_sweep_id();
+        emit(&crate::observe::ArmEvent::SweepBegin {
+            sweep: id,
+            total: specs.len(),
+            jobs: if serial {
+                1
+            } else {
+                opts.jobs.min(specs.len())
+            },
+        });
+        id
+    };
+    let run_one = |index: usize, worker: usize, spec: &S| -> Result<R, SweepError> {
         let ctx = RunCtx {
             index,
             seed: child_seed(opts.master_seed, index as u64),
         };
-        let arm_start = observer.as_ref().map(|_| std::time::Instant::now());
+        let arm_start = if observers.is_empty() {
+            None
+        } else {
+            emit(&crate::observe::ArmEvent::ArmStart {
+                sweep: sweep_id,
+                index,
+                seed: ctx.seed,
+                worker,
+            });
+            Some(std::time::Instant::now())
+        };
         // Each run executes inside `collect_run`: a fresh span tree on this
         // worker, drained into the profiler's merge registry afterwards.
         // Merging is a path-keyed commutative sum over per-run trees, so
@@ -102,13 +132,16 @@ where
         match outcome {
             Ok(result) => {
                 count!(SweepRuns);
-                if let (Some(observe), Some(start)) = (&observer, arm_start) {
-                    observe(crate::observe::ArmObservation {
-                        sweep: sweep_id.unwrap_or(0),
-                        index,
-                        seed: ctx.seed,
-                        wall_ns: start.elapsed().as_nanos() as u64,
-                    });
+                if let Some(start) = arm_start {
+                    emit(&crate::observe::ArmEvent::ArmFinish(
+                        crate::observe::ArmObservation {
+                            sweep: sweep_id,
+                            index,
+                            seed: ctx.seed,
+                            wall_ns: start.elapsed().as_nanos() as u64,
+                            worker,
+                        },
+                    ));
                 }
                 progress.tick();
                 Ok(result)
@@ -122,14 +155,22 @@ where
             }
         }
     };
+    let end_sweep = || {
+        if !observers.is_empty() {
+            emit(&crate::observe::ArmEvent::SweepEnd { sweep: sweep_id });
+        }
+    };
 
-    if opts.jobs <= 1 || specs.len() <= 1 {
-        let results = specs
+    if serial {
+        let results: Result<Vec<R>, SweepError> = specs
             .iter()
             .enumerate()
-            .map(|(index, spec)| run_one(index, spec))
+            .map(|(index, spec)| run_one(index, 0, spec))
             .collect();
         progress.finish();
+        if results.is_ok() {
+            end_sweep();
+        }
         return results;
     }
 
@@ -139,8 +180,12 @@ where
     let failure: Mutex<Option<SweepError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for _ in 0..opts.jobs.min(specs.len()) {
-            scope.spawn(|| loop {
+        // Shadow the shared state with references so the `move` below only
+        // copies pointers (the closure must own its `worker` index).
+        let (cursor, abort, slots, failure) = (&cursor, &abort, &slots, &failure);
+        let run_one = &run_one;
+        for worker in 0..opts.jobs.min(specs.len()) {
+            scope.spawn(move || loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
@@ -148,7 +193,7 @@ where
                 let Some(spec) = specs.get(index) else {
                     break;
                 };
-                match run_one(index, spec) {
+                match run_one(index, worker, spec) {
                     Ok(result) => slots.lock().unwrap()[index] = Some(result),
                     Err(error) => {
                         abort.store(true, Ordering::Relaxed);
@@ -169,6 +214,7 @@ where
     if let Some(error) = failure.into_inner().unwrap() {
         return Err(error);
     }
+    end_sweep();
     let results = slots.into_inner().unwrap();
     // Every slot was filled: no failure occurred, so every claimed index
     // stored a result, and the cursor only stops advancing past the end.

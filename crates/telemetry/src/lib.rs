@@ -12,6 +12,9 @@
 //!   structured [`Event`]s with sequence numbers and drop accounting.
 //! - [`export`] — hand-rolled JSON-lines and CSV exporters.
 //! - [`summary`] — the periodic-summary sink used by experiment binaries.
+//! - [`live`] — the seqlock'd sweep-progress cell and the shared ETA/rate
+//!   formatting consumed by both the stderr progress line and the
+//!   `mab-monitor` live endpoints.
 //! - [`span`] / [`profile`] — hierarchical span profiler: thread-local span
 //!   stacks with sampled timing, run-scoped deterministic merging, and
 //!   flamegraph-compatible collapsed-stack export.
@@ -34,6 +37,7 @@ pub mod counters;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod live;
 pub mod perfetto;
 pub mod profile;
 pub mod ring;

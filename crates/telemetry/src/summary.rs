@@ -39,9 +39,12 @@ pub fn progress_line(msg: &str) {
 }
 
 /// Live progress/ETA display for sweeps: `[mab] sweep 12/64 runs, 3.2
-/// runs/s, ETA 16s`, redrawn in place on stderr. Renders only when stderr
-/// is a TTY and quiet mode is off — on CI logs and redirected streams it is
-/// fully inert.
+/// runs/s, ETA 16s`, redrawn in place on stderr. The line renders only when
+/// stderr is a TTY and quiet mode is off — on CI logs and redirected
+/// streams it is fully inert — but every tick also publishes the
+/// [`crate::live`] sweep-progress cell, so the monitoring plane sees
+/// progress regardless of the terminal. The line and the cell's `/metrics`
+/// consumers derive rate and ETA from the same [`crate::live`] helpers.
 pub struct SweepProgress {
     total: usize,
     done: AtomicUsize,
@@ -53,6 +56,7 @@ pub struct SweepProgress {
 impl SweepProgress {
     /// A progress display for `total` runs.
     pub fn new(total: usize) -> Self {
+        crate::live::sweep_started(total as u64);
         SweepProgress {
             total,
             done: AtomicUsize::new(0),
@@ -67,9 +71,11 @@ impl SweepProgress {
         self.active
     }
 
-    /// Records one completed run and redraws (throttled to ~10 Hz).
+    /// Records one completed run, publishes the live cell, and redraws
+    /// (throttled to ~10 Hz).
     pub fn tick(&self) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        crate::live::sweep_progressed(done as u64);
         if !self.active {
             return;
         }
@@ -79,20 +85,24 @@ impl SweepProgress {
             return;
         }
         self.last_render_ms.store(elapsed_ms, Ordering::Relaxed);
-        let secs = (elapsed_ms as f64 / 1e3).max(1e-9);
-        let rate = done as f64 / secs;
-        let eta = ((self.total - done) as f64 / rate.max(1e-9)).ceil() as u64;
+        let secs = elapsed_ms as f64 / 1e3;
+        let rate = crate::live::rate_per_sec(done as u64, secs);
+        let eta = crate::live::eta_seconds(done as u64, self.total as u64, secs);
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r{PREFIX} sweep {done}/{} runs, {rate:.1} runs/s, ETA {eta}s ",
-            self.total
+            "\r{PREFIX} sweep {done}/{} runs, {} runs/s, ETA {} ",
+            self.total,
+            crate::live::format_rate(rate),
+            crate::live::format_eta(eta),
         );
         let _ = err.flush();
     }
 
-    /// Clears the progress line (call once after the sweep completes).
+    /// Clears the progress line and marks the live cell finished (call once
+    /// after the sweep completes).
     pub fn finish(&self) {
+        crate::live::sweep_finished();
         if !self.active {
             return;
         }

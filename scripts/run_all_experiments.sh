@@ -26,12 +26,18 @@
 # artifact pointers) to the run ledger — LEDGER=DIR overrides the default
 # results/ledger, LEDGER= (empty) disables recording. Query it with
 # `cargo run -p mab-inspect -- history | trend | regress`.
+#
+# --monitor ADDR (or MAB_MONITOR=ADDR) serves live /metrics, /status and
+# /events from each experiment while it runs — follow the batch with
+# `cargo run -p mab-inspect -- watch ADDR`. Experiments run one at a time,
+# so a single fixed port carries the whole script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-}"
 TRACE_DIR="${TRACE_DIR:-}"
 LEDGER="${LEDGER-results/ledger}"
+MONITOR="${MAB_MONITOR:-}"
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs|-j)
@@ -40,8 +46,10 @@ while [ $# -gt 0 ]; do
       TRACE_DIR="$2"; shift 2 ;;
     --ledger)
       LEDGER="$2"; shift 2 ;;
+    --monitor)
+      MONITOR="$2"; shift 2 ;;
     *)
-      echo "usage: $0 [--jobs N] [--trace-dir DIR] [--ledger DIR]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--trace-dir DIR] [--ledger DIR] [--monitor ADDR]" >&2; exit 2 ;;
   esac
 done
 
@@ -54,6 +62,7 @@ run() {
     ${JOBS:+--jobs "$JOBS"} \
     ${TRACE_DIR:+--trace-dir "$TRACE_DIR"} \
     ${LEDGER:+--ledger "$LEDGER"} \
+    ${MONITOR:+--monitor "$MONITOR"} \
     --telemetry "results/$name.jsonl" --trace "results/$name.trace.json" \
     >"results/$name.txt" 2>"results/$name.log"
   echo "--- wrote results/$name.txt"

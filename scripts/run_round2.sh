@@ -2,7 +2,10 @@
 # Round 2: SMT experiments with scaled epochs (the round-1 SMT runs used
 # unscaled step-RR and are superseded), plus larger prefetch runs.
 #
-# Usage: run_round2.sh [--jobs N] [--trace-dir DIR]
+# Usage: run_round2.sh [--jobs N] [--trace-dir DIR] [--ledger DIR] [--monitor ADDR]
+#
+# --monitor ADDR (or MAB_MONITOR=ADDR) serves live /metrics, /status and
+# /events from each experiment — see run_all_experiments.sh.
 #
 # --jobs N (or JOBS=N) fans each sweep out over N worker threads; reports
 # are bit-identical at any worker count (see mab-runner).
@@ -22,6 +25,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-}"
 TRACE_DIR="${TRACE_DIR:-}"
 LEDGER="${LEDGER-results/ledger}"
+MONITOR="${MAB_MONITOR:-}"
 while [ $# -gt 0 ]; do
   case "$1" in
     --jobs|-j)
@@ -30,8 +34,10 @@ while [ $# -gt 0 ]; do
       TRACE_DIR="$2"; shift 2 ;;
     --ledger)
       LEDGER="$2"; shift 2 ;;
+    --monitor)
+      MONITOR="$2"; shift 2 ;;
     *)
-      echo "usage: $0 [--jobs N] [--trace-dir DIR] [--ledger DIR]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--trace-dir DIR] [--ledger DIR] [--monitor ADDR]" >&2; exit 2 ;;
   esac
 done
 
@@ -45,6 +51,7 @@ run() {
     ${JOBS:+--jobs "$JOBS"} \
     ${TRACE_DIR:+--trace-dir "$TRACE_DIR"} \
     ${LEDGER:+--ledger "$LEDGER"} \
+    ${MONITOR:+--monitor "$MONITOR"} \
     --telemetry "$OUT/$name.jsonl" --trace "$OUT/$name.trace.json" \
     >"$OUT/$name.txt" 2>"$OUT/$name.log"
   echo "--- wrote $OUT/$name.txt"
