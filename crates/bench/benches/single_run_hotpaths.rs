@@ -1,0 +1,295 @@
+//! Single-run critical-path benchmark (`BENCH_single_run_hotpaths.json` at
+//! the repo root).
+//!
+//! Every measurement here is an A/B of the same workload with the kernel
+//! switch ([`mab_memsim::hotpath::force_scalar`]) flipped: `scalar` is the
+//! pre-optimization reference path (per-way probes, heap-driven MSHR wakeup,
+//! per-record varint decode, per-record four-core scheduling) and `chunked`
+//! is the SIMD-shaped path this pass introduced. Both paths are
+//! byte-identical by construction — the differential proptests own that
+//! claim; this bench owns the *speed* claim and pins it with hard gates:
+//!
+//! 1. **Single-run kernels** — memsim bandit run, smtsim Choi run, and
+//!    trace-replay decode must show a ≥10% single-run speedup on at least
+//!    two of the three.
+//! 2. **Four-core scheduling** — a fig. 14-shaped homogeneous 4-core bandit
+//!    run under the pipelined batch driver must beat the pre-pass
+//!    sequential-stepping baseline (scalar kernels + per-record scan) by
+//!    ≥15%.
+//!
+//! The bench exits non-zero if either gate fails, and always writes the
+//! artifact first so a failing run still leaves its evidence behind.
+//!
+//! Run with: `cargo bench -p mab-bench --bench single_run_hotpaths`
+
+use criterion::{black_box, Criterion};
+use mab_memsim::{config::SystemConfig, hotpath, System};
+use mab_prefetch::catalog;
+use mab_smtsim::{config::SmtParams, controllers::ChoiController, pipeline::SmtPipeline};
+use mab_traces::format::TraceMeta;
+use mab_traces::{TraceReader, TraceWriter};
+use mab_workloads::{smt, suites, TraceRecord};
+
+/// Instructions for the single-core memsim measurement (matches the
+/// `simulators` and `parallel_sweep` benches).
+const MEMSIM_INSTRUCTIONS: u64 = 100_000;
+/// Commits per thread for the smtsim measurement.
+const SMT_COMMITS: u64 = 20_000;
+/// Records in the replay-decode trace file.
+const REPLAY_RECORDS: u64 = 200_000;
+/// Instructions per core for the four-core scheduling measurement.
+const FOURCORE_INSTRUCTIONS: u64 = 80_000;
+const APP: &str = "milc";
+const SEED: u64 = 7;
+
+/// Gate 1: required single-run speedup, and how many of the three kernel
+/// measurements must clear it.
+const KERNEL_GATE_PCT: f64 = 10.0;
+const KERNEL_GATE_COUNT: usize = 2;
+/// Gate 2: required four-core speedup over sequential stepping.
+const FOURCORE_GATE_PCT: f64 = 15.0;
+
+/// One single-core bandit-prefetcher run. The kernel mode is latched per
+/// instance at construction, so flipping the switch before building the
+/// system selects the path under test.
+fn memsim_bandit(scalar: bool) -> f64 {
+    hotpath::force_scalar(scalar);
+    let app = suites::app_by_name(APP).expect("catalog app");
+    let mut system = System::single_core(SystemConfig::default());
+    system.set_prefetcher(0, catalog::build_l2("bandit", SEED));
+    system.run(&mut app.trace(SEED), MEMSIM_INSTRUCTIONS).ipc()
+}
+
+/// One two-thread Choi-controller SMT run.
+fn smtsim_choi(scalar: bool) -> f64 {
+    hotpath::force_scalar(scalar);
+    let specs = [
+        smt::thread_by_name("gcc").expect("catalog thread"),
+        smt::thread_by_name("xz").expect("catalog thread"),
+    ];
+    let mut pipe = SmtPipeline::new(SmtParams::test_scale(), specs, 1);
+    pipe.run(Box::new(ChoiController::new()), SMT_COMMITS)
+        .sum_ipc()
+}
+
+/// Writes the replay-decode input once.
+fn encode_replay_trace(path: &std::path::Path) {
+    let app = suites::app_by_name(APP).expect("catalog app");
+    let mut writer = TraceWriter::create(path, TraceMeta::new(SEED, "bench:single_run_hotpaths"))
+        .expect("create trace");
+    for record in app.trace(SEED).take(REPLAY_RECORDS as usize) {
+        writer.push(&record).expect("push");
+    }
+    writer.finish().expect("finish");
+}
+
+/// Full decode of the recorded trace; the checksum keeps the work
+/// observable.
+fn replay_decode(path: &std::path::Path, scalar: bool) -> u64 {
+    hotpath::force_scalar(scalar);
+    let mut reader = TraceReader::open(path).expect("open trace");
+    let mut acc = 0u64;
+    while let Some(r) = reader.next_record().expect("decode") {
+        acc = acc.wrapping_add(r.pc);
+    }
+    acc
+}
+
+/// A fig. 14-shaped homogeneous four-core bandit run. `scalar = true` is
+/// the pre-pass baseline in full: scalar kernels *and* the per-record
+/// sequential scheduling scan. `scalar = false` runs the chunked kernels
+/// under the pipelined batch driver.
+fn four_core(scalar: bool) -> Vec<mab_memsim::system::RunStats> {
+    hotpath::force_scalar(scalar);
+    let app = suites::app_by_name(APP).expect("catalog app");
+    let mut system = System::multi_core(SystemConfig::default(), 4);
+    for core in 0..4 {
+        system.set_prefetcher(core, catalog::build_l2("bandit", SEED + core as u64));
+    }
+    let mut traces: Vec<_> = (0..4).map(|i| app.trace(SEED + i)).collect();
+    let mut dyn_traces: Vec<&mut dyn Iterator<Item = TraceRecord>> = traces
+        .iter_mut()
+        .map(|t| t as &mut dyn Iterator<Item = TraceRecord>)
+        .collect();
+    system.run_multi(&mut dyn_traces, FOURCORE_INSTRUCTIONS)
+}
+
+fn speedup_pct(scalar_ns: f64, chunked_ns: f64) -> f64 {
+    (scalar_ns - chunked_ns) / scalar_ns * 100.0
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("mab-bench-hotpaths-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("replay.mabt");
+    encode_replay_trace(&trace_path);
+
+    // Identity smoke before timing anything: the two kernel modes must
+    // produce the same results, or the A/B below measures different
+    // programs. The full claim lives in the differential proptests and the
+    // experiment-binary byte-identity test; this catches a miswired bench.
+    assert_eq!(four_core(true), four_core(false), "kernel modes diverge");
+    assert_eq!(
+        replay_decode(&trace_path, true),
+        replay_decode(&trace_path, false),
+        "decode modes diverge"
+    );
+
+    // Each A/B is measured with interleaved samples (`bench_pair`) so slow
+    // drift — frequency scaling, a noisy neighbor — hits both arms alike
+    // instead of biasing whichever arm's measurement window it lands on.
+    let mut c = Criterion::default();
+    c.bench_pair(
+        "memsim_bandit/scalar",
+        "memsim_bandit/chunked",
+        |b| b.iter(|| black_box(memsim_bandit(true))),
+        |b| b.iter(|| black_box(memsim_bandit(false))),
+    );
+    c.bench_pair(
+        "smtsim_choi/scalar",
+        "smtsim_choi/chunked",
+        |b| b.iter(|| black_box(smtsim_choi(true))),
+        |b| b.iter(|| black_box(smtsim_choi(false))),
+    );
+    c.bench_pair(
+        "replay_decode/scalar",
+        "replay_decode/chunked",
+        |b| b.iter(|| black_box(replay_decode(&trace_path, true))),
+        |b| b.iter(|| black_box(replay_decode(&trace_path, false))),
+    );
+    c.bench_pair(
+        "fourcore/sequential",
+        "fourcore/pipelined",
+        |b| b.iter(|| black_box(four_core(true))),
+        |b| b.iter(|| black_box(four_core(false))),
+    );
+    // Leave the process in the default mode for anything that runs after.
+    hotpath::force_scalar(false);
+
+    let ns = |id: &str| c.result_ns(id).expect("bench result");
+    let kernels = [
+        (
+            "memsim_bandit",
+            ns("memsim_bandit/scalar"),
+            ns("memsim_bandit/chunked"),
+        ),
+        (
+            "smtsim_choi",
+            ns("smtsim_choi/scalar"),
+            ns("smtsim_choi/chunked"),
+        ),
+        (
+            "replay_decode",
+            ns("replay_decode/scalar"),
+            ns("replay_decode/chunked"),
+        ),
+    ];
+    let fourcore_seq = ns("fourcore/sequential");
+    let fourcore_pipe = ns("fourcore/pipelined");
+    let fourcore_pct = speedup_pct(fourcore_seq, fourcore_pipe);
+
+    println!();
+    let mut kernel_passes = 0usize;
+    for (name, scalar_ns, chunked_ns) in &kernels {
+        let pct = speedup_pct(*scalar_ns, *chunked_ns);
+        if pct >= KERNEL_GATE_PCT {
+            kernel_passes += 1;
+        }
+        println!(
+            "{name:<16} scalar {scalar_ns:>14.1} ns/iter  chunked {chunked_ns:>14.1} ns/iter \
+             ({pct:+.1}%)"
+        );
+    }
+    println!(
+        "fourcore         sequential {fourcore_seq:>10.1} ns/iter  pipelined \
+         {fourcore_pipe:>10.1} ns/iter ({fourcore_pct:+.1}%)"
+    );
+
+    let kernel_pass = kernel_passes >= KERNEL_GATE_COUNT;
+    let fourcore_pass = fourcore_pct >= FOURCORE_GATE_PCT;
+    write_report(
+        &kernels,
+        kernel_passes,
+        kernel_pass,
+        fourcore_seq,
+        fourcore_pipe,
+        fourcore_pct,
+        fourcore_pass,
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut failed = false;
+    if kernel_pass {
+        println!(
+            "PASS: {kernel_passes}/3 single-run kernels at >= {KERNEL_GATE_PCT:.0}% speedup \
+             (need {KERNEL_GATE_COUNT})"
+        );
+    } else {
+        println!(
+            "FAIL: only {kernel_passes}/3 single-run kernels reached {KERNEL_GATE_PCT:.0}% \
+             speedup (need {KERNEL_GATE_COUNT})"
+        );
+        failed = true;
+    }
+    if fourcore_pass {
+        println!(
+            "PASS: pipelined four-core run is {fourcore_pct:.1}% faster than sequential \
+             stepping (>= {FOURCORE_GATE_PCT:.0}%)"
+        );
+    } else {
+        println!(
+            "FAIL: pipelined four-core run is only {fourcore_pct:.1}% faster than sequential \
+             stepping (need {FOURCORE_GATE_PCT:.0}%)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn write_report(
+    kernels: &[(&str, f64, f64); 3],
+    kernel_passes: usize,
+    kernel_pass: bool,
+    fourcore_seq: f64,
+    fourcore_pipe: f64,
+    fourcore_pct: f64,
+    fourcore_pass: bool,
+) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_single_run_hotpaths.json"
+    );
+    let mut json = String::from("{\n  \"bench\": \"single_run_hotpaths\",\n");
+    json.push_str(&format!(
+        "  \"app\": \"{APP}\",\n  \
+         \"memsim_instructions\": {MEMSIM_INSTRUCTIONS},\n  \
+         \"smt_commits\": {SMT_COMMITS},\n  \
+         \"replay_records\": {REPLAY_RECORDS},\n  \
+         \"fourcore_instructions_per_core\": {FOURCORE_INSTRUCTIONS},\n"
+    ));
+    for (name, scalar_ns, chunked_ns) in kernels {
+        json.push_str(&format!(
+            "  \"{name}_scalar_ns\": {scalar_ns:.1},\n  \
+             \"{name}_chunked_ns\": {chunked_ns:.1},\n  \
+             \"{name}_speedup_pct\": {:.2},\n",
+            speedup_pct(*scalar_ns, *chunked_ns)
+        ));
+    }
+    json.push_str(&format!(
+        "  \"kernel_gate_pct\": {KERNEL_GATE_PCT:.1},\n  \
+         \"kernel_gate_count\": {KERNEL_GATE_COUNT},\n  \
+         \"kernel_passes\": {kernel_passes},\n  \
+         \"kernel_pass\": {kernel_pass},\n  \
+         \"fourcore_sequential_ns\": {fourcore_seq:.1},\n  \
+         \"fourcore_pipelined_ns\": {fourcore_pipe:.1},\n  \
+         \"fourcore_speedup_pct\": {fourcore_pct:.2},\n  \
+         \"fourcore_gate_pct\": {FOURCORE_GATE_PCT:.1},\n  \
+         \"fourcore_pass\": {fourcore_pass}\n}}\n"
+    ));
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -25,6 +25,25 @@ fn stdout_of(exe: &str, args: &[&str]) -> String {
     String::from_utf8(output.stdout).expect("experiment output is UTF-8")
 }
 
+/// Like [`stdout_of`] but with extra environment variables set on the
+/// child — used to flip process-wide switches such as the kernel mode.
+fn stdout_of_env(exe: &str, args: &[&str], envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let output = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} {args:?} (env {envs:?}) failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("experiment output is UTF-8")
+}
+
 #[test]
 fn fig13_report_is_byte_identical_at_any_job_count() {
     let exe = env!("CARGO_BIN_EXE_fig13_smt_scurve");
@@ -48,6 +67,57 @@ fn fig05_report_is_byte_identical_at_any_job_count() {
     assert!(
         serial.contains("best-policy gain over Choi"),
         "fig05 produced no report:\n{serial}"
+    );
+}
+
+/// The pipelined four-core batch driver behind fig. 14 is a scheduling
+/// optimization only: on identically built systems it must hand back the
+/// exact per-core stats of plain per-record sequential stepping.
+#[test]
+fn fourcore_pipelined_run_matches_sequential_stepping() {
+    use mab_memsim::{config::SystemConfig, system::RunStats, System};
+    use mab_prefetch::catalog;
+    use mab_workloads::{suites, TraceRecord};
+
+    const SEED: u64 = 11;
+    const INSTRUCTIONS: u64 = 20_000;
+    let app = suites::app_by_name("milc").expect("catalog app");
+    let run = |sequential: bool| -> Vec<RunStats> {
+        let mut system = System::multi_core(SystemConfig::default(), 4);
+        for core in 0..4 {
+            system.set_prefetcher(core, catalog::build_l2("bandit", SEED + core as u64));
+        }
+        let mut traces: Vec<_> = (0..4).map(|i| app.trace(SEED + i)).collect();
+        let mut dyn_traces: Vec<&mut dyn Iterator<Item = TraceRecord>> = traces
+            .iter_mut()
+            .map(|t| t as &mut dyn Iterator<Item = TraceRecord>)
+            .collect();
+        if sequential {
+            system.run_multi_sequential(&mut dyn_traces, INSTRUCTIONS)
+        } else {
+            system.run_multi(&mut dyn_traces, INSTRUCTIONS)
+        }
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "pipelined four-core driver diverged from sequential stepping"
+    );
+}
+
+/// End to end: the fig. 14 binary prints byte-identical output under the
+/// default chunked kernels + pipelined driver and under the scalar
+/// reference selected by `MAB_SCALAR_KERNELS=1`.
+#[test]
+fn fig14_report_is_byte_identical_across_kernel_modes() {
+    let exe = env!("CARGO_BIN_EXE_fig14_fourcore");
+    let args = ["--instructions", "1500"];
+    let chunked = stdout_of_env(exe, &args, &[]);
+    let scalar = stdout_of_env(exe, &args, &[("MAB_SCALAR_KERNELS", "1")]);
+    assert_eq!(chunked, scalar, "fig14 stdout diverged across kernel modes");
+    assert!(
+        chunked.contains("ALL (gmean)"),
+        "fig14 produced no report:\n{chunked}"
     );
 }
 

@@ -15,8 +15,15 @@
 //!   per-access drain is a single compare when nothing has landed.
 
 use crate::config::CacheParams;
+use crate::hotpath;
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
+
+/// Lane count for the chunked (SIMD-shaped) way scans. Eight `u64` tags are
+/// one 64-byte chunk — exactly the L1/L2 associativity, half the LLC's — so
+/// the per-chunk compare/min loops below run over fixed-size arrays the
+/// autovectorizer can turn into vector ops.
+const WAY_CHUNK: usize = 8;
 
 /// Result of a demand lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +101,9 @@ pub struct Cache {
     lru: Vec<u64>,
     clock: u64,
     stats: CacheStats,
+    /// Use the scalar reference kernels instead of the chunked ones.
+    /// Latched from [`hotpath::scalar_kernels`] at construction.
+    scalar: bool,
 }
 
 impl Cache {
@@ -113,6 +123,7 @@ impl Cache {
             lru: vec![0; lines],
             clock: 0,
             stats: CacheStats::default(),
+            scalar: hotpath::scalar_kernels(),
         }
     }
 
@@ -144,11 +155,54 @@ impl Cache {
     /// Index of the way holding `line`, if present and valid.
     #[inline]
     fn find(&self, line: u64) -> Option<usize> {
+        if self.scalar {
+            self.find_scalar(line)
+        } else {
+            self.find_chunked(line)
+        }
+    }
+
+    /// Scalar reference tag scan: first tag match, confirmed valid. Kept as
+    /// the differential baseline for [`Cache::find_chunked`].
+    #[inline]
+    fn find_scalar(&self, line: u64) -> Option<usize> {
         let base = self.set_base(line);
         self.tags[base..base + self.ways]
             .iter()
             .position(|&tag| tag == line)
             .map(|way| base + way)
+            .filter(|&idx| self.flags[idx] & FLAG_VALID != 0)
+    }
+
+    /// Chunked whole-set tag compare: every [`WAY_CHUNK`] tags are compared
+    /// as one branchless masked chunk, and the first set bit of the mask is
+    /// the first matching way — the same way the scalar early-exit scan
+    /// lands on, because a valid line appears in at most one way and
+    /// invalid ways carry the `u64::MAX` sentinel no real line equals.
+    #[inline]
+    fn find_chunked(&self, line: u64) -> Option<usize> {
+        let base = self.set_base(line);
+        let tags = &self.tags[base..base + self.ways];
+        let mut chunks = tags.chunks_exact(WAY_CHUNK);
+        let mut offset = 0;
+        for chunk in &mut chunks {
+            let chunk: &[u64; WAY_CHUNK] = chunk.try_into().expect("exact chunk");
+            let mut mask = 0u32;
+            for (lane, &tag) in chunk.iter().enumerate() {
+                mask |= u32::from(tag == line) << lane;
+            }
+            if mask != 0 {
+                let idx = base + offset + mask.trailing_zeros() as usize;
+                return Some(idx).filter(|&i| self.flags[i] & FLAG_VALID != 0);
+            }
+            offset += WAY_CHUNK;
+        }
+        // Sub-chunk associativities (test-sized caches) finish scalar.
+        chunks
+            .remainder()
+            .iter()
+            .position(|&tag| tag == line)
+            .map(|way| base + offset + way)
             .filter(|&idx| self.flags[idx] & FLAG_VALID != 0)
     }
 
@@ -185,35 +239,39 @@ impl Cache {
 
     /// Fill plus the index of the way that now holds `line`.
     fn fill_inner(&mut self, line: u64, prefetched: bool) -> (Option<Evicted>, usize) {
+        // The chunked tag compare relies on `u64::MAX` marking exactly the
+        // invalid ways; real lines (addr/64, plus a core id in bits 40+)
+        // can never reach the sentinel.
+        debug_assert_ne!(
+            line,
+            u64::MAX,
+            "line index collides with the invalid-way sentinel"
+        );
         self.clock += 1;
         let clock = self.clock;
         if prefetched {
             self.stats.prefetch_fills += 1;
         }
         let base = self.set_base(line);
-        // One scan finds a present line and the LRU victim: an invalid way
-        // ranks as stamp 0 (valid stamps are ≥ 1), first-minimum wins —
-        // the same victim a `min_by_key` over the ways would pick.
-        let mut victim = base;
-        let mut victim_key = u64::MAX;
-        for idx in base..base + self.ways {
-            let flags = self.flags[idx];
-            if flags & FLAG_VALID != 0 {
-                if self.tags[idx] == line {
+        let victim = if self.scalar {
+            match self.fill_scan_scalar(base, line) {
+                Ok(idx) => {
                     // Already present (e.g. demand raced a prefetch):
                     // refresh only.
                     self.lru[idx] = clock;
                     return (None, idx);
                 }
-                if self.lru[idx] < victim_key {
-                    victim_key = self.lru[idx];
-                    victim = idx;
-                }
-            } else if victim_key > 0 {
-                victim_key = 0;
-                victim = idx;
+                Err(victim) => victim,
             }
-        }
+        } else {
+            match self.fill_scan_chunked(base, line) {
+                Ok(idx) => {
+                    self.lru[idx] = clock;
+                    return (None, idx);
+                }
+                Err(victim) => victim,
+            }
+        };
         let evicted = if self.flags[victim] & FLAG_VALID != 0 {
             let unused_prefetch = self.flags[victim] & FLAG_PREFETCHED != 0;
             if unused_prefetch {
@@ -230,6 +288,88 @@ impl Cache {
         self.flags[victim] = FLAG_VALID | if prefetched { FLAG_PREFETCHED } else { 0 };
         self.lru[victim] = clock;
         (evicted, victim)
+    }
+
+    /// Scalar reference fill scan: one pass finds a present line
+    /// (`Ok(idx)`) or the LRU victim (`Err(idx)`). An invalid way ranks as
+    /// stamp 0 (valid stamps are ≥ 1), first-minimum wins — the same
+    /// victim a `min_by_key` over the ways would pick.
+    #[inline]
+    fn fill_scan_scalar(&self, base: usize, line: u64) -> Result<usize, usize> {
+        let mut victim = base;
+        let mut victim_key = u64::MAX;
+        for idx in base..base + self.ways {
+            let flags = self.flags[idx];
+            if flags & FLAG_VALID != 0 {
+                if self.tags[idx] == line {
+                    return Ok(idx);
+                }
+                if self.lru[idx] < victim_key {
+                    victim_key = self.lru[idx];
+                    victim = idx;
+                }
+            } else if victim_key > 0 {
+                victim_key = 0;
+                victim = idx;
+            }
+        }
+        Err(victim)
+    }
+
+    /// Chunked fill scan: the present-check reuses the masked whole-set tag
+    /// compare, then the LRU victim falls out of a branchless min-reduction
+    /// over per-way keys `lru * valid` — 0 for invalid ways, the stamp
+    /// (≥ 1) for valid ones, exactly the ranking the scalar scan applies.
+    /// Chunks are visited in way order and only a strictly smaller chunk
+    /// minimum displaces the running victim, so the first-minimum way wins
+    /// just as in the scalar pass.
+    #[inline]
+    fn fill_scan_chunked(&self, base: usize, line: u64) -> Result<usize, usize> {
+        if let Some(idx) = self.find_chunked(line) {
+            debug_assert!(self.flags[idx] & FLAG_VALID != 0);
+            return Ok(idx);
+        }
+        let flags = &self.flags[base..base + self.ways];
+        let lru = &self.lru[base..base + self.ways];
+        let mut victim = base;
+        let mut victim_key = u64::MAX;
+        let mut offset = 0;
+        let mut flag_chunks = flags.chunks_exact(WAY_CHUNK);
+        let mut lru_chunks = lru.chunks_exact(WAY_CHUNK);
+        for (flag_chunk, lru_chunk) in (&mut flag_chunks).zip(&mut lru_chunks) {
+            let flag_chunk: &[u8; WAY_CHUNK] = flag_chunk.try_into().expect("exact chunk");
+            let lru_chunk: &[u64; WAY_CHUNK] = lru_chunk.try_into().expect("exact chunk");
+            let mut keys = [0u64; WAY_CHUNK];
+            for lane in 0..WAY_CHUNK {
+                keys[lane] = lru_chunk[lane] * u64::from(flag_chunk[lane] & FLAG_VALID);
+            }
+            let mut chunk_min = u64::MAX;
+            for &key in &keys {
+                chunk_min = chunk_min.min(key);
+            }
+            if chunk_min < victim_key {
+                victim_key = chunk_min;
+                let lane = keys
+                    .iter()
+                    .position(|&key| key == chunk_min)
+                    .expect("chunk minimum is in the chunk");
+                victim = base + offset + lane;
+            }
+            offset += WAY_CHUNK;
+        }
+        for (lane, (&way_flags, &stamp)) in flag_chunks
+            .remainder()
+            .iter()
+            .zip(lru_chunks.remainder())
+            .enumerate()
+        {
+            let key = stamp * u64::from(way_flags & FLAG_VALID);
+            if key < victim_key {
+                victim_key = key;
+                victim = base + offset + lane;
+            }
+        }
+        Err(victim)
     }
 
     /// Fills `line` for a **late** prefetch: the demand access that is
@@ -287,29 +427,14 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotState {
-    Empty,
-    Live,
-    /// Tombstone: keeps probe chains intact after a removal; reclaimed on
-    /// the next rehash.
-    Dead,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    state: SlotState,
-    line: u64,
-    ready: u64,
-    fill_l1: bool,
-}
-
-const EMPTY_SLOT: Slot = Slot {
-    state: SlotState::Empty,
-    line: 0,
-    ready: 0,
-    fill_l1: false,
-};
+/// Slot states for the open-addressed MSHR table, kept as raw bytes in a
+/// structure-of-arrays layout so the chunked ready-sweep can compare a
+/// whole chunk of states at once.
+const STATE_EMPTY: u8 = 0;
+const STATE_LIVE: u8 = 1;
+/// Tombstone: keeps probe chains intact after a removal; reclaimed on the
+/// next rehash.
+const STATE_DEAD: u8 = 2;
 
 /// Miss-status holding registers for in-flight *prefetch* fills.
 ///
@@ -320,25 +445,52 @@ const EMPTY_SLOT: Slot = Slot {
 ///
 /// Lines are indexed by an open-addressed table (multiplicative hashing,
 /// linear probing, tombstone deletion) rather than a `HashMap`: the MSHR is
-/// probed on every L2 access and `SipHash` dominated the lookup cost.
-/// Completion order still comes from a min-heap whose entries carry the
-/// `ready` stamp they were posted with; an entry is stale — the line was
-/// removed or re-posted since — exactly when its stamp no longer matches the
-/// table, so drains skip it without any eager heap surgery.
+/// probed on every L2 access and `SipHash` dominated the lookup cost. The
+/// table is stored structure-of-arrays (states, lines, readys, L1 bits in
+/// parallel vectors) so the chunked drain can gather completion masks over
+/// whole chunks.
+///
+/// Completion ordering is mode-dependent but bit-identical:
+///
+/// - **scalar** (reference): a min-heap whose entries carry the `ready`
+///   stamp they were posted with; an entry is stale — the line was removed
+///   or re-posted since — exactly when its stamp no longer matches the
+///   table, so drains skip it without any eager heap surgery.
+/// - **chunked**: no heap at all. A drain sweeps the whole table in
+///   [`MSHR_CHUNK`]-slot chunks, gathers the completed entries and the
+///   earliest still-pending stamp in one pass, and sorts the completions by
+///   `(ready, line)` — the exact pop order of the heap, with staleness
+///   impossible because the table itself is the only source of truth.
+///
+/// Either way, `earliest` caches a lower bound on the next completion so
+/// the common "nothing landed yet" drain is a single compare.
 #[derive(Debug, Clone)]
 pub struct Mshr {
-    slots: Vec<Slot>,
-    /// `slots.len() - 1`; the table size is a power of two.
+    /// [`STATE_EMPTY`] / [`STATE_LIVE`] / [`STATE_DEAD`] per slot.
+    states: Vec<u8>,
+    /// Line index per live slot.
+    lines: Vec<u64>,
+    /// Completion cycle per live slot.
+    readys: Vec<u64>,
+    /// 1 when the fill also targets the L1, else 0.
+    fill_l1s: Vec<u8>,
+    /// `states.len() - 1`; the table size is a power of two.
     mask: usize,
     /// Number of live entries.
     live: usize,
     /// Live entries plus tombstones (bounds probe-chain length; reset by
     /// rehashing).
     used: usize,
+    /// Completion order for the scalar mode; unused (empty) when chunked.
     order: BinaryHeap<HeapEntry>,
-    /// Completion cycle of the earliest posted fill, `u64::MAX` when none
-    /// are in flight: the common "nothing landed yet" drain is one compare.
+    /// Lower bound on the earliest in-flight completion, `u64::MAX` when
+    /// none are in flight. Exact in scalar mode; in chunked mode a removal
+    /// can leave it low, which only costs one empty sweep.
     earliest: u64,
+    /// Reused `(ready, line, fill_l1)` buffer for the chunked drain sort.
+    sweep: Vec<(u64, u64, bool)>,
+    /// Use the scalar reference kernels; latched at construction.
+    scalar: bool,
 }
 
 impl Default for Mshr {
@@ -347,18 +499,27 @@ impl Default for Mshr {
     }
 }
 
+/// Lane count for the chunked MSHR sweep; the table size is a power of two
+/// ≥ 64, so every sweep divides into exact chunks.
+const MSHR_CHUNK: usize = 8;
+
 impl Mshr {
     const INITIAL_SLOTS: usize = 64;
 
     /// Creates an empty MSHR file.
     pub fn new() -> Self {
         Mshr {
-            slots: vec![EMPTY_SLOT; Self::INITIAL_SLOTS],
+            states: vec![STATE_EMPTY; Self::INITIAL_SLOTS],
+            lines: vec![0; Self::INITIAL_SLOTS],
+            readys: vec![0; Self::INITIAL_SLOTS],
+            fill_l1s: vec![0; Self::INITIAL_SLOTS],
             mask: Self::INITIAL_SLOTS - 1,
             live: 0,
             used: 0,
             order: BinaryHeap::new(),
             earliest: u64::MAX,
+            sweep: Vec::new(),
+            scalar: hotpath::scalar_kernels(),
         }
     }
 
@@ -387,11 +548,10 @@ impl Mshr {
         let mut idx = self.bucket(line);
         let mut insert_at = None;
         loop {
-            let slot = &self.slots[idx];
-            match slot.state {
-                SlotState::Empty => return (None, insert_at.unwrap_or(idx)),
-                SlotState::Live if slot.line == line => return (Some(idx), idx),
-                SlotState::Dead if insert_at.is_none() => insert_at = Some(idx),
+            match self.states[idx] {
+                STATE_EMPTY => return (None, insert_at.unwrap_or(idx)),
+                STATE_LIVE if self.lines[idx] == line => return (Some(idx), idx),
+                STATE_DEAD if insert_at.is_none() => insert_at = Some(idx),
                 _ => {}
             }
             idx = (idx + 1) & self.mask;
@@ -399,13 +559,19 @@ impl Mshr {
     }
 
     fn rehash(&mut self, new_len: usize) {
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_len]);
+        let old_states = std::mem::replace(&mut self.states, vec![STATE_EMPTY; new_len]);
+        let old_lines = std::mem::replace(&mut self.lines, vec![0; new_len]);
+        let old_readys = std::mem::replace(&mut self.readys, vec![0; new_len]);
+        let old_fill_l1s = std::mem::replace(&mut self.fill_l1s, vec![0; new_len]);
         self.mask = new_len - 1;
         self.used = self.live;
-        for slot in old {
-            if slot.state == SlotState::Live {
-                let (_, idx) = self.probe(slot.line);
-                self.slots[idx] = slot;
+        for (slot, &state) in old_states.iter().enumerate() {
+            if state == STATE_LIVE {
+                let (_, idx) = self.probe(old_lines[slot]);
+                self.states[idx] = STATE_LIVE;
+                self.lines[idx] = old_lines[slot];
+                self.readys[idx] = old_readys[slot];
+                self.fill_l1s[idx] = old_fill_l1s[slot];
             }
         }
     }
@@ -413,8 +579,8 @@ impl Mshr {
     /// Looks up an in-flight prefetch for `line`.
     pub fn get(&self, line: u64) -> Option<Inflight> {
         self.probe(line).0.map(|idx| Inflight {
-            ready: self.slots[idx].ready,
-            fill_l1: self.slots[idx].fill_l1,
+            ready: self.readys[idx],
+            fill_l1: self.fill_l1s[idx] != 0,
         })
     }
 
@@ -423,25 +589,34 @@ impl Mshr {
     /// Returns false (and does nothing) if the line is already in flight.
     pub fn insert(&mut self, line: u64, ready: u64, fill_l1: bool) -> bool {
         // Keep the load factor (live + tombstones) under 3/4 so probe
-        // chains stay short; rehashing also reclaims tombstones.
-        if (self.used + 1) * 4 > self.slots.len() * 3 {
-            self.rehash(self.slots.len() * 2);
+        // chains stay short. Grow only when the *live* count needs the
+        // room; when tombstones from drained completions drive the load,
+        // rehash in place to reclaim them — otherwise steady
+        // insert/complete churn doubles the table forever, and the chunked
+        // drain's whole-table sweep pays for every doubling.
+        if (self.used + 1) * 4 > self.states.len() * 3 {
+            let new_len = if (self.live + 1) * 4 > self.states.len() * 3 {
+                self.states.len() * 2
+            } else {
+                self.states.len()
+            };
+            self.rehash(new_len);
         }
         let (found, insert_at) = self.probe(line);
         if found.is_some() {
             return false;
         }
-        if self.slots[insert_at].state == SlotState::Empty {
+        if self.states[insert_at] == STATE_EMPTY {
             self.used += 1;
         }
-        self.slots[insert_at] = Slot {
-            state: SlotState::Live,
-            line,
-            ready,
-            fill_l1,
-        };
+        self.states[insert_at] = STATE_LIVE;
+        self.lines[insert_at] = line;
+        self.readys[insert_at] = ready;
+        self.fill_l1s[insert_at] = u8::from(fill_l1);
         self.live += 1;
-        self.order.push(HeapEntry { ready, line });
+        if self.scalar {
+            self.order.push(HeapEntry { ready, line });
+        }
         self.earliest = self.earliest.min(ready);
         true
     }
@@ -449,11 +624,12 @@ impl Mshr {
     /// Removes `line` (e.g. a demand miss arrived and took over the fill).
     pub fn remove(&mut self, line: u64) {
         if let (Some(idx), _) = self.probe(line) {
-            self.slots[idx].state = SlotState::Dead;
+            self.states[idx] = STATE_DEAD;
             self.live -= 1;
         }
-        // The heap entry becomes stale and is skipped on drain; `earliest`
-        // may now read low, which only costs a harmless extra heap peek.
+        // Scalar: the heap entry becomes stale and is skipped on drain.
+        // Either mode: `earliest` may now read low, which only costs a
+        // harmless extra heap peek (scalar) or empty table sweep (chunked).
     }
 
     /// Pops every prefetch that has completed by `now`, returning
@@ -473,23 +649,78 @@ impl Mshr {
         if now < self.earliest {
             return;
         }
+        if self.scalar {
+            self.drain_scalar(now, done);
+        } else {
+            self.drain_chunked(now, done);
+        }
+    }
+
+    /// Scalar reference drain: pop the heap in `(ready, line)` order,
+    /// skipping stale entries whose MSHR was removed or re-posted (the
+    /// posted `ready` stamp no longer matches the live slot).
+    fn drain_scalar(&mut self, now: u64, done: &mut Vec<(u64, bool)>) {
         while let Some(&HeapEntry { ready, line }) = self.order.peek() {
             if ready > now {
                 break;
             }
             self.order.pop();
-            // Skip stale entries whose MSHR was removed or re-posted: the
-            // posted `ready` stamp no longer matches the live slot.
             if let (Some(idx), _) = self.probe(line) {
-                if self.slots[idx].ready == ready {
-                    let fill_l1 = self.slots[idx].fill_l1;
-                    self.slots[idx].state = SlotState::Dead;
+                if self.readys[idx] == ready {
+                    let fill_l1 = self.fill_l1s[idx] != 0;
+                    self.states[idx] = STATE_DEAD;
                     self.live -= 1;
                     done.push((line, fill_l1));
                 }
             }
         }
         self.earliest = self.order.peek().map_or(u64::MAX, |entry| entry.ready);
+    }
+
+    /// Chunked drain: one sweep over the whole table gathers, per
+    /// [`MSHR_CHUNK`]-slot chunk, a branchless completion mask and the
+    /// minimum still-pending stamp. Completions are then sorted by
+    /// `(ready, line)` — live lines are unique, so this is exactly the
+    /// scalar heap's pop order — and `earliest` comes out exact.
+    fn drain_chunked(&mut self, now: u64, done: &mut Vec<(u64, bool)>) {
+        let mut sweep = std::mem::take(&mut self.sweep);
+        sweep.clear();
+        let mut next_earliest = u64::MAX;
+        debug_assert_eq!(self.states.len() % MSHR_CHUNK, 0);
+        for base in (0..self.states.len()).step_by(MSHR_CHUNK) {
+            let state_chunk: [u8; MSHR_CHUNK] = self.states[base..base + MSHR_CHUNK]
+                .try_into()
+                .expect("exact chunk");
+            let ready_chunk: [u64; MSHR_CHUNK] = self.readys[base..base + MSHR_CHUNK]
+                .try_into()
+                .expect("exact chunk");
+            let mut done_mask = 0u32;
+            let mut pending_min = u64::MAX;
+            for lane in 0..MSHR_CHUNK {
+                let live = state_chunk[lane] == STATE_LIVE;
+                let completed = live && ready_chunk[lane] <= now;
+                done_mask |= u32::from(completed) << lane;
+                let pending_key = if live && ready_chunk[lane] > now {
+                    ready_chunk[lane]
+                } else {
+                    u64::MAX
+                };
+                pending_min = pending_min.min(pending_key);
+            }
+            next_earliest = next_earliest.min(pending_min);
+            while done_mask != 0 {
+                let idx = base + done_mask.trailing_zeros() as usize;
+                done_mask &= done_mask - 1;
+                sweep.push((self.readys[idx], self.lines[idx], self.fill_l1s[idx] != 0));
+                self.states[idx] = STATE_DEAD;
+                self.live -= 1;
+            }
+        }
+        sweep.sort_unstable();
+        done.extend(sweep.iter().map(|&(_, line, fill_l1)| (line, fill_l1)));
+        sweep.clear();
+        self.sweep = sweep;
+        self.earliest = next_earliest;
     }
 }
 
@@ -705,5 +936,119 @@ mod tests {
         assert!(scratch.is_empty());
         m.drain_ready_into(10, &mut scratch);
         assert_eq!(scratch, vec![(1, false)]);
+    }
+
+    mod differential {
+        //! Chunked vs scalar kernel differentials: the whole-set tag
+        //! compare / LRU victim scan and the batched MSHR ready-probe must
+        //! be observationally identical to the scalar reference under
+        //! arbitrary operation sequences.
+
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::sync::Mutex;
+
+        /// Builds one scalar-mode and one chunked-mode instance. The
+        /// kernel mode is process-wide and latched at construction, so
+        /// both constructions happen under one lock and the mode is
+        /// restored to the default afterwards.
+        fn ab_pair<T>(build: impl Fn() -> T) -> (T, T) {
+            static MODE_LOCK: Mutex<()> = Mutex::new(());
+            let _guard = MODE_LOCK.lock().unwrap();
+            crate::hotpath::force_scalar(true);
+            let scalar = build();
+            crate::hotpath::force_scalar(false);
+            let chunked = build();
+            (scalar, chunked)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Every cache observable — lookup results, evictions,
+            /// residency, stats — is identical across kernel modes for
+            /// arbitrary geometries (ways crossing the chunk width) and
+            /// access mixes dense enough to force constant set conflict.
+            #[test]
+            fn chunked_cache_matches_scalar_reference(
+                case in 0u64..u64::MAX,
+                ways in 1u32..=20,
+                sets_pow in 0u32..3,
+                ops in 1usize..400,
+            ) {
+                let params = CacheParams {
+                    capacity_bytes: (64 * u64::from(ways)) << sets_pow,
+                    ways,
+                    latency: 4,
+                };
+                let (mut scalar, mut chunked) = ab_pair(|| Cache::new(params));
+                let mut rng = StdRng::seed_from_u64(case);
+                let lines = u64::from(ways * 4) << sets_pow;
+                for _ in 0..ops {
+                    let line = rng.gen_range(0..lines);
+                    match rng.gen_range(0..4) {
+                        0 => prop_assert_eq!(
+                            scalar.demand_lookup(line),
+                            chunked.demand_lookup(line)
+                        ),
+                        1 => {
+                            let prefetched = rng.gen();
+                            prop_assert_eq!(
+                                scalar.fill(line, prefetched),
+                                chunked.fill(line, prefetched)
+                            );
+                        }
+                        2 => prop_assert_eq!(
+                            scalar.fill_late_prefetch(line),
+                            chunked.fill_late_prefetch(line)
+                        ),
+                        _ => prop_assert_eq!(scalar.contains(line), chunked.contains(line)),
+                    }
+                }
+                prop_assert_eq!(scalar.stats(), chunked.stats());
+            }
+
+            /// Every MSHR observable — insert admission, lookups, drain
+            /// contents *and order*, size — is identical across kernel
+            /// modes under insert/remove/drain churn that drives growth
+            /// and tombstone reclamation.
+            #[test]
+            fn chunked_mshr_matches_scalar_reference(
+                case in 0u64..u64::MAX,
+                ops in 1usize..600,
+            ) {
+                let (mut scalar, mut chunked) = ab_pair(Mshr::new);
+                let mut rng = StdRng::seed_from_u64(case);
+                let mut now = 0u64;
+                for _ in 0..ops {
+                    let line = rng.gen_range(0..96);
+                    match rng.gen_range(0..5) {
+                        0 | 1 => {
+                            let ready = now + rng.gen_range(0..50u64);
+                            let fill_l1 = rng.gen();
+                            prop_assert_eq!(
+                                scalar.insert(line, ready, fill_l1),
+                                chunked.insert(line, ready, fill_l1)
+                            );
+                        }
+                        2 => {
+                            scalar.remove(line);
+                            chunked.remove(line);
+                        }
+                        3 => prop_assert_eq!(scalar.get(line), chunked.get(line)),
+                        _ => {
+                            now += rng.gen_range(0..25u64);
+                            prop_assert_eq!(scalar.drain_ready(now), chunked.drain_ready(now));
+                        }
+                    }
+                    prop_assert_eq!(scalar.len(), chunked.len());
+                }
+                now += 1000;
+                prop_assert_eq!(scalar.drain_ready(now), chunked.drain_ready(now));
+                prop_assert!(scalar.is_empty() && chunked.is_empty());
+            }
+        }
     }
 }

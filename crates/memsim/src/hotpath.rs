@@ -1,0 +1,6 @@
+//! Kernel-mode selection for this crate's hot loops — see
+//! [`mab_telemetry::hotpath`]. Re-exported here so memsim callers (and the
+//! differential tests) flip the same process-wide switch the other
+//! simulator crates read.
+
+pub use mab_telemetry::hotpath::{force_scalar, scalar_kernels};

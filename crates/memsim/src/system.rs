@@ -181,6 +181,9 @@ pub struct System {
     probe: ProbeCounts,
     /// L2 demand accesses since the run started (occupancy sample clock).
     occ_accesses: u64,
+    /// Use sequential stepping in [`System::run_multi`]; latched from
+    /// [`crate::hotpath`] at construction.
+    scalar: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -236,6 +239,7 @@ impl System {
             config,
             probe: ProbeCounts::new(),
             occ_accesses: 0,
+            scalar: crate::hotpath::scalar_kernels(),
         }
     }
 
@@ -307,6 +311,11 @@ impl System {
     /// instructions, interleaving cores by simulated time. Returns per-core
     /// statistics.
     ///
+    /// In the default chunked kernel mode the cores are stepped in
+    /// **pipelined batches** ([`System::drive_pipelined`]); in scalar mode
+    /// this is plain per-record sequential stepping. Both orders are
+    /// byte-identical by construction — see the driver docs.
+    ///
     /// # Panics
     ///
     /// Panics if the number of traces differs from the number of cores or a
@@ -315,6 +324,32 @@ impl System {
         &mut self,
         traces: &mut [&mut dyn Iterator<Item = TraceRecord>],
         instructions_per_core: u64,
+    ) -> Vec<RunStats> {
+        let scalar = self.scalar;
+        self.run_multi_with(traces, instructions_per_core, !scalar)
+    }
+
+    /// [`System::run_multi`] forced onto the sequential per-record stepping
+    /// order, regardless of kernel mode — the reference the pipelined
+    /// driver's byte-identity tests and the fig. 14 scheduling bench
+    /// compare against.
+    ///
+    /// # Panics
+    ///
+    /// As for [`System::run_multi`].
+    pub fn run_multi_sequential(
+        &mut self,
+        traces: &mut [&mut dyn Iterator<Item = TraceRecord>],
+        instructions_per_core: u64,
+    ) -> Vec<RunStats> {
+        self.run_multi_with(traces, instructions_per_core, false)
+    }
+
+    fn run_multi_with(
+        &mut self,
+        traces: &mut [&mut dyn Iterator<Item = TraceRecord>],
+        instructions_per_core: u64,
+        pipelined: bool,
     ) -> Vec<RunStats> {
         assert_eq!(
             traces.len(),
@@ -325,6 +360,25 @@ impl System {
             ctx.done = false;
         }
         let start_cycles: u64 = self.cores.iter().map(|c| c.core.cycles()).sum();
+        if pipelined {
+            self.drive_pipelined(traces, instructions_per_core);
+        } else {
+            self.drive_sequential(traces, instructions_per_core);
+        }
+        let end_cycles: u64 = self.cores.iter().map(|c| c.core.cycles()).sum();
+        self.probe.add(Stat::SimCycles, end_cycles - start_cycles);
+        self.probe.flush();
+        (0..self.cores.len()).map(|i| self.stats(i)).collect()
+    }
+
+    /// Sequential reference scheduler: one full scan per record, stepping
+    /// the earliest core (ties to the lowest index). This order *defines*
+    /// the simulation's output; the pipelined driver reproduces it exactly.
+    fn drive_sequential(
+        &mut self,
+        traces: &mut [&mut dyn Iterator<Item = TraceRecord>],
+        instructions_per_core: u64,
+    ) {
         loop {
             // Advance the core that is earliest in simulated time.
             let mut next: Option<(usize, u64)> = None;
@@ -337,17 +391,75 @@ impl System {
                     next = Some((i, t));
                 }
             }
-            let Some((i, _)) = next else { break };
+            let Some((i, t)) = next else { break };
             let record = traces[i].next().expect("trace ended early");
-            self.step_core(i, record);
+            self.step_core(i, record, t);
             if self.cores[i].core.instructions() >= instructions_per_core {
                 self.cores[i].done = true;
             }
         }
-        let end_cycles: u64 = self.cores.iter().map(|c| c.core.cycles()).sum();
-        self.probe.add(Stat::SimCycles, end_cycles - start_cycles);
-        self.probe.flush();
-        (0..self.cores.len()).map(|i| self.stats(i)).collect()
+    }
+
+    /// Pipelined batch scheduler: pick the winning core once, then keep
+    /// stepping it while it would win the sequential scan again, re-scanning
+    /// only when the lead changes hands.
+    ///
+    /// The sequential scan picks the **first** core with the minimum issue
+    /// cycle, so core `i` wins exactly when `tᵢ < min(t_j, j < i)` and
+    /// `tᵢ ≤ min(t_j, j > i)` over the still-active cores. Stepping core
+    /// `i` changes no other core's time, so those two bounds stay valid for
+    /// the whole batch and the batch condition reproduces the sequential
+    /// pick sequence record for record — shared LLC/DRAM/bandit state is
+    /// touched in the identical order and the output is byte-identical
+    /// (asserted by the fig. 14 interleave tests). A single-core system
+    /// degenerates to one batch for the entire run, which is where the
+    /// single-run scheduling overhead goes away.
+    fn drive_pipelined(
+        &mut self,
+        traces: &mut [&mut dyn Iterator<Item = TraceRecord>],
+        instructions_per_core: u64,
+    ) {
+        let mut times: Vec<u64> = self.cores.iter().map(|c| c.core.issue_cycle()).collect();
+        loop {
+            let mut next: Option<(usize, u64)> = None;
+            for (i, t) in times.iter().copied().enumerate() {
+                if self.cores[i].done {
+                    continue;
+                }
+                if next.is_none_or(|(_, best)| t < best) {
+                    next = Some((i, t));
+                }
+            }
+            let Some((i, mut t)) = next else { break };
+            // The batch bounds: earliest active rival below `i` (must stay
+            // strictly above tᵢ) and at-or-above `i` (may tie, since the
+            // scan prefers the lower index).
+            let mut rival_lo = u64::MAX;
+            let mut rival_hi = u64::MAX;
+            for (j, tj) in times.iter().copied().enumerate() {
+                if j == i || self.cores[j].done {
+                    continue;
+                }
+                if j < i {
+                    rival_lo = rival_lo.min(tj);
+                } else {
+                    rival_hi = rival_hi.min(tj);
+                }
+            }
+            loop {
+                let record = traces[i].next().expect("trace ended early");
+                self.step_core(i, record, t);
+                if self.cores[i].core.instructions() >= instructions_per_core {
+                    self.cores[i].done = true;
+                    break;
+                }
+                t = self.cores[i].core.issue_cycle();
+                if t >= rival_lo || t > rival_hi {
+                    break;
+                }
+            }
+            times[i] = self.cores[i].core.issue_cycle();
+        }
     }
 
     /// Statistics snapshot for core `core`.
@@ -364,8 +476,10 @@ impl System {
         }
     }
 
-    fn step_core(&mut self, i: usize, record: TraceRecord) {
-        let t = self.cores[i].core.issue_cycle();
+    /// Steps core `i` over one record. `t` is the core's current issue
+    /// cycle, already computed by the scheduler's scan.
+    fn step_core(&mut self, i: usize, record: TraceRecord, t: u64) {
+        debug_assert_eq!(t, self.cores[i].core.issue_cycle());
         let latency = match record.mem {
             Some((kind, addr)) => {
                 // Cores run independent processes: disjoint physical

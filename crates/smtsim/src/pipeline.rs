@@ -23,6 +23,8 @@ use std::collections::{BinaryHeap, VecDeque};
 /// once no in-flight instruction can reference it, so the ring must exceed
 /// the ROB depth (224) plus the maximum dependency distance (24).
 const DEP_RING: usize = 512;
+/// Words in the seq-indexed unissued bitset covering the ring.
+const RING_WORDS: usize = DEP_RING / 64;
 /// Sentinel: instruction dispatched but not yet completed.
 const PENDING: u64 = u64::MAX;
 
@@ -163,6 +165,18 @@ struct ThreadState {
     /// it down; issues of the leading slots push it up.
     issue_hint: usize,
     complete_time: Box<[u64; DEP_RING]>,
+    /// Eligibility mask for the chunked issue scan, indexed by
+    /// `seq % DEP_RING`: a bit is set exactly while its slot is in the ROB
+    /// and unissued (set at rename, cleared at issue; committed heads are
+    /// always issued, so commit never touches it). The in-ROB seq range is
+    /// at most `rob_size` (224) wide — well under [`DEP_RING`] — so ring
+    /// order starting at the head's position is ROB order and every set
+    /// bit belongs to a live slot.
+    unissued: [u64; RING_WORDS],
+    /// `dep_seq` by `seq % DEP_RING`, written at rename: the chunked scan
+    /// gathers dependency readiness from two flat arrays (this one and
+    /// `complete_time`) instead of walking 48-byte ROB slots.
+    dep_seqs: Box<[u64; DEP_RING]>,
     seq_next: u64,
     committed: u64,
     // Occupancy counters for this thread's entries in the shared structures.
@@ -184,6 +198,8 @@ impl ThreadState {
             rob: VecDeque::new(),
             issue_hint: 0,
             complete_time: Box::new([0; DEP_RING]),
+            unissued: [0; RING_WORDS],
+            dep_seqs: Box::new([0; DEP_RING]),
             seq_next: DEP_RING as u64, // dependencies on "pre-history" are ready
             committed: 0,
             iq: 0,
@@ -244,6 +260,9 @@ pub struct SmtPipeline {
     /// at epoch boundaries. Per-cycle span guards would cost more than the
     /// stages themselves.
     stage_ns: [u64; 4],
+    /// Use the scalar reference issue scan; latched from
+    /// [`mab_telemetry::hotpath`] at construction.
+    scalar: bool,
 }
 
 /// Cycles between wall-clock-timed stage samples while profiling.
@@ -302,6 +321,7 @@ impl SmtPipeline {
             stage_cycles: 0,
             stage_timed: 0,
             stage_ns: [0; 4],
+            scalar: mab_telemetry::hotpath::scalar_kernels(),
         }
     }
 
@@ -520,44 +540,145 @@ impl SmtPipeline {
         let mut budget = self.params.issue_width;
         let window = self.params.scheduler_window;
         let penalty = self.params.mispredict_penalty as u64;
+        let scalar = self.scalar;
         let first = (cycle % 2) as usize;
         for off in 0..2 {
             if budget == 0 {
                 break;
             }
             let t = &mut self.threads[(first + off) % 2];
-            // Advance past the issued prefix once, then scan from there:
-            // the scheduler window counts only unissued slots, so skipping
-            // already-issued leading slots visits the same candidates the
-            // full walk would.
-            while t.rob.get(t.issue_hint).is_some_and(|slot| slot.issued) {
-                t.issue_hint += 1;
+            budget = if scalar {
+                Self::issue_thread_scalar(t, cycle, budget, window, penalty)
+            } else {
+                Self::issue_thread_chunked(t, cycle, budget, window, penalty)
+            };
+        }
+    }
+
+    /// Scalar reference issue scan for one thread: walk the ROB from the
+    /// issue hint, skipping issued slots. Kept as the differential baseline
+    /// for [`SmtPipeline::issue_thread_chunked`].
+    fn issue_thread_scalar(
+        t: &mut ThreadState,
+        cycle: u64,
+        mut budget: u32,
+        window: usize,
+        penalty: u64,
+    ) -> u32 {
+        // Advance past the issued prefix once, then scan from there:
+        // the scheduler window counts only unissued slots, so skipping
+        // already-issued leading slots visits the same candidates the
+        // full walk would.
+        while t.rob.get(t.issue_hint).is_some_and(|slot| slot.issued) {
+            t.issue_hint += 1;
+        }
+        let mut scanned = 0usize;
+        for slot in t.rob.range_mut(t.issue_hint..) {
+            if budget == 0 || scanned >= window {
+                break;
             }
-            let mut scanned = 0usize;
-            for slot in t.rob.range_mut(t.issue_hint..) {
-                if budget == 0 || scanned >= window {
-                    break;
-                }
-                if slot.issued {
-                    continue;
-                }
-                scanned += 1;
-                let dep_ready = t.complete_time[(slot.dep_seq % DEP_RING as u64) as usize] <= cycle;
-                if !dep_ready {
-                    continue;
-                }
-                slot.issued = true;
-                slot.complete_at = cycle + slot.latency as u64;
-                t.complete_time[(slot.seq % DEP_RING as u64) as usize] = slot.complete_at;
-                t.iq -= 1;
-                slot.in_iq = false;
-                budget -= 1;
-                if slot.mispredicted {
-                    // Redirect at execute: the front end refills afterwards.
-                    t.fetch_blocked_until = t.fetch_blocked_until.max(slot.complete_at + penalty);
-                }
+            if slot.issued {
+                continue;
+            }
+            scanned += 1;
+            let dep_ready = t.complete_time[(slot.dep_seq % DEP_RING as u64) as usize] <= cycle;
+            if !dep_ready {
+                continue;
+            }
+            slot.issued = true;
+            slot.complete_at = cycle + slot.latency as u64;
+            t.complete_time[(slot.seq % DEP_RING as u64) as usize] = slot.complete_at;
+            t.unissued[(slot.seq as usize % DEP_RING) / 64] &= !(1u64 << (slot.seq % 64));
+            t.iq -= 1;
+            slot.in_iq = false;
+            budget -= 1;
+            if slot.mispredicted {
+                // Redirect at execute: the front end refills afterwards.
+                t.fetch_blocked_until = t.fetch_blocked_until.max(slot.complete_at + penalty);
             }
         }
+        budget
+    }
+
+    /// Chunked issue scan: candidates come straight off the seq-indexed
+    /// `unissued` bitset — one `trailing_zeros` per candidate over at most
+    /// [`RING_WORDS`] words — instead of walking 48-byte ROB slots, and
+    /// dependency readiness gathers from the flat `dep_seqs` /
+    /// `complete_time` rings. Visits exactly the scalar scan's candidates
+    /// in ROB order: set bits exist only for in-ROB unissued slots, ring
+    /// order from the head's position is seq order (the live range is
+    /// narrower than the ring), and issuing cannot flip a later
+    /// candidate's readiness within the cycle because every latency is
+    /// ≥ 1 (`PENDING` before issue, `cycle + latency > cycle` after).
+    fn issue_thread_chunked(
+        t: &mut ThreadState,
+        cycle: u64,
+        mut budget: u32,
+        window: usize,
+        penalty: u64,
+    ) -> u32 {
+        let Some(front) = t.rob.front() else {
+            return budget;
+        };
+        let front_seq = front.seq;
+        let head_pos = front_seq as usize % DEP_RING;
+        let mut word_idx = head_pos / 64;
+        // Bits below the head's lane are ring positions the live seq range
+        // has not wrapped around to (it is at most `rob_size` < DEP_RING/2
+        // wide), so they are clear; masking them keeps the very first word
+        // aligned with ROB order even if that ever changed.
+        let mut word = t.unissued[word_idx] & !((1u64 << (head_pos % 64)) - 1);
+        let mut scanned = 0usize;
+        let mut hint_updated = false;
+        'scan: for words_left in (0..RING_WORDS).rev() {
+            while word != 0 {
+                if budget == 0 || scanned >= window {
+                    break 'scan;
+                }
+                let lane = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let ring_pos = word_idx * 64 + lane;
+                // Ring position → ROB index (offset past the head).
+                let offset = (ring_pos + DEP_RING - head_pos) % DEP_RING;
+                if !hint_updated {
+                    // First unissued slot: exactly where the scalar
+                    // prefix-advance parks the hint.
+                    t.issue_hint = offset;
+                    hint_updated = true;
+                }
+                scanned += 1;
+                let dep_seq = t.dep_seqs[ring_pos];
+                if t.complete_time[(dep_seq % DEP_RING as u64) as usize] > cycle {
+                    continue;
+                }
+                let slot = &mut t.rob[offset];
+                debug_assert_eq!(slot.seq as usize % DEP_RING, ring_pos);
+                slot.issued = true;
+                slot.complete_at = cycle + slot.latency as u64;
+                let complete_at = slot.complete_at;
+                let mispredicted = slot.mispredicted;
+                slot.in_iq = false;
+                t.complete_time[ring_pos] = complete_at;
+                t.unissued[word_idx] &= !(1u64 << lane);
+                t.iq -= 1;
+                budget -= 1;
+                if mispredicted {
+                    // Redirect at execute: the front end refills afterwards.
+                    t.fetch_blocked_until = t.fetch_blocked_until.max(complete_at + penalty);
+                }
+            }
+            if words_left == 0 {
+                break;
+            }
+            word_idx = (word_idx + 1) % RING_WORDS;
+            word = t.unissued[word_idx];
+        }
+        if !hint_updated {
+            // No unissued slot anywhere: the scalar prefix-advance would
+            // have walked off the end of the ROB.
+            t.issue_hint = t.rob.len();
+        }
+        budget
     }
 
     /// The thread the priority policy favors right now (lower metric wins;
@@ -627,7 +748,13 @@ impl SmtPipeline {
                 renamed += 1;
                 let seq = t.seq_next;
                 t.seq_next += 1;
-                t.complete_time[(seq % DEP_RING as u64) as usize] = PENDING;
+                let ring_pos = (seq % DEP_RING as u64) as usize;
+                t.complete_time[ring_pos] = PENDING;
+                let dep_seq = seq.saturating_sub(instr.dep_distance as u64);
+                // Keep the chunked-issue gather arrays in lockstep: the
+                // slot enters the ROB unissued.
+                t.unissued[ring_pos / 64] |= 1u64 << (ring_pos % 64);
+                t.dep_seqs[ring_pos] = dep_seq;
                 let (latency, is_load, is_store, is_branch, mispredicted, drain) = match instr.kind
                 {
                     SmtOpKind::Alu => (1, false, false, false, false, 0),
@@ -681,7 +808,7 @@ impl SmtPipeline {
                 }
                 t.rob.push_back(Slot {
                     seq,
-                    dep_seq: seq.saturating_sub(instr.dep_distance as u64),
+                    dep_seq,
                     latency,
                     complete_at: 0,
                     issued: false,
@@ -713,22 +840,29 @@ impl SmtPipeline {
     }
 
     /// True when `thread` exceeds its occupancy share in any structure
-    /// monitored by the gating mask.
+    /// monitored by the gating mask. The four occupancy checks are folded
+    /// into one branchless over-limit mask — each comparison is computed
+    /// with the exact float expression the short-circuit chain used
+    /// (comparisons have no side effects, so evaluating all four is
+    /// result-identical), and the masked OR replaces four branches the
+    /// predictor has to guess per cycle.
     fn gated(&self, thread: usize, policy: PgPolicy, share: f64) -> bool {
         let p = &self.params;
         let t = &self.threads[thread];
         let g = policy.gating;
-        (g.iq && t.iq as f64 > share * p.iq_size as f64)
-            || (g.lsq && t.lsq() as f64 > share * (p.lq_size + p.sq_size) as f64)
-            || (g.rob && t.rob.len() as f64 > share * p.rob_size as f64)
-            || (g.irf && t.irf as f64 > share * p.irf_size as f64)
+        let over = (u8::from(t.iq as f64 > share * p.iq_size as f64) & u8::from(g.iq))
+            | (u8::from(t.lsq() as f64 > share * (p.lq_size + p.sq_size) as f64) & u8::from(g.lsq))
+            | (u8::from(t.rob.len() as f64 > share * p.rob_size as f64) & u8::from(g.rob))
+            | (u8::from(t.irf as f64 > share * p.irf_size as f64) & u8::from(g.irf));
+        over != 0
     }
 
     fn fetch_stage(&mut self, cycle: u64, policy: PgPolicy, shares: [f64; 2]) {
         let p = self.params;
-        // At most two threads: a fixed pair beats a per-cycle Vec.
-        let mut eligible = [0usize; 2];
-        let mut eligible_len = 0usize;
+        // At most two threads: eligibility is a 2-bit mask, built in thread
+        // order so the gating telemetry fires exactly as the list-based
+        // scan did.
+        let mut eligible_mask = 0u32;
         for (i, &share) in shares.iter().enumerate() {
             let t = &self.threads[i];
             if t.fetch_blocked_until > cycle
@@ -746,16 +880,13 @@ impl SmtPipeline {
                 });
                 continue;
             }
-            eligible[eligible_len] = i;
-            eligible_len += 1;
+            eligible_mask |= 1 << i;
         }
-        if eligible_len == 0 {
-            return;
-        }
-        let chosen = if eligible_len == 1 {
-            eligible[0]
-        } else {
-            match policy.priority {
+        let chosen = match eligible_mask {
+            0b00 => return,
+            0b01 => 0,
+            0b10 => 1,
+            _ => match policy.priority {
                 FetchPriority::ICount => {
                     if self.threads[0].iq <= self.threads[1].iq {
                         0
@@ -778,7 +909,7 @@ impl SmtPipeline {
                     }
                 }
                 FetchPriority::RoundRobin => 1 - self.rr_last,
-            }
+            },
         };
         self.rr_last = chosen;
         if mab_telemetry::STATIC_ENABLED {
@@ -899,5 +1030,53 @@ mod tests {
         let mut p2 = pipe("mcf", "cactus");
         let s2 = p2.run(Box::new(ChoiController::new()), 5_000);
         assert_ne!(s1.cycles, s2.cycles);
+    }
+
+    mod differential {
+        //! Chunked vs scalar eligible-mask scan differential: the chunked
+        //! issue scan must produce bit-identical pipeline behaviour — the
+        //! full stats struct, not just IPC — for arbitrary thread mixes,
+        //! seeds and controllers.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::Mutex;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn chunked_issue_scan_matches_scalar_reference(
+                a in 0usize..8,
+                b in 0usize..8,
+                seed in 0u64..1 << 32,
+                choi in prop::bool::ANY,
+            ) {
+                let apps = smt::smt_apps();
+                let specs = [apps[a % apps.len()].clone(), apps[b % apps.len()].clone()];
+                // The kernel mode is process-wide and latched at pipeline
+                // construction; both constructions happen under one lock.
+                let (mut scalar, mut chunked) = {
+                    static MODE_LOCK: Mutex<()> = Mutex::new(());
+                    let _guard = MODE_LOCK.lock().unwrap();
+                    mab_telemetry::hotpath::force_scalar(true);
+                    let scalar =
+                        SmtPipeline::new(SmtParams::test_scale(), specs.clone(), seed);
+                    mab_telemetry::hotpath::force_scalar(false);
+                    let chunked = SmtPipeline::new(SmtParams::test_scale(), specs, seed);
+                    (scalar, chunked)
+                };
+                let controller = || -> Box<dyn PgController> {
+                    if choi {
+                        Box::new(ChoiController::new())
+                    } else {
+                        Box::new(StaticPgController::new(PgPolicy::ICOUNT))
+                    }
+                };
+                let s = scalar.run(controller(), 3_000);
+                let c = chunked.run(controller(), 3_000);
+                prop_assert_eq!(s, c);
+            }
+        }
     }
 }

@@ -1,0 +1,48 @@
+//! Kernel-mode selection: chunked (SIMD-shaped) vs scalar hot loops.
+//!
+//! The hot-loop kernels across the simulator crates — whole-set tag
+//! compare, LRU victim scan and MSHR ready-probe in `mab-memsim`, varint
+//! block decode in `mab-traces`, issue/fetch eligibility scans in
+//! `mab-smtsim` — exist in two differentially-tested forms: a
+//! chunked form written so the autovectorizer can turn each fixed-size
+//! chunk into vector ops, and the original scalar form kept as a fallback
+//! and as the reference the differential suites pin the chunked results
+//! against. Both produce bit-identical results; the mode only changes how
+//! fast they are.
+//!
+//! The mode is captured **at construction time** (`Cache::new`,
+//! `Mshr::new`, `Reader::open`, pipeline/system construction), so flipping
+//! it never changes the behaviour of live structures. The default comes from the
+//! `MAB_SCALAR_KERNELS` environment variable (`1` forces scalar — how CI's
+//! byte-identity smoke drives whole experiment binaries down the scalar
+//! path) and can be overridden in-process with [`force_scalar`] (how the
+//! A/B benches measure both forms in one run).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNSET: u8 = 0;
+const CHUNKED: u8 = 1;
+const SCALAR: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(UNSET);
+
+/// True when newly built structures should use the scalar reference
+/// kernels. First call latches the `MAB_SCALAR_KERNELS` environment
+/// variable; [`force_scalar`] overrides at any time.
+pub fn scalar_kernels() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        UNSET => {
+            let scalar = std::env::var("MAB_SCALAR_KERNELS").is_ok_and(|v| v == "1");
+            MODE.store(if scalar { SCALAR } else { CHUNKED }, Ordering::Relaxed);
+            scalar
+        }
+        mode => mode == SCALAR,
+    }
+}
+
+/// Overrides the kernel mode for structures built after this call. Both
+/// modes are bit-identical, so a concurrent reader racing this switch can
+/// only pick one of two equally correct paths.
+pub fn force_scalar(scalar: bool) {
+    MODE.store(if scalar { SCALAR } else { CHUNKED }, Ordering::Relaxed);
+}

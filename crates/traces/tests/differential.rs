@@ -1,0 +1,191 @@
+//! Scalar vs chunked reader differential: the padded chunk-cursor decode
+//! path must be observationally identical to the per-record scalar path —
+//! same records, same clean end, and byte-for-byte the same error on
+//! corrupt or truncated files.
+//!
+//! The kernel mode is process-wide and latched per reader at open
+//! ([`mab_telemetry::hotpath`]), so every mode flip + open happens under
+//! one lock to keep parallel test threads from latching each other's mode.
+
+use mab_traces::format::TraceMeta;
+use mab_traces::{TraceReader, TraceWriter};
+use mab_workloads::{MemKind, TraceRecord};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Serializes kernel-mode flips across this binary's test threads.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mab-traces-differential-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.mabt"))
+}
+
+fn random_records(rng: &mut StdRng, n: usize) -> Vec<TraceRecord> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => TraceRecord::alu(rng.gen()),
+            1 => TraceRecord::branch(rng.gen()),
+            2 => TraceRecord::load(rng.gen(), rng.gen()),
+            _ => TraceRecord {
+                pc: rng.gen(),
+                mem: Some((MemKind::Store, rng.gen())),
+                is_branch: rng.gen(),
+            },
+        })
+        .collect()
+}
+
+/// Everything a replay can observe: the records handed out, then either a
+/// clean end (`None`) or the error display.
+fn replay_outcome(path: &Path, scalar: bool) -> (Vec<TraceRecord>, Option<String>) {
+    let mut reader = {
+        let _guard = MODE_LOCK.lock().unwrap();
+        mab_telemetry::hotpath::force_scalar(scalar);
+        let reader = TraceReader::open(path).expect("open");
+        mab_telemetry::hotpath::force_scalar(false);
+        reader
+    };
+    let mut records = Vec::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some(r)) => records.push(r),
+            Ok(None) => return (records, None),
+            Err(e) => return (records, Some(e.to_string())),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clean files: both modes replay the identical record sequence across
+    /// block boundaries of every size.
+    #[test]
+    fn clean_replay_is_mode_independent(
+        case in 0u64..u64::MAX,
+        n in 0usize..900,
+        block_len in 1u32..96,
+    ) {
+        let mut rng = StdRng::seed_from_u64(case);
+        let records = random_records(&mut rng, n);
+        let path = temp_path(&format!("clean-{case}"));
+        let mut meta = TraceMeta::new(case, "test:differential");
+        meta.block_len = block_len;
+        let mut writer = TraceWriter::create(&path, meta).expect("create");
+        for r in &records {
+            writer.push(r).expect("push");
+        }
+        writer.finish().expect("finish");
+
+        let scalar = replay_outcome(&path, true);
+        let chunked = replay_outcome(&path, false);
+        prop_assert_eq!(&scalar.1, &None);
+        prop_assert_eq!(&scalar.0, &records);
+        prop_assert_eq!(scalar, chunked);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Corrupt files: a random bit flip anywhere in the file produces the
+    /// same records and the same error (or surviving clean replay, when
+    /// the flip lands in slack) in both modes. CRC rejects most flips; the
+    /// interesting survivors are the ones the decoder itself must catch.
+    #[test]
+    fn corrupt_replay_is_mode_independent(
+        case in 0u64..u64::MAX,
+        n in 1usize..300,
+        block_len in 1u32..48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(case);
+        let records = random_records(&mut rng, n);
+        let path = temp_path(&format!("corrupt-{case}"));
+        let mut meta = TraceMeta::new(case, "test:differential");
+        meta.block_len = block_len;
+        let mut writer = TraceWriter::create(&path, meta).expect("create");
+        for r in &records {
+            writer.push(r).expect("push");
+        }
+        writer.finish().expect("finish");
+
+        let mut bytes = std::fs::read(&path).expect("read file");
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] ^= 1u8 << rng.gen_range(0..8);
+        std::fs::write(&path, &bytes).expect("write corrupted");
+
+        match (TraceReader::open(&path), {
+            let _guard = MODE_LOCK.lock().unwrap();
+            mab_telemetry::hotpath::force_scalar(true);
+            let r = TraceReader::open(&path);
+            mab_telemetry::hotpath::force_scalar(false);
+            r
+        }) {
+            (Ok(_), Ok(_)) => {
+                let scalar = replay_outcome(&path, true);
+                let chunked = replay_outcome(&path, false);
+                prop_assert_eq!(scalar, chunked);
+            }
+            // Header/footer corruption fails at open — before any kernel
+            // runs — and must do so identically in both modes.
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "open outcome diverged: chunked {:?} scalar {:?}",
+                a.map(|_| ()),
+                b.map(|_| ())
+            ),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncated files: cutting the file at a random point produces the
+    /// same records and the same truncation error in both modes.
+    #[test]
+    fn truncated_replay_is_mode_independent(
+        case in 0u64..u64::MAX,
+        n in 1usize..300,
+        block_len in 1u32..48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(case);
+        let records = random_records(&mut rng, n);
+        let path = temp_path(&format!("trunc-{case}"));
+        let mut meta = TraceMeta::new(case, "test:differential");
+        meta.block_len = block_len;
+        let mut writer = TraceWriter::create(&path, meta).expect("create");
+        for r in &records {
+            writer.push(r).expect("push");
+        }
+        writer.finish().expect("finish");
+
+        let mut bytes = std::fs::read(&path).expect("read file");
+        let keep = rng.gen_range(0..bytes.len());
+        bytes.truncate(keep);
+        std::fs::write(&path, &bytes).expect("write truncated");
+
+        let scalar_open = {
+            let _guard = MODE_LOCK.lock().unwrap();
+            mab_telemetry::hotpath::force_scalar(true);
+            let r = TraceReader::open(&path);
+            mab_telemetry::hotpath::force_scalar(false);
+            r
+        };
+        match (TraceReader::open(&path), scalar_open) {
+            (Ok(_), Ok(_)) => {
+                let scalar = replay_outcome(&path, true);
+                let chunked = replay_outcome(&path, false);
+                prop_assert_eq!(scalar, chunked);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "open outcome diverged: chunked {:?} scalar {:?}",
+                a.map(|_| ()),
+                b.map(|_| ())
+            ),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
