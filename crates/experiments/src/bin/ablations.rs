@@ -28,7 +28,7 @@ fn run_custom(
 }
 
 fn main() {
-    let opts = Options::parse(1_000_000, 0);
+    let opts = Options::parse_experiment("ablations");
     let session = TelemetrySession::start("ablations", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();

@@ -11,7 +11,7 @@ use mab_prefetch::{shared::SharedPrefetcher, Pythia};
 use mab_workloads::suites;
 
 fn main() {
-    let opts = Options::parse(2_000_000, 0);
+    let opts = Options::parse_experiment("fig02_homogeneity");
     let session = TelemetrySession::start("fig02_homogeneity", &opts);
     println!("=== Fig. 2: top-2 Pythia action frequency (temporal homogeneity) ===");
     println!("(paper: top action ~60%, second ~15%, over 1B-instruction traces)\n");

@@ -8,7 +8,7 @@ use mab_experiments::{
 use mab_workloads::smt;
 
 fn main() {
-    let opts = Options::parse(60_000, 12);
+    let opts = Options::parse_experiment("fig05_pg_space");
     let session = TelemetrySession::start("fig05_pg_space", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();

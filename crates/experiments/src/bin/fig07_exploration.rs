@@ -28,7 +28,7 @@ fn algorithms() -> Vec<(&'static str, AlgorithmKind)> {
 }
 
 fn main() {
-    let opts = Options::parse(3_000_000, 0);
+    let opts = Options::parse_experiment("fig07_exploration");
     let session = TelemetrySession::start("fig07_exploration", &opts);
     let store = TraceStore::from_options(&opts);
     println!("=== Fig. 7: arm exploration over time (series of (cycle, arm)) ===\n");

@@ -5,7 +5,7 @@ use mab_experiments::{cli::Options, prefetch_runs, session::TelemetrySession, tr
 use mab_memsim::config::SystemConfig;
 
 fn main() {
-    let opts = Options::parse(2_000_000, 0);
+    let opts = Options::parse_experiment("fig08_singlecore");
     let session = TelemetrySession::start("fig08_singlecore", &opts);
     let store = TraceStore::from_options(&opts);
     prefetch_runs::lineup_report(

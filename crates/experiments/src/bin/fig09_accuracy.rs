@@ -10,7 +10,7 @@ use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
-    let opts = Options::parse(1_500_000, 0);
+    let opts = Options::parse_experiment("fig09_accuracy");
     let session = TelemetrySession::start("fig09_accuracy", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();

@@ -9,7 +9,7 @@ use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
-    let opts = Options::parse(1_500_000, 0);
+    let opts = Options::parse_experiment("fig10_bandwidth");
     let session = TelemetrySession::start("fig10_bandwidth", &opts);
     let store = TraceStore::from_options(&opts);
     println!("=== Fig. 10: performance under DRAM bandwidth sweep (MTPS) ===\n");

@@ -9,7 +9,7 @@ use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
-    let opts = Options::parse(1_500_000, 0);
+    let opts = Options::parse_experiment("fig12_multilevel");
     let session = TelemetrySession::start("fig12_multilevel", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();

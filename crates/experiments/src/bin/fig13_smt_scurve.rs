@@ -8,7 +8,7 @@ use mab_smtsim::pipeline::THREAD1_SEED_SALT;
 use mab_workloads::smt;
 
 fn main() {
-    let opts = Options::parse(60_000, 226);
+    let opts = Options::parse_experiment("fig13_smt_scurve");
     let session = TelemetrySession::start("fig13_smt_scurve", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();

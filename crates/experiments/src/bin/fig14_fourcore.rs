@@ -10,7 +10,7 @@ use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
-    let opts = Options::parse(400_000, 0);
+    let opts = Options::parse_experiment("fig14_fourcore");
     let session = TelemetrySession::start("fig14_fourcore", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();

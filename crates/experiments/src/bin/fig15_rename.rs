@@ -55,7 +55,7 @@ impl Acc {
 }
 
 fn main() {
-    let opts = Options::parse(60_000, 40);
+    let opts = Options::parse_experiment("fig15_rename");
     let session = TelemetrySession::start("fig15_rename", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();

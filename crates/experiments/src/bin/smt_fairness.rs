@@ -34,7 +34,7 @@ fn isolated_ipc(spec: &ThreadSpec, commits: u64, seed: u64, store: &TraceStore) 
 }
 
 fn main() {
-    let opts = Options::parse(80_000, 6);
+    let opts = Options::parse_experiment("smt_fairness");
     let session = TelemetrySession::start("smt_fairness", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();

@@ -10,7 +10,7 @@ use mab_memsim::config::SystemConfig;
 use mab_workloads::suites;
 
 fn main() {
-    let opts = Options::parse(1_500_000, 0);
+    let opts = Options::parse_experiment("tab08_tuneset_prefetch");
     let session = TelemetrySession::start("tab08_tuneset_prefetch", &opts);
     let store = TraceStore::from_options(&opts);
     let cfg = SystemConfig::default();

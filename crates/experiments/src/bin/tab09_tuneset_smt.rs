@@ -8,7 +8,7 @@ use mab_experiments::{
 use mab_workloads::smt;
 
 fn main() {
-    let opts = Options::parse(80_000, 43);
+    let opts = Options::parse_experiment("tab09_tuneset_smt");
     let session = TelemetrySession::start("tab09_tuneset_smt", &opts);
     let store = TraceStore::from_options(&opts);
     let params = smt_runs::scaled_params();

@@ -10,7 +10,7 @@ use mab_prefetch::catalog;
 fn main() {
     // No simulation here, but parsing the common flags keeps `--quiet`,
     // `--telemetry` and `--profile` uniform across every experiment binary.
-    let opts = Options::parse(1, 0);
+    let opts = Options::parse_experiment("tab_storage");
     let session = TelemetrySession::start("tab_storage", &opts);
     println!("=== §5.4: storage comparison ===\n");
     let mut table = Table::new(vec![

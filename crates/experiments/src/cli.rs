@@ -66,10 +66,24 @@ pub struct Options {
 }
 
 impl Options {
-    /// Parses `std::env::args`, applying per-experiment defaults.
+    /// Parses `std::env::args` for a registered experiment, taking the
+    /// defaults from the shared registry ([`crate::spec::EXPERIMENTS`]) so
+    /// binaries and the `mab-serve` daemon resolve identical specs.
     ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not in the registry — a workspace bug, since
+    /// every experiment binary must be registered.
+    pub fn parse_experiment(name: &str) -> Options {
+        let def = crate::spec::find(name)
+            .unwrap_or_else(|| panic!("experiment {name:?} missing from spec::EXPERIMENTS"));
+        Options::parse(def.default_instructions, def.default_mixes)
+    }
+
+    /// Parses `std::env::args` with explicit per-experiment defaults.
     /// `default_instructions` is the experiment's recorded-run size; the
-    /// `--quick` preset divides it by 10.
+    /// `--quick` preset divides it by 10. Prefer [`Options::parse_experiment`]
+    /// for registered binaries.
     ///
     /// # Panics
     ///
@@ -181,8 +195,10 @@ impl Options {
                 }
                 "--quick" | "-q" => {
                     opts.quick = true;
-                    opts.instructions = (default_instructions / 10).max(10_000);
-                    opts.mixes = (default_mixes / 4).max(2);
+                    let (instructions, mixes) =
+                        crate::spec::quick_preset(default_instructions, default_mixes);
+                    opts.instructions = instructions;
+                    opts.mixes = mixes;
                 }
                 "--help" | "-h" => {
                     usage::<()>("");

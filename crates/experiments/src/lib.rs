@@ -11,6 +11,9 @@
 //!   recorded `.mabt` files for the workload generators,
 //! - [`cli`] — the tiny argument parser shared by the binaries
 //!   (`--instructions`, `--seed`, `--quick`, `--telemetry`, …),
+//! - [`spec`] — the experiment registry and the shared [`spec::RunSpec`]
+//!   sweep-spec type (defaults, digests, argv) used by the binaries and
+//!   the `mab-serve` daemon,
 //! - [`session`] — the telemetry recorder lifecycle (install, summarize,
 //!   export) wrapped around every binary's run.
 //!
@@ -26,4 +29,5 @@ pub mod prefetch_runs;
 pub mod report;
 pub mod session;
 pub mod smt_runs;
+pub mod spec;
 pub mod traces;

@@ -198,15 +198,11 @@ fn unix_now() -> u64 {
 }
 
 /// Builds the identity (digest-relevant) part of a run record: experiment
-/// name, code version and the canonical config pairs. Shared by ledger
-/// recording and the live monitor, so both planes report the same digest.
+/// name, code version and the canonical config pairs. Goes through the
+/// shared [`crate::spec::RunSpec`] so ledger recording, the live monitor
+/// and the `mab-serve` cache all report the same digest.
 fn identity_record(name: &str, opts: &Options) -> RunRecord {
-    let mut record = RunRecord::new(name, &code_version());
-    record.config_pair("instructions", opts.instructions);
-    record.config_pair("seed", opts.seed);
-    record.config_pair("mixes", opts.mixes);
-    record.config_pair("quick", opts.quick);
-    record
+    crate::spec::RunSpec::from_options(name, opts).identity_record(&code_version())
 }
 
 impl LedgerCapture {

@@ -1,0 +1,320 @@
+//! The shared sweep-spec layer: one experiment registry and one
+//! [`RunSpec`] type used by the experiment binaries, the ledger session,
+//! and the `mab-serve` daemon.
+//!
+//! Before this module each binary carried its own default-size constants
+//! and the ledger/monitor identity was assembled ad hoc in the session
+//! layer. That was fine while the only way to run an experiment was its
+//! binary; a sweep *service* needs to resolve "experiment + overrides" to
+//! the exact identity a direct invocation would record, or cache keys
+//! drift and memoization silently breaks. [`RunSpec`] is that resolution:
+//!
+//! - [`RunSpec::config_pairs`] produces exactly the canonical config the
+//!   session records (and therefore feeds [`mab_ledger::config_digest`]);
+//! - [`RunSpec::cli_args`] produces an argv that makes the experiment
+//!   binary re-derive the same spec, so a served artifact is byte-identical
+//!   to a direct run with those flags.
+
+use crate::cli::Options;
+use mab_ledger::RunRecord;
+
+/// Registry entry for one experiment binary: its name and the recorded-run
+/// defaults the `--quick` preset scales down from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentDef {
+    /// Binary / experiment name (e.g. `fig08_singlecore`).
+    pub name: &'static str,
+    /// Default `--instructions` (per core / commits per thread).
+    pub default_instructions: u64,
+    /// Default `--mixes` cap (0 = the experiment's built-in set).
+    pub default_mixes: usize,
+}
+
+/// Every experiment binary in the workspace, sorted by name. The single
+/// source of the per-experiment defaults: binaries parse their CLI through
+/// it and `mab-serve` resolves submitted specs against it.
+pub const EXPERIMENTS: &[ExperimentDef] = &[
+    ExperimentDef {
+        name: "ablations",
+        default_instructions: 1_000_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig02_homogeneity",
+        default_instructions: 2_000_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig05_pg_space",
+        default_instructions: 60_000,
+        default_mixes: 12,
+    },
+    ExperimentDef {
+        name: "fig07_exploration",
+        default_instructions: 3_000_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig08_singlecore",
+        default_instructions: 2_000_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig09_accuracy",
+        default_instructions: 1_500_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig10_bandwidth",
+        default_instructions: 1_500_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig11_altcache",
+        default_instructions: 2_000_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig12_multilevel",
+        default_instructions: 1_500_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig13_smt_scurve",
+        default_instructions: 60_000,
+        default_mixes: 226,
+    },
+    ExperimentDef {
+        name: "fig14_fourcore",
+        default_instructions: 400_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "fig15_rename",
+        default_instructions: 60_000,
+        default_mixes: 40,
+    },
+    ExperimentDef {
+        name: "smt_fairness",
+        default_instructions: 80_000,
+        default_mixes: 6,
+    },
+    ExperimentDef {
+        name: "tab08_tuneset_prefetch",
+        default_instructions: 1_500_000,
+        default_mixes: 0,
+    },
+    ExperimentDef {
+        name: "tab09_tuneset_smt",
+        default_instructions: 80_000,
+        default_mixes: 43,
+    },
+    ExperimentDef {
+        name: "tab_storage",
+        default_instructions: 1,
+        default_mixes: 0,
+    },
+];
+
+/// Looks up an experiment by name.
+pub fn find(name: &str) -> Option<&'static ExperimentDef> {
+    EXPERIMENTS.iter().find(|def| def.name == name)
+}
+
+/// The `--quick` preset applied to an experiment's defaults: a 10x smaller
+/// instruction budget and a 4x smaller mix cap, floored so smoke runs stay
+/// meaningful.
+pub fn quick_preset(default_instructions: u64, default_mixes: usize) -> (u64, usize) {
+    (
+        (default_instructions / 10).max(10_000),
+        (default_mixes / 4).max(2),
+    )
+}
+
+/// One fully resolved run identity: the four digest-relevant knobs of an
+/// experiment invocation. Everything else on [`Options`] (jobs, export
+/// paths, monitoring) is circumstance and deliberately absent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunSpec {
+    /// Experiment name.
+    pub experiment: String,
+    /// Instructions per core / commits per thread.
+    pub instructions: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Mix cap.
+    pub mixes: usize,
+    /// Whether the `--quick` preset was requested (identity-relevant: the
+    /// session records it as a config pair).
+    pub quick: bool,
+}
+
+impl RunSpec {
+    /// The spec a direct binary invocation resolved to.
+    pub fn from_options(name: &str, opts: &Options) -> RunSpec {
+        RunSpec {
+            experiment: name.to_string(),
+            instructions: opts.instructions,
+            seed: opts.seed,
+            mixes: opts.mixes,
+            quick: opts.quick,
+        }
+    }
+
+    /// Resolves overrides against an experiment's defaults exactly like the
+    /// binary's CLI would: `quick` applies the preset first, then explicit
+    /// values win.
+    pub fn resolve(
+        def: &ExperimentDef,
+        instructions: Option<u64>,
+        seed: u64,
+        mixes: Option<usize>,
+        quick: bool,
+    ) -> RunSpec {
+        let (quick_instructions, quick_mixes) =
+            quick_preset(def.default_instructions, def.default_mixes);
+        RunSpec {
+            experiment: def.name.to_string(),
+            instructions: instructions.unwrap_or(if quick {
+                quick_instructions
+            } else {
+                def.default_instructions
+            }),
+            seed,
+            mixes: mixes.unwrap_or(if quick {
+                quick_mixes
+            } else {
+                def.default_mixes
+            }),
+            quick,
+        }
+    }
+
+    /// The canonical (sorted) config pairs the ledger session records for
+    /// this spec — the digest inputs.
+    pub fn config_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs = vec![
+            ("instructions".to_string(), self.instructions.to_string()),
+            ("mixes".to_string(), self.mixes.to_string()),
+            ("quick".to_string(), self.quick.to_string()),
+            ("seed".to_string(), self.seed.to_string()),
+        ];
+        pairs.sort();
+        pairs
+    }
+
+    /// The identity half of a [`RunRecord`] for this spec under `code`.
+    pub fn identity_record(&self, code: &str) -> RunRecord {
+        let mut record = RunRecord::new(&self.experiment, code);
+        record.config = self.config_pairs();
+        record
+    }
+
+    /// The ledger content address this spec is recorded (and cached) under.
+    pub fn digest(&self, code: &str) -> String {
+        mab_ledger::config_digest(&self.experiment, &self.config_pairs(), code)
+    }
+
+    /// An argv (without the binary name) that makes the experiment binary
+    /// resolve exactly this spec: `--quick` first (so the preset applies),
+    /// then the explicit values, which always win.
+    pub fn cli_args(&self) -> Vec<String> {
+        let mut args = Vec::new();
+        if self.quick {
+            args.push("--quick".to_string());
+        }
+        args.extend([
+            "--instructions".to_string(),
+            self.instructions.to_string(),
+            "--seed".to_string(),
+            self.seed.to_string(),
+            "--mixes".to_string(),
+            self.mixes.to_string(),
+        ]);
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_complete() {
+        assert_eq!(EXPERIMENTS.len(), 16);
+        assert!(EXPERIMENTS.windows(2).all(|w| w[0].name < w[1].name));
+        assert!(find("fig08_singlecore").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn resolve_matches_the_cli_parser() {
+        for def in EXPERIMENTS {
+            // Defaults.
+            let parsed = Options::parse_from(
+                std::iter::empty(),
+                def.default_instructions,
+                def.default_mixes,
+            );
+            assert_eq!(
+                RunSpec::resolve(def, None, 42, None, false),
+                RunSpec::from_options(def.name, &parsed),
+                "{}",
+                def.name
+            );
+            // Quick preset.
+            let parsed = Options::parse_from(
+                ["--quick".to_string()].into_iter(),
+                def.default_instructions,
+                def.default_mixes,
+            );
+            assert_eq!(
+                RunSpec::resolve(def, None, 42, None, true),
+                RunSpec::from_options(def.name, &parsed),
+                "{}",
+                def.name
+            );
+            // Explicit values override the preset.
+            let parsed = Options::parse_from(
+                ["--quick", "--instructions", "5000", "--seed", "7"]
+                    .iter()
+                    .map(|s| s.to_string()),
+                def.default_instructions,
+                def.default_mixes,
+            );
+            assert_eq!(
+                RunSpec::resolve(def, Some(5000), 7, None, true),
+                RunSpec::from_options(def.name, &parsed),
+                "{}",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn cli_args_round_trip_through_the_parser() {
+        let def = find("fig13_smt_scurve").unwrap();
+        for spec in [
+            RunSpec::resolve(def, None, 42, None, false),
+            RunSpec::resolve(def, None, 9, Some(8), true),
+            RunSpec::resolve(def, Some(123_456), 1, None, true),
+        ] {
+            let parsed = Options::parse_from(
+                spec.cli_args().into_iter(),
+                def.default_instructions,
+                def.default_mixes,
+            );
+            assert_eq!(spec, RunSpec::from_options(def.name, &parsed), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn digest_matches_the_session_identity() {
+        let def = find("fig08_singlecore").unwrap();
+        let spec = RunSpec::resolve(def, None, 42, None, true);
+        let record = spec.identity_record("0.1.0+abc1234");
+        assert_eq!(spec.digest("0.1.0+abc1234"), record.digest());
+        assert_eq!(record.config_value("quick"), Some("true"));
+        assert_eq!(record.config_value("instructions"), Some("200000"));
+    }
+}

@@ -51,7 +51,8 @@ USAGE:
         Live view of a run started with --monitor ADDR: tails the /events
         SSE stream and re-renders the /status arm table until the run
         finishes (the stream closes). URL is the monitor's base address,
-        e.g. 127.0.0.1:9464.
+        e.g. 127.0.0.1:9464. Pointed at a mab-serve daemon (no /status),
+        it renders the /queue scheduler and cache view instead.
         --interval SECS   seconds between table refreshes (default 2)
         --once            print one status snapshot and exit
 

@@ -2,8 +2,11 @@
 //!
 //! Connects to a `mab-monitor` endpoint (an experiment started with
 //! `--monitor ADDR`), tails its `/events` SSE stream, and re-polls
-//! `/status` to render a per-arm state table. The rendering is pure over
-//! the parsed status document so tests can exercise it without a server;
+//! `/status` to render a per-arm state table. When the endpoint has no
+//! `/status` it falls back to a `mab-serve` daemon's `/queue`, rendering
+//! the scheduler/cache view instead — both planes share the same SSE
+//! machinery, so the event loop works unchanged. The rendering is pure
+//! over the parsed documents so tests can exercise it without a server;
 //! the `mab-inspect` binary owns the socket loop.
 
 use mab_ledger::json::JsonValue;
@@ -118,16 +121,94 @@ pub fn render_status(doc: &JsonValue) -> String {
     out
 }
 
-/// Fetches `/status` from `base` and renders it.
+/// Renders a `mab-serve` `/queue` snapshot: daemon totals, per-client
+/// queue depths, and the job table.
+#[must_use]
+pub fn render_queue(doc: &JsonValue) -> String {
+    let mut out = String::new();
+    let num = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "mab-serve (code {}) {} workers, queue {}/{}{}",
+        doc.get("code").and_then(JsonValue::as_str).unwrap_or("?"),
+        num("workers"),
+        num("open_arms"),
+        num("queue_cap"),
+        if doc.get("draining").and_then(JsonValue::as_bool) == Some(true) {
+            "  DRAINING"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "arms: {} executed, {} cache-served; {} cache entries, {} in flight",
+        num("arms_executed"),
+        num("arms_cached"),
+        num("cache_entries"),
+        num("inflight"),
+    );
+    if let Some(JsonValue::Obj(queued)) = doc.get("queued") {
+        if !queued.is_empty() {
+            out.push_str("queued:");
+            for (client, depth) in queued {
+                let _ = write!(out, "  {client}={}", depth.as_u64().unwrap_or(0));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(jobs) = doc.get("jobs").and_then(JsonValue::as_arr) {
+        if !jobs.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:>5} {:<12} {:<22} {:<8} {:>10} {:>6}",
+                "job", "client", "experiment", "status", "arms", "hits"
+            );
+            for job in jobs {
+                let field = |key: &str| job.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+                let text = |key: &str| job.get(key).and_then(JsonValue::as_str).unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:<12} {:<22} {:<8} {:>10} {:>6}",
+                    field("id"),
+                    text("client"),
+                    text("experiment"),
+                    text("status"),
+                    format!("{}/{}", field("arms_finished"), field("arms_total")),
+                    field("cache_hits"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Fetches `/status` from `base` and renders it; an endpoint without
+/// `/status` is treated as a `mab-serve` daemon and rendered from
+/// `/queue`.
 fn fetch_and_render(base: &str, timeout: Duration) -> Result<String, String> {
-    let url = format!("{base}/status");
-    let resp = client::get(&url, timeout).map_err(|e| format!("cannot fetch {url}: {e}"))?;
+    let status_url = format!("{base}/status");
+    let status_problem = match client::get(&status_url, timeout) {
+        Ok(resp) if resp.status == 200 => {
+            let doc = mab_ledger::json::parse(resp.body.trim())
+                .map_err(|e| format!("{status_url} returned unparsable JSON: {e}"))?;
+            return Ok(render_status(&doc));
+        }
+        Ok(resp) => format!("{status_url} returned HTTP {}", resp.status),
+        Err(e) => format!("cannot fetch {status_url}: {e}"),
+    };
+    let queue_url = format!("{base}/queue");
+    let resp = client::get(&queue_url, timeout)
+        .map_err(|e| format!("{status_problem}; cannot fetch {queue_url}: {e}"))?;
     if resp.status != 200 {
-        return Err(format!("{url} returned HTTP {}", resp.status));
+        return Err(format!(
+            "{status_problem}; {queue_url} returned HTTP {}",
+            resp.status
+        ));
     }
     let doc = mab_ledger::json::parse(resp.body.trim())
-        .map_err(|e| format!("{url} returned unparsable JSON: {e}"))?;
-    Ok(render_status(&doc))
+        .map_err(|e| format!("{queue_url} returned unparsable JSON: {e}"))?;
+    Ok(render_queue(&doc))
 }
 
 /// Normalizes the positional URL: adds the scheme, strips a trailing `/`.
@@ -169,7 +250,12 @@ pub fn watch(url: &str, interval: Duration, once: bool) -> Result<(), String> {
             Err(e) => return Err(format!("event stream failed: {e}")),
         };
         match frame {
-            Some(f) if f.event == "sweep_begin" || f.event == "sweep_end" => {
+            Some(f)
+                if matches!(
+                    f.event.as_str(),
+                    "sweep_begin" | "sweep_end" | "job_submitted" | "job_done"
+                ) =>
+            {
                 println!("-- {}: {}", f.event, f.data);
             }
             _ => {}
@@ -222,6 +308,29 @@ mod tests {
         let text = render_status(&doc);
         assert!(text.contains("sweep: idle"), "{text}");
         assert!(!text.contains("workers:"), "{text}");
+    }
+
+    #[test]
+    fn render_queue_shows_daemon_totals_and_jobs() {
+        let doc = mab_ledger::json::parse(
+            r#"{"code":"0.1.0+abc","workers":4,"queue_cap":256,"draining":false,
+                "open_arms":3,"inflight":1,"arms_executed":10,"arms_cached":7,
+                "cache_entries":9,"queued":{"alice":2,"bob":1},
+                "jobs":[{"id":0,"client":"alice","experiment":"fig08_singlecore",
+                         "status":"running","arms_total":4,"arms_finished":2,"cache_hits":1}]}"#,
+        )
+        .unwrap();
+        let text = render_queue(&doc);
+        assert!(
+            text.contains("mab-serve (code 0.1.0+abc) 4 workers"),
+            "{text}"
+        );
+        assert!(text.contains("queue 3/256"), "{text}");
+        assert!(text.contains("10 executed, 7 cache-served"), "{text}");
+        assert!(text.contains("alice=2"), "{text}");
+        assert!(text.contains("fig08_singlecore"), "{text}");
+        assert!(text.contains("2/4"), "{text}");
+        assert!(!text.contains("DRAINING"), "{text}");
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod record;
 pub mod store;
 
 pub use bench::{file_metrics, ingest_bench_file};
-pub use record::{code_version, ArmRun, RunRecord};
+pub use record::{code_version, config_digest, ArmRun, RunRecord};
 pub use store::{Append, Ledger, ReadOutcome};

@@ -69,6 +69,13 @@ pub struct RunRecord {
     /// `/metrics` + `/status` scrapes the monitor served during the run
     /// (circumstance).
     pub monitor_scrapes: u64,
+    /// `mab-serve` job that produced or served this result (`client:job-id`),
+    /// if the run went through the sweep daemon (circumstance).
+    pub served: Option<String>,
+    /// True when the daemon answered this result from its content-addressed
+    /// cache instead of executing the arm locally (circumstance). Only
+    /// meaningful together with [`RunRecord::served`].
+    pub cache_hit: bool,
 }
 
 impl RunRecord {
@@ -86,6 +93,8 @@ impl RunRecord {
             artifacts: Vec::new(),
             monitor: None,
             monitor_scrapes: 0,
+            served: None,
+            cache_hit: false,
         }
     }
 
@@ -100,17 +109,7 @@ impl RunRecord {
     /// pairs, code version). Stable across reruns, `--jobs` settings and
     /// field-order changes in the serialized form.
     pub fn digest(&self) -> String {
-        let mut canon = String::new();
-        canon.push_str(&self.experiment);
-        canon.push('\n');
-        for (k, v) in &self.config {
-            canon.push_str(k);
-            canon.push('=');
-            canon.push_str(v);
-            canon.push('\n');
-        }
-        canon.push_str(&self.code);
-        format!("{:016x}", fnv1a64(canon.as_bytes()))
+        config_digest(&self.experiment, &self.config, &self.code)
     }
 
     /// True when `other` describes the same run outcome: identical identity
@@ -193,6 +192,13 @@ impl RunRecord {
                 self.monitor_scrapes
             ));
         }
+        if let Some(served) = &self.served {
+            out.push_str(&format!(
+                ",\"served\":\"{}\",\"cache_hit\":{}",
+                json::escape(served),
+                self.cache_hit
+            ));
+        }
         out.push_str(",\"artifacts\":{");
         for (i, (k, v)) in self.artifacts.iter().enumerate() {
             if i > 0 {
@@ -262,6 +268,14 @@ impl RunRecord {
             .get("monitor_scrapes")
             .and_then(JsonValue::as_u64)
             .unwrap_or(0);
+        record.served = v
+            .get("served")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        record.cache_hit = v
+            .get("cache_hit")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
         if let Some(JsonValue::Obj(arts)) = v.get("artifacts") {
             for (k, val) in arts {
                 if let Some(s) = val.as_str() {
@@ -271,6 +285,30 @@ impl RunRecord {
         }
         Ok(record)
     }
+}
+
+/// The ledger's content address for a run identity: 16 lowercase hex digits
+/// of an FNV-1a hash over the canonicalized `(experiment, sorted config
+/// pairs, code version)` triple. This is the workspace-wide cache key —
+/// `mab-serve` addresses its result cache with it — so any consumer that
+/// needs "the digest this run would be recorded under" must call this (or
+/// [`RunRecord::digest`], which delegates here) rather than reimplement it.
+///
+/// `config` must already be sorted by key (as [`RunRecord::config_pair`]
+/// maintains); the canonical form is
+/// `experiment '\n' (key '=' value '\n')* code`.
+pub fn config_digest(experiment: &str, config: &[(String, String)], code: &str) -> String {
+    let mut canon = String::new();
+    canon.push_str(experiment);
+    canon.push('\n');
+    for (k, v) in config {
+        canon.push_str(k);
+        canon.push('=');
+        canon.push_str(v);
+        canon.push('\n');
+    }
+    canon.push_str(code);
+    format!("{:016x}", fnv1a64(canon.as_bytes()))
 }
 
 /// 64-bit FNV-1a over `bytes`.
@@ -405,6 +443,34 @@ mod tests {
     }
 
     #[test]
+    fn serve_circumstance_round_trips() {
+        let mut r = sample();
+        r.served = Some("agent-7:12".to_string());
+        r.cache_hit = true;
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.served.as_deref(), Some("agent-7:12"));
+        assert!(parsed.cache_hit);
+        assert!(r.same_outcome(&parsed));
+        // Absent on direct runs (and in their JSON).
+        let plain = sample();
+        assert!(!plain.to_json().contains("served"), "{}", plain.to_json());
+        assert!(!plain.to_json().contains("cache_hit"));
+        let reparsed = RunRecord::from_json(&plain.to_json()).unwrap();
+        assert_eq!(reparsed.served, None);
+        assert!(!reparsed.cache_hit);
+    }
+
+    #[test]
+    fn config_digest_matches_record_digest() {
+        let r = sample();
+        assert_eq!(config_digest(&r.experiment, &r.config, &r.code), r.digest());
+        // The helper is order-sensitive by contract: callers pass the
+        // already-sorted pairs `config_pair` maintains.
+        assert_eq!(config_digest("x", &[], "c").len(), 16);
+        assert_ne!(config_digest("x", &[], "c"), config_digest("y", &[], "c"));
+    }
+
+    #[test]
     fn digest_ignores_circumstance_fields() {
         let mut a = sample();
         let mut b = sample();
@@ -415,6 +481,8 @@ mod tests {
         b.metrics.clear();
         b.monitor = Some("127.0.0.1:1".to_string());
         b.monitor_scrapes = 3;
+        b.served = Some("ci:4".to_string());
+        b.cache_hit = true;
         assert_eq!(a.digest(), b.digest());
         // …but any identity change produces a new digest.
         b.config_pair("mixes", 40);

@@ -35,11 +35,42 @@ pub fn split_url(url: &str) -> Option<(&str, &str)> {
 /// Propagates connect/read failures; malformed responses surface as
 /// `InvalidData`.
 pub fn get(url: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    request("GET", url, None, timeout)
+}
+
+/// Posts `body` (sent as `application/json`) to `url` with a blocking
+/// request, honoring `timeout` for connect and reads.
+///
+/// # Errors
+///
+/// Propagates connect/read failures; malformed responses surface as
+/// `InvalidData`.
+pub fn post(url: &str, body: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    request("POST", url, Some(body), timeout)
+}
+
+fn request(
+    method: &str,
+    url: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
     let (authority, path) = split_url(url)
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad url"))?;
     let mut stream = connect(authority, timeout)?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes())?;
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body.as_bytes())?;
+    }
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     parse_response(&raw)

@@ -1,23 +1,164 @@
-//! The std-only blocking HTTP/1.1 server behind the monitor endpoints.
+//! The std-only blocking HTTP/1.1 server core shared by the observability
+//! daemons (`mab-monitor`'s in-process endpoints and the `mab-serve` sweep
+//! daemon).
 //!
 //! One accept-loop thread owns the listener; each accepted connection is
-//! handled on a short-lived thread (bounded by [`MAX_CONNECTIONS`] — beyond
-//! the cap the connection is answered `503` and closed, so a scrape storm
-//! cannot exhaust threads). `/metrics` and `/status` render a snapshot and
-//! close; `/events` stays open streaming SSE frames until the client hangs
-//! up or the server stops. Shutdown sets a stop flag and pokes the listener
-//! with a loopback connect so the blocking `accept` wakes immediately.
+//! handled on a short-lived thread bounded by [`HttpConfig::max_connections`]
+//! — beyond the cap the connection is answered `503` and closed, so a scrape
+//! storm cannot exhaust threads. Routing is a caller-supplied [`Handler`]
+//! callback: plain endpoints render a snapshot and close, SSE endpoints keep
+//! the [`Conn`] open streaming frames until the client hangs up or the server
+//! stops. Shutdown sets a stop flag and pokes the listener with a loopback
+//! connect so the blocking `accept` wakes immediately.
+//!
+//! Both the connection cap and the per-connection IO timeout are
+//! configurable through the environment: `MAB_HTTP_CONNS` overrides the cap
+//! (default [`MAX_CONNECTIONS`]) and `MAB_HTTP_TIMEOUT_MS` the timeout
+//! (default [`IO_TIMEOUT`]). `POST` bodies are read up to `Content-Length`,
+//! bounded by [`MAX_BODY_BYTES`] (`413` beyond it).
 
-use crate::state::MonitorState;
-use crate::{metrics, sse, status};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Maximum concurrently handled connections; the rest get `503`.
+/// Default maximum concurrently handled connections; the rest get `503`.
 pub const MAX_CONNECTIONS: usize = 32;
+
+/// Default per-connection IO (read) timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Largest accepted request body (1 MiB); longer bodies are answered `413`.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Tunable server limits, resolved once at server start.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Maximum concurrently handled connections (`MAB_HTTP_CONNS`).
+    pub max_connections: usize,
+    /// Per-connection read timeout (`MAB_HTTP_TIMEOUT_MS`).
+    pub io_timeout: Duration,
+    /// Name given to the accept-loop thread (connection threads append
+    /// `-conn`).
+    pub thread_name: String,
+}
+
+impl Default for HttpConfig {
+    fn default() -> HttpConfig {
+        HttpConfig {
+            max_connections: MAX_CONNECTIONS,
+            io_timeout: IO_TIMEOUT,
+            thread_name: "mab-http".to_string(),
+        }
+    }
+}
+
+impl HttpConfig {
+    /// Builds a config named `thread_name`, honoring the `MAB_HTTP_CONNS`
+    /// and `MAB_HTTP_TIMEOUT_MS` environment overrides (unparsable or zero
+    /// values fall back to the defaults).
+    pub fn from_env(thread_name: &str) -> HttpConfig {
+        let mut config = HttpConfig {
+            thread_name: thread_name.to_string(),
+            ..HttpConfig::default()
+        };
+        if let Some(conns) = env_u64("MAB_HTTP_CONNS") {
+            config.max_connections = conns as usize;
+        }
+        if let Some(ms) = env_u64("MAB_HTTP_TIMEOUT_MS") {
+            config.io_timeout = Duration::from_millis(ms);
+        }
+        config
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Counters the server core maintains across all connections.
+#[derive(Debug, Default)]
+pub struct HttpStats {
+    /// Connections answered `503` because the cap was reached.
+    pub rejected_conns: AtomicU64,
+}
+
+/// One parsed HTTP request: method, split path/query, and the body (empty
+/// unless the client sent `Content-Length`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The path with any query string stripped (`/status?x=1` → `/status`).
+    pub path: String,
+    /// The raw query string (empty when absent).
+    pub query: String,
+    /// The request body (empty for body-less requests).
+    pub body: String,
+}
+
+impl Request {
+    /// Looks up `key` in the query string (`a=1&b=2` form; no decoding).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// The write side of one accepted connection, handed to the [`Handler`].
+pub struct Conn {
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+}
+
+impl Conn {
+    /// Writes a full `Connection: close` response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (the client usually hung up).
+    pub fn respond(
+        &mut self,
+        status_line: &str,
+        content_type: &str,
+        body: &str,
+    ) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Writes raw bytes (SSE streamers own their framing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// True once the server is shutting down; long-lived streamers must
+    /// poll this and unwind.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-request routing callback: inspect the [`Request`], answer on the
+/// [`Conn`]. Runs on the connection's own thread, so it may block (SSE).
+pub type Handler = Arc<dyn Fn(&Request, &mut Conn) + Send + Sync>;
 
 /// A running HTTP server: bound address plus the shutdown handle.
 pub struct ServerHandle {
@@ -51,21 +192,24 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral port)
-/// and starts serving `state` on a background thread.
+/// and starts dispatching requests to `handler` on a background thread.
 ///
 /// # Errors
 ///
 /// Returns the bind error when the address is unavailable.
-pub fn serve(
-    state: Arc<MonitorState>,
+pub fn serve_with(
     addr: &str,
+    config: HttpConfig,
+    stats: Arc<HttpStats>,
     stop: Arc<AtomicBool>,
+    handler: Handler,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let accept_stop = Arc::clone(&stop);
+    let conn_thread_name = format!("{}-conn", config.thread_name);
     let accept_thread = std::thread::Builder::new()
-        .name("mab-monitor".to_string())
+        .name(config.thread_name.clone())
         .spawn(move || {
             let active = Arc::new(AtomicUsize::new(0));
             for conn in listener.incoming() {
@@ -73,10 +217,13 @@ pub fn serve(
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
-                    state.rejected_conns.fetch_add(1, Ordering::Relaxed);
-                    let _ = respond(
-                        &stream,
+                if active.load(Ordering::SeqCst) >= config.max_connections {
+                    stats.rejected_conns.fetch_add(1, Ordering::Relaxed);
+                    let mut conn = Conn {
+                        stream,
+                        stop: Arc::clone(&accept_stop),
+                    };
+                    let _ = conn.respond(
                         "503 Service Unavailable",
                         "text/plain; charset=utf-8",
                         "connection cap reached\n",
@@ -84,13 +231,14 @@ pub fn serve(
                     continue;
                 }
                 active.fetch_add(1, Ordering::SeqCst);
-                let state = Arc::clone(&state);
                 let stop = Arc::clone(&accept_stop);
                 let conn_active = Arc::clone(&active);
+                let handler = Arc::clone(&handler);
+                let io_timeout = config.io_timeout;
                 let spawned = std::thread::Builder::new()
-                    .name("mab-monitor-conn".to_string())
+                    .name(conn_thread_name.clone())
                     .spawn(move || {
-                        handle_connection(stream, &state, &stop);
+                        handle_connection(stream, io_timeout, stop, handler);
                         conn_active.fetch_sub(1, Ordering::SeqCst);
                     });
                 if spawned.is_err() {
@@ -105,100 +253,121 @@ pub fn serve(
     })
 }
 
-fn handle_connection(stream: TcpStream, state: &MonitorState, stop: &AtomicBool) {
-    // Bound header reads so a half-open client cannot pin the thread.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let Some((method, path)) = read_request(&stream) else {
-        return;
-    };
-    if method != "GET" {
-        let _ = respond(
-            &stream,
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is supported\n",
-        );
-        return;
-    }
-    // Ignore any query string: /status?x=1 serves /status.
-    match path.split('?').next().unwrap_or("") {
-        "/metrics" => {
-            state.metrics_scrapes.fetch_add(1, Ordering::Relaxed);
-            let _ = respond(
-                &stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &metrics::render(state),
-            );
-        }
-        "/status" => {
-            state.status_scrapes.fetch_add(1, Ordering::Relaxed);
-            let mut body = status::render(state);
-            body.push('\n');
-            let _ = respond(&stream, "200 OK", "application/json", &body);
-        }
-        "/events" => sse::stream(stream, state, stop),
-        "/" | "/healthz" => {
-            let _ = respond(&stream, "200 OK", "text/plain; charset=utf-8", "ok\n");
-        }
-        _ => {
-            let _ = respond(
-                &stream,
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "unknown path; try /metrics, /status or /events\n",
-            );
+fn handle_connection(
+    stream: TcpStream,
+    io_timeout: Duration,
+    stop: Arc<AtomicBool>,
+    handler: Handler,
+) {
+    // Bound header/body reads so a half-open client cannot pin the thread.
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let mut conn = Conn { stream, stop };
+    match read_request(&conn.stream) {
+        Ok(Some(request)) => handler(&request, &mut conn),
+        Ok(None) => {}
+        Err(status_line) => {
+            let _ = conn.respond(status_line, "text/plain; charset=utf-8", "bad request\n");
         }
     }
 }
 
-/// Reads the request line and drains the headers; returns `(method, path)`.
-fn read_request(stream: &TcpStream) -> Option<(String, String)> {
-    let mut reader = BufReader::new(stream.try_clone().ok()?);
+/// Reads one request (line, headers, body). `Ok(None)` means the client
+/// hung up before sending anything useful; `Err` carries the status line to
+/// answer with.
+fn read_request(stream: &TcpStream) -> Result<Option<Request>, &'static str> {
+    let Ok(clone) = stream.try_clone() else {
+        return Ok(None);
+    };
+    let mut reader = BufReader::new(clone);
     let mut line = String::new();
-    reader.read_line(&mut line).ok()?;
+    if reader.read_line(&mut line).is_err() {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_string();
-    let path = parts.next()?.to_string();
-    // Drain headers until the blank line (values are irrelevant to GET).
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let method = method.to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    // Drain headers until the blank line, capturing Content-Length.
+    let mut content_length: usize = 0;
     loop {
         let mut header = String::new();
         match reader.read_line(&mut header) {
             Ok(0) => break,
             Ok(_) if header == "\r\n" || header == "\n" => break,
-            Ok(_) => continue,
-            Err(_) => return None,
+            Ok(_) => {
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+            }
+            Err(_) => return Ok(None),
         }
     }
-    Some((method, path))
+    if content_length > MAX_BODY_BYTES {
+        return Err("413 Payload Too Large");
+    }
+    let mut body = String::new();
+    if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        if reader.read_exact(&mut buf).is_err() {
+            return Ok(None);
+        }
+        body = String::from_utf8_lossy(&buf).into_owned();
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
 }
 
-fn respond(
-    mut stream: &TcpStream,
-    status_line: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Writes raw bytes (used by the SSE streamer, which owns its framing).
-pub(crate) fn write_raw(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
-    stream.write_all(bytes)?;
-    stream.flush()
-}
+    #[test]
+    fn config_env_overrides_parse_and_fall_back() {
+        // Not set → defaults (the test env never sets these globally).
+        let config = HttpConfig::from_env("t");
+        assert_eq!(config.max_connections, MAX_CONNECTIONS);
+        assert_eq!(config.io_timeout, IO_TIMEOUT);
+        assert_eq!(config.thread_name, "t");
+    }
 
-/// Reads an entire `Connection: close` response (used only by tests and the
-/// in-crate client).
-#[allow(dead_code)]
-pub(crate) fn read_to_string(stream: &mut TcpStream) -> std::io::Result<String> {
-    let mut text = String::new();
-    stream.read_to_string(&mut text)?;
-    Ok(text)
+    #[test]
+    fn query_params_split() {
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/jobs".to_string(),
+            query: "arm=3&client=a".to_string(),
+            body: String::new(),
+        };
+        assert_eq!(req.query_param("arm"), Some("3"));
+        assert_eq!(req.query_param("client"), Some("a"));
+        assert_eq!(req.query_param("nope"), None);
+    }
+
+    #[test]
+    fn post_bodies_round_trip_through_the_core() {
+        let stats = Arc::new(HttpStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler: Handler = Arc::new(|req, conn| {
+            let body = format!("{} {} q={} [{}]", req.method, req.path, req.query, req.body);
+            let _ = conn.respond("200 OK", "text/plain; charset=utf-8", &body);
+        });
+        let mut server =
+            serve_with("127.0.0.1:0", HttpConfig::default(), stats, stop, handler).unwrap();
+        let url = format!("http://{}/echo?x=1", server.addr());
+        let resp = crate::client::post(&url, "{\"k\":2}", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "POST /echo q=x=1 [{\"k\":2}]");
+        server.shutdown();
+    }
 }

@@ -38,14 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
-mod http;
+pub mod http;
 pub mod metrics;
 pub mod sse;
 pub mod state;
 pub mod status;
 
-pub use http::MAX_CONNECTIONS;
-pub use state::{ArmPhase, ArmState, MonitorState, RunInfo};
+pub use http::{HttpConfig, HttpStats, IO_TIMEOUT, MAX_CONNECTIONS};
+pub use state::{ArmPhase, ArmState, EventRing, MonitorState, RunInfo};
 
 use mab_runner::ObserverId;
 use std::net::SocketAddr;
@@ -76,7 +76,15 @@ impl Monitor {
     pub fn start(addr: &str, run: RunInfo) -> std::io::Result<Monitor> {
         let state = Arc::new(MonitorState::new(run));
         let stop = Arc::new(AtomicBool::new(false));
-        let server = http::serve(Arc::clone(&state), addr, stop)?;
+        let route_state = Arc::clone(&state);
+        let handler: http::Handler = Arc::new(move |req, conn| route(&route_state, req, conn));
+        let server = http::serve_with(
+            addr,
+            http::HttpConfig::from_env("mab-monitor"),
+            Arc::clone(&state.http),
+            stop,
+            handler,
+        )?;
         let observer_state = Arc::clone(&state);
         let observer = mab_runner::add_observer(Arc::new(move |event| {
             observer_state.observe(event);
@@ -126,6 +134,46 @@ impl Monitor {
 impl Drop for Monitor {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Routes one request to the monitor's read-only endpoints.
+fn route(state: &MonitorState, req: &http::Request, conn: &mut http::Conn) {
+    use std::sync::atomic::Ordering;
+    if req.method != "GET" {
+        let _ = conn.respond(
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    match req.path.as_str() {
+        "/metrics" => {
+            state.metrics_scrapes.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.respond(
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &metrics::render(state),
+            );
+        }
+        "/status" => {
+            state.status_scrapes.fetch_add(1, Ordering::Relaxed);
+            let mut body = status::render(state);
+            body.push('\n');
+            let _ = conn.respond("200 OK", "application/json", &body);
+        }
+        "/events" => sse::stream(conn, state),
+        "/" | "/healthz" => {
+            let _ = conn.respond("200 OK", "text/plain; charset=utf-8", "ok\n");
+        }
+        _ => {
+            let _ = conn.respond(
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics, /status or /events\n",
+            );
+        }
     }
 }
 

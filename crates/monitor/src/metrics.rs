@@ -130,7 +130,7 @@ pub fn render_parts(
         &mut out,
         "mab_monitor_rejected_connections_total",
         "Connections turned away at the connection cap.",
-        state.rejected_conns.load(Ordering::Relaxed) as f64,
+        state.http.rejected_conns.load(Ordering::Relaxed) as f64,
     );
 
     // Telemetry registry: counters, ring drop accounting, histograms.

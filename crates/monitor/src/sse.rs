@@ -11,35 +11,49 @@
 //! ring ([`crate::state::SSE_RING_CAP`]); the gap is skipped, announced
 //! with a `: dropped N` comment, and added to the monitor's
 //! `sse_dropped` counter — the publisher never blocks on a slow client.
+//!
+//! The generic [`stream_ring`] form streams any [`EventRing`]; `mab-serve`
+//! uses it for its per-job and global progress streams.
 
-use crate::http::write_raw;
-use crate::state::MonitorState;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::http::Conn;
+use crate::state::{EventRing, MonitorState};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Idle interval between heartbeat comments.
 pub const HEARTBEAT: Duration = Duration::from_secs(1);
 
-/// Streams events to one client until it disconnects or `stop` is set.
-pub fn stream(mut stream: TcpStream, state: &MonitorState, stop: &AtomicBool) {
+/// Streams the monitor's event ring to one client until it disconnects or
+/// the server stops.
+pub fn stream(conn: &mut Conn, state: &MonitorState) {
+    stream_ring(conn, &state.events, &state.sse_clients, &state.sse_dropped);
+}
+
+/// Streams `ring` to one client until it disconnects or the server stops,
+/// maintaining the given subscriber/drop counters.
+pub fn stream_ring(
+    conn: &mut Conn,
+    ring: &EventRing,
+    clients: &AtomicU64,
+    dropped_total: &AtomicU64,
+) {
     // Capture the tail before the response headers go out: anything
     // published after the client sees our headers must be delivered.
-    let mut next = state.events.next_seq();
+    let mut next = ring.next_seq();
     let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
-    if write_raw(&mut stream, head.as_bytes()).is_err() {
+    if conn.write_raw(head.as_bytes()).is_err() {
         return;
     }
-    state.sse_clients.fetch_add(1, Ordering::Relaxed);
+    clients.fetch_add(1, Ordering::Relaxed);
     // Announce the reconnect delay, then stream from the captured tail.
-    let alive = write_raw(&mut stream, b"retry: 2000\n\n").is_ok();
+    let alive = conn.write_raw(b"retry: 2000\n\n").is_ok();
     let mut frame = String::new();
     let mut ok = alive;
-    while ok && !stop.load(Ordering::SeqCst) {
-        let (events, dropped) = state.events.wait_after(next, HEARTBEAT);
+    while ok && !conn.stop_requested() {
+        let (events, dropped) = ring.wait_after(next, HEARTBEAT);
         frame.clear();
         if dropped > 0 {
-            state.sse_dropped.fetch_add(dropped, Ordering::Relaxed);
+            dropped_total.fetch_add(dropped, Ordering::Relaxed);
             frame.push_str(&format!(": dropped {dropped}\n\n"));
         }
         if events.is_empty() {
@@ -49,7 +63,7 @@ pub fn stream(mut stream: TcpStream, state: &MonitorState, stop: &AtomicBool) {
             frame.push_str(&format!("id: {seq}\nevent: {event}\ndata: {payload}\n\n"));
             next = seq + 1;
         }
-        ok = write_raw(&mut stream, frame.as_bytes()).is_ok();
+        ok = conn.write_raw(frame.as_bytes()).is_ok();
     }
-    state.sse_clients.fetch_sub(1, Ordering::Relaxed);
+    clients.fetch_sub(1, Ordering::Relaxed);
 }

@@ -194,8 +194,9 @@ pub struct MonitorState {
     pub sse_clients: AtomicU64,
     /// Events dropped across all SSE clients (slow-client accounting).
     pub sse_dropped: AtomicU64,
-    /// Connections rejected because the connection cap was reached.
-    pub rejected_conns: AtomicU64,
+    /// Server-core counters (rejected connections), shared with the
+    /// accept loop.
+    pub http: std::sync::Arc<crate::http::HttpStats>,
 }
 
 impl MonitorState {
@@ -209,7 +210,7 @@ impl MonitorState {
             status_scrapes: AtomicU64::new(0),
             sse_clients: AtomicU64::new(0),
             sse_dropped: AtomicU64::new(0),
-            rejected_conns: AtomicU64::new(0),
+            http: std::sync::Arc::new(crate::http::HttpStats::default()),
         }
     }
 

@@ -53,7 +53,7 @@ pub fn render(state: &MonitorState) -> String {
         state.status_scrapes.load(Ordering::Relaxed),
         state.sse_clients.load(Ordering::Relaxed),
         state.sse_dropped.load(Ordering::Relaxed),
-        state.rejected_conns.load(Ordering::Relaxed),
+        state.http.rejected_conns.load(Ordering::Relaxed),
     ));
 
     let table = state.table.lock().unwrap();

@@ -35,6 +35,7 @@
 //! hand-rolled `std::thread::scope` fan-out; see [`sweep`].
 
 pub mod observe;
+pub mod pool;
 mod seed;
 mod sweep;
 
@@ -42,5 +43,6 @@ pub use observe::{
     add_observer, remove_observer, set_arm_observer, ArmEvent, ArmObservation, ArmObserver,
     EventObserver, ObserverId,
 };
+pub use pool::{CancelToken, TaskHandle, WorkerPool};
 pub use seed::child_seed;
 pub use sweep::{available_jobs, sweep, RunCtx, SweepError, SweepOptions};

@@ -1,0 +1,312 @@
+//! A persistent, leased worker pool for job-queue serving.
+//!
+//! [`crate::sweep`] parallelizes *within* one sweep and tears its workers
+//! down when the sweep returns — the right shape for a batch binary, the
+//! wrong one for a daemon that executes a stream of independent arms on
+//! behalf of many clients. [`WorkerPool`] keeps a fixed set of threads
+//! alive and hands out **leases**: [`WorkerPool::submit`] blocks until a
+//! worker is idle, so admission happens at submit time and a fair
+//! scheduler upstream (see `mab-serve`) keeps full control over *which*
+//! task runs next — the pool itself never reorders or buffers a backlog.
+//!
+//! Each task gets a [`CancelToken`] it is expected to poll at natural
+//! checkpoints; [`TaskHandle::cancel`] flips it, and
+//! [`WorkerPool::drain`] waits for every submitted task to finish —
+//! the graceful-shutdown primitive.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Cooperative cancellation flag shared between a task and its handle.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancellation was requested; tasks poll this at
+    /// checkpoints and unwind early.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+type Task = Box<dyn FnOnce(&CancelToken) + Send + 'static>;
+
+/// Completion state shared between a running task and its handle.
+#[derive(Debug, Default)]
+struct TaskState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Handle to one submitted task: cancellation plus completion waiting.
+#[derive(Debug, Clone)]
+pub struct TaskHandle {
+    cancel: CancelToken,
+    state: Arc<TaskState>,
+}
+
+impl TaskHandle {
+    /// Requests cooperative cancellation of the task.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// True once the task has finished (normally or after cancelling).
+    pub fn is_done(&self) -> bool {
+        *self.state.done.lock().unwrap()
+    }
+
+    /// Blocks until the task finishes.
+    pub fn wait(&self) {
+        let mut done = self.state.done.lock().unwrap();
+        while !*done {
+            done = self.state.cv.wait(done).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout`; returns whether the task finished.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut done = self.state.done.lock().unwrap();
+        while !*done {
+            let (guard, result) = self.state.cv.wait_timeout(done, timeout).unwrap();
+            done = guard;
+            if result.timed_out() {
+                return *done;
+            }
+        }
+        true
+    }
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    /// Tasks accepted but not yet picked up. `submit` keeps this no longer
+    /// than the number of idle workers, so it is a hand-off slot, not a
+    /// backlog.
+    tasks: VecDeque<(Task, CancelToken, Arc<TaskState>)>,
+    /// Workers currently blocked waiting for a task.
+    idle: usize,
+    /// Tasks currently executing.
+    active: usize,
+    shutdown: bool,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+struct PoolInner {
+    queue: Mutex<PoolQueue>,
+    /// Signals workers that a task (or shutdown) is available.
+    work_ready: Condvar,
+    /// Signals submitters/drainers that a worker freed up or a task ended.
+    progress: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads with blocking,
+/// lease-style submission.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least 1) persistent threads named
+    /// `mab-pool-N`.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(PoolQueue::default()),
+            work_ready: Condvar::new(),
+            progress: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mab-pool-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits `task`, blocking until a worker is idle to take it — the
+    /// lease discipline that keeps scheduling decisions upstream. Returns
+    /// a handle for cancellation and completion waiting.
+    pub fn submit(&self, task: impl FnOnce(&CancelToken) + Send + 'static) -> TaskHandle {
+        let cancel = CancelToken::default();
+        let state = Arc::new(TaskState::default());
+        let handle = TaskHandle {
+            cancel: cancel.clone(),
+            state: Arc::clone(&state),
+        };
+        let mut queue = self.inner.queue.lock().unwrap();
+        while !queue.shutdown && queue.tasks.len() >= queue.idle {
+            queue = self.inner.progress.wait(queue).unwrap();
+        }
+        if queue.shutdown {
+            // Pool going away: mark the task done-without-running so
+            // waiters cannot hang.
+            *state.done.lock().unwrap() = true;
+            state.cv.notify_all();
+            return handle;
+        }
+        queue.tasks.push_back((Box::new(task), cancel, state));
+        self.inner.work_ready.notify_one();
+        handle
+    }
+
+    /// Blocks until every submitted task has finished and no work is
+    /// pending.
+    pub fn drain(&self) {
+        let mut queue = self.inner.queue.lock().unwrap();
+        while !queue.tasks.is_empty() || queue.active > 0 {
+            queue = self.inner.progress.wait(queue).unwrap();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.inner.work_ready.notify_all();
+        self.inner.progress.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let (task, cancel, state) = {
+            let mut queue = inner.queue.lock().unwrap();
+            queue.idle += 1;
+            // A submitter may be blocked waiting for an idle worker.
+            inner.progress.notify_all();
+            loop {
+                if let Some(entry) = queue.tasks.pop_front() {
+                    queue.idle -= 1;
+                    queue.active += 1;
+                    break entry;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = inner.work_ready.wait(queue).unwrap();
+            }
+        };
+        task(&cancel);
+        {
+            let mut queue = inner.queue.lock().unwrap();
+            queue.active -= 1;
+        }
+        *state.done.lock().unwrap() = true;
+        state.cv.notify_all();
+        inner.progress.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_all_submitted_tasks() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                pool.submit(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for handle in &handles {
+            handle.wait();
+            assert!(handle.is_done());
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_work() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let done = Arc::clone(&done);
+            pool.submit(move |_| {
+                std::thread::sleep(Duration::from_millis(10));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn cancellation_reaches_the_task() {
+        let pool = WorkerPool::new(1);
+        let observed = Arc::new(AtomicBool::new(false));
+        let observed_in_task = Arc::clone(&observed);
+        let handle = pool.submit(move |cancel| {
+            // Poll like a long-running arm would.
+            for _ in 0..1000 {
+                if cancel.is_cancelled() {
+                    observed_in_task.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        handle.cancel();
+        assert!(handle.wait_timeout(Duration::from_secs(5)));
+        assert!(observed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn submission_blocks_until_a_worker_leases_it() {
+        // One worker, one long task: a second submit must not return
+        // before the first task is picked up, and both must complete.
+        let pool = WorkerPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        let h1 = pool.submit(move |_| {
+            std::thread::sleep(Duration::from_millis(20));
+            o1.lock().unwrap().push(1);
+        });
+        let o2 = Arc::clone(&order);
+        let h2 = pool.submit(move |_| {
+            o2.lock().unwrap().push(2);
+        });
+        h1.wait();
+        h2.wait();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2]);
+    }
+}

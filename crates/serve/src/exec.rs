@@ -1,0 +1,105 @@
+//! Arm execution strategies.
+//!
+//! The daemon's unit of work is "produce the stdout of one experiment
+//! binary for one resolved [`RunSpec`]". The default [`BinaryExecutor`]
+//! does exactly that — it spawns the experiment binary as a subprocess
+//! with the spec's argv and captures stdout — which makes the
+//! byte-identity guarantee *structural*: the served artifact IS the
+//! binary's output, not a reimplementation of it. Subprocesses also give
+//! clean cancellation (kill) and isolate the process-global telemetry
+//! state that concurrent in-process runs would trample.
+//!
+//! Tests and benchmarks inject their own [`Executor`] implementations
+//! (counting stubs, synthetic workloads) to exercise the queue, cache and
+//! scheduler without paying for real simulations.
+
+use mab_experiments::spec::RunSpec;
+use mab_runner::CancelToken;
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// Produces the report (stdout) for one resolved arm.
+pub trait Executor: Send + Sync {
+    /// Runs `spec` to completion, polling `cancel` at checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure message (spawn failure, non-zero exit,
+    /// cancellation).
+    fn run(&self, spec: &RunSpec, cancel: &CancelToken) -> Result<String, String>;
+}
+
+/// Runs arms by spawning the experiment binaries found in `bin_dir`.
+#[derive(Debug, Clone)]
+pub struct BinaryExecutor {
+    /// Directory holding the experiment binaries (typically the directory
+    /// `mab-serve` itself runs from).
+    pub bin_dir: PathBuf,
+}
+
+impl BinaryExecutor {
+    /// An executor using the directory of the current executable — the
+    /// right default when `mab-serve` is deployed next to the experiment
+    /// binaries (as `cargo build` lays them out).
+    pub fn next_to_current_exe() -> BinaryExecutor {
+        let bin_dir = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(PathBuf::from))
+            .unwrap_or_else(|| PathBuf::from("."));
+        BinaryExecutor { bin_dir }
+    }
+}
+
+impl Executor for BinaryExecutor {
+    fn run(&self, spec: &RunSpec, cancel: &CancelToken) -> Result<String, String> {
+        let program = self.bin_dir.join(&spec.experiment);
+        let mut child = Command::new(&program)
+            .args(spec.cli_args())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            // Quiet progress lines; never inherit ledger/monitor settings —
+            // the daemon does its own recording.
+            .env("MAB_QUIET", "1")
+            .env_remove("MAB_LEDGER")
+            .env_remove("MAB_MONITOR")
+            .spawn()
+            .map_err(|e| format!("spawn {} failed: {e}", program.display()))?;
+
+        // Drain stdout on a helper thread so a report larger than the pipe
+        // buffer cannot deadlock against our wait loop.
+        let mut stdout = child.stdout.take().expect("stdout was piped");
+        let reader = std::thread::spawn(move || {
+            let mut out = String::new();
+            stdout.read_to_string(&mut out).map(|_| out)
+        });
+
+        let status = loop {
+            if cancel.is_cancelled() {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = reader.join();
+                return Err("cancelled".to_string());
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = reader.join();
+                    return Err(format!("wait on {} failed: {e}", spec.experiment));
+                }
+            }
+        };
+        let report = reader
+            .join()
+            .map_err(|_| "stdout reader panicked".to_string())?
+            .map_err(|e| format!("reading {} stdout failed: {e}", spec.experiment))?;
+        if !status.success() {
+            return Err(format!("{} exited with {status}", spec.experiment));
+        }
+        Ok(report)
+    }
+}

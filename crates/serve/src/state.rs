@@ -1,0 +1,815 @@
+//! The daemon's core: job table, fair scheduler, dispatcher and the
+//! cache/ledger tie-ins.
+//!
+//! # Scheduling
+//!
+//! Every submitted job expands to arms queued under the submitting
+//! client's id. A single dispatcher thread picks arms **round-robin
+//! across clients** and hands each one to the shared
+//! [`mab_runner::WorkerPool`]; because the pool's `submit` blocks until a
+//! worker is idle (the lease discipline), the round-robin choice is made
+//! exactly when capacity frees up — one client's thousand-arm sweep
+//! cannot starve another client's two-arm probe. Admission is bounded:
+//! when the number of admitted-but-unfinished arms would exceed
+//! `queue_cap`, submission fails with [`SubmitError::QueueFull`] (HTTP
+//! `429`).
+//!
+//! # Memoization
+//!
+//! Before executing, the dispatcher consults the content-addressed
+//! [`Cache`] (same digest ⇒ byte-identical output, by the runner's
+//! determinism discipline) and the **in-flight table**: an arm whose
+//! digest is already executing subscribes to that execution instead of
+//! starting its own, so two clients submitting the same sweep
+//! concurrently share one run. Every completion is recorded in the run
+//! ledger with the `served`/`cache_hit` circumstance fields.
+//!
+//! # Shutdown
+//!
+//! [`ServeState::shutdown`] stops the dispatcher, drains in-flight arms
+//! (their results land in the cache), and persists the job table to
+//! `jobs.json` under the cache root; the next start resumes it, and
+//! already-completed arms come back as instant cache hits.
+
+use crate::cache::Cache;
+use crate::exec::Executor;
+use crate::job::{Arm, ArmStatus, Job, JobSpec};
+use mab_experiments::spec::RunSpec;
+use mab_ledger::json::{self, JsonValue};
+use mab_ledger::{Append, Ledger};
+use mab_monitor::http::HttpStats;
+use mab_monitor::EventRing;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing arms.
+    pub workers: usize,
+    /// Maximum admitted-but-unfinished arms across all clients; beyond it
+    /// submissions get `429`.
+    pub queue_cap: usize,
+    /// Root of the content-addressed result cache.
+    pub cache_dir: PathBuf,
+    /// Run-ledger directory for `served`/`cache_hit` records (`None`
+    /// disables recording).
+    pub ledger_dir: Option<PathBuf>,
+    /// Suppress stderr progress lines.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: mab_runner::available_jobs(),
+            queue_cap: 256,
+            cache_dir: PathBuf::from("cache/serve"),
+            ledger_dir: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The daemon is shutting down (HTTP `503`).
+    Draining,
+    /// Admitting the job would exceed `queue_cap` (HTTP `429`).
+    QueueFull,
+}
+
+/// Why an artifact could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// No such job (HTTP `404`).
+    NoSuchJob,
+    /// No such arm index (HTTP `404`).
+    NoSuchArm,
+    /// The job (or requested arm) has not finished; carries the current
+    /// status (HTTP `409`).
+    NotFinished(String),
+    /// The cache entry vanished or failed its CRC (HTTP `503` — resubmit
+    /// to recompute).
+    CacheMiss(String),
+}
+
+#[derive(Default)]
+struct JobTable {
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+}
+
+#[derive(Default)]
+struct Sched {
+    /// Per-client FIFO queues, round-robin serviced.
+    clients: Vec<(String, VecDeque<(u64, usize)>)>,
+    /// Round-robin cursor into `clients`.
+    rr: usize,
+    /// Arms admitted and not yet terminal (the `queue_cap` measure).
+    open_arms: usize,
+    /// Digest → arms subscribed to an execution already in flight. The
+    /// executing arm itself is not listed.
+    inflight: HashMap<String, Vec<(u64, usize)>>,
+    /// Dispatcher stop flag.
+    stop: bool,
+}
+
+/// Shared daemon state: everything the API surface and the dispatcher
+/// touch.
+pub struct ServeState {
+    /// Static configuration.
+    pub config: ServeConfig,
+    /// Code version all digests are computed under.
+    pub code: String,
+    /// The content-addressed result store.
+    pub cache: Cache,
+    executor: Arc<dyn Executor>,
+    jobs: Mutex<JobTable>,
+    sched: Mutex<Sched>,
+    sched_cv: Condvar,
+    pool: mab_runner::WorkerPool,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    draining: AtomicBool,
+    /// Global progress stream (`GET /events`).
+    pub events: EventRing,
+    /// Connected SSE clients (all streams).
+    pub sse_clients: AtomicU64,
+    /// Events dropped across slow SSE clients.
+    pub sse_dropped: AtomicU64,
+    /// HTTP server-core counters.
+    pub http: Arc<HttpStats>,
+    /// Arms executed by this daemon instance.
+    pub arms_executed: AtomicU64,
+    /// Arms served from the cache or an in-flight twin.
+    pub arms_cached: AtomicU64,
+}
+
+impl std::fmt::Debug for ServeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeState")
+            .field("config", &self.config)
+            .field("code", &self.code)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeState {
+    /// Opens the cache, restores any persisted job table, and starts the
+    /// dispatcher over a fresh worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory failures.
+    pub fn start(
+        config: ServeConfig,
+        executor: Arc<dyn Executor>,
+    ) -> std::io::Result<Arc<ServeState>> {
+        let cache = Cache::open(&config.cache_dir)?;
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServeState {
+            code: mab_ledger::code_version(),
+            cache,
+            executor,
+            jobs: Mutex::new(JobTable::default()),
+            sched: Mutex::new(Sched::default()),
+            sched_cv: Condvar::new(),
+            pool: mab_runner::WorkerPool::new(workers),
+            dispatcher: Mutex::new(None),
+            draining: AtomicBool::new(false),
+            events: EventRing::default(),
+            sse_clients: AtomicU64::new(0),
+            sse_dropped: AtomicU64::new(0),
+            http: Arc::new(HttpStats::default()),
+            arms_executed: AtomicU64::new(0),
+            arms_cached: AtomicU64::new(0),
+            config,
+        });
+        let resumed = state.resume();
+        if resumed > 0 {
+            state.progress(&format!("resumed {resumed} unfinished arms from jobs.json"));
+        }
+        let dispatcher_state = Arc::clone(&state);
+        *state.dispatcher.lock().unwrap() = Some(
+            std::thread::Builder::new()
+                .name("mab-serve-dispatch".to_string())
+                .spawn(move || dispatcher_loop(&dispatcher_state))?,
+        );
+        Ok(state)
+    }
+
+    fn progress(&self, message: &str) {
+        if !self.config.quiet {
+            eprintln!("[mab-serve] {message}");
+        }
+    }
+
+    /// True once shutdown has begun (new submissions get `503`).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Admits a job: expands the grid, checks capacity, queues the arms
+    /// under the client's id and returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] during shutdown, [`SubmitError::QueueFull`]
+    /// past `queue_cap`.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        if self.draining() {
+            return Err(SubmitError::Draining);
+        }
+        let arms: Vec<Arm> = spec
+            .specs
+            .iter()
+            .map(|s| Arm {
+                digest: s.digest(&self.code),
+                spec: s.clone(),
+                status: ArmStatus::Queued,
+                cache_hit: false,
+                wall_ms: 0.0,
+                error: None,
+            })
+            .collect();
+        let n = arms.len();
+        // Reserve capacity atomically; released per-arm at completion.
+        {
+            let mut sched = self.sched.lock().unwrap();
+            if sched.stop {
+                return Err(SubmitError::Draining);
+            }
+            if sched.open_arms + n > self.config.queue_cap {
+                return Err(SubmitError::QueueFull);
+            }
+            sched.open_arms += n;
+        }
+        let id = {
+            let mut jobs = self.jobs.lock().unwrap();
+            let id = jobs.next_id;
+            jobs.next_id += 1;
+            jobs.jobs.insert(
+                id,
+                Job {
+                    id,
+                    client: spec.client.clone(),
+                    arms,
+                    submitted_unix: unix_now(),
+                    events: Arc::new(EventRing::default()),
+                },
+            );
+            id
+        };
+        self.enqueue(&spec.client, (0..n).map(|i| (id, i)));
+        self.events.publish(
+            "job_submitted",
+            format!(
+                "{{\"job\":{id},\"client\":\"{}\",\"arms\":{n}}}",
+                json::escape(&spec.client)
+            ),
+        );
+        Ok(id)
+    }
+
+    fn enqueue(&self, client: &str, items: impl Iterator<Item = (u64, usize)>) {
+        let mut sched = self.sched.lock().unwrap();
+        let queue = match sched.clients.iter_mut().find(|(name, _)| name == client) {
+            Some((_, queue)) => queue,
+            None => {
+                sched.clients.push((client.to_string(), VecDeque::new()));
+                &mut sched.clients.last_mut().unwrap().1
+            }
+        };
+        queue.extend(items);
+        drop(sched);
+        self.sched_cv.notify_all();
+    }
+
+    /// Renders the `GET /jobs/:id` document.
+    pub fn job_json(&self, id: u64) -> Option<String> {
+        self.jobs.lock().unwrap().jobs.get(&id).map(Job::to_json)
+    }
+
+    /// The per-job event ring for `GET /jobs/:id/events`.
+    pub fn job_events(&self, id: u64) -> Option<Arc<EventRing>> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .jobs
+            .get(&id)
+            .map(|job| Arc::clone(&job.events))
+    }
+
+    /// Fetches a finished job's artifact: the exact stdout of the single
+    /// arm (`arm` = `None` on one-arm jobs), one selected arm, or all arm
+    /// reports concatenated with `=== arm N <digest> ===` separators.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArtifactError`].
+    pub fn artifact(&self, id: u64, arm: Option<usize>) -> Result<String, ArtifactError> {
+        let targets: Vec<(usize, String)> = {
+            let jobs = self.jobs.lock().unwrap();
+            let job = jobs.jobs.get(&id).ok_or(ArtifactError::NoSuchJob)?;
+            match arm {
+                Some(i) => {
+                    let arm = job.arms.get(i).ok_or(ArtifactError::NoSuchArm)?;
+                    if arm.status != ArmStatus::Done {
+                        return Err(ArtifactError::NotFinished(arm.status.name().to_string()));
+                    }
+                    vec![(i, arm.digest.clone())]
+                }
+                None => {
+                    if job.status() != "done" {
+                        return Err(ArtifactError::NotFinished(job.status().to_string()));
+                    }
+                    job.arms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| (i, a.digest.clone()))
+                        .collect()
+                }
+            }
+        };
+        let mut out = String::new();
+        let single = targets.len() == 1;
+        for (i, digest) in targets {
+            let report = self
+                .cache
+                .lookup(&digest)
+                .ok_or_else(|| ArtifactError::CacheMiss(digest.clone()))?;
+            if single {
+                return Ok(report);
+            }
+            out.push_str(&format!("=== arm {i} {digest} ===\n"));
+            out.push_str(&report);
+        }
+        Ok(out)
+    }
+
+    /// Renders the `GET /queue` global view.
+    pub fn queue_json(&self) -> String {
+        let (queued_by_client, open_arms, inflight) = {
+            let sched = self.sched.lock().unwrap();
+            let by_client: Vec<(String, usize)> = sched
+                .clients
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(name, q)| (name.clone(), q.len()))
+                .collect();
+            (by_client, sched.open_arms, sched.inflight.len())
+        };
+        let mut out = format!(
+            "{{\"code\":\"{}\",\"workers\":{},\"queue_cap\":{},\"draining\":{},\
+             \"open_arms\":{open_arms},\"inflight\":{inflight},\
+             \"arms_executed\":{},\"arms_cached\":{},\"cache_entries\":{},\"queued\":{{",
+            json::escape(&self.code),
+            self.pool.workers(),
+            self.config.queue_cap,
+            self.draining(),
+            self.arms_executed.load(Ordering::Relaxed),
+            self.arms_cached.load(Ordering::Relaxed),
+            self.cache.entries(),
+        );
+        for (i, (client, n)) in queued_by_client.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{n}", json::escape(client)));
+        }
+        out.push_str("},\"jobs\":[");
+        let jobs = self.jobs.lock().unwrap();
+        for (i, job) in jobs.jobs.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&job.summary_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Graceful shutdown: stop dispatching, drain in-flight arms into the
+    /// cache, persist the job table for resume. Idempotent.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        {
+            let mut sched = self.sched.lock().unwrap();
+            sched.stop = true;
+        }
+        self.sched_cv.notify_all();
+        if let Some(handle) = self.dispatcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.pool.drain();
+        match self.persist() {
+            Ok(unfinished) => {
+                if unfinished > 0 {
+                    self.progress(&format!(
+                        "persisted {unfinished} unfinished arms to jobs.json for resume"
+                    ));
+                }
+            }
+            Err(e) => self.progress(&format!("persisting job table failed: {e}")),
+        }
+    }
+
+    /// Writes the job table to `jobs.json` under the cache root (atomic
+    /// tmp+rename); returns the number of unfinished arms persisted.
+    fn persist(&self) -> std::io::Result<usize> {
+        let jobs = self.jobs.lock().unwrap();
+        let mut unfinished = 0;
+        let mut out = format!("{{\"next_id\":{},\"jobs\":[", jobs.next_id);
+        for (i, job) in jobs.jobs.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"client\":\"{}\",\"submitted_unix\":{},\"arms\":[",
+                job.id,
+                json::escape(&job.client),
+                job.submitted_unix
+            ));
+            for (j, arm) in job.arms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                if !arm.status.is_terminal() {
+                    unfinished += 1;
+                }
+                out.push_str(&format!(
+                    "{{\"experiment\":\"{}\",\"instructions\":{},\"seed\":{},\"mixes\":{},\
+                     \"quick\":{},\"status\":\"{}\",\"cache_hit\":{},\"wall_ms\":{}",
+                    json::escape(&arm.spec.experiment),
+                    arm.spec.instructions,
+                    arm.spec.seed,
+                    arm.spec.mixes,
+                    arm.spec.quick,
+                    arm.status.name(),
+                    arm.cache_hit,
+                    json::fmt_f64(arm.wall_ms),
+                ));
+                if let Some(error) = &arm.error {
+                    out.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        let path = self.cache.root().join("jobs.json");
+        let tmp = self.cache.root().join(".jobs.json.tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(unfinished)
+    }
+
+    /// Restores `jobs.json` if present: terminal arms come back as-is,
+    /// unfinished arms re-enter their client queues. Returns the number of
+    /// re-enqueued arms.
+    fn resume(&self) -> usize {
+        let path = self.cache.root().join("jobs.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return 0;
+        };
+        let Ok(doc) = json::parse(text.trim()) else {
+            self.progress("jobs.json is unreadable; starting fresh");
+            let _ = std::fs::remove_file(&path);
+            return 0;
+        };
+        let mut requeued = 0;
+        let mut pending: Vec<(String, Vec<(u64, usize)>)> = Vec::new();
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            jobs.next_id = doc.get("next_id").and_then(JsonValue::as_u64).unwrap_or(0);
+            for job_doc in doc.get("jobs").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+                let Some(id) = job_doc.get("id").and_then(JsonValue::as_u64) else {
+                    continue;
+                };
+                let client = job_doc
+                    .get("client")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("anon")
+                    .to_string();
+                let mut arms = Vec::new();
+                let mut requeue = Vec::new();
+                for arm_doc in job_doc
+                    .get("arms")
+                    .and_then(JsonValue::as_arr)
+                    .unwrap_or(&[])
+                {
+                    let Some(experiment) = arm_doc.get("experiment").and_then(JsonValue::as_str)
+                    else {
+                        continue;
+                    };
+                    let spec = RunSpec {
+                        experiment: experiment.to_string(),
+                        instructions: arm_doc
+                            .get("instructions")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
+                        seed: arm_doc.get("seed").and_then(JsonValue::as_u64).unwrap_or(0),
+                        mixes: arm_doc
+                            .get("mixes")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0) as usize,
+                        quick: arm_doc
+                            .get("quick")
+                            .and_then(JsonValue::as_bool)
+                            .unwrap_or(false),
+                    };
+                    let status = match arm_doc.get("status").and_then(JsonValue::as_str) {
+                        Some("done") => ArmStatus::Done,
+                        Some("failed") => ArmStatus::Failed,
+                        _ => ArmStatus::Queued,
+                    };
+                    if status == ArmStatus::Queued {
+                        requeue.push((id, arms.len()));
+                    }
+                    arms.push(Arm {
+                        digest: spec.digest(&self.code),
+                        spec,
+                        status,
+                        cache_hit: arm_doc
+                            .get("cache_hit")
+                            .and_then(JsonValue::as_bool)
+                            .unwrap_or(false),
+                        wall_ms: arm_doc
+                            .get("wall_ms")
+                            .and_then(JsonValue::as_f64)
+                            .unwrap_or(0.0),
+                        error: arm_doc
+                            .get("error")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_string),
+                    });
+                }
+                if arms.is_empty() {
+                    continue;
+                }
+                requeued += requeue.len();
+                if !requeue.is_empty() {
+                    pending.push((client.clone(), requeue));
+                }
+                jobs.jobs.insert(
+                    id,
+                    Job {
+                        id,
+                        client,
+                        arms,
+                        submitted_unix: job_doc
+                            .get("submitted_unix")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
+                        events: Arc::new(EventRing::default()),
+                    },
+                );
+            }
+        }
+        {
+            let mut sched = self.sched.lock().unwrap();
+            sched.open_arms += requeued;
+        }
+        for (client, items) in pending {
+            self.enqueue(&client, items.into_iter());
+        }
+        let _ = std::fs::remove_file(&path);
+        requeued
+    }
+
+    /// Records one completed arm in the run ledger (when configured) with
+    /// the `served`/`cache_hit` circumstance fields. Identical resubmits
+    /// dedup against the existing record, so the ledger stays one line per
+    /// identity.
+    fn record_arm(&self, spec: &RunSpec, label: &str, cache_hit: bool) {
+        let Some(dir) = &self.config.ledger_dir else {
+            return;
+        };
+        let mut record = spec.identity_record(&self.code);
+        record.started_unix = unix_now();
+        record.served = Some(label.to_string());
+        record.cache_hit = cache_hit;
+        match Ledger::open(dir).and_then(|ledger| ledger.record(&record)) {
+            Ok(Append::Recorded(_)) | Ok(Append::Deduplicated(_)) => {}
+            Err(e) => self.progress(&format!("ledger append failed: {e}")),
+        }
+    }
+
+    fn mark_running(&self, job_id: u64, arm_idx: usize) {
+        let (digest, job_events) = {
+            let mut jobs = self.jobs.lock().unwrap();
+            let Some(job) = jobs.jobs.get_mut(&job_id) else {
+                return;
+            };
+            job.arms[arm_idx].status = ArmStatus::Running;
+            (job.arms[arm_idx].digest.clone(), Arc::clone(&job.events))
+        };
+        let payload = format!("{{\"job\":{job_id},\"index\":{arm_idx},\"digest\":\"{digest}\"}}");
+        job_events.publish("arm_start", payload.clone());
+        self.events.publish("arm_start", payload);
+    }
+
+    fn complete_arm(
+        &self,
+        job_id: u64,
+        arm_idx: usize,
+        cache_hit: bool,
+        wall_ms: f64,
+        error: Option<String>,
+    ) {
+        let failed = error.is_some();
+        let completion = {
+            let mut jobs = self.jobs.lock().unwrap();
+            let Some(job) = jobs.jobs.get_mut(&job_id) else {
+                return;
+            };
+            let arm = &mut job.arms[arm_idx];
+            arm.status = if failed {
+                ArmStatus::Failed
+            } else {
+                ArmStatus::Done
+            };
+            arm.cache_hit = cache_hit;
+            arm.wall_ms = wall_ms;
+            arm.error = error;
+            let spec = arm.spec.clone();
+            let digest = arm.digest.clone();
+            let label = format!("{}:{}", job.client, job.id);
+            let finished = job
+                .arms
+                .iter()
+                .all(|a| a.status.is_terminal())
+                .then(|| (job.status(), job.cache_hits()));
+            (spec, digest, label, Arc::clone(&job.events), finished)
+        };
+        let (spec, digest, label, job_events, finished) = completion;
+        if !failed {
+            self.record_arm(&spec, &label, cache_hit);
+        }
+        let payload = format!(
+            "{{\"job\":{job_id},\"index\":{arm_idx},\"digest\":\"{digest}\",\
+             \"cache_hit\":{cache_hit},\"status\":\"{}\"}}",
+            if failed { "failed" } else { "done" }
+        );
+        job_events.publish("arm_done", payload.clone());
+        self.events.publish("arm_done", payload);
+        if let Some((status, hits)) = finished {
+            let payload =
+                format!("{{\"job\":{job_id},\"status\":\"{status}\",\"cache_hits\":{hits}}}");
+            job_events.publish("job_done", payload.clone());
+            self.events.publish("job_done", payload);
+        }
+        let mut sched = self.sched.lock().unwrap();
+        sched.open_arms = sched.open_arms.saturating_sub(1);
+    }
+
+    /// Handles one scheduled arm: cache hit, in-flight subscription, or a
+    /// leased execution on the pool.
+    fn process(self: &Arc<Self>, job_id: u64, arm_idx: usize) {
+        let started = Instant::now();
+        let (spec, digest) = {
+            let jobs = self.jobs.lock().unwrap();
+            let Some(job) = jobs.jobs.get(&job_id) else {
+                return;
+            };
+            let arm = &job.arms[arm_idx];
+            (arm.spec.clone(), arm.digest.clone())
+        };
+        // 1. Published result on disk?
+        if self.cache.lookup(&digest).is_some() {
+            self.arms_cached.fetch_add(1, Ordering::Relaxed);
+            self.complete_arm(job_id, arm_idx, true, elapsed_ms(started), None);
+            return;
+        }
+        // 2. Identical arm already executing? Subscribe instead of racing.
+        {
+            let mut sched = self.sched.lock().unwrap();
+            if let Some(subscribers) = sched.inflight.get_mut(&digest) {
+                subscribers.push((job_id, arm_idx));
+                drop(sched);
+                self.mark_running(job_id, arm_idx);
+                return;
+            }
+            sched.inflight.insert(digest.clone(), Vec::new());
+        }
+        // 3. Execute. `pool.submit` blocks until a worker leases the arm,
+        // which is what keeps the round-robin fair under load.
+        self.mark_running(job_id, arm_idx);
+        let state = Arc::clone(self);
+        self.pool.submit(move |cancel| {
+            let result = state.executor.run(&spec, cancel);
+            let wall_ms = elapsed_ms(started);
+            let subscribers = {
+                let mut sched = state.sched.lock().unwrap();
+                sched.inflight.remove(&digest).unwrap_or_default()
+            };
+            match result {
+                Ok(report) => {
+                    if let Err(e) = state.cache.store(&digest, &spec.experiment, &report) {
+                        state.progress(&format!("cache store for {digest} failed: {e}"));
+                    }
+                    state.arms_executed.fetch_add(1, Ordering::Relaxed);
+                    state.complete_arm(job_id, arm_idx, false, wall_ms, None);
+                    for (sub_job, sub_arm) in subscribers {
+                        state.arms_cached.fetch_add(1, Ordering::Relaxed);
+                        state.complete_arm(sub_job, sub_arm, true, wall_ms, None);
+                    }
+                }
+                Err(message) => {
+                    state.complete_arm(job_id, arm_idx, false, wall_ms, Some(message.clone()));
+                    for (sub_job, sub_arm) in subscribers {
+                        state.complete_arm(
+                            sub_job,
+                            sub_arm,
+                            false,
+                            wall_ms,
+                            Some(format!("shared execution failed: {message}")),
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+fn dispatcher_loop(state: &Arc<ServeState>) {
+    loop {
+        let item = {
+            let mut sched = state.sched.lock().unwrap();
+            loop {
+                if sched.stop {
+                    return;
+                }
+                if let Some(item) = pick_round_robin(&mut sched) {
+                    break item;
+                }
+                sched = state.sched_cv.wait(sched).unwrap();
+            }
+        };
+        state.process(item.0, item.1);
+    }
+}
+
+/// Pops the next arm round-robin across client queues, pruning emptied
+/// queues.
+fn pick_round_robin(sched: &mut Sched) -> Option<(u64, usize)> {
+    let n = sched.clients.len();
+    for k in 0..n {
+        let i = (sched.rr + k) % n;
+        if let Some(item) = sched.clients[i].1.pop_front() {
+            if sched.clients[i].1.is_empty() {
+                sched.clients.remove(i);
+                sched.rr = if sched.clients.is_empty() {
+                    0
+                } else {
+                    i % sched.clients.len()
+                };
+            } else {
+                sched.rr = (i + 1) % n;
+            }
+            return Some(item);
+        }
+    }
+    None
+}
+
+fn elapsed_ms(started: Instant) -> f64 {
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Seconds since the Unix epoch (0 when the clock is unavailable).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let mut sched = Sched::default();
+        sched
+            .clients
+            .push(("a".to_string(), VecDeque::from([(1, 0), (1, 1), (1, 2)])));
+        sched
+            .clients
+            .push(("b".to_string(), VecDeque::from([(2, 0)])));
+        sched
+            .clients
+            .push(("c".to_string(), VecDeque::from([(3, 0), (3, 1)])));
+        let mut order = Vec::new();
+        while let Some(item) = pick_round_robin(&mut sched) {
+            order.push(item);
+        }
+        // a b c a c a — each pass takes one arm per client with work left.
+        assert_eq!(order, vec![(1, 0), (2, 0), (3, 0), (1, 1), (3, 1), (1, 2)]);
+        assert!(sched.clients.is_empty());
+    }
+}

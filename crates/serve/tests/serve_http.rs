@@ -1,0 +1,390 @@
+//! End-to-end tests for the serve daemon: real HTTP server, real scheduler
+//! and cache, stub executors instead of experiment binaries.
+
+use mab_monitor::client::{self, SseClient};
+use mab_monitor::http::{self, HttpConfig};
+use mab_runner::CancelToken;
+use mab_serve::{api, Executor, ServeConfig, ServeState};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic stub: report derived from the spec, optional artificial
+/// latency, run counting.
+struct StubExecutor {
+    runs: AtomicUsize,
+    delay: Duration,
+}
+
+impl StubExecutor {
+    fn new(delay: Duration) -> Arc<StubExecutor> {
+        Arc::new(StubExecutor {
+            runs: AtomicUsize::new(0),
+            delay,
+        })
+    }
+
+    fn runs(&self) -> usize {
+        self.runs.load(Ordering::SeqCst)
+    }
+}
+
+impl Executor for StubExecutor {
+    fn run(
+        &self,
+        spec: &mab_experiments::spec::RunSpec,
+        cancel: &CancelToken,
+    ) -> Result<String, String> {
+        let deadline = Instant::now() + self.delay;
+        while Instant::now() < deadline {
+            if cancel.is_cancelled() {
+                return Err("cancelled".to_string());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        Ok(format!(
+            "report {} i={} s={} m={} q={}\n",
+            spec.experiment, spec.instructions, spec.seed, spec.mixes, spec.quick
+        ))
+    }
+}
+
+struct TestServer {
+    state: Arc<ServeState>,
+    server: http::ServerHandle,
+    url: String,
+    dir: PathBuf,
+}
+
+impl TestServer {
+    fn start(
+        tag: &str,
+        executor: Arc<StubExecutor>,
+        workers: usize,
+        queue_cap: usize,
+    ) -> TestServer {
+        let dir = std::env::temp_dir().join(format!("mab-serve-e2e-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ServeConfig {
+            workers,
+            queue_cap,
+            cache_dir: dir.join("cache"),
+            ledger_dir: Some(dir.join("ledger")),
+            quiet: true,
+        };
+        let state = ServeState::start(config, executor).unwrap();
+        let handler_state = Arc::clone(&state);
+        let server = http::serve_with(
+            "127.0.0.1:0",
+            HttpConfig::from_env("serve-e2e"),
+            Arc::clone(&state.http),
+            Arc::new(AtomicBool::new(false)),
+            Arc::new(move |req, conn| api::route(&handler_state, req, conn)),
+        )
+        .unwrap();
+        let url = format!("http://{}", server.addr());
+        TestServer {
+            state,
+            server,
+            url,
+            dir,
+        }
+    }
+
+    fn post_job(&self, body: &str) -> client::HttpResponse {
+        client::post(&format!("{}/jobs", self.url), body, Duration::from_secs(5)).unwrap()
+    }
+
+    fn get(&self, path: &str) -> client::HttpResponse {
+        client::get(&format!("{}{path}", self.url), Duration::from_secs(5)).unwrap()
+    }
+
+    /// Polls `GET /jobs/:id` until the job reaches a terminal status.
+    fn wait_done(&self, id: u64) -> mab_ledger::json::JsonValue {
+        for _ in 0..400 {
+            let resp = self.get(&format!("/jobs/{id}"));
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let doc = mab_ledger::json::parse(resp.body.trim()).unwrap();
+            let status = doc
+                .get("status")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string();
+            if status == "done" || status == "failed" {
+                return doc;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("job {id} never finished");
+    }
+
+    fn stop(self) -> PathBuf {
+        let TestServer {
+            state,
+            mut server,
+            dir,
+            ..
+        } = self;
+        state.shutdown();
+        server.shutdown();
+        dir
+    }
+}
+
+fn job_id(resp: &client::HttpResponse) -> u64 {
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    mab_ledger::json::parse(resp.body.trim())
+        .unwrap()
+        .get("id")
+        .and_then(|v| v.as_u64())
+        .unwrap()
+}
+
+#[test]
+fn submit_fetch_and_resubmit_hits_cache() {
+    let executor = StubExecutor::new(Duration::ZERO);
+    let srv = TestServer::start("roundtrip", Arc::clone(&executor), 2, 64);
+
+    let resp = srv.post_job(
+        "{\"experiment\":\"fig08_singlecore\",\"client\":\"t1\",\"seeds\":[1,2],\"quick\":true}",
+    );
+    let id = job_id(&resp);
+    let doc = srv.wait_done(id);
+    assert_eq!(doc.get("cache_hits").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(executor.runs(), 2);
+
+    // Per-arm artifact is the executor's exact bytes.
+    let arm0 = srv.get(&format!("/jobs/{id}/artifact?arm=0"));
+    assert_eq!(arm0.status, 200);
+    assert_eq!(
+        arm0.body,
+        "report fig08_singlecore i=200000 s=1 m=2 q=true\n"
+    );
+    // Whole-job artifact concatenates with arm headers.
+    let all = srv.get(&format!("/jobs/{id}/artifact"));
+    assert!(all.body.starts_with("=== arm 0 "));
+    assert!(all.body.contains("s=1"));
+    assert!(all.body.contains("s=2"));
+
+    // The ledger recorded one served line per arm, no cache hits yet.
+    let ledger = mab_ledger::Ledger::open(srv.dir.join("ledger")).unwrap();
+    let records = ledger.read_all().unwrap().records;
+    assert_eq!(records.len(), 2);
+    assert!(records
+        .iter()
+        .all(|r| r.served.as_deref() == Some("t1:0") && !r.cache_hit));
+
+    // Identical resubmission: zero new executions, everything cache-served,
+    // ledger dedups (no growth).
+    let resp = srv.post_job(
+        "{\"experiment\":\"fig08_singlecore\",\"client\":\"t2\",\"seeds\":[1,2],\"quick\":true}",
+    );
+    let id2 = job_id(&resp);
+    let doc = srv.wait_done(id2);
+    assert_eq!(doc.get("cache_hits").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(executor.runs(), 2);
+    let arm0_again = srv.get(&format!("/jobs/{id2}/artifact?arm=0"));
+    assert_eq!(arm0_again.body, arm0.body);
+    assert_eq!(ledger.read_all().unwrap().records.len(), 2);
+
+    let queue = srv.get("/queue");
+    let qdoc = mab_ledger::json::parse(queue.body.trim()).unwrap();
+    assert_eq!(qdoc.get("arms_executed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(qdoc.get("arms_cached").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(qdoc.get("cache_entries").and_then(|v| v.as_u64()), Some(2));
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn concurrent_identical_submissions_share_one_execution() {
+    let executor = StubExecutor::new(Duration::from_millis(300));
+    let srv = TestServer::start("inflight", Arc::clone(&executor), 2, 64);
+
+    let body_a =
+        "{\"experiment\":\"fig12_multilevel\",\"client\":\"alice\",\"seeds\":9,\"quick\":true}";
+    let body_b =
+        "{\"experiment\":\"fig12_multilevel\",\"client\":\"bob\",\"seeds\":9,\"quick\":true}";
+    let id_a = job_id(&srv.post_job(body_a));
+    let id_b = job_id(&srv.post_job(body_b));
+
+    let doc_a = srv.wait_done(id_a);
+    let doc_b = srv.wait_done(id_b);
+    // Exactly one execution; the second arm subscribed to the first.
+    assert_eq!(executor.runs(), 1);
+    let hits_a = doc_a.get("cache_hits").and_then(|v| v.as_u64()).unwrap();
+    let hits_b = doc_b.get("cache_hits").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(hits_a + hits_b, 1);
+    // Both serve identical bytes.
+    let art_a = srv.get(&format!("/jobs/{id_a}/artifact"));
+    let art_b = srv.get(&format!("/jobs/{id_b}/artifact"));
+    assert_eq!(art_a.body, art_b.body);
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corrupt_cache_entries_are_recomputed_not_served() {
+    let executor = StubExecutor::new(Duration::ZERO);
+    let srv = TestServer::start("corrupt", Arc::clone(&executor), 1, 64);
+
+    let body = "{\"experiment\":\"fig09_accuracy\",\"client\":\"c\",\"seeds\":3,\"quick\":true}";
+    let id = job_id(&srv.post_job(body));
+    srv.wait_done(id);
+    assert_eq!(executor.runs(), 1);
+    let good = srv.get(&format!("/jobs/{id}/artifact")).body;
+
+    // Flip bytes in the stored report without touching its length.
+    let digest = {
+        let doc = mab_ledger::json::parse(srv.get(&format!("/jobs/{id}")).body.trim()).unwrap();
+        let arms = doc
+            .get("arms")
+            .and_then(|v| v.as_arr().map(<[_]>::to_vec))
+            .unwrap();
+        arms[0]
+            .get("digest")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string()
+    };
+    let report_path = srv.dir.join("cache").join(&digest).join("report.txt");
+    let corrupted: String = good.chars().rev().collect();
+    std::fs::write(&report_path, corrupted).unwrap();
+
+    // The artifact endpoint refuses to serve the corrupt entry.
+    let resp = srv.get(&format!("/jobs/{id}/artifact"));
+    assert_eq!(resp.status, 503, "{}", resp.body);
+
+    // A resubmission recomputes instead of serving the corrupt bytes.
+    let id2 = job_id(&srv.post_job(body));
+    let doc = srv.wait_done(id2);
+    assert_eq!(doc.get("cache_hits").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(executor.runs(), 2);
+    assert_eq!(srv.get(&format!("/jobs/{id2}/artifact")).body, good);
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn queue_cap_rejects_with_429() {
+    let executor = StubExecutor::new(Duration::from_millis(400));
+    let srv = TestServer::start("backpressure", Arc::clone(&executor), 1, 2);
+
+    let first = srv.post_job(
+        "{\"experiment\":\"fig10_bandwidth\",\"client\":\"a\",\"seeds\":[1,2],\"quick\":true}",
+    );
+    let id = job_id(&first);
+    // Queue is at capacity (2 open arms): the next submission bounces.
+    let rejected = srv.post_job(
+        "{\"experiment\":\"fig10_bandwidth\",\"client\":\"b\",\"seeds\":7,\"quick\":true}",
+    );
+    assert_eq!(rejected.status, 429, "{}", rejected.body);
+
+    // Capacity frees as arms finish; the retry is accepted.
+    srv.wait_done(id);
+    let retried = srv.post_job(
+        "{\"experiment\":\"fig10_bandwidth\",\"client\":\"b\",\"seeds\":7,\"quick\":true}",
+    );
+    assert_eq!(retried.status, 200, "{}", retried.body);
+    srv.wait_done(job_id(&retried));
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn per_job_sse_streams_progress_to_job_done() {
+    let executor = StubExecutor::new(Duration::from_millis(500));
+    let srv = TestServer::start("sse", Arc::clone(&executor), 1, 64);
+
+    let id = job_id(&srv.post_job(
+        "{\"experiment\":\"fig11_altcache\",\"client\":\"s\",\"seeds\":5,\"quick\":true}",
+    ));
+    let mut sse = SseClient::connect(
+        &format!("{}/jobs/{id}/events", srv.url),
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    let mut saw_arm_done = false;
+    let mut saw_job_done = false;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline && !saw_job_done {
+        match sse.next_frame() {
+            Ok(Some(frame)) => {
+                if frame.event == "arm_done" {
+                    assert!(frame.data.contains("\"cache_hit\":false"), "{}", frame.data);
+                    saw_arm_done = true;
+                }
+                if frame.event == "job_done" {
+                    assert!(frame.data.contains("\"status\":\"done\""), "{}", frame.data);
+                    saw_job_done = true;
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {}
+        }
+    }
+    assert!(saw_arm_done, "never saw arm_done on the job stream");
+    assert!(saw_job_done, "never saw job_done on the job stream");
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn shutdown_persists_unfinished_jobs_and_resume_completes_them() {
+    let executor = StubExecutor::new(Duration::from_millis(250));
+    let srv = TestServer::start("resume", Arc::clone(&executor), 1, 64);
+
+    // Three slow arms on one worker: shutdown lands mid-sweep.
+    let id = job_id(&srv.post_job(
+        "{\"experiment\":\"fig13_smt_scurve\",\"client\":\"r\",\"seeds\":[1,2,3],\"quick\":true}",
+    ));
+    std::thread::sleep(Duration::from_millis(100));
+    let dir = srv.stop();
+
+    // The drain finished some arms, persisted the rest.
+    let jobs_json = std::fs::read_to_string(dir.join("cache").join("jobs.json")).unwrap();
+    assert!(jobs_json.contains("\"queued\""), "{jobs_json}");
+    let ran_before = executor.runs();
+    assert!(ran_before < 3, "shutdown should leave work unfinished");
+
+    // A fresh daemon over the same cache dir resumes and completes the job
+    // without redoing finished arms.
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 64,
+        cache_dir: dir.join("cache"),
+        ledger_dir: Some(dir.join("ledger")),
+        quiet: true,
+    };
+    let state = ServeState::start(config, executor.clone() as Arc<dyn Executor>).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let done = mab_ledger::json::parse(state.job_json(id).expect("job resumed").trim())
+            .unwrap()
+            .get("status")
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .unwrap();
+        if done == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "resumed job never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(executor.runs(), 3, "finished arms must not be re-executed");
+    assert!(
+        !dir.join("cache").join("jobs.json").exists(),
+        "jobs.json should be consumed on resume"
+    );
+    let artifact = state.artifact(id, Some(2)).unwrap();
+    assert!(artifact.contains("s=3"));
+    state.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
