@@ -1,0 +1,186 @@
+//! Flight-recorder (blackbox) overhead benchmark.
+//!
+//! The blackbox is *always compiled in* — unlike the span profiler it does
+//! not hide behind the `telemetry` feature — so its cost must be proven
+//! negligible in both build modes. This bench measures the same end-to-end
+//! simulator runs as `profile_overhead` (a single-core bandit prefetching
+//! run and a two-thread bandit SMT run) with the recorder off and on.
+//! Both workloads hit the real probe sites: a ring append per bandit
+//! decision (with the `probe_bounds` scan) and per-epoch summaries from
+//! the memory system and the SMT pipeline.
+//!
+//! The two sides are measured as *adjacent pairs* (off-sample immediately
+//! followed by an on-sample, overhead = median pair ratio) so frequency
+//! and load drift cancel out of every ratio — the same discipline as
+//! `profile_overhead`, and for the same reason: a <5% gate on a busy host
+//! needs paired sampling to be stable.
+//!
+//! Run in both modes:
+//! `cargo bench -p mab-bench --bench blackbox_overhead` and
+//! `cargo bench -p mab-bench --bench blackbox_overhead --features telemetry`.
+//! Either run rewrites BENCH_blackbox_overhead.json (the
+//! `telemetry_feature` field records which mode produced it).
+
+use criterion::black_box;
+use mab_core::AlgorithmKind;
+use mab_memsim::{config::SystemConfig, System};
+use mab_prefetch::BanditL2;
+use mab_smtsim::pipeline::SmtPipeline;
+use mab_telemetry::blackbox;
+use mab_workloads::{smt, suites};
+use std::time::Instant;
+
+const SIM_INSTRUCTIONS: u64 = 20_000;
+const SMT_COMMITS: u64 = 10_000;
+
+/// Off/on sample pairs per workload. The median pair ratio is reported.
+const PAIRS: usize = 31;
+
+/// Minimum wall time per sample; iteration counts are calibrated to it.
+const SAMPLE_MS: u128 = 30;
+
+/// A short single-core simulation with the bandit prefetcher: every bandit
+/// step appends a decision event, every occupancy epoch a "mem" summary.
+fn memsim_batch() -> f64 {
+    let app = suites::app_by_name("cactus").expect("catalog app");
+    let mut system = System::single_core(SystemConfig::default());
+    system.set_prefetcher(0, Box::new(BanditL2::paper_default(7)));
+    system.run(&mut app.trace(7), SIM_INSTRUCTIONS).ipc()
+}
+
+/// A short two-thread SMT run under the bandit PG controller: decision
+/// events from the controller, "smt" epoch summaries from the pipeline.
+fn smtsim_batch() -> f64 {
+    let specs = [
+        smt::thread_by_name("gcc").expect("catalog thread"),
+        smt::thread_by_name("lbm").expect("catalog thread"),
+    ];
+    let params = mab_experiments::smt_runs::scaled_params();
+    let mut controller = mab_experiments::smt_runs::scaled_bandit(
+        AlgorithmKind::Ducb {
+            gamma: 0.975,
+            c: 0.01,
+        },
+        7,
+    );
+    let mut pipe = SmtPipeline::new(params, specs, 7);
+    pipe.run_with(&mut controller, SMT_COMMITS).sum_ipc()
+}
+
+/// Times `iters` runs of `f` with the flight recorder set to `enabled`,
+/// returning ns/iter.
+fn sample(f: fn() -> f64, iters: u64, enabled: bool) -> f64 {
+    blackbox::set_enabled(enabled);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Measurement {
+    off_ns: f64,
+    on_ns: f64,
+    overhead_pct: f64,
+}
+
+fn measure(name: &str, f: fn() -> f64) -> Measurement {
+    // Calibrate the per-sample iteration count against the recorded side
+    // (the slower one), then warm both sides up.
+    let mut iters = 1u64;
+    loop {
+        blackbox::set_enabled(true);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= SAMPLE_MS {
+            break;
+        }
+        iters *= 2;
+    }
+    sample(f, iters, false);
+
+    let mut overheads = Vec::with_capacity(PAIRS);
+    let mut offs = Vec::with_capacity(PAIRS);
+    let mut ons = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let off = sample(f, iters, false);
+        let on = sample(f, iters, true);
+        overheads.push((on - off) / off * 100.0);
+        offs.push(off);
+        ons.push(on);
+    }
+    blackbox::set_enabled(false);
+
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let m = Measurement {
+        off_ns: median(&mut offs),
+        on_ns: median(&mut ons),
+        overhead_pct: median(&mut overheads),
+    };
+    println!(
+        "{name:<8} off {:>12.1} ns/iter, recorder on {:>12.1} ns/iter -> {:+.2}% \
+         (median of {PAIRS} paired samples, {iters} iters each)",
+        m.off_ns, m.on_ns, m.overhead_pct
+    );
+    m
+}
+
+fn main() {
+    let mode = if mab_telemetry::STATIC_ENABLED {
+        "telemetry feature ON"
+    } else {
+        "telemetry feature OFF"
+    };
+    println!("mode: {mode} (the blackbox itself is always compiled in)");
+
+    let memsim = measure("memsim", memsim_batch);
+    let smtsim = measure("smtsim", smtsim_batch);
+    let worst = memsim.overhead_pct.max(smtsim.overhead_pct);
+    let budget = 5.0;
+    let pass = worst < budget;
+    write_report(&memsim, &smtsim, budget, pass);
+    if pass {
+        println!(
+            "PASS: worst-case flight-recorder overhead {worst:+.2}% is under the {budget}% budget"
+        );
+    } else {
+        println!("FAIL: flight-recorder overhead {worst:+.2}% exceeds the {budget}% budget");
+        std::process::exit(1);
+    }
+}
+
+/// Writes the machine-readable result to BENCH_blackbox_overhead.json at
+/// the repo root (ingest with `mab-inspect ingest`, gate with `mab-inspect
+/// regress`). The JSON is also echoed to stdout so a CI log always shows
+/// the numbers the file pinned.
+fn write_report(memsim: &Measurement, smtsim: &Measurement, budget: f64, pass: bool) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_blackbox_overhead.json"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"blackbox_overhead\",\n  \"telemetry_feature\": {},\n  \
+         \"memsim_off_ns\": {:.1},\n  \"memsim_on_ns\": {:.1},\n  \
+         \"memsim_overhead_pct\": {:.3},\n  \
+         \"smtsim_off_ns\": {:.1},\n  \"smtsim_on_ns\": {:.1},\n  \
+         \"smtsim_overhead_pct\": {:.3},\n  \
+         \"budget_pct\": {budget},\n  \"pass\": {pass}\n}}\n",
+        mab_telemetry::STATIC_ENABLED,
+        memsim.off_ns,
+        memsim.on_ns,
+        memsim.overhead_pct,
+        smtsim.off_ns,
+        smtsim.on_ns,
+        smtsim.overhead_pct,
+    );
+    print!("{json}");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -69,6 +69,7 @@ impl Executor for SpinExecutor {
         &self,
         spec: &mab_experiments::spec::RunSpec,
         _cancel: &CancelToken,
+        _crash_dir: Option<&std::path::Path>,
     ) -> Result<String, String> {
         let value = fnv_mix(self.iters, spec.seed);
         Ok(format!(

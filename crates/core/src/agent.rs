@@ -297,7 +297,29 @@ impl BanditAgent {
             phase: self.phase.telemetry_name(),
         });
         self.record_decision(arm);
+        self.record_blackbox(arm);
         arm
+    }
+
+    /// Always-on flight-recorder capture of the decision (chosen arm, its
+    /// mean reward and selection bound). Unlike [`record_decision`] this
+    /// does not need the `telemetry` feature; while the black box is off it
+    /// costs one relaxed load and a branch per bandit step.
+    fn record_blackbox(&mut self, arm: ArmId) {
+        if mab_telemetry::blackbox::is_on() {
+            let mut bounds = Vec::with_capacity(self.config.arms);
+            self.algorithm.probe_bounds(&self.tables, &mut bounds);
+            let q = self.tables.reward(arm);
+            let explore = self.phase != AgentPhase::Main || arm != self.tables.best_by_reward();
+            mab_telemetry::blackbox::decision(
+                self.config.seed,
+                self.steps,
+                arm.index(),
+                q,
+                bounds.get(arm.index()).copied().unwrap_or(q),
+                explore,
+            );
+        }
     }
 
     /// Captures full decision provenance — per-arm Q-values, the algorithm's

@@ -63,6 +63,10 @@ pub struct Options {
     pub monitor: Option<String>,
     /// Suppress `[mab]` stderr progress lines (`--quiet` / `MAB_QUIET=1`).
     pub quiet: bool,
+    /// Where crash reports land (`--crash-dir` / `MAB_CRASH_DIR`). `None`
+    /// uses the default (`results/crashes`); the directory is only created
+    /// if a crash actually happens.
+    pub crash_dir: Option<PathBuf>,
 }
 
 impl Options {
@@ -104,6 +108,9 @@ impl Options {
         if opts.monitor.is_none() {
             opts.monitor = monitor_env();
         }
+        if opts.crash_dir.is_none() {
+            opts.crash_dir = crash_dir_env();
+        }
         opts
     }
 
@@ -126,6 +133,7 @@ impl Options {
             ledger: None,
             monitor: None,
             quiet: false,
+            crash_dir: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -190,6 +198,12 @@ impl Options {
                         .unwrap_or_else(|| usage("--monitor needs an address (host:port)"));
                     opts.monitor = (!addr.is_empty()).then_some(addr);
                 }
+                "--crash-dir" => {
+                    opts.crash_dir = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| usage("--crash-dir needs a directory")),
+                    ));
+                }
                 "--quiet" => {
                     opts.quiet = true;
                 }
@@ -233,6 +247,16 @@ fn monitor_env() -> Option<String> {
     std::env::var("MAB_MONITOR").ok().filter(|v| !v.is_empty())
 }
 
+/// Crash-report directory from `MAB_CRASH_DIR`, if set non-empty. The
+/// `mab-serve` daemon uses this to give each spawned arm a per-job crash
+/// directory, so a crash is attributable to its owning job.
+fn crash_dir_env() -> Option<PathBuf> {
+    std::env::var("MAB_CRASH_DIR")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
 fn usage<T>(error: &str) -> T {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
@@ -267,7 +291,12 @@ fn usage<T>(error: &str) -> T {
          \x20                 duration of the run (MAB_MONITOR does the same;\n\
          \x20                 watch it with mab-inspect watch URL)\n\
          --quiet           suppress [mab] stderr progress lines (MAB_QUIET=1\n\
-         \x20                 does the same)"
+         \x20                 does the same)\n\
+         --crash-dir DIR   where black-box crash reports (.mabcrash) land on a\n\
+         \x20                 panic or fatal signal (default results/crashes;\n\
+         \x20                 MAB_CRASH_DIR does the same; MAB_BLACKBOX=0\n\
+         \x20                 disables the flight recorder; inspect reports\n\
+         \x20                 with mab-inspect postmortem)"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -359,6 +388,13 @@ mod tests {
     fn quiet_flag_is_captured() {
         assert!(parse(&["--quiet"]).quiet);
         assert!(!parse(&[]).quiet);
+    }
+
+    #[test]
+    fn crash_dir_is_captured() {
+        let o = parse(&["--crash-dir", "results/crashes"]);
+        assert_eq!(o.crash_dir, Some(PathBuf::from("results/crashes")));
+        assert!(parse(&[]).crash_dir.is_none());
     }
 
     #[test]

@@ -153,11 +153,21 @@ pub fn normalized_ipcs(
             specs.push((app_idx, p));
         }
     }
+    // Test-only fault injection: MAB_TEST_PANIC_ARM=<index> panics that sweep
+    // arm mid-run so the crash pipeline can be exercised end to end. Absent
+    // (the normal case), behavior is unchanged.
+    let panic_arm: Option<usize> = std::env::var("MAB_TEST_PANIC_ARM")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let ipcs = mab_runner::sweep(
         &specs,
         mab_runner::SweepOptions::new(jobs, seed),
-        |_ctx, &(app_idx, name)| {
-            run_single(name, &apps[app_idx], config, instructions, seed, store).ipc()
+        |ctx, &(app_idx, name)| {
+            let ipc = run_single(name, &apps[app_idx], config, instructions, seed, store).ipc();
+            if panic_arm == Some(ctx.index) {
+                panic!("injected test panic (MAB_TEST_PANIC_ARM={})", ctx.index);
+            }
+            ipc
         },
     )
     .unwrap_or_else(|e| panic!("prefetcher lineup sweep failed: {e}"));

@@ -71,6 +71,24 @@ impl TelemetrySession {
     /// and the sweep arm observer when `--ledger` is active.
     pub fn start(name: &str, opts: &Options) -> Self {
         mab_telemetry::summary::set_quiet(opts.quiet);
+        // Arm the always-on black-box flight recorder (feature-independent)
+        // before anything can panic: a crash anywhere after this point dumps
+        // a `.mabcrash` report stamped with this run's identity. Disabled by
+        // `MAB_BLACKBOX=0`; writes only to the crash dir and stderr, so
+        // experiment stdout stays byte-identical either way.
+        {
+            let spec = crate::spec::RunSpec::from_options(name, opts);
+            let crash_dir = opts
+                .crash_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("results/crashes"));
+            mab_telemetry::blackbox::install(
+                name,
+                &spec.digest(&code_version()),
+                &spec.config_pairs(),
+                &crash_dir,
+            );
+        }
         if mab_telemetry::STATIC_ENABLED {
             mab_telemetry::install(mab_telemetry::RecorderConfig::default());
             if opts.profile.is_some() {
@@ -211,6 +229,11 @@ impl LedgerCapture {
         let mut record = identity_record(name, opts);
         record.jobs = opts.jobs as u64;
         record.started_unix = unix_now();
+        // Host circumstance: lets cross-host trend/regress comparisons
+        // attribute wall-time differences. Never digested.
+        record.cpus = mab_telemetry::blackbox::cpus() as u64;
+        record.kernel_mode = Some(mab_telemetry::blackbox::kernel_mode().to_string());
+        record.host = Some(mab_telemetry::blackbox::hostname());
         let mut artifact = |kind: &str, path: &Option<PathBuf>| {
             if let Some(path) = path {
                 record
@@ -288,6 +311,7 @@ mod tests {
             ledger: None,
             monitor: None,
             quiet: false,
+            crash_dir: None,
         }
     }
 
@@ -390,6 +414,10 @@ mod tests {
         assert_eq!(record.config_value("seed"), Some("77"));
         assert_eq!(record.config_value("quick"), Some("false"));
         assert_eq!(record.code, code_version());
+        // Host circumstance is recorded but never digested.
+        assert!(record.cpus >= 1);
+        assert!(matches!(record.kernel_mode.as_deref(), Some("simd" | "scalar")));
+        assert!(record.host.as_deref().is_some_and(|h| !h.is_empty()));
 
         // A second identical session in the same process dedups (unless the
         // recorder picked up activity from concurrently running tests — the

@@ -26,6 +26,7 @@ fn options(ledger: &Path, jobs: usize) -> Options {
         profile: None,
         ledger: Some(ledger.to_path_buf()),
         monitor: None,
+        crash_dir: None,
         quiet: true,
     }
 }

@@ -31,6 +31,7 @@ pub mod analysis;
 pub mod artifact;
 pub mod diff;
 pub mod history;
+pub mod postmortem;
 pub mod report;
 pub mod watch;
 

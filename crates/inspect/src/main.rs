@@ -5,6 +5,7 @@
 //! mab-inspect diff <baseline.jsonl> <candidate.jsonl> [--threshold PCT]
 //! mab-inspect profile <profile.collapsed|artifact.jsonl>... [--top N] [--cycles N] [--json]
 //! mab-inspect watch <URL> [--interval SECS] [--once]
+//! mab-inspect postmortem <report.mabcrash> [--json]
 //! mab-inspect history [--ledger DIR] [--experiment NAME] [--config K=V] [--limit N] [--json]
 //! mab-inspect trend --metric NAME [--ledger DIR] [--experiment NAME] [--json]
 //! mab-inspect regress [--ledger DIR] [--experiment NAME | <BENCH.json>...] [--threshold PCT] [--metric NAME=PCT]
@@ -20,6 +21,7 @@ use std::process::ExitCode;
 use mab_inspect::artifact::RunArtifact;
 use mab_inspect::diff::{diff_artifacts, has_regression};
 use mab_inspect::history::{self, Filter, Thresholds};
+use mab_inspect::postmortem::{postmortem_json, render_postmortem};
 use mab_inspect::report::{profile_json, render_diff, render_profile, render_report};
 use mab_inspect::watch;
 use mab_ledger::{ingest_bench_file, Append, Ledger, RunRecord};
@@ -55,6 +57,13 @@ USAGE:
         it renders the /queue scheduler and cache view instead.
         --interval SECS   seconds between table refreshes (default 2)
         --once            print one status snapshot and exit
+
+    mab-inspect postmortem <report.mabcrash> [--json]
+        Renders a crash report written by the always-on blackbox flight
+        recorder: cause, failing sweep arm, span stack, the last bandit
+        decisions before the crash and per-thread ring drop accounting.
+        The report's CRC is verified before anything is shown.
+        --json        emit the report as a JSON document instead of text
 
     mab-inspect history [--ledger DIR] [--experiment NAME] [--config K=V]...
                         [--digest PREFIX] [--limit N] [--json]
@@ -119,6 +128,7 @@ fn main() -> ExitCode {
         Some("diff") => run_diff(&args[1..]),
         Some("profile") => run_profile(&args[1..]),
         Some("watch") => run_watch(&args[1..]),
+        Some("postmortem") => run_postmortem(&args[1..]),
         Some("history") => run_history(&args[1..]),
         Some("trend") => run_trend(&args[1..]),
         Some("regress") => run_regress(&args[1..]),
@@ -128,7 +138,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage_error(
-            "expected a subcommand: report | diff | profile | watch | history | trend | regress | ingest | help",
+            "expected a subcommand: report | diff | profile | watch | postmortem | history | trend | regress | ingest | help",
         ),
     }
 }
@@ -237,6 +247,37 @@ fn run_watch(args: &[String]) -> ExitCode {
     match watch::watch(&url, std::time::Duration::from_secs_f64(interval), once) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => runtime_error(&e),
+    }
+}
+
+fn run_postmortem(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            positional if path.is_none() => path = Some(PathBuf::from(positional)),
+            _ => return usage_error("postmortem takes exactly one report path"),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("postmortem needs a .mabcrash report path");
+    };
+    // A corrupt or truncated report (CRC/line-count mismatch) is a runtime
+    // failure, not a usage error: the path was fine, the file is not.
+    match mab_telemetry::blackbox::read_report(&path) {
+        Ok(report) => {
+            if json {
+                print!("{}", postmortem_json(&report));
+            } else {
+                print!("{}", render_postmortem(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => runtime_error(&format!("cannot read report: {e}")),
     }
 }
 

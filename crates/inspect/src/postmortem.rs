@@ -1,0 +1,416 @@
+//! Rendering for `mab-inspect postmortem`: a `.mabcrash` flight-recorder
+//! report as a human timeline or a `--json` document.
+//!
+//! Parsing and CRC validation live in [`mab_telemetry::blackbox`]
+//! ([`read_report`](mab_telemetry::blackbox::read_report)); this module is
+//! pure formatting over the already-verified [`CrashReport`]: the crash
+//! header (cause, message, signal, thread, wall time), run identity
+//! (experiment, digest, config), host circumstance, sweep progress, the
+//! failing arm, the span stack, the crashing thread's recent events with
+//! the last bandit decisions broken out as a table, and per-thread drop
+//! accounting.
+
+use mab_telemetry::blackbox::{json_bool, json_f64, json_str, json_u64, CrashEvent, CrashReport};
+
+/// How many trailing events of the crashing thread the timeline shows.
+/// Decisions get their own full table, so the raw tail stays short.
+const TIMELINE_TAIL: usize = 16;
+
+/// Best-effort name for the fatal signals the blackbox handler catches.
+/// The report body carries the authoritative `signal_name`, but the parsed
+/// [`CrashReport`] keeps only the number — this covers the gap for display.
+fn signal_name(sig: i64) -> &'static str {
+    match sig {
+        4 => "SIGILL",
+        6 => "SIGABRT",
+        7 => "SIGBUS",
+        8 => "SIGFPE",
+        11 => "SIGSEGV",
+        _ => "signal",
+    }
+}
+
+/// One-line summary of an event for the timeline tail.
+fn describe(event: &CrashEvent) -> String {
+    let l = &event.line;
+    match event.etype.as_str() {
+        "decision" => format!(
+            "decision  agent={} step={} arm={} q={:.4} bound={:.4}{}",
+            json_u64(l, "agent").unwrap_or(0),
+            json_u64(l, "step").unwrap_or(0),
+            json_u64(l, "arm").unwrap_or(0),
+            json_f64(l, "q").unwrap_or(0.0),
+            json_f64(l, "bound").unwrap_or(0.0),
+            if json_bool(l, "explore").unwrap_or(false) {
+                " explore"
+            } else {
+                ""
+            },
+        ),
+        "epoch" => format!(
+            "epoch     sim={} id={} cycle={} value={:.4}",
+            json_str(l, "sim").unwrap_or_default(),
+            json_u64(l, "id").unwrap_or(0),
+            json_u64(l, "cycle").unwrap_or(0),
+            json_f64(l, "value").unwrap_or(0.0),
+        ),
+        "arm_start" => format!(
+            "arm_start index={} seed={}",
+            json_u64(l, "index").unwrap_or(0),
+            json_u64(l, "seed").unwrap_or(0),
+        ),
+        "arm_finish" => format!("arm_finish index={}", json_u64(l, "index").unwrap_or(0)),
+        "sweep_begin" => format!("sweep_begin total={}", json_u64(l, "total").unwrap_or(0)),
+        "sweep_end" => format!("sweep_end done={}", json_u64(l, "done").unwrap_or(0)),
+        "job" => format!(
+            "job       id={} {} {}",
+            json_u64(l, "job").unwrap_or(0),
+            json_str(l, "what").unwrap_or_default(),
+            json_str(l, "detail").unwrap_or_default(),
+        ),
+        "note" => format!("note      {}", json_str(l, "text").unwrap_or_default()),
+        other => other.to_string(),
+    }
+}
+
+/// Renders the human postmortem view.
+#[must_use]
+pub fn render_postmortem(report: &CrashReport) -> String {
+    let mut out = String::new();
+    let experiment = if report.experiment.is_empty() {
+        "<unknown experiment>"
+    } else {
+        &report.experiment
+    };
+    out.push_str(&format!("crash postmortem — {experiment}"));
+    if !report.digest.is_empty() {
+        out.push_str(&format!(" (digest {})", report.digest));
+    }
+    out.push('\n');
+    out.push_str(&format!("  cause:    {}", report.cause));
+    if let Some(sig) = report.signal {
+        out.push_str(&format!(" ({} {sig})", signal_name(sig)));
+    }
+    out.push('\n');
+    if !report.message.is_empty() {
+        out.push_str(&format!("  message:  {}\n", report.message));
+    }
+    out.push_str(&format!("  thread:   {}\n", report.thread));
+    out.push_str(&format!("  time:     {} (unix)\n", report.time_unix));
+    if report.cpus > 0 || !report.hostname.is_empty() {
+        out.push_str(&format!(
+            "  host:     {} cpus, {} kernels, {}\n",
+            report.cpus,
+            if report.kernel_mode.is_empty() {
+                "?"
+            } else {
+                &report.kernel_mode
+            },
+            if report.hostname.is_empty() {
+                "?"
+            } else {
+                &report.hostname
+            },
+        ));
+    }
+    if let Some((done, total, active)) = report.sweep {
+        out.push_str(&format!(
+            "  sweep:    {done}/{total} arms done{}\n",
+            if active { " (sweep active)" } else { "" }
+        ));
+    }
+    if let Some((index, seed)) = report.arm {
+        out.push_str(&format!("  arm:      index {index}, seed {seed}\n"));
+    }
+
+    if !report.config.is_empty() {
+        out.push_str("\nconfig:\n");
+        for (key, value) in &report.config {
+            out.push_str(&format!("  {key} = {value}\n"));
+        }
+    }
+
+    if !report.span_stack.is_empty() {
+        out.push_str("\nspan stack (innermost last):\n");
+        for (depth, frame) in report.span_stack.iter().enumerate() {
+            out.push_str(&format!("  {depth:>2}  {frame}\n"));
+        }
+    }
+
+    let decisions = report.last_decisions();
+    if !decisions.is_empty() {
+        out.push_str(&format!(
+            "\nlast {} bandit decisions (crashing thread, oldest first):\n",
+            decisions.len()
+        ));
+        out.push_str("  seq        agent  step     arm  q          bound      explore\n");
+        for d in &decisions {
+            let l = &d.line;
+            out.push_str(&format!(
+                "  {:<9}  {:<5}  {:<7}  {:<3}  {:<9.4}  {:<9.4}  {}\n",
+                d.seq,
+                json_u64(l, "agent").unwrap_or(0),
+                json_u64(l, "step").unwrap_or(0),
+                json_u64(l, "arm").unwrap_or(0),
+                json_f64(l, "q").unwrap_or(0.0),
+                json_f64(l, "bound").unwrap_or(0.0),
+                if json_bool(l, "explore").unwrap_or(false) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            ));
+        }
+    }
+
+    if let Some(thread) = report.current_thread() {
+        let tail = thread.events.len().saturating_sub(TIMELINE_TAIL);
+        out.push_str(&format!(
+            "\ntimeline (crashing thread, last {} of {} events):\n",
+            thread.events.len() - tail,
+            thread.events.len()
+        ));
+        for event in &thread.events[tail..] {
+            out.push_str(&format!("  {:<9}  {}\n", event.seq, describe(event)));
+        }
+    }
+
+    if !report.threads.is_empty() {
+        out.push_str("\nthreads:\n");
+        for thread in &report.threads {
+            out.push_str(&format!(
+                "  {} {:<12}  {} events, {} dropped{}\n",
+                if thread.current { "*" } else { " " },
+                thread.name,
+                thread.events.len(),
+                thread.dropped,
+                if thread.dropped > 0 {
+                    "  (ring overflowed; oldest events lost)"
+                } else {
+                    ""
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `--json` document: the whole report as one JSON object,
+/// with the last bandit decisions pre-extracted for scripting.
+#[must_use]
+pub fn postmortem_json(report: &CrashReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"cause\":\"{}\",\"message\":\"{}\",",
+        json_escape(&report.cause),
+        json_escape(&report.message)
+    ));
+    match report.signal {
+        Some(sig) => out.push_str(&format!(
+            "\"signal\":{sig},\"signal_name\":\"{}\",",
+            signal_name(sig)
+        )),
+        None => out.push_str("\"signal\":null,"),
+    }
+    out.push_str(&format!(
+        "\"thread\":\"{}\",\"time_unix\":{},\"experiment\":\"{}\",\"digest\":\"{}\",",
+        json_escape(&report.thread),
+        report.time_unix,
+        json_escape(&report.experiment),
+        json_escape(&report.digest)
+    ));
+    out.push_str("\"config\":{");
+    for (i, (key, value)) in report.config.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        ));
+    }
+    out.push_str("},");
+    out.push_str(&format!(
+        "\"host\":{{\"cpus\":{},\"kernel_mode\":\"{}\",\"hostname\":\"{}\"}},",
+        report.cpus,
+        json_escape(&report.kernel_mode),
+        json_escape(&report.hostname)
+    ));
+    match report.sweep {
+        Some((done, total, active)) => out.push_str(&format!(
+            "\"sweep\":{{\"done\":{done},\"total\":{total},\"active\":{active}}},"
+        )),
+        None => out.push_str("\"sweep\":null,"),
+    }
+    match report.arm {
+        Some((index, seed)) => {
+            out.push_str(&format!("\"arm\":{{\"index\":{index},\"seed\":{seed}}},"));
+        }
+        None => out.push_str("\"arm\":null,"),
+    }
+    out.push_str("\"span_stack\":[");
+    for (i, frame) in report.span_stack.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(frame)));
+    }
+    out.push_str("],");
+    out.push_str("\"last_decisions\":[");
+    for (i, d) in report.last_decisions().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let l = &d.line;
+        out.push_str(&format!(
+            "{{\"seq\":{},\"agent\":{},\"step\":{},\"arm\":{},\"q\":{},\"bound\":{},\"explore\":{}}}",
+            d.seq,
+            json_u64(l, "agent").unwrap_or(0),
+            json_u64(l, "step").unwrap_or(0),
+            json_u64(l, "arm").unwrap_or(0),
+            json_f64(l, "q").unwrap_or(0.0),
+            json_f64(l, "bound").unwrap_or(0.0),
+            json_bool(l, "explore").unwrap_or(false),
+        ));
+    }
+    out.push_str("],");
+    out.push_str("\"threads\":[");
+    for (i, thread) in report.threads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"current\":{},\"dropped\":{},\"events\":{}}}",
+            json_escape(&thread.name),
+            thread.current,
+            thread.dropped,
+            thread.events.len()
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab_ledger::json::JsonValue;
+    use mab_telemetry::blackbox::{CrashEvent, CrashThread};
+
+    fn decision_event(thread: usize, seq: u64, arm: u64, q: f64) -> CrashEvent {
+        CrashEvent {
+            thread,
+            seq,
+            etype: "decision".to_string(),
+            line: format!(
+                "{{\"kind\":\"event\",\"thread\":{thread},\"seq\":{seq},\"type\":\"decision\",\
+                 \"agent\":0,\"step\":{seq},\"arm\":{arm},\"q\":{q:.6},\"bound\":{:.6},\"explore\":false}}",
+                q + 0.5
+            ),
+        }
+    }
+
+    fn sample_report() -> CrashReport {
+        CrashReport {
+            cause: "panic".to_string(),
+            message: "injected test panic".to_string(),
+            signal: None,
+            thread: "worker-2".to_string(),
+            time_unix: 1_700_000_000,
+            experiment: "fig08_singlecore".to_string(),
+            digest: "deadbeef".to_string(),
+            config: vec![("quick".to_string(), "true".to_string())],
+            cpus: 8,
+            kernel_mode: "simd".to_string(),
+            hostname: "ci-runner".to_string(),
+            sweep: Some((3, 12, true)),
+            arm: Some((3, 42)),
+            span_stack: vec!["sweep".to_string(), "run_single".to_string()],
+            threads: vec![
+                CrashThread {
+                    name: "main".to_string(),
+                    current: false,
+                    dropped: 0,
+                    events: vec![CrashEvent {
+                        thread: 0,
+                        seq: 1,
+                        etype: "sweep_begin".to_string(),
+                        line: "{\"kind\":\"event\",\"thread\":0,\"seq\":1,\
+                               \"type\":\"sweep_begin\",\"total\":12}"
+                            .to_string(),
+                    }],
+                },
+                CrashThread {
+                    name: "worker-2".to_string(),
+                    current: true,
+                    dropped: 5,
+                    events: (2..10).map(|s| decision_event(1, s, s % 4, 0.25)).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_covers_header_arm_decisions_and_drops() {
+        let text = render_postmortem(&sample_report());
+        assert!(text.contains("crash postmortem — fig08_singlecore (digest deadbeef)"));
+        assert!(text.contains("cause:    panic"));
+        assert!(text.contains("message:  injected test panic"));
+        assert!(text.contains("8 cpus, simd kernels, ci-runner"));
+        assert!(text.contains("sweep:    3/12 arms done (sweep active)"));
+        assert!(text.contains("arm:      index 3, seed 42"));
+        assert!(text.contains("quick = true"));
+        assert!(text.contains("run_single"));
+        assert!(text.contains("last 8 bandit decisions"));
+        assert!(text.contains("5 dropped  (ring overflowed"));
+        // The non-crashing thread shows in accounting but not the timeline.
+        assert!(text.contains("  main"));
+        assert!(!text.contains("timeline (crashing thread, last 1"));
+    }
+
+    #[test]
+    fn render_signal_crash_names_the_signal() {
+        let report = CrashReport {
+            cause: "signal".to_string(),
+            signal: Some(11),
+            ..sample_report()
+        };
+        assert!(render_postmortem(&report).contains("cause:    signal (SIGSEGV 11)"));
+    }
+
+    #[test]
+    fn json_output_parses_and_round_trips_key_fields() {
+        let doc = postmortem_json(&sample_report());
+        let value = mab_ledger::json::parse(&doc).expect("postmortem --json must be valid JSON");
+        assert_eq!(value.get("cause").and_then(JsonValue::as_str), Some("panic"));
+        assert_eq!(
+            value
+                .get("arm")
+                .and_then(|a| a.get("index"))
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        let decisions = value.get("last_decisions").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(decisions.len(), 8);
+        let threads = value.get("threads").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(threads.len(), 2);
+        assert_eq!(threads[1].get("dropped").and_then(JsonValue::as_u64), Some(5));
+    }
+}

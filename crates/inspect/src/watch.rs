@@ -222,12 +222,31 @@ pub fn normalize_url(url: &str) -> String {
     with_scheme.trim_end_matches('/').to_string()
 }
 
-/// Watches a monitor endpoint until its SSE stream closes (the run
-/// finished) or, with `once`, after a single status snapshot.
+/// Reconnect attempts after an SSE drop before concluding the server is
+/// gone for good. The first attempt is immediate, so an orderly shutdown
+/// (connection refused) still ends the watch promptly.
+const RECONNECT_ATTEMPTS: u32 = 3;
+
+/// Backoff used when the server never sent a `retry:` hint.
+const DEFAULT_BACKOFF: Duration = Duration::from_millis(250);
+
+/// Ceiling for the exponential reconnect backoff.
+const MAX_BACKOFF: Duration = Duration::from_secs(30);
+
+/// Watches a monitor endpoint until its SSE stream closes for good or,
+/// with `once`, after a single status snapshot.
+///
+/// A dropped stream does not end the watch: the loop reconnects with
+/// exponential backoff — seeded by the server's `retry:` hint, doubling
+/// per attempt, capped at [`MAX_BACKOFF`] — so a monitor restart or a
+/// transient network cut only costs a gap in the event log. Only when
+/// [`RECONNECT_ATTEMPTS`] consecutive attempts fail (the run finished and
+/// the server is gone) does the watch end.
 ///
 /// # Errors
 ///
-/// Returns a message when the endpoint is unreachable or malformed.
+/// Returns a message when the endpoint is unreachable or malformed at
+/// startup (before the first stream is established).
 pub fn watch(url: &str, interval: Duration, once: bool) -> Result<(), String> {
     let base = normalize_url(url);
     let timeout = interval.max(Duration::from_secs(2)) + Duration::from_secs(1);
@@ -240,32 +259,50 @@ pub fn watch(url: &str, interval: Duration, once: bool) -> Result<(), String> {
     let mut events = SseClient::connect(&events_url, timeout)
         .map_err(|e| format!("cannot subscribe to {events_url}: {e}"))?;
     let mut last_render = Instant::now();
-    loop {
+    // The server's `retry:` hint (milliseconds) seeds the backoff.
+    let mut retry_hint: Option<Duration> = None;
+    'stream: loop {
         // Heartbeats arrive every second, so this wakes at least that
         // often; a timeout just means a slow stream, not a dead server.
         let frame = match events.next_frame() {
             Ok(Some(frame)) => Some(frame),
-            Ok(None) => break, // orderly EOF: the run is over
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => None,
-            Err(e) => return Err(format!("event stream failed: {e}")),
+            Ok(None) | Err(_) => {
+                // Dropped stream (EOF or socket error): reconnect with
+                // capped exponential backoff instead of giving up — the
+                // monitor may just be restarting.
+                let mut backoff = retry_hint.unwrap_or(DEFAULT_BACKOFF).min(MAX_BACKOFF);
+                for attempt in 1..=RECONNECT_ATTEMPTS {
+                    if attempt > 1 {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(MAX_BACKOFF);
+                    }
+                    if let Ok(client) = SseClient::connect(&events_url, timeout) {
+                        events = client;
+                        println!("-- reconnected to {events_url} (attempt {attempt})");
+                        continue 'stream;
+                    }
+                }
+                break 'stream;
+            }
         };
-        match frame {
-            Some(f)
-                if matches!(
-                    f.event.as_str(),
-                    "sweep_begin" | "sweep_end" | "job_submitted" | "job_done"
-                ) =>
-            {
+        if let Some(f) = &frame {
+            if let Some(ms) = f.retry_ms {
+                retry_hint = Some(Duration::from_millis(ms));
+            }
+            if matches!(
+                f.event.as_str(),
+                "sweep_begin" | "sweep_end" | "job_submitted" | "job_done" | "arm_crash"
+            ) {
                 println!("-- {}: {}", f.event, f.data);
             }
-            _ => {}
         }
         if last_render.elapsed() >= interval {
-            match fetch_and_render(&base, timeout) {
-                Ok(text) => print!("\n{text}"),
-                // The server can vanish between a frame and the poll.
-                Err(_) => break,
+            if let Ok(text) = fetch_and_render(&base, timeout) {
+                print!("\n{text}");
             }
+            // A failed poll is not fatal: the SSE loop above decides
+            // whether the server is really gone.
             last_render = Instant::now();
         }
     }
@@ -339,6 +376,59 @@ mod tests {
         assert_eq!(
             normalize_url("http://127.0.0.1:9464"),
             "http://127.0.0.1:9464"
+        );
+    }
+
+    /// A hand-rolled SSE server that cuts the stream after one event:
+    /// `watch` must reconnect (honoring the tiny `retry:` hint) instead of
+    /// treating the first drop as the end of the run.
+    #[test]
+    fn watch_reconnects_with_backoff_after_stream_drops() {
+        use std::io::{Read as _, Write as _};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let events_conns = Arc::new(AtomicUsize::new(0));
+        let conns = Arc::clone(&events_conns);
+        let server = std::thread::spawn(move || {
+            // Serve until two /events streams have been cut; then stop
+            // listening so the watch's reconnect attempts are refused.
+            let mut streams_dropped = 0;
+            while streams_dropped < 2 {
+                let (mut sock, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let n = sock.read(&mut buf).unwrap_or(0);
+                let req = String::from_utf8_lossy(&buf[..n]).to_string();
+                if req.starts_with("GET /events") {
+                    conns.fetch_add(1, Ordering::SeqCst);
+                    streams_dropped += 1;
+                    let _ = sock.write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\r\n\
+                          retry: 40\n\nevent: sweep_begin\ndata: {}\n\n",
+                    );
+                    // Dropping the socket here cuts the stream mid-run.
+                } else {
+                    let body = r#"{"experiment":"reconnect_unit","sweep":null}"#;
+                    let _ = sock.write_all(
+                        format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    );
+                }
+            }
+        });
+        // Long interval: no mid-loop /status polls to interleave with the
+        // scripted connections above.
+        watch(&addr, Duration::from_secs(30), false).unwrap();
+        server.join().unwrap();
+        assert!(
+            events_conns.load(Ordering::SeqCst) >= 2,
+            "watch must reconnect after the stream drops"
         );
     }
 

@@ -76,6 +76,14 @@ pub struct RunRecord {
     /// cache instead of executing the arm locally (circumstance). Only
     /// meaningful together with [`RunRecord::served`].
     pub cache_hit: bool,
+    /// Logical CPUs on the host that ran this (circumstance; 0 = unknown).
+    /// Makes cross-host `trend`/`regress` wall-time comparisons attributable.
+    pub cpus: u64,
+    /// Hot-loop kernel implementation the run used (`"simd"`, or `"scalar"`
+    /// under `MAB_SCALAR_KERNELS=1`), if recorded (circumstance).
+    pub kernel_mode: Option<String>,
+    /// Hostname of the machine that ran this, if recorded (circumstance).
+    pub host: Option<String>,
 }
 
 impl RunRecord {
@@ -95,6 +103,9 @@ impl RunRecord {
             monitor_scrapes: 0,
             served: None,
             cache_hit: false,
+            cpus: 0,
+            kernel_mode: None,
+            host: None,
         }
     }
 
@@ -199,6 +210,15 @@ impl RunRecord {
                 self.cache_hit
             ));
         }
+        if self.cpus != 0 {
+            out.push_str(&format!(",\"cpus\":{}", self.cpus));
+        }
+        if let Some(mode) = &self.kernel_mode {
+            out.push_str(&format!(",\"kernel_mode\":\"{}\"", json::escape(mode)));
+        }
+        if let Some(host) = &self.host {
+            out.push_str(&format!(",\"host\":\"{}\"", json::escape(host)));
+        }
         out.push_str(",\"artifacts\":{");
         for (i, (k, v)) in self.artifacts.iter().enumerate() {
             if i > 0 {
@@ -276,6 +296,15 @@ impl RunRecord {
             .get("cache_hit")
             .and_then(JsonValue::as_bool)
             .unwrap_or(false);
+        record.cpus = v.get("cpus").and_then(JsonValue::as_u64).unwrap_or(0);
+        record.kernel_mode = v
+            .get("kernel_mode")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        record.host = v
+            .get("host")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
         if let Some(JsonValue::Obj(arts)) = v.get("artifacts") {
             for (k, val) in arts {
                 if let Some(s) = val.as_str() {
@@ -461,6 +490,28 @@ mod tests {
     }
 
     #[test]
+    fn host_circumstance_round_trips() {
+        let mut r = sample();
+        r.cpus = 8;
+        r.kernel_mode = Some("scalar".to_string());
+        r.host = Some("ci-runner-3".to_string());
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.cpus, 8);
+        assert_eq!(parsed.kernel_mode.as_deref(), Some("scalar"));
+        assert_eq!(parsed.host.as_deref(), Some("ci-runner-3"));
+        assert!(r.same_outcome(&parsed));
+        // Absent when unrecorded (and in the JSON).
+        let plain = sample();
+        assert!(!plain.to_json().contains("kernel_mode"), "{}", plain.to_json());
+        assert!(!plain.to_json().contains("\"host\""));
+        assert!(!plain.to_json().contains("\"cpus\""));
+        let reparsed = RunRecord::from_json(&plain.to_json()).unwrap();
+        assert_eq!(reparsed.cpus, 0);
+        assert_eq!(reparsed.kernel_mode, None);
+        assert_eq!(reparsed.host, None);
+    }
+
+    #[test]
     fn config_digest_matches_record_digest() {
         let r = sample();
         assert_eq!(config_digest(&r.experiment, &r.config, &r.code), r.digest());
@@ -483,6 +534,9 @@ mod tests {
         b.monitor_scrapes = 3;
         b.served = Some("ci:4".to_string());
         b.cache_hit = true;
+        b.cpus = 128;
+        b.kernel_mode = Some("scalar".to_string());
+        b.host = Some("elsewhere".to_string());
         assert_eq!(a.digest(), b.digest());
         // …but any identity change produces a new digest.
         b.config_pair("mixes", 40);

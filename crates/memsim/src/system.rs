@@ -181,6 +181,9 @@ pub struct System {
     probe: ProbeCounts,
     /// L2 demand accesses since the run started (occupancy sample clock).
     occ_accesses: u64,
+    /// L2 demand accesses on the black-box epoch-summary clock (separate
+    /// from `occ_accesses`, which only ticks while telemetry records).
+    bb_accesses: u64,
     /// Use sequential stepping in [`System::run_multi`]; latched from
     /// [`crate::hotpath`] at construction.
     scalar: bool,
@@ -239,6 +242,7 @@ impl System {
             config,
             probe: ProbeCounts::new(),
             occ_accesses: 0,
+            bb_accesses: 0,
             scalar: crate::hotpath::scalar_kernels(),
         }
     }
@@ -625,6 +629,21 @@ impl System {
                     value: self.cores[i].mshr.len() as f64,
                     cycle: t,
                 });
+            }
+        }
+
+        // Black-box epoch summary on the same sampling clock: DRAM backlog
+        // at the sample point. Feature-independent, one branch while the
+        // flight recorder is off.
+        if mab_telemetry::blackbox::is_on() {
+            self.bb_accesses += 1;
+            if self.bb_accesses.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+                mab_telemetry::blackbox::epoch(
+                    "mem",
+                    self.bb_accesses / OCCUPANCY_SAMPLE_PERIOD,
+                    t,
+                    self.dram.backlog(t),
+                );
             }
         }
 

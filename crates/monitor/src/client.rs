@@ -104,6 +104,10 @@ pub struct SseFrame {
     pub event: String,
     /// The `data:` payload (or the comment text).
     pub data: String,
+    /// The `retry:` reconnection hint in milliseconds, when the frame
+    /// carried one (servers send it at stream start; `mab-inspect watch`
+    /// seeds its reconnect backoff from it).
+    pub retry_ms: Option<u64>,
 }
 
 /// A connected `/events` subscriber.
@@ -155,6 +159,7 @@ impl SseClient {
             id: None,
             event: String::new(),
             data: String::new(),
+            retry_ms: None,
         };
         let mut saw_field = false;
         loop {
@@ -179,8 +184,9 @@ impl SseClient {
                 frame.event = event.trim().to_string();
             } else if let Some(data) = line.strip_prefix("data:") {
                 frame.data = data.trim().to_string();
-            } else if let Some(_retry) = line.strip_prefix("retry:") {
+            } else if let Some(retry) = line.strip_prefix("retry:") {
                 frame.event = "retry".to_string();
+                frame.retry_ms = retry.trim().parse().ok();
             }
         }
     }

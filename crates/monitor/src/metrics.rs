@@ -198,14 +198,18 @@ fn render_histogram(out: &mut String, rec: &Recorder, hist: Hist) {
     out.push_str(&format!("{name}_count {}\n", h.count()));
 }
 
-fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+/// Appends one gauge metric (`# HELP` / `# TYPE` / sample) to the page.
+/// Public so other exposition surfaces (`mab-serve`'s `/metrics`) render
+/// with the exact same conventions as the monitor.
+pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     out.push_str(&format!(
         "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
         fmt_value(value)
     ));
 }
 
-fn counter(out: &mut String, name: &str, help: &str, value: f64) {
+/// Appends one counter metric (`# HELP` / `# TYPE` / sample) to the page.
+pub fn counter(out: &mut String, name: &str, help: &str, value: f64) {
     out.push_str(&format!(
         "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
         fmt_value(value)
@@ -214,7 +218,7 @@ fn counter(out: &mut String, name: &str, help: &str, value: f64) {
 
 /// Formats a sample value: integral values render without a fraction,
 /// non-finite values as Prometheus' `NaN`/`+Inf`/`-Inf` tokens.
-fn fmt_value(v: f64) -> String {
+pub fn fmt_value(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {

@@ -91,6 +91,7 @@ where
         }
     };
     let serial = opts.jobs <= 1 || specs.len() <= 1;
+    mab_telemetry::blackbox::sweep_begin(specs.len());
     let sweep_id = if observers.is_empty() {
         0
     } else {
@@ -111,6 +112,9 @@ where
             index,
             seed: child_seed(opts.master_seed, index as u64),
         };
+        // The black box remembers this as the worker's current arm, so a
+        // panic or fatal signal mid-run names the failing (index, seed).
+        mab_telemetry::blackbox::arm_start(index, ctx.seed);
         let arm_start = if observers.is_empty() {
             None
         } else {
@@ -132,6 +136,7 @@ where
         match outcome {
             Ok(result) => {
                 count!(SweepRuns);
+                mab_telemetry::blackbox::arm_finish(index);
                 if let Some(start) = arm_start {
                     emit(&crate::observe::ArmEvent::ArmFinish(
                         crate::observe::ArmObservation {
@@ -156,6 +161,7 @@ where
         }
     };
     let end_sweep = || {
+        mab_telemetry::blackbox::sweep_end(specs.len());
         if !observers.is_empty() {
             emit(&crate::observe::ArmEvent::SweepEnd { sweep: sweep_id });
         }

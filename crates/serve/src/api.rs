@@ -8,6 +8,8 @@
 //! | GET    | `/jobs/:id/events`      | per-job SSE progress stream |
 //! | GET    | `/events`               | global SSE progress stream |
 //! | GET    | `/queue`                | scheduler/cache snapshot |
+//! | GET    | `/crashes`              | `.mabcrash` reports with job attribution |
+//! | GET    | `/metrics`              | Prometheus text exposition |
 //! | GET    | `/experiments`          | the experiment registry with defaults |
 //! | GET    | `/` or `/healthz`       | `ok` |
 //!
@@ -32,6 +34,14 @@ pub fn route(state: &Arc<ServeState>, req: &Request, conn: &mut Conn) {
             let mut body = state.queue_json();
             body.push('\n');
             let _ = conn.respond("200 OK", "application/json", &body);
+        }
+        ("GET", "/crashes") => {
+            let mut body = state.crashes_json();
+            body.push('\n');
+            let _ = conn.respond("200 OK", "application/json", &body);
+        }
+        ("GET", "/metrics") => {
+            let _ = conn.respond("200 OK", "text/plain; version=0.0.4", &state.metrics_page());
         }
         ("GET", "/experiments") => {
             let _ = conn.respond("200 OK", "application/json", &experiments_json());

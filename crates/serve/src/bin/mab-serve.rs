@@ -84,6 +84,15 @@ fn main() {
         }
     };
     let quiet = flags.config.quiet;
+    // Arm the daemon's own flight recorder: a panic or fatal signal in
+    // the daemon itself leaves a report in the crash root (executed arms
+    // get per-job subdirectories via MAB_CRASH_DIR).
+    mab_telemetry::blackbox::install(
+        "mab-serve",
+        "",
+        &[],
+        &flags.config.cache_dir.join("crashes"),
+    );
     let executor = match &flags.bin_dir {
         Some(dir) => BinaryExecutor {
             bin_dir: dir.clone(),

@@ -16,7 +16,7 @@
 use mab_experiments::spec::RunSpec;
 use mab_runner::CancelToken;
 use std::io::Read;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
@@ -24,11 +24,21 @@ use std::time::Duration;
 pub trait Executor: Send + Sync {
     /// Runs `spec` to completion, polling `cancel` at checkpoints.
     ///
+    /// `crash_dir` is where the execution should leave a `.mabcrash`
+    /// flight-recorder report if it dies (the daemon passes a per-job
+    /// directory so crashes attribute back to the owning job); executors
+    /// that cannot crash out-of-process may ignore it.
+    ///
     /// # Errors
     ///
     /// A human-readable failure message (spawn failure, non-zero exit,
     /// cancellation).
-    fn run(&self, spec: &RunSpec, cancel: &CancelToken) -> Result<String, String>;
+    fn run(
+        &self,
+        spec: &RunSpec,
+        cancel: &CancelToken,
+        crash_dir: Option<&Path>,
+    ) -> Result<String, String>;
 }
 
 /// Runs arms by spawning the experiment binaries found in `bin_dir`.
@@ -53,9 +63,15 @@ impl BinaryExecutor {
 }
 
 impl Executor for BinaryExecutor {
-    fn run(&self, spec: &RunSpec, cancel: &CancelToken) -> Result<String, String> {
+    fn run(
+        &self,
+        spec: &RunSpec,
+        cancel: &CancelToken,
+        crash_dir: Option<&Path>,
+    ) -> Result<String, String> {
         let program = self.bin_dir.join(&spec.experiment);
-        let mut child = Command::new(&program)
+        let mut command = Command::new(&program);
+        command
             .args(spec.cli_args())
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
@@ -64,7 +80,18 @@ impl Executor for BinaryExecutor {
             // the daemon does its own recording.
             .env("MAB_QUIET", "1")
             .env_remove("MAB_LEDGER")
-            .env_remove("MAB_MONITOR")
+            .env_remove("MAB_MONITOR");
+        // Point the child's flight recorder at the per-job crash directory
+        // so a panic or fatal signal leaves an attributable report.
+        match crash_dir {
+            Some(dir) => {
+                command.env("MAB_CRASH_DIR", dir);
+            }
+            None => {
+                command.env_remove("MAB_CRASH_DIR");
+            }
+        }
+        let mut child = command
             .spawn()
             .map_err(|e| format!("spawn {} failed: {e}", program.display()))?;
 

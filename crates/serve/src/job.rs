@@ -56,6 +56,10 @@ pub struct Arm {
     pub wall_ms: f64,
     /// Failure message, when [`ArmStatus::Failed`].
     pub error: Option<String>,
+    /// Path of the `.mabcrash` flight-recorder report the failed execution
+    /// left behind, when one was found (see `GET /crashes` and
+    /// `mab-inspect postmortem`).
+    pub crash: Option<String>,
 }
 
 /// One client submission.
@@ -167,6 +171,9 @@ pub fn arm_json(index: usize, arm: &Arm) -> String {
     );
     if let Some(error) = &arm.error {
         out.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
+    }
+    if let Some(crash) = &arm.crash {
+        out.push_str(&format!(",\"crash\":\"{}\"", json::escape(crash)));
     }
     out.push('}');
     out
@@ -328,6 +335,7 @@ mod tests {
             cache_hit,
             wall_ms: 1.0,
             error: None,
+            crash: None,
         };
         let mut job = Job {
             id: 3,

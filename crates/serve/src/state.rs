@@ -147,6 +147,10 @@ pub struct ServeState {
     pub arms_executed: AtomicU64,
     /// Arms served from the cache or an in-flight twin.
     pub arms_cached: AtomicU64,
+    /// Submissions rejected with `429` at the queue cap.
+    pub rejected_submissions: AtomicU64,
+    /// Crash reports attributed to failed arms (`GET /crashes`).
+    pub crashes: AtomicU64,
 }
 
 impl std::fmt::Debug for ServeState {
@@ -187,6 +191,8 @@ impl ServeState {
             http: Arc::new(HttpStats::default()),
             arms_executed: AtomicU64::new(0),
             arms_cached: AtomicU64::new(0),
+            rejected_submissions: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
             config,
         });
         let resumed = state.resume();
@@ -213,6 +219,19 @@ impl ServeState {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// Root directory for crash reports: `<cache_dir>/crashes`. Only
+    /// created when something actually crashes.
+    pub fn crash_root(&self) -> PathBuf {
+        self.config.cache_dir.join("crashes")
+    }
+
+    /// Per-job crash directory. Executed children get it as
+    /// `MAB_CRASH_DIR`, so a dying arm's flight-recorder report lands
+    /// where the daemon can attribute it back to the owning job.
+    pub fn job_crash_dir(&self, job_id: u64) -> PathBuf {
+        self.crash_root().join(format!("job-{job_id}"))
+    }
+
     /// Admits a job: expands the grid, checks capacity, queues the arms
     /// under the client's id and returns the job id.
     ///
@@ -234,6 +253,7 @@ impl ServeState {
                 cache_hit: false,
                 wall_ms: 0.0,
                 error: None,
+                crash: None,
             })
             .collect();
         let n = arms.len();
@@ -244,6 +264,7 @@ impl ServeState {
                 return Err(SubmitError::Draining);
             }
             if sched.open_arms + n > self.config.queue_cap {
+                self.rejected_submissions.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::QueueFull);
             }
             sched.open_arms += n;
@@ -265,6 +286,7 @@ impl ServeState {
             id
         };
         self.enqueue(&spec.client, (0..n).map(|i| (id, i)));
+        mab_telemetry::blackbox::job_event(id, "submitted", &format!("{n} arms"));
         self.events.publish(
             "job_submitted",
             format!(
@@ -366,13 +388,16 @@ impl ServeState {
         let mut out = format!(
             "{{\"code\":\"{}\",\"workers\":{},\"queue_cap\":{},\"draining\":{},\
              \"open_arms\":{open_arms},\"inflight\":{inflight},\
-             \"arms_executed\":{},\"arms_cached\":{},\"cache_entries\":{},\"queued\":{{",
+             \"arms_executed\":{},\"arms_cached\":{},\"crashes\":{},\
+             \"rejected_submissions\":{},\"cache_entries\":{},\"queued\":{{",
             json::escape(&self.code),
             self.pool.workers(),
             self.config.queue_cap,
             self.draining(),
             self.arms_executed.load(Ordering::Relaxed),
             self.arms_cached.load(Ordering::Relaxed),
+            self.crashes.load(Ordering::Relaxed),
+            self.rejected_submissions.load(Ordering::Relaxed),
             self.cache.entries(),
         );
         for (i, (client, n)) in queued_by_client.iter().enumerate() {
@@ -390,6 +415,156 @@ impl ServeState {
             out.push_str(&job.summary_json());
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Renders the `GET /crashes` listing: every `.mabcrash` report under
+    /// the crash root, newest first, attributed to its owning job (the
+    /// `job-<id>` subdirectory it landed in; `null` for daemon-level
+    /// reports in the root itself).
+    pub fn crashes_json(&self) -> String {
+        let root = self.crash_root();
+        // (modified_unix, job id, path, bytes)
+        let mut rows: Vec<(u64, Option<u64>, String, u64)> = Vec::new();
+        let scan = |dir: &PathBuf, job: Option<u64>, rows: &mut Vec<_>| {
+            for path in crash_reports_in(dir) {
+                let meta = std::fs::metadata(&path).ok();
+                let bytes = meta.as_ref().map_or(0, std::fs::Metadata::len);
+                let modified = meta
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                    .map_or(0, |d| d.as_secs());
+                rows.push((modified, job, path, bytes));
+            }
+        };
+        scan(&root, None, &mut rows);
+        if let Ok(entries) = std::fs::read_dir(&root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if let Some(id) = name
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("job-"))
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
+                    scan(&entry.path(), Some(id), &mut rows);
+                }
+            }
+        }
+        rows.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.2.cmp(&b.2)));
+        let mut out = format!(
+            "{{\"crash_dir\":\"{}\",\"count\":{},\"crashes\":[",
+            json::escape(&root.display().to_string()),
+            rows.len(),
+        );
+        for (i, (modified, job, path, bytes)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"job\":{},\"report\":\"{}\",\"bytes\":{bytes},\"modified_unix\":{modified}}}",
+                job.map_or("null".to_string(), |id| id.to_string()),
+                json::escape(path),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the Prometheus exposition page for `GET /metrics`, using
+    /// the monitor's writer so both planes share one set of conventions.
+    pub fn metrics_page(&self) -> String {
+        use mab_monitor::metrics::{counter, gauge};
+        let (queued, open_arms, inflight) = {
+            let sched = self.sched.lock().unwrap();
+            let queued: usize = sched.clients.iter().map(|(_, q)| q.len()).sum();
+            (queued, sched.open_arms, sched.inflight.len())
+        };
+        let jobs = self.jobs.lock().unwrap().jobs.len();
+        let mut out = String::with_capacity(2048);
+        gauge(
+            &mut out,
+            "mab_serve_workers",
+            "Executor worker threads.",
+            self.pool.workers() as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_queue_cap",
+            "Maximum admitted-but-unfinished arms.",
+            self.config.queue_cap as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_queue_depth",
+            "Arms waiting in client queues.",
+            queued as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_open_arms",
+            "Admitted arms not yet terminal.",
+            open_arms as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_inflight",
+            "Distinct digests currently executing.",
+            inflight as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_jobs",
+            "Jobs in the job table.",
+            jobs as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_draining",
+            "1 once shutdown has begun.",
+            if self.draining() { 1.0 } else { 0.0 },
+        );
+        counter(
+            &mut out,
+            "mab_serve_cache_hits_total",
+            "Arms served from the cache or an in-flight twin.",
+            self.arms_cached.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut out,
+            "mab_serve_cache_misses_total",
+            "Arms executed because no cached result existed.",
+            self.arms_executed.load(Ordering::Relaxed) as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_cache_entries",
+            "Entries in the content-addressed cache.",
+            self.cache.entries() as f64,
+        );
+        counter(
+            &mut out,
+            "mab_serve_rejected_submissions_total",
+            "Submissions rejected with 429 at the queue cap.",
+            self.rejected_submissions.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut out,
+            "mab_serve_crashes_total",
+            "Crash reports attributed to failed arms.",
+            self.crashes.load(Ordering::Relaxed) as f64,
+        );
+        gauge(
+            &mut out,
+            "mab_serve_sse_clients",
+            "Currently connected SSE clients.",
+            self.sse_clients.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut out,
+            "mab_serve_sse_dropped_total",
+            "Events dropped across slow SSE clients.",
+            self.sse_dropped.load(Ordering::Relaxed) as f64,
+        );
         out
     }
 
@@ -455,6 +630,9 @@ impl ServeState {
                 ));
                 if let Some(error) = &arm.error {
                     out.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
+                }
+                if let Some(crash) = &arm.crash {
+                    out.push_str(&format!(",\"crash\":\"{}\"", json::escape(crash)));
                 }
                 out.push('}');
             }
@@ -546,6 +724,10 @@ impl ServeState {
                             .get("error")
                             .and_then(JsonValue::as_str)
                             .map(str::to_string),
+                        crash: arm_doc
+                            .get("crash")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_string),
                     });
                 }
                 if arms.is_empty() {
@@ -608,6 +790,7 @@ impl ServeState {
             job.arms[arm_idx].status = ArmStatus::Running;
             (job.arms[arm_idx].digest.clone(), Arc::clone(&job.events))
         };
+        mab_telemetry::blackbox::job_event(job_id, "arm_start", &digest);
         let payload = format!("{{\"job\":{job_id},\"index\":{arm_idx},\"digest\":\"{digest}\"}}");
         job_events.publish("arm_start", payload.clone());
         self.events.publish("arm_start", payload);
@@ -622,11 +805,22 @@ impl ServeState {
         error: Option<String>,
     ) {
         let failed = error.is_some();
+        // A failed execution may have left a flight-recorder report in the
+        // job's crash directory (newest first); claim the first one no
+        // other arm of this job owns yet.
+        let candidates = if failed {
+            crash_reports_in(&self.job_crash_dir(job_id))
+        } else {
+            Vec::new()
+        };
         let completion = {
             let mut jobs = self.jobs.lock().unwrap();
             let Some(job) = jobs.jobs.get_mut(&job_id) else {
                 return;
             };
+            let crash = candidates
+                .into_iter()
+                .find(|p| !job.arms.iter().any(|a| a.crash.as_deref() == Some(p.as_str())));
             let arm = &mut job.arms[arm_idx];
             arm.status = if failed {
                 ArmStatus::Failed
@@ -636,6 +830,7 @@ impl ServeState {
             arm.cache_hit = cache_hit;
             arm.wall_ms = wall_ms;
             arm.error = error;
+            arm.crash = crash.clone();
             let spec = arm.spec.clone();
             let digest = arm.digest.clone();
             let label = format!("{}:{}", job.client, job.id);
@@ -644,12 +839,17 @@ impl ServeState {
                 .iter()
                 .all(|a| a.status.is_terminal())
                 .then(|| (job.status(), job.cache_hits()));
-            (spec, digest, label, Arc::clone(&job.events), finished)
+            (spec, digest, label, Arc::clone(&job.events), finished, crash)
         };
-        let (spec, digest, label, job_events, finished) = completion;
+        let (spec, digest, label, job_events, finished, crash) = completion;
         if !failed {
             self.record_arm(&spec, &label, cache_hit);
         }
+        mab_telemetry::blackbox::job_event(
+            job_id,
+            if failed { "arm_failed" } else { "arm_done" },
+            &digest,
+        );
         let payload = format!(
             "{{\"job\":{job_id},\"index\":{arm_idx},\"digest\":\"{digest}\",\
              \"cache_hit\":{cache_hit},\"status\":\"{}\"}}",
@@ -657,6 +857,18 @@ impl ServeState {
         );
         job_events.publish("arm_done", payload.clone());
         self.events.publish("arm_done", payload);
+        if let Some(report) = crash {
+            self.crashes.fetch_add(1, Ordering::Relaxed);
+            self.progress(&format!(
+                "arm {arm_idx} of job {job_id} crashed; postmortem: mab-inspect postmortem {report}"
+            ));
+            let payload = format!(
+                "{{\"job\":{job_id},\"index\":{arm_idx},\"report\":\"{}\"}}",
+                json::escape(&report)
+            );
+            job_events.publish("arm_crash", payload.clone());
+            self.events.publish("arm_crash", payload);
+        }
         if let Some((status, hits)) = finished {
             let payload =
                 format!("{{\"job\":{job_id},\"status\":\"{status}\",\"cache_hits\":{hits}}}");
@@ -701,7 +913,8 @@ impl ServeState {
         self.mark_running(job_id, arm_idx);
         let state = Arc::clone(self);
         self.pool.submit(move |cancel| {
-            let result = state.executor.run(&spec, cancel);
+            let crash_dir = state.job_crash_dir(job_id);
+            let result = state.executor.run(&spec, cancel, Some(&crash_dir));
             let wall_ms = elapsed_ms(started);
             let subscribers = {
                 let mut sched = state.sched.lock().unwrap();
@@ -775,6 +988,30 @@ fn pick_round_robin(sched: &mut Sched) -> Option<(u64, usize)> {
         }
     }
     None
+}
+
+/// Lists the `.mabcrash` reports directly inside `dir`, newest first.
+/// Missing directories (nothing ever crashed) yield an empty list.
+fn crash_reports_in(dir: &PathBuf) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut reports: Vec<(std::time::SystemTime, String)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("mabcrash") {
+                return None;
+            }
+            let modified = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::UNIX_EPOCH);
+            Some((modified, path.display().to_string()))
+        })
+        .collect();
+    reports.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    reports.into_iter().map(|(_, path)| path).collect()
 }
 
 fn elapsed_ms(started: Instant) -> f64 {

@@ -35,6 +35,7 @@ impl Executor for StubExecutor {
         &self,
         spec: &mab_experiments::spec::RunSpec,
         cancel: &CancelToken,
+        _crash_dir: Option<&std::path::Path>,
     ) -> Result<String, String> {
         let deadline = Instant::now() + self.delay;
         while Instant::now() < deadline {
@@ -62,6 +63,15 @@ impl TestServer {
     fn start(
         tag: &str,
         executor: Arc<StubExecutor>,
+        workers: usize,
+        queue_cap: usize,
+    ) -> TestServer {
+        TestServer::start_with(tag, executor, workers, queue_cap)
+    }
+
+    fn start_with(
+        tag: &str,
+        executor: Arc<dyn Executor>,
         workers: usize,
         queue_cap: usize,
     ) -> TestServer {
@@ -331,6 +341,133 @@ fn per_job_sse_streams_progress_to_job_done() {
     }
     assert!(saw_arm_done, "never saw arm_done on the job stream");
     assert!(saw_job_done, "never saw job_done on the job stream");
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Dies on every arm: writes a CRC-framed `.mabcrash` report into the
+/// per-job crash directory (exactly what a crashing experiment binary
+/// leaves behind) and reports failure.
+struct CrashingExecutor;
+
+impl Executor for CrashingExecutor {
+    fn run(
+        &self,
+        spec: &mab_experiments::spec::RunSpec,
+        _cancel: &CancelToken,
+        crash_dir: Option<&std::path::Path>,
+    ) -> Result<String, String> {
+        let dir = crash_dir.expect("daemon passes a per-job crash dir");
+        std::fs::create_dir_all(dir).unwrap();
+        let body = format!(
+            "{{\"kind\":\"crash\",\"cause\":\"panic\",\"message\":\"injected\",\
+             \"thread\":\"main\",\"time_unix\":0,\"experiment\":\"{}\",\"digest\":\"d\"}}\n",
+            spec.experiment
+        );
+        let header = format!(
+            "{} {:08x} {}\n",
+            mab_telemetry::blackbox::MAGIC,
+            mab_telemetry::blackbox::crc32(body.as_bytes()),
+            body.lines().count()
+        );
+        std::fs::write(
+            dir.join(format!("crash-0-{}-0.mabcrash", spec.seed)),
+            format!("{header}{body}"),
+        )
+        .unwrap();
+        Err("simulated crash".to_string())
+    }
+}
+
+#[test]
+fn crashed_arms_are_attributed_and_exposed() {
+    let srv = TestServer::start_with("crash", Arc::new(CrashingExecutor), 1, 64);
+
+    let id = job_id(&srv.post_job(
+        "{\"experiment\":\"fig08_singlecore\",\"client\":\"c\",\"seeds\":7,\"quick\":true}",
+    ));
+    let doc = srv.wait_done(id);
+    assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("failed"));
+
+    // The failing arm carries its crash report path, and the report is a
+    // valid flight-recorder dump.
+    let arms = doc
+        .get("arms")
+        .and_then(|v| v.as_arr().map(<[_]>::to_vec))
+        .unwrap();
+    let report = arms[0]
+        .get("crash")
+        .and_then(|v| v.as_str())
+        .expect("failed arm has crash attribution")
+        .to_string();
+    let parsed = mab_telemetry::blackbox::read_report(std::path::Path::new(&report)).unwrap();
+    assert_eq!(parsed.cause, "panic");
+
+    // `GET /crashes` lists the report under the owning job.
+    let crashes = srv.get("/crashes");
+    assert_eq!(crashes.status, 200, "{}", crashes.body);
+    let cdoc = mab_ledger::json::parse(crashes.body.trim()).unwrap();
+    assert_eq!(cdoc.get("count").and_then(|v| v.as_u64()), Some(1));
+    let rows = cdoc
+        .get("crashes")
+        .and_then(|v| v.as_arr().map(<[_]>::to_vec))
+        .unwrap();
+    assert_eq!(rows[0].get("job").and_then(|v| v.as_u64()), Some(id));
+    assert_eq!(
+        rows[0].get("report").and_then(|v| v.as_str()),
+        Some(report.as_str())
+    );
+
+    // The crash count shows up on /queue and /metrics; the exposition page
+    // stays well-formed (every sample line is `name[{labels}] value`).
+    let qdoc = mab_ledger::json::parse(srv.get("/queue").body.trim()).unwrap();
+    assert_eq!(qdoc.get("crashes").and_then(|v| v.as_u64()), Some(1));
+    let metrics = srv.get("/metrics").body;
+    assert!(metrics.contains("mab_serve_crashes_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("mab_serve_cache_misses_total 0"),
+        "{metrics}"
+    );
+    for line in metrics.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap();
+        assert!(!series.is_empty(), "bad series in: {line}");
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+            "bad value in: {line}"
+        );
+    }
+
+    let dir = srv.stop();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn queue_cap_rejections_are_counted() {
+    let executor = StubExecutor::new(Duration::from_millis(400));
+    let srv = TestServer::start("reject-count", Arc::clone(&executor), 1, 1);
+
+    let id = job_id(&srv.post_job(
+        "{\"experiment\":\"fig10_bandwidth\",\"client\":\"a\",\"seeds\":1,\"quick\":true}",
+    ));
+    let rejected = srv.post_job(
+        "{\"experiment\":\"fig10_bandwidth\",\"client\":\"b\",\"seeds\":2,\"quick\":true}",
+    );
+    assert_eq!(rejected.status, 429, "{}", rejected.body);
+    let metrics = srv.get("/metrics").body;
+    assert!(
+        metrics.contains("mab_serve_rejected_submissions_total 1"),
+        "{metrics}"
+    );
+    let qdoc = mab_ledger::json::parse(srv.get("/queue").body.trim()).unwrap();
+    assert_eq!(
+        qdoc.get("rejected_submissions").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    srv.wait_done(id);
 
     let dir = srv.stop();
     std::fs::remove_dir_all(dir).ok();

@@ -390,6 +390,14 @@ impl SmtPipeline {
                 }
                 mab_telemetry::count!(SmtEpochs);
                 mab_telemetry::record!(EpochIpc, per_thread[0] + per_thread[1]);
+                // Black-box epoch summary (feature-independent): aggregate
+                // IPC at each epoch boundary.
+                mab_telemetry::blackbox::epoch(
+                    "smt",
+                    (self.cycle - start_cycle) / epoch_len,
+                    self.cycle,
+                    per_thread[0] + per_thread[1],
+                );
                 self.flush_probes();
                 self.flush_stage_profile();
                 self.profile_on = mab_telemetry::profile::enabled();

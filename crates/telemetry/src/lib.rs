@@ -18,6 +18,9 @@
 //! - [`span`] / [`profile`] — hierarchical span profiler: thread-local span
 //!   stacks with sampled timing, run-scoped deterministic merging, and
 //!   flamegraph-compatible collapsed-stack export.
+//! - [`blackbox`] — the always-on (feature-independent) flight recorder:
+//!   per-thread rings of recent decisions/epochs/arm events plus a
+//!   panic-hook/fatal-signal crash dump to `.mabcrash` reports.
 //!
 //! # Gating
 //!
@@ -33,6 +36,7 @@
 //! only pushed into the ring when [`RecorderConfig::sim_events`] is set;
 //! their counters are always cheap and always on.
 
+pub mod blackbox;
 pub mod counters;
 pub mod event;
 pub mod export;

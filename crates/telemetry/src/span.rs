@@ -361,6 +361,45 @@ pub(crate) fn stack_depth() -> usize {
     TREE.with(|t| t.borrow().stack.len())
 }
 
+/// Frame names of this thread's live span stack, outermost first. Empty
+/// with the `on` feature off or when no span is armed. Crash-safe: every
+/// lock/borrow on this path is a `try_*` (the black-box panic hook calls
+/// this mid-unwind, possibly with the tree or label table mid-mutation),
+/// so contention degrades the result instead of deadlocking or panicking.
+pub fn current_stack() -> Vec<String> {
+    if !crate::STATIC_ENABLED {
+        return Vec::new();
+    }
+    TREE.try_with(|tree| {
+        let Ok(t) = tree.try_borrow() else {
+            return Vec::new();
+        };
+        let labels = LABELS.try_lock().ok();
+        let mut names = Vec::with_capacity(t.stack.len());
+        let mut cur = t.current;
+        for frame in t.stack.iter().rev() {
+            let n = &t.nodes[cur as usize];
+            let cat = Category::from_u8(n.cat).name();
+            let name = if n.label == 0 {
+                cat.to_string()
+            } else {
+                match labels
+                    .as_ref()
+                    .and_then(|l| l.get((n.label - 1) as usize))
+                {
+                    Some(label) => format!("{cat}:{label}"),
+                    None => format!("{cat}:#{}", n.label),
+                }
+            };
+            names.push(name);
+            cur = frame.prev;
+        }
+        names.reverse();
+        names
+    })
+    .unwrap_or_default()
+}
+
 // ---------------------------------------------------------------------------
 // Guards
 // ---------------------------------------------------------------------------
